@@ -1,0 +1,7 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def show(title: str, body: str) -> None:
+    """Print a regenerated table under a banner (visible with ``-s``)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")

@@ -1,0 +1,57 @@
+"""Ablation — measurement robustness vs front-end noise.
+
+The measurement principle relies on the reference channel cancelling
+common-mode errors; channel noise is what remains.  Sweeping the analog
+noise floor shows where the 512-sample averaging stops protecting the
+level estimate — the envelope within which the paper's application
+operates.
+"""
+
+import numpy as np
+from _util import show
+
+from repro.app.dsp import process_measurement
+from repro.app.frontend import AnalogFrontEnd
+
+NOISE_LEVELS = (0.0, 0.002, 0.01, 0.05)
+TEST_LEVELS = (0.3, 0.7)
+
+
+def test_ablation_noise_robustness(benchmark):
+    def sweep():
+        rows = []
+        for noise in NOISE_LEVELS:
+            errors = []
+            for seed in (1, 2):
+                fe = AnalogFrontEnd(noise_rms=noise, seed=seed)
+                for level in TEST_LEVELS:
+                    cyc = fe.sample_cycle(level, 512)
+                    out = process_measurement(
+                        cyc.meas, cyc.ref, cyc.sample_rate_hz, cyc.tone_hz, fe.circuit
+                    )
+                    errors.append(abs(out.level - level))
+            rows.append((noise, float(np.mean(errors)), float(np.max(errors))))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"{'noise rms':>10} {'mean |err|':>11} {'max |err|':>10}"]
+    for noise, mean_err, max_err in rows:
+        lines.append(f"{noise:>10.3f} {mean_err:>11.4f} {max_err:>10.4f}")
+    lines.append(
+        "\nnote: moderate noise *reduces* the error — it dithers the one-bit"
+        "\ndelta-sigma quantisers, whitening their systematic tones; the"
+        "\nzero-noise point shows the undithered modulator bias."
+    )
+    show("Ablation: level accuracy vs analog noise floor", "\n".join(lines))
+
+    by_noise = {n: (m, x) for n, m, x in rows}
+    # Nominal operation (paper's regime) and every swept point keep the
+    # estimator within a few percent: 64 tone periods of averaging plus
+    # the ratiometric reference channel absorb the noise.
+    assert all(x < 0.05 for _n, _m, x in rows)
+    # The dithering effect: moderate noise beats the zero-noise bias.
+    assert by_noise[0.01][0] < by_noise[0.0][0]
+    benchmark.extra_info.update(
+        {f"max_err_at_{n}": round(x, 4) for n, _m, x in rows}
+    )

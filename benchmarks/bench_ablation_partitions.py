@@ -1,0 +1,57 @@
+"""Ablation — module partition count.
+
+"By re-partitioning the modules into e.g. 5 reconfigurable modules of
+smaller sizes, the system could be implemented on a Spartan-3 200":
+sweeping the partition count trades slot size (hence device size and
+static power) against per-cycle reconfiguration time.
+"""
+
+from _util import show
+
+from repro.app.modules import build_processing_graph
+from repro.app.system import static_side_slices
+from repro.core.reconfig_power import partition_study
+from repro.fabric.device import get_device
+from repro.power.model import static_power_w
+from repro.sysgen.compile import split_into_modules
+
+COUNTS = (1, 2, 3, 5, 7)
+
+
+def test_ablation_partition_count(benchmark):
+    graph = build_processing_graph()
+
+    study = benchmark.pedantic(
+        lambda: partition_study(
+            lambda n: split_into_modules(graph, n),
+            static_slices=static_side_slices(),
+            counts=list(COUNTS),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        f"{'modules':>8} {'max module slices':>18} {'device':>10} "
+        f"{'static mW':>10} {'reconfig/cycle ms':>18}"
+    ]
+    for count, max_slices, device, t in zip(
+        study.counts, study.max_module_slices, study.devices, study.reconfig_times_s
+    ):
+        lines.append(
+            f"{count:>8} {max_slices:>18} {device:>10} "
+            f"{static_power_w(get_device(device)) * 1e3:>10.1f} {t * 1e3:>18.2f}"
+        )
+    show("Ablation: partition count vs device size and reconfig overhead", "\n".join(lines))
+
+    # More partitions -> smaller largest module -> never a bigger device.
+    assert list(study.max_module_slices) == sorted(study.max_module_slices, reverse=True)
+    sizes = [get_device(d).slices for d in study.devices]
+    assert sizes == sorted(sizes, reverse=True)
+    # The paper's data points: 1 slot on XC3S400 (or larger), 5 slots reach
+    # the XC3S200.
+    by_count = dict(zip(study.counts, study.devices))
+    assert by_count[5] == "XC3S200"
+    benchmark.extra_info.update(
+        {f"device_{c}": d for c, d in zip(study.counts, study.devices)}
+    )

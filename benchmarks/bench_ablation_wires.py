@@ -1,0 +1,54 @@
+"""Ablation — wire-type mix vs power and delay.
+
+The §4.3 premise quantified: routing the same placed design in
+performance, balanced and power mode trades capacitance (dynamic power)
+against delay, because of the per-wire-type electrical ordering.
+"""
+
+from _util import show
+
+from repro.fabric.device import get_device
+from repro.netlist.blocks import BlockFootprint, block_netlist
+from repro.par.design import Design
+from repro.par.placer import PlacerOptions, place
+from repro.par.router import RouterOptions, route
+from repro.par.timing import analyze_timing
+
+BLOCK = BlockFootprint("wires_blk", slices=180, mean_activity=0.1)
+
+
+def test_ablation_router_modes(benchmark):
+    device = get_device("XC3S400")
+    netlist = block_netlist(BLOCK, seed=5)
+    placement = place(netlist, device, options=PlacerOptions(steps=25, seed=1))
+
+    def route_all_modes():
+        results = {}
+        for mode in ("performance", "balanced", "power"):
+            routing = route(netlist, placement, device, options=RouterOptions(mode=mode))
+            design = Design(
+                netlist, device, placement=placement,
+                routed_nets=routing.nets, graph=routing.graph,
+            )
+            results[mode] = (routing, analyze_timing(design))
+        return results
+
+    results = benchmark.pedantic(route_all_modes, rounds=1, iterations=1)
+
+    lines = [f"{'mode':<14}{'total cap pF':>14}{'wirelength':>12}{'crit path ns':>14}"]
+    for mode, (routing, timing) in results.items():
+        lines.append(
+            f"{mode:<14}{routing.total_capacitance_pf:>14.1f}"
+            f"{routing.total_wirelength:>12}{timing.critical_path_ns:>14.2f}"
+        )
+    show("Ablation: router mode vs capacitance and delay", "\n".join(lines))
+
+    cap = {m: r.total_capacitance_pf for m, (r, _t) in results.items()}
+    delay = {m: t.critical_path_ns for m, (_r, t) in results.items()}
+    # Power routing switches less capacitance than performance routing...
+    assert cap["power"] < cap["performance"]
+    # ...at a delay cost.
+    assert delay["performance"] <= delay["power"] * 1.01
+    # Balanced sits between the extremes on capacitance.
+    assert cap["power"] <= cap["balanced"] <= cap["performance"] * 1.05
+    benchmark.extra_info.update({f"cap_{m}_pf": round(c, 1) for m, c in cap.items()})

@@ -1,0 +1,63 @@
+"""Extension — run-time adaptation of the data-processing algorithms.
+
+Paper §2: FPGAs allow "fast runtime adaptation of the data processing
+algorithms, which can be exploited for optimizing the calculations and the
+system implementation to changing requirements on power consumption and
+performance."  Measured: the precise/balanced/fast algorithm variants'
+area, latency, energy and switch cost.
+"""
+
+from _util import show
+
+from repro.app.adaptation import AdaptiveProcessingManager
+
+CLOCK_MHZ = 75.0
+
+
+def test_algorithm_adaptation(benchmark):
+    manager = benchmark.pedantic(
+        lambda: AdaptiveProcessingManager(seed=4), rounds=1, iterations=1
+    )
+
+    lines = [
+        f"{'variant':<10} {'frame':>6} {'cordic':>7} {'slices':>7} "
+        f"{'proc us':>8} {'energy uJ':>10} {'switch ms':>10}"
+    ]
+    switch_times = {}
+    for name, variant in manager.variants.items():
+        switch_times[name] = manager.switch_to(name)
+        lines.append(
+            f"{name:<10} {variant.frame_samples:>6} {variant.cordic_width:>7} "
+            f"{variant.compiled.slices:>7} "
+            f"{variant.processing_time_s(CLOCK_MHZ) * 1e6:>8.2f} "
+            f"{variant.processing_energy_j(CLOCK_MHZ) * 1e6:>10.3f} "
+            f"{switch_times[name] * 1e3:>10.2f}"
+        )
+    lines.append("")
+    lines.append(
+        "policy: accuracy 0.01 -> "
+        + manager.select(accuracy_target=0.01)
+        + "; power budget 0.15 uW -> "
+        + manager.select(power_budget_w=1.5e-7)
+    )
+    show("Extension: run-time algorithm adaptation", "\n".join(lines))
+
+    precise = manager.variants["precise"]
+    fast = manager.variants["fast"]
+    # The trade-off the adaptation exploits.
+    assert precise.compiled.slices > fast.compiled.slices
+    assert precise.processing_time_s(CLOCK_MHZ) > 3 * fast.processing_time_s(CLOCK_MHZ)
+    assert precise.processing_energy_j(CLOCK_MHZ) > 3 * fast.processing_energy_j(CLOCK_MHZ)
+    # Switching is "fast run-time adaptation": a few ms over ICAP, well
+    # inside the 100 ms cycle.
+    assert all(0 < t < 0.02 for t in switch_times.values())
+    # The policy honours both requirement axes.
+    assert manager.select(accuracy_target=0.01) == "precise"
+    assert manager.select(power_budget_w=1.5e-7) == "fast"
+    benchmark.extra_info.update(
+        {
+            "precise_slices": precise.compiled.slices,
+            "fast_slices": fast.compiled.slices,
+            "switch_ms": round(max(switch_times.values()) * 1e3, 2),
+        }
+    )

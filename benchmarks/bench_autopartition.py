@@ -1,0 +1,61 @@
+"""Extension — automatic static/dynamic partitioning (paper §3, ref [10]):
+"Automatic tools for the design of on-demand reconfigurable systems with
+real-time requirements will be required".
+
+The tool sweeps partition counts, sizes devices, checks the per-cycle
+reconfiguration budget and returns the power-optimal feasible design.
+"""
+
+from _util import show
+
+from repro.app.modules import build_processing_graph
+from repro.app.system import static_side_slices
+from repro.core.autopartition import auto_partition
+from repro.reconfig.ports import Icap, Jcap
+
+COUNTS = (1, 2, 3, 4, 5, 6, 7)
+
+
+def test_auto_partition(benchmark):
+    graph = build_processing_graph()
+
+    result = benchmark.pedantic(
+        lambda: auto_partition(graph, static_side_slices(), counts=COUNTS, port=Icap()),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        f"{'modules':>8} {'max slices':>11} {'device':>10} {'static mW':>10} "
+        f"{'reconfig ms':>12} {'feasible':>9}"
+    ]
+    for c in result.candidates:
+        lines.append(
+            f"{c.module_count:>8} {c.max_module_slices:>11} {c.device:>10} "
+            f"{c.static_power_w * 1e3:>10.1f} {c.reconfig_time_per_cycle_s * 1e3:>12.2f} "
+            f"{str(c.feasible):>9}"
+        )
+    lines.append("")
+    lines.append(f"power-optimal design: {result.best}")
+    front = result.pareto_front()
+    lines.append("pareto front: " + ", ".join(f"{c.module_count} modules/{c.device}" for c in front))
+
+    # Same search over the slow JCAP: the real-time budget bites.
+    jcap_result = auto_partition(
+        graph, static_side_slices(), counts=COUNTS, port=Jcap(improved=True)
+    )
+    feasible_jcap = [c.module_count for c in jcap_result.candidates if c.feasible]
+    lines.append(f"feasible over improved JCAP: {feasible_jcap or 'none'}")
+    show("Extension: automatic partitioning (ref. [10])", "\n".join(lines))
+
+    assert result.best is not None and result.best.feasible
+    assert result.best.device == "XC3S200"  # smallest static power wins
+    assert len(result.pareto_front()) >= 1
+    assert len(feasible_jcap) < sum(c.feasible for c in result.candidates)
+    benchmark.extra_info.update(
+        {
+            "best_modules": result.best.module_count,
+            "best_device": result.best.device,
+            "jcap_feasible_counts": str(feasible_jcap),
+        }
+    )

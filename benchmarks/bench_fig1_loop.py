@@ -1,0 +1,60 @@
+"""Figure 1 — the FPGA-based level measurement loop.
+
+The system diagram: sinus generator -> DA converter -> tank -> AD
+converter -> data processing.  Verified as physics: the *measured*
+channel transfer (amplitude ratio and phase shift extracted from the
+digitised signals) must match the analytic divider transfer H(f) the tank
+model predicts, across fill levels — i.e. the loop's converters and
+filters are transparent to the measurement.
+"""
+
+import cmath
+
+import numpy as np
+from _util import show
+
+from repro.app.dsp import amplitude_phase
+from repro.app.frontend import AnalogFrontEnd
+
+LEVELS = (0.15, 0.5, 0.85)
+
+
+def test_fig1_measurement_loop(benchmark, circuit):
+    fe = AnalogFrontEnd(circuit, noise_rms=0.0, seed=1)
+
+    def run_loop():
+        rows = []
+        for level in LEVELS:
+            cyc = fe.sample_cycle(level, 512)
+            m_amp, m_ph = amplitude_phase(cyc.meas, cyc.tone_hz, cyc.sample_rate_hz)
+            r_amp, r_ph = amplitude_phase(cyc.ref, cyc.tone_hz, cyc.sample_rate_hz)
+            measured = (m_amp / r_amp) * cmath.exp(1j * (m_ph - r_ph))
+            analytic = complex(circuit.tank_transfer(level, cyc.tone_hz)) / complex(
+                circuit.reference_transfer(cyc.tone_hz)
+            )
+            rows.append((level, measured, analytic))
+        return rows
+
+    rows = benchmark.pedantic(run_loop, rounds=1, iterations=1)
+
+    lines = [
+        f"{'level':>6} {'measured |H|ratio':>18} {'analytic':>9} "
+        f"{'measured dphi':>14} {'analytic':>9}"
+    ]
+    for level, measured, analytic in rows:
+        lines.append(
+            f"{level:>6.2f} {abs(measured):>18.4f} {abs(analytic):>9.4f} "
+            f"{cmath.phase(measured):>14.4f} {cmath.phase(analytic):>9.4f}"
+        )
+    show("Figure 1: DA -> tank -> AD loop, measured vs analytic transfer", "\n".join(lines))
+
+    import pytest
+
+    # The residual deviation (a few percent at high fill, where the tank
+    # channel's amplitude is smallest) is the one-bit modulators' signal-
+    # dependent gain — the same converter effect bounding the system's
+    # ~1.5 % level accuracy.
+    for _level, measured, analytic in rows:
+        assert abs(measured) == pytest.approx(abs(analytic), rel=0.05)
+        assert abs(cmath.phase(measured) - cmath.phase(analytic)) < 0.05
+    benchmark.extra_info["levels_checked"] = len(rows)

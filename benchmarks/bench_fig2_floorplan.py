@@ -1,0 +1,48 @@
+"""Figure 2 — the reconfigurable measurement system's floorplan.
+
+Static side (MicroBlaze, FSL, interfaces, JCAP) on the left; one
+column-aligned reconfigurable slot on the dynamic side; slice-based bus
+macros on the border carrying the FSL extension.
+"""
+
+from _util import show
+
+from repro.app.system import static_side_slices
+from repro.fabric.device import get_device
+from repro.reconfig.slots import plan_floorplan
+
+
+def test_fig2_floorplan(benchmark, modules):
+    device = get_device("XC3S400")
+    slot_slices = max(m.compiled.slices for m in modules.values())
+    slot_signals = max(m.compiled.interface_nets for m in modules.values())
+
+    plan = benchmark(
+        lambda: plan_floorplan(device, static_side_slices(), [slot_slices], [slot_signals])
+    )
+
+    slot = plan.slots[0]
+    body = (
+        f"device          : {device.name} ({device.clb_columns}x{device.clb_rows} CLBs)\n"
+        f"static side     : {plan.static_region} "
+        f"({plan.static_slices} slice sites for {static_side_slices()} slices)\n"
+        f"dynamic slot    : {slot.region} "
+        f"({slot.slice_capacity(device)} slice sites for the {slot_slices}-slice amp/phase module)\n"
+        f"bus macros      : {len(slot.busmacros)} x 8 signals at column {slot.region.x_min}\n"
+        f"unused columns  : {device.clb_columns - plan.static_region.width - slot.region.width}"
+    )
+    show("Figure 2: static/dynamic floorplan (measured)", body)
+
+    plan.validate()
+    assert slot.region.is_column_aligned(device)
+    assert not plan.static_region.overlaps(slot.region)
+    assert slot.slice_capacity(device) >= slot_slices
+    assert len(slot.busmacros) * 8 >= slot_signals
+    benchmark.extra_info.update(
+        {
+            "device": device.name,
+            "static_columns": plan.static_region.width,
+            "slot_columns": slot.region.width,
+            "busmacros": len(slot.busmacros),
+        }
+    )

@@ -1,0 +1,66 @@
+"""Figure 3 — the FPGA-based sinus generator with internal DA converter.
+
+Paper: a 32-entry sine LUT swept at 16 MHz yields the 500 kHz tone; "by
+performing real hardware tests and Fourier analysis it was concluded that
+the delta-sigma DA-converter could run with a frequency high enough to
+generate a 500 kHz sinus signal"; removing the unused OPB interface cut
+the core's resources; the complete generator lands near 150 slices.
+"""
+
+import numpy as np
+from _util import show
+
+from repro.ip.delta_sigma import DAC_FOOTPRINT, DAC_FOOTPRINT_WITH_OPB, DeltaSigmaDac
+from repro.ip.sinus import SINUS_FOOTPRINT, SinusGenerator
+
+PERIODS = 64
+
+
+def _spectrum(dac, analog):
+    windowed = analog * np.hanning(analog.size)
+    spec = np.abs(np.fft.rfft(windowed))
+    freqs = np.fft.rfftfreq(analog.size, 1.0 / dac.modulator_hz)
+    return freqs, spec
+
+
+def test_fig3_sinus_generator_spectrum(benchmark):
+    sg = SinusGenerator(amplitude=0.7)
+    dac = DeltaSigmaDac()
+    samples = sg.normalized_samples(32 * PERIODS)
+
+    analog = benchmark(lambda: dac.convert(samples))
+
+    freqs, spec = _spectrum(dac, analog)
+    peak_idx = np.argmax(spec[1:]) + 1
+    peak_hz = freqs[peak_idx]
+    fundamental = spec[peak_idx]
+    # Spurious-free dynamic range: strongest bin away from the fundamental
+    # (excluding +-3 leakage bins and DC).
+    mask = np.ones_like(spec, dtype=bool)
+    mask[: 4] = False
+    mask[max(0, peak_idx - 3) : peak_idx + 4] = False
+    sfdr_db = 20 * np.log10(fundamental / spec[mask].max())
+
+    total_slices = SINUS_FOOTPRINT.slices + DAC_FOOTPRINT.slices
+    body = (
+        f"LUT depth 32, address counter at {sg.sample_rate_hz / 1e6:.0f} MHz\n"
+        f"fundamental        : {peak_hz / 1e3:8.1f} kHz   (paper: 500 kHz)\n"
+        f"SFDR               : {sfdr_db:8.1f} dB\n"
+        f"modulator clock    : {dac.modulator_hz / 1e6:8.1f} MHz (OSR {dac.modulator_hz / 500e3:.0f} vs tone)\n"
+        f"slices w/ OPB intf : {SINUS_FOOTPRINT.slices + DAC_FOOTPRINT_WITH_OPB.slices:8d}\n"
+        f"slices w/o OPB intf: {total_slices:8d}   (paper: 'ca. 150 slices')"
+    )
+    show("Figure 3: sinus generator with internal DA converter (measured)", body)
+
+    assert peak_hz == 500_000.0 or abs(peak_hz - 500e3) < 0.02 * 500e3
+    assert sfdr_db > 20.0  # the tone clearly dominates after the RC filter
+    assert 100 <= total_slices <= 200
+    assert DAC_FOOTPRINT.slices < DAC_FOOTPRINT_WITH_OPB.slices
+    benchmark.extra_info.update(
+        {
+            "peak_khz": round(peak_hz / 1e3, 1),
+            "sfdr_db": round(float(sfdr_db), 1),
+            "slices_total": total_slices,
+            "slices_saved_by_opb_removal": DAC_FOOTPRINT_WITH_OPB.slices - DAC_FOOTPRINT.slices,
+        }
+    )

@@ -1,0 +1,70 @@
+"""Figure 5 — the reconfigurable system in the FPGA Editor.
+
+The paper's screenshot shows the amp/phase module implemented inside the
+dynamic region, the MicroBlaze static side, and the bus-macro interface on
+the border.  Reproduced by actually implementing a module netlist in its
+slot: placement confined to the slot, interface nets anchored to the
+bus-macro slices, routing negotiated around the occupied static side —
+then rendered as the utilization/routing reports and the ASCII occupancy
+view.
+"""
+
+from _util import show
+
+from repro.app.system import static_side_slices
+from repro.fabric.device import get_device
+from repro.netlist.blocks import BlockFootprint, block_netlist
+from repro.netlist.generate import random_netlist
+from repro.par.placer import PlacerOptions, place
+from repro.par.report import floorplan_view, routing_report, utilization_report
+from repro.par.router import route
+from repro.par.slot_impl import implement_module_in_slot
+from repro.reconfig.slots import plan_floorplan
+
+#: Slot-flow representative of the amp/phase module (full 2100+ cells PAR
+#: takes minutes in pure Python; the flow is size independent).
+MODULE = BlockFootprint("amp_phase_rep", slices=220, mean_activity=0.12)
+
+
+def test_fig5_module_in_slot(benchmark):
+    device = get_device("XC3S400")
+    floorplan = plan_floorplan(device, static_side_slices(), [320], [24])
+
+    # The static side occupies its region first.
+    static = random_netlist("static_side", 150, seed=9)
+    static_placement = place(
+        static, device, region=floorplan.static_region, options=PlacerOptions(steps=12)
+    )
+    static_routing = route(static, static_placement, device)
+
+    module = block_netlist(MODULE, seed=12, interface_nets=16)
+    impl = benchmark.pedantic(
+        lambda: implement_module_in_slot(
+            module,
+            floorplan,
+            placer_options=PlacerOptions(steps=15),
+            occupied_graph=static_routing.graph,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    body = utilization_report(impl.design).render()
+    body += "\n\n" + routing_report(impl.design)
+    body += "\n\n" + floorplan_view(impl.design, width=floorplan.slots[0].region.x_max + 1)
+    show("Figure 5: module implemented in its slot (measured)", body)
+
+    assert impl.routing_legal
+    assert impl.anchor_count == 16
+    slot_region = floorplan.slots[0].region
+    for cell in impl.design.netlist.cells:
+        assert slot_region.contains(impl.design.placement.coord(cell.name))
+    # The bus-macro anchors really constrain the interface routing.
+    assert impl.interface_wirelength > 0
+    benchmark.extra_info.update(
+        {
+            "anchors": impl.anchor_count,
+            "interface_wirelength_clbs": impl.interface_wirelength,
+            "slot_columns": slot_region.width,
+        }
+    )

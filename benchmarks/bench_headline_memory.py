@@ -1,0 +1,33 @@
+"""Headline B — "the software algorithms required more than 60 Kbyte of
+memory, which made it necessary to store the code in external SRAM"; the
+hardware modules eliminate that demand.
+"""
+
+from _util import show
+
+from repro.app.software import MeasurementSoftware
+from repro.fabric.device import SPARTAN3
+
+
+def test_headline_memory(benchmark, circuit):
+    software = benchmark(lambda: MeasurementSoftware(circuit))
+
+    rows = []
+    for dev in SPARTAN3[:4]:
+        fits = software.fits_in_bram(dev.bram_bytes)
+        rows.append(
+            f"  {dev.name:<10} BRAM {dev.bram_bytes / 1024:6.1f} KB -> "
+            f"{'fits' if fits else 'needs external SRAM'}"
+        )
+    body = (
+        f"software image: {software.image_bytes / 1024:.1f} KB "
+        f"(kernel+tables {software.program.image_bytes / 1024:.1f} KB "
+        f"+ runtime/library overhead)\n"
+        f"[paper: 'more than 60 Kbyte']\n" + "\n".join(rows)
+    )
+    show("Headline: software memory image vs on-chip BRAM", body)
+
+    assert software.image_bytes > 60 * 1024
+    for dev in SPARTAN3[:3]:  # XC3S50/200/400 all too small
+        assert not software.fits_in_bram(dev.bram_bytes)
+    benchmark.extra_info["image_kb"] = round(software.image_bytes / 1024, 1)

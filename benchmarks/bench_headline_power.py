@@ -1,0 +1,60 @@
+"""Headline C — the power argument of §4.2:
+
+* a smaller device (enabled by reconfiguration) has less static power;
+* the ~1000x faster hardware allows a reduced clock, cutting dynamic power.
+"""
+
+from _util import show
+
+from repro.app.modules import FRAME_SAMPLES
+from repro.core.reconfig_power import power_vs_clock
+from repro.fabric.device import get_device
+from repro.power.model import static_power_w
+
+
+def test_headline_power_tradeoff(benchmark, modules):
+    flat_dev = get_device("XC3S1000")
+    slot_dev = get_device("XC3S400")
+    small_dev = get_device("XC3S200")
+
+    ap = modules["amp_phase"].compiled
+    points = benchmark(
+        lambda: power_vs_clock(
+            module_slices=ap.slices,
+            frame_samples=FRAME_SAMPLES,
+            latency_cycles=ap.latency_cycles,
+            device=slot_dev,
+            clocks_mhz=[10, 25, 50, 75],
+        )
+    )
+
+    lines = [
+        f"static power: {flat_dev.name} {static_power_w(flat_dev) * 1e3:5.1f} mW  ->  "
+        f"{slot_dev.name} {static_power_w(slot_dev) * 1e3:5.1f} mW  ->  "
+        f"{small_dev.name} {static_power_w(small_dev) * 1e3:5.1f} mW",
+        "",
+        f"{'clock MHz':>10} {'processing us':>14} {'dynamic mW':>11} {'total mW':>9} {'deadline':>9}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.clock_mhz:>10.0f} {p.processing_time_s * 1e6:>14.2f} "
+            f"{p.dynamic_power_w * 1e3:>11.2f} {p.total_power_w * 1e3:>9.2f} "
+            f"{'ok' if p.meets_deadline else 'MISS':>9}"
+        )
+    show("Headline: static power vs device size, dynamic power vs clock", body="\n".join(lines))
+
+    # Static power strictly falls along the downsizing chain.
+    assert static_power_w(flat_dev) > static_power_w(slot_dev) > static_power_w(small_dev)
+    # Dynamic power falls linearly with the clock while the deadline holds
+    # even at 10 MHz — the "reduced clock frequency" argument.
+    assert all(p.meets_deadline for p in points)
+    assert points[0].dynamic_power_w < 0.2 * points[-1].dynamic_power_w
+    benchmark.extra_info.update(
+        {
+            "static_xc3s1000_mw": round(static_power_w(flat_dev) * 1e3, 1),
+            "static_xc3s400_mw": round(static_power_w(slot_dev) * 1e3, 1),
+            "static_xc3s200_mw": round(static_power_w(small_dev) * 1e3, 1),
+            "dynamic_at_10mhz_mw": round(points[0].dynamic_power_w * 1e3, 2),
+            "dynamic_at_75mhz_mw": round(points[-1].dynamic_power_w * 1e3, 2),
+        }
+    )

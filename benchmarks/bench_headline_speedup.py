@@ -1,0 +1,59 @@
+"""Headline A — "the processing performance increased with approximately a
+factor 1000, from 7 ms of processing time for the software-based
+algorithms to 7 us (without performing reconfiguration)".
+
+The software number comes from actually executing the ported algorithms on
+the soft-core simulator (soft-float, code in wait-stated external SRAM at
+the 25 MHz MicroBlaze clock); the hardware number from the pipelined
+module latencies at the 75 MHz module clock.
+"""
+
+from _util import show
+
+from repro.app.frontend import AnalogFrontEnd
+from repro.app.modules import FRAME_SAMPLES
+from repro.app.software import MeasurementSoftware
+from repro.app.system import HW_CLOCK_MHZ, MICROBLAZE_CLOCK_MHZ
+
+
+def test_headline_speedup(benchmark, modules, circuit):
+    fe = AnalogFrontEnd(circuit, seed=3)
+    cycle = fe.sample_cycle(0.5, FRAME_SAMPLES)
+    software = MeasurementSoftware(circuit, FRAME_SAMPLES, fe.output_rate_hz, fe.tone_hz)
+
+    result = benchmark.pedantic(
+        lambda: software.run(cycle.meas, cycle.ref), rounds=1, iterations=1
+    )
+    sw_time = result.time_s(MICROBLAZE_CLOCK_MHZ)
+
+    hw_clock = min(HW_CLOCK_MHZ, min(m.compiled.fmax_mhz for m in modules.values()))
+    ap = modules["amp_phase"].compiled
+    hw_amp_phase = ap.processing_time_us(FRAME_SAMPLES, hw_clock) * 1e-6
+    hw_total = hw_amp_phase + sum(
+        modules[n].compiled.latency_cycles / (hw_clock * 1e6) for n in ("capacity", "filter")
+    )
+    speedup = sw_time / hw_total
+
+    body = (
+        f"software (MicroBlaze @ {MICROBLAZE_CLOCK_MHZ:.0f} MHz, ext. SRAM):"
+        f" {sw_time * 1e3:8.2f} ms   ({result.cycles} cycles, "
+        f"{result.instructions} instructions)      [paper: 7 ms]\n"
+        f"hardware modules  (@ {hw_clock:.0f} MHz):\n"
+        f"  amp/phase : {hw_amp_phase * 1e6:8.2f} us                      [paper: 7 us]\n"
+        f"  + capacity + filter -> total {hw_total * 1e6:8.2f} us\n"
+        f"speedup: {speedup:8.0f} x                                 [paper: ~1000 x]"
+    )
+    show("Headline: software vs hardware processing time", body)
+
+    assert 4e-3 < sw_time < 12e-3      # "7 ms" regime
+    assert 4e-6 < hw_amp_phase < 12e-6  # "7 us" regime
+    assert 300 < speedup < 3000        # "approximately a factor 1000"
+    benchmark.extra_info.update(
+        {
+            "software_ms": round(sw_time * 1e3, 3),
+            "hw_amp_phase_us": round(hw_amp_phase * 1e6, 2),
+            "hw_total_us": round(hw_total * 1e6, 2),
+            "speedup_x": round(speedup),
+            "paper_speedup_x": 1000,
+        }
+    )

@@ -1,0 +1,29 @@
+"""§4.1 — integration of the external DA/AD converters into the FPGA.
+
+Cost and power of the discrete converter chips versus the on-chip
+delta-sigma cores, including the further refinement of configuring the
+converters only during the sampling phase.
+"""
+
+from _util import show
+
+from repro.core.integration import analyze_converter_integration
+
+
+def test_converter_integration(benchmark):
+    report = benchmark(analyze_converter_integration)
+
+    show("Section 4.1: converter integration (measured)", report.summary())
+
+    assert report.bom_saving_usd > 5.0
+    assert report.integrated_power_mw < report.external_power_mw
+    assert report.on_demand_power_mw < report.integrated_power_mw / 100
+    assert report.opb_interface_slices_saved > 0
+    benchmark.extra_info.update(
+        {
+            "bom_saving_usd": round(report.bom_saving_usd, 2),
+            "external_power_mw": round(report.external_power_mw, 1),
+            "integrated_power_mw": round(report.integrated_power_mw, 1),
+            "on_demand_power_mw": round(report.on_demand_power_mw, 3),
+        }
+    )

@@ -1,0 +1,65 @@
+"""§4.2/§5 — reconfiguration time overhead: JCAP vs ICAP.
+
+"It is also very important to consider the time overhead induced by the
+reconfiguration process.  The JCAP core offers a reconfiguration rate
+which is lower than the one provided by the ICAP interface" — and [11]
+describes how the JCAP rate may be increased.  This bench measures the
+per-cycle overhead of loading all four modules over each port model
+against the 100 ms measurement period.
+"""
+
+from _util import show
+
+from repro.app.system import static_side_slices
+from repro.core.reconfig_power import reconfig_overhead_report
+from repro.fabric.device import get_device
+from repro.reconfig.controller import ReconfigController
+from repro.reconfig.ports import Icap, Jcap
+from repro.reconfig.slots import plan_floorplan
+
+MODULES = ("frontend", "amp_phase", "capacity", "filter")
+
+
+def test_reconfig_overhead(benchmark, modules):
+    device = get_device("XC3S400")
+    slot_slices = max(m.compiled.slices for m in modules.values())
+
+    def factory(port):
+        plan = plan_floorplan(device, static_side_slices(), [slot_slices])
+        controller = ReconfigController(plan, port)
+        for name in MODULES:
+            controller.prepare_module(name, 0)
+        return controller
+
+    report = benchmark.pedantic(
+        lambda: reconfig_overhead_report(factory, list(MODULES)),
+        rounds=1,
+        iterations=1,
+    )
+
+    per_module = {}
+    for row in report.rows:
+        per_module.setdefault(row.port, []).append(row)
+    lines = [report.summary(), "", "per-module loads (bitstream size / time):"]
+    for port, rows in per_module.items():
+        lines.append(f"  {port}:")
+        for row in rows:
+            lines.append(
+                f"    {row.module:<12} {row.bitstream_bytes / 1024:8.1f} KB "
+                f"{row.time_s * 1e3:9.2f} ms"
+            )
+    show("Reconfiguration overhead per measurement cycle", "\n".join(lines))
+
+    # Paper relations: ICAP >> JCAP; improved JCAP > basic JCAP; only the
+    # ICAP-class port fits the 100 ms cycle with this slot size.
+    assert report.fits("ICAP")
+    assert not report.fits("JCAP(improved)")
+    assert report.total_time_s("JCAP(basic)") > report.total_time_s("JCAP(improved)")
+    assert report.total_time_s("JCAP(improved)") > report.total_time_s("ICAP")
+    benchmark.extra_info.update(
+        {
+            "icap_ms": round(report.total_time_s("ICAP") * 1e3, 2),
+            "jcap_improved_ms": round(report.total_time_s("JCAP(improved)") * 1e3, 2),
+            "jcap_basic_ms": round(report.total_time_s("JCAP(basic)") * 1e3, 2),
+        }
+    )

@@ -1,0 +1,61 @@
+"""Table 1 — resource utilization of the reconfigurable measurement system.
+
+Paper (garbled numbers, relations preserved): the static area holds the
+MicroBlaze, FSL, RS232 etc.; the Amp & Phase component is the largest
+module; the whole system without reconfiguration needs >6000 slices (at
+least an XC3S1000), with one slot it fits the XC3S400, and repartitioned
+into 5 smaller modules it fits an XC3S200.
+"""
+
+from _util import show
+
+from repro.app.modules import build_amp_phase_graph, repartitioned_modules
+from repro.app.system import frontend_slices, static_side_slices
+from repro.core.reconfig_power import size_devices
+from repro.fabric.device import get_device
+from repro.ip.ethernet import ETHERNET_FOOTPRINT
+from repro.ip.profibus import PROFIBUS_FOOTPRINT
+from repro.sysgen.compile import compile_graph
+
+
+def test_table1_resource_utilization(benchmark, modules):
+    compiled = benchmark(lambda: compile_graph(build_amp_phase_graph()))
+
+    static = static_side_slices()
+    rows = [("Static area (MicroBlaze, FSL, RS232, JCAP, glue)", static, "-", "-")]
+    for name in ("amp_phase", "capacity", "filter", "frontend"):
+        m = modules[name].compiled
+        rows.append((f"{name} component", m.slices, m.brams, m.multipliers))
+    body = f"{'component':<48}{'slices':>8}{'BRAM':>6}{'MULT':>6}\n"
+    body += "\n".join(f"{n:<48}{s:>8}{b:>6}{mu:>6}" for n, s, b, mu in rows)
+
+    sizing = size_devices(
+        static_slices=static,
+        resident_slices=ETHERNET_FOOTPRINT.slices + PROFIBUS_FOOTPRINT.slices,
+        modules=[m.compiled for m in modules.values()],
+        repartitioned=repartitioned_modules(5),
+    )
+    body += "\n\n" + sizing.summary()
+    show("Table 1: resource utilization (measured)", body)
+
+    # The paper's relations.
+    assert modules["amp_phase"].slices == compiled.slices
+    assert modules["amp_phase"].slices == max(m.slices for m in modules.values())
+    assert sizing.flat_slices > 6000
+    assert sizing.flat_device.name == "XC3S1000"
+    assert sizing.one_slot_device.name == "XC3S400"
+    assert sizing.multi_slot_device.name == "XC3S200"
+    assert static + modules["amp_phase"].slices <= get_device("XC3S400").slices
+
+    benchmark.extra_info.update(
+        {
+            "static_slices": static,
+            "amp_phase_slices": modules["amp_phase"].slices,
+            "capacity_slices": modules["capacity"].slices,
+            "filter_slices": modules["filter"].slices,
+            "flat_total_slices": sizing.flat_slices,
+            "flat_device": sizing.flat_device.name,
+            "one_slot_device": sizing.one_slot_device.name,
+            "five_module_device": sizing.multi_slot_device.name,
+        }
+    )

@@ -1,0 +1,88 @@
+"""Table 2 — per-net dynamic power before/after logic reallocation.
+
+The paper lists signal nets of the hardware data-processing module
+(ce_2_sg, mult/../n*, ...) with their dissipation before and after the
+logic reallocation; the Figure-6 showcase net drops by 56 %.  Here the
+full §4.3 flow runs on a structured module netlist (a mid-size block with
+the data-processing modules' activity profile; the *relations*, not the
+absolute digits, are what reproduces) and reports the same rows.
+"""
+
+from _util import show
+
+from repro.core.par_power import run_power_aware_flow
+from repro.fabric.device import get_device
+from repro.netlist.blocks import BlockFootprint, block_netlist
+from repro.par.placer import PlacerOptions
+
+#: Representative sub-block of the amp/phase module.  Full-module PAR
+#: (2100+ cells) takes minutes in pure Python; the per-net optimization
+#: mechanics are size independent.
+BLOCK = BlockFootprint(
+    name="amp_phase_blk",
+    slices=260,
+    multipliers=2,
+    brams=1,
+    registered_fraction=0.5,
+    carry_fraction=0.25,
+    mean_activity=0.12,
+)
+
+
+def test_table2_net_reallocation(benchmark):
+    netlist = block_netlist(BLOCK, seed=42, interface_nets=12)
+    # Confine the block to a slot-like region at ~82 % utilization, as a
+    # real module floorplan would: free sites are scarce, so reallocation
+    # must trade connectivity like on the paper's design.
+    from repro.fabric.grid import Region
+
+    device = get_device("XC3S400")
+    region = Region(0, 0, 10, 8)  # 99 CLBs = 396 slices for 260+3 cells
+    result = benchmark.pedantic(
+        lambda: run_power_aware_flow(
+            netlist,
+            device,
+            clock_mhz=50.0,
+            top_n=12,
+            placer_options=PlacerOptions(steps=40, seed=3),
+            region=region,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Like the paper's Table 2, list the nets whose reallocation was
+    # accepted ("Note that not all optimized signal nets are listed here").
+    accepted_records = [r for r in result.optimization.records if r.accepted]
+    header = f"{'Signal net':<24} {'before (uW)':>12} {'after (uW)':>12} {'Reduction (%)':>14}"
+    body = header + "\n" + "\n".join(
+        f"{r.net:<24} {r.power_before_uw:>12.2f} {r.power_after_uw:>12.2f} "
+        f"{r.reduction_pct:>14.1f}"
+        for r in accepted_records
+    )
+    body += (
+        f"\n\nwhole-module routing power: "
+        f"{result.power_before.routing_w * 1e3:.3f} mW -> "
+        f"{result.power_after.routing_w * 1e3:.3f} mW "
+        f"({result.routing_power_reduction_pct:.1f} % reduction)"
+    )
+    accepted = [r for r in result.optimization.records if r.accepted]
+    show("Table 2: power optimized signal nets (measured)", body)
+
+    # Paper relations: several nets improve; reductions in the tens of
+    # percent; total power never increases.
+    assert len(accepted) >= 3
+    best = max(r.reduction_pct for r in result.optimization.records)
+    assert best > 25.0
+    assert result.power_after.routing_w <= result.power_before.routing_w
+    # Nets were picked by communication rate, hottest first.
+    activities = [r.activity for r in result.optimization.records]
+    assert activities == sorted(activities, reverse=True)
+
+    benchmark.extra_info.update(
+        {
+            "nets_optimized": len(result.optimization.records),
+            "nets_improved": len(accepted),
+            "best_net_reduction_pct": round(best, 1),
+            "total_routing_reduction_pct": round(result.routing_power_reduction_pct, 1),
+        }
+    )

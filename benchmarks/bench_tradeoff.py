@@ -1,0 +1,54 @@
+"""Conclusions — the whole-system cost/power/performance comparison across
+implementation variants (MCU, FPGA+software, flat FPGA hardware,
+reconfigurable FPGA with JCAP/ICAP, reconfigurable at reduced clock).
+"""
+
+from _util import show
+
+from repro.app.system import (
+    FpgaFullHardwareSystem,
+    FpgaReconfigSystem,
+    FpgaSoftwareSystem,
+    MicrocontrollerSystem,
+)
+from repro.core.tradeoff import SystemVariant, compare_variants, format_table
+from repro.reconfig.ports import Icap
+
+LEVELS = (0.25, 0.6, 0.85)
+
+
+def test_system_tradeoff(benchmark):
+    def build_and_compare():
+        variants = [
+            SystemVariant("mcu", MicrocontrollerSystem()),
+            SystemVariant("fpga-software", FpgaSoftwareSystem()),
+            SystemVariant("fpga-full-hw", FpgaFullHardwareSystem()),
+            SystemVariant("reconfig-jcap", FpgaReconfigSystem()),
+            SystemVariant("reconfig-icap", FpgaReconfigSystem(port=Icap())),
+            SystemVariant("reconfig-25mhz", FpgaReconfigSystem(port=Icap(), hw_clock_mhz=25.0)),
+        ]
+        return compare_variants(variants, levels=LEVELS)
+
+    rows = benchmark.pedantic(build_and_compare, rounds=1, iterations=1)
+    show("System trade-off across implementation variants", format_table(rows))
+
+    by_label = {r.label: r for r in rows}
+    # Every variant measures the level correctly.
+    assert all(r.max_level_error < 0.06 for r in rows)
+    # Device/cost chain: flat hardware needs the expensive XC3S1000, the
+    # reconfigurable system the XC3S400.
+    assert by_label["fpga-full-hw"].device == "XC3S1000"
+    assert by_label["reconfig-icap"].device == "XC3S400"
+    assert by_label["reconfig-icap"].bom_cost_usd < by_label["fpga-full-hw"].bom_cost_usd
+    # Power: reconfig (ICAP) beats flat hardware; the reduced clock helps
+    # further; the plain MCU remains the low-power champion (the paper
+    # never claims otherwise — FPGAs buy flexibility).
+    assert by_label["reconfig-icap"].avg_power_mw < by_label["fpga-full-hw"].avg_power_mw
+    assert by_label["reconfig-25mhz"].avg_power_mw < by_label["reconfig-icap"].avg_power_mw
+    assert by_label["mcu"].avg_power_mw < by_label["reconfig-25mhz"].avg_power_mw
+    # Timing: JCAP overruns the 100 ms cycle, ICAP fits.
+    assert not by_label["reconfig-jcap"].fits_period
+    assert by_label["reconfig-icap"].fits_period
+    benchmark.extra_info.update(
+        {r.label: round(r.avg_power_mw, 2) for r in rows}
+    )

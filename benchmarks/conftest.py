@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md's experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the regenerated tables; key figures are also attached to each
+benchmark's ``extra_info`` so they appear in ``--benchmark-json`` output.
+"""
+
+import pytest
+
+from repro.app.modules import standard_modules
+from repro.app.tank import MeasurementCircuit
+
+
+@pytest.fixture(scope="session")
+def modules():
+    """The compiled System-Generator modules (shared: compilation is
+    deterministic)."""
+    return standard_modules()
+
+
+@pytest.fixture(scope="session")
+def circuit():
+    return MeasurementCircuit()

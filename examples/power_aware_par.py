@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The paper's §4.3 methodology end to end: post-PAR simulation -> VCD ->
+communication rates -> activity-driven net reallocation.
+
+Builds a module-scale netlist, simulates representative logic to get a
+real VCD, extracts per-net toggle rates, places & routes, then reallocates
+the hottest nets and prints the Table-2-style before/after report.
+
+Run:  python examples/power_aware_par.py
+"""
+
+import io
+
+from repro.activity import annotate_netlist, toggle_rates, vcd_from_simulator
+from repro.activity.vcd import parse_vcd
+from repro.core.par_power import run_power_aware_flow
+from repro.fabric.device import get_device
+from repro.netlist.blocks import BlockFootprint, block_netlist
+from repro.par.placer import PlacerOptions
+from repro.sim.events import Simulator
+
+CLOCK_MHZ = 50.0
+
+
+def simulated_activity(n_signals: int) -> "ActivityReport":
+    """Post-PAR-style simulation: counters of different widths stand in
+    for datapath registers with different communication rates."""
+    sim = Simulator(trace=True)
+    clk = sim.clock("clk", period_ns=1000.0 / CLOCK_MHZ)
+    signals = []
+    for i in range(n_signals):
+        width = 2 + (i % 10)
+        sig = sim.signal(f"blk/n{i}", width=width)
+        signals.append((sig, width))
+
+    def tick():
+        for sig, width in signals:
+            sig.set((sig.value + 1) & sig.mask)
+
+    clk.on_rising_edge(tick)
+    sim.run(us=40)
+
+    buf = io.StringIO()
+    vcd_from_simulator(sim, buf)
+    print(f"VCD: {len(buf.getvalue()) // 1024} KB, {n_signals + 1} signals")
+    return toggle_rates(parse_vcd(buf.getvalue()), clock_period_ps=int(1e6 / CLOCK_MHZ))
+
+
+def main() -> None:
+    device = get_device("XC3S400")
+    netlist = block_netlist(
+        BlockFootprint("blk", slices=140, mean_activity=0.1), seed=17, interface_nets=8
+    )
+
+    print("1. post-PAR simulation -> VCD -> communication rates")
+    report = simulated_activity(60)
+    matched = annotate_netlist(netlist, report)
+    print(f"   matched {matched} nets; hottest: "
+          + ", ".join(f"{n}={a:.2f}" for n, a in report.hottest(3)))
+
+    print("\n2. place, route, estimate, reallocate hot nets, re-estimate")
+    result = run_power_aware_flow(
+        netlist,
+        device,
+        clock_mhz=CLOCK_MHZ,
+        top_n=10,
+        placer_options=PlacerOptions(steps=30, mode="power"),
+    )
+
+    print("\n" + result.table2())
+    print(
+        f"\nrouting power: {result.power_before.routing_w * 1e6:.1f} uW -> "
+        f"{result.power_after.routing_w * 1e6:.1f} uW "
+        f"({result.routing_power_reduction_pct:.1f} % reduction)"
+    )
+    print(f"critical path: {result.timing_before.critical_path_ns:.2f} ns -> "
+          f"{result.timing_after.critical_path_ns:.2f} ns")
+    print("\nfull power report after optimization:")
+    print(result.power_after.summary())
+
+
+if __name__ == "__main__":
+    main()

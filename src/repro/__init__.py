@@ -1,0 +1,40 @@
+"""repro — reproduction of "Cost- and Power Optimized FPGA based System
+Integration: Methodologies and Integration of a Low-Power Capacity-based
+Measurement Application on Xilinx FPGAs" (Paulsson, Hübner, Becker; DATE 2008).
+
+The package provides a simulated Spartan-3 substrate (fabric, netlist,
+place-and-route, power estimation, partial reconfiguration) together with the
+paper's capacity-based level measurement application and the three
+cost/power-optimization methodologies the paper contributes:
+
+1. ``repro.core.integration``    — integration of external digital components
+   (delta-sigma DA/AD converters) into the FPGA system (paper §4.1).
+2. ``repro.core.reconfig_power`` — dynamic and partial reconfiguration for
+   reduced static and dynamic power (paper §4.2).
+3. ``repro.core.par_power``      — power-optimized place-and-route through
+   activity-driven net reallocation (paper §4.3).
+"""
+
+__version__ = "1.0.0"
+
+#: Names re-exported lazily from submodules (PEP 562), so importing
+#: ``repro`` stays cheap and subpackages remain independently importable.
+_EXPORTS = {
+    "DeviceSpec": "repro.fabric.device",
+    "SPARTAN3": "repro.fabric.device",
+    "get_device": "repro.fabric.device",
+    "smallest_fitting_device": "repro.fabric.device",
+    "SystemVariant": "repro.core.tradeoff",
+    "compare_variants": "repro.core.tradeoff",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_EXPORTS[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,23 @@
+"""Signal-activity pipeline: VCD writing/parsing and toggle-rate extraction.
+
+This reproduces the paper's §4.3 flow: "a Post-Place-and-Route Simulation
+was performed while generating a so-called Value Change Dump, VCD, file.
+The VCD file can be imported into XPower, where estimation of the
+communication rates was performed."  Here the simulator in :mod:`repro.sim`
+plays ModelSim, the VCD round-trips through a real IEEE-1364 subset, and
+the extracted per-net toggle rates feed :mod:`repro.power`.
+"""
+
+from repro.activity.vcd import VcdWriter, parse_vcd, vcd_from_simulator
+from repro.activity.estimate import ActivityReport, toggle_rates, activity_from_vcd
+from repro.activity.annotate import annotate_netlist
+
+__all__ = [
+    "VcdWriter",
+    "parse_vcd",
+    "vcd_from_simulator",
+    "ActivityReport",
+    "toggle_rates",
+    "activity_from_vcd",
+    "annotate_netlist",
+]

@@ -1,0 +1,47 @@
+"""Back-annotate activity (communication rates) onto netlist nets."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.activity.estimate import ActivityReport
+from repro.netlist.netlist import Netlist
+
+
+def annotate_netlist(
+    netlist: Netlist,
+    report: ActivityReport,
+    name_map: Optional[Dict[str, str]] = None,
+    default: float = 0.02,
+) -> int:
+    """Write simulated toggle rates into ``net.activity``.
+
+    Parameters
+    ----------
+    netlist:
+        The netlist whose nets are annotated in place.
+    report:
+        Activity extracted from a VCD.
+    name_map:
+        Optional mapping from net name to VCD signal name, for cases where
+        hierarchy prefixes differ.
+    default:
+        Activity given to nets absent from the report (unobserved nets are
+        assumed quiet, matching XPower defaults).
+
+    Returns
+    -------
+    int
+        Number of nets that matched a simulated signal.
+    """
+    matched = 0
+    for net in netlist.nets:
+        key = (name_map or {}).get(net.name, net.name)
+        if key in report.activities:
+            net.activity = report.activities[key]
+            matched += 1
+        elif not net.is_clock:
+            net.activity = default
+        else:
+            net.activity = 2.0
+    return matched

@@ -1,0 +1,174 @@
+"""Value Change Dump (VCD) writer and parser — IEEE 1364 subset.
+
+Scalar signals dump as ``0!`` / ``1!`` tokens; vectors as ``b1010 !``.
+The parser accepts everything the writer emits (plus ``$comment`` blocks
+and ``x``/``z`` bits, mapped to 0), so simulator → VCD → activity makes a
+faithful round trip.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, TextIO, Tuple, Union
+
+#: A parsed VCD: signal name -> (width, [(time, value), ...]).
+VcdData = Dict[str, Tuple[int, List[Tuple[int, int]]]]
+
+_ID_ALPHABET = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Short VCD identifier for the index-th variable (base-94 code)."""
+    chars = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_ALPHABET))
+        chars.append(_ID_ALPHABET[rem])
+    return "".join(reversed(chars))
+
+
+class VcdWriter:
+    """Streams a VCD file from (time, name, value) change records."""
+
+    def __init__(self, out: TextIO, timescale: str = "1ps", scope: str = "top"):
+        self.out = out
+        self.timescale = timescale
+        self.scope = scope
+        self._ids: Dict[str, str] = {}
+        self._widths: Dict[str, int] = {}
+        self._header_done = False
+        self._time = -1
+
+    def declare(self, name: str, width: int) -> None:
+        """Declare a variable; must happen before :meth:`change`."""
+        if self._header_done:
+            raise ValueError("cannot declare variables after the header is closed")
+        if name in self._ids:
+            raise ValueError(f"duplicate VCD variable {name!r}")
+        self._ids[name] = _identifier(len(self._ids))
+        self._widths[name] = width
+
+    def _write_header(self) -> None:
+        w = self.out.write
+        w("$date\n    repro simulation\n$end\n")
+        w("$version\n    repro.activity.vcd\n$end\n")
+        w(f"$timescale {self.timescale} $end\n")
+        w(f"$scope module {self.scope} $end\n")
+        for name, ident in self._ids.items():
+            width = self._widths[name]
+            kind = "wire"
+            w(f"$var {kind} {width} {ident} {name} $end\n")
+        w("$upscope $end\n")
+        w("$enddefinitions $end\n")
+        self._header_done = True
+
+    def change(self, time: int, name: str, value: int) -> None:
+        """Record a value change.  Times must be non-decreasing."""
+        if not self._header_done:
+            self._write_header()
+        if name not in self._ids:
+            raise KeyError(f"undeclared VCD variable {name!r}")
+        if time < self._time:
+            raise ValueError(f"VCD time went backwards: {time} < {self._time}")
+        if time != self._time:
+            self.out.write(f"#{time}\n")
+            self._time = time
+        ident = self._ids[name]
+        width = self._widths[name]
+        if width == 1:
+            self.out.write(f"{value & 1}{ident}\n")
+        else:
+            self.out.write(f"b{value:b} {ident}\n")
+
+    def close(self) -> None:
+        """Flush the header even if no changes were recorded."""
+        if not self._header_done:
+            self._write_header()
+
+
+def vcd_from_simulator(sim, out: TextIO) -> None:
+    """Dump a traced :class:`repro.sim.Simulator` run as a VCD file.
+
+    Raises
+    ------
+    ValueError
+        If the simulator was not created with ``trace=True``.
+    """
+    if not sim.trace:
+        raise ValueError("simulator must be created with trace=True to dump VCD")
+    writer = VcdWriter(out)
+    for sig in sim.signals():
+        writer.declare(sig.name, sig.width)
+    for time, name, value, _width in sim.changes:
+        writer.change(time, name, value)
+    writer.close()
+
+
+def parse_vcd(src: Union[str, TextIO]) -> VcdData:
+    """Parse a VCD document into per-signal change lists.
+
+    Returns
+    -------
+    dict
+        ``name -> (width, [(time, value), ...])``, times ascending.
+
+    Raises
+    ------
+    ValueError
+        On malformed declarations or change records.
+    """
+    if isinstance(src, str):
+        src = io.StringIO(src)
+    ids: Dict[str, str] = {}
+    widths: Dict[str, int] = {}
+    changes: Dict[str, List[Tuple[int, int]]] = {}
+    time = 0
+    in_definitions = True
+    tokens = src.read().split("\n")
+    i = 0
+    while i < len(tokens):
+        line = tokens[i].strip()
+        i += 1
+        if not line:
+            continue
+        if in_definitions:
+            if line.startswith("$var"):
+                parts = line.split()
+                # $var wire 8 ! name $end   (name may contain [] suffix)
+                if len(parts) < 6:
+                    raise ValueError(f"malformed $var line: {line!r}")
+                width, ident, name = int(parts[2]), parts[3], parts[4]
+                ids[ident] = name
+                widths[name] = width
+                changes[name] = []
+            elif line.startswith("$enddefinitions"):
+                in_definitions = False
+            continue
+        if line.startswith("#"):
+            time = int(line[1:])
+        elif line[0] in "01xzXZ":
+            ident = line[1:]
+            _append_change(changes, ids, ident, time, _bit_value(line[0]), line)
+        elif line[0] in "bB":
+            try:
+                bits, ident = line[1:].split()
+            except ValueError:
+                raise ValueError(f"malformed vector change: {line!r}") from None
+            value = int("".join("0" if c in "xzXZ" else c for c in bits), 2)
+            _append_change(changes, ids, ident, time, value, line)
+        elif line.startswith("$"):
+            # $dumpvars / $end / $comment blocks — skip.
+            continue
+        else:
+            raise ValueError(f"unrecognised VCD record: {line!r}")
+    return {name: (widths[name], changes[name]) for name in widths}
+
+
+def _bit_value(char: str) -> int:
+    return 1 if char == "1" else 0
+
+
+def _append_change(changes, ids, ident, time, value, line) -> None:
+    if ident not in ids:
+        raise ValueError(f"change for undeclared identifier: {line!r}")
+    changes[ids[ident]].append((time, value))

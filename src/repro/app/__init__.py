@@ -1,0 +1,93 @@
+"""The capacity-based level measurement application (paper §2).
+
+"The system measures the level of material in a tank by monitoring the
+change of capacity within the tank."  A 500 kHz excitation tone is driven
+through a divider network into the tank; the returned signal's amplitude
+and phase relative to a reference channel yield the tank's complex
+impedance, hence its capacitance, hence the fill level.
+
+Contents: the tank plant model, the analog front end (DAC -> tank -> ADC),
+the numpy reference DSP chain, the same algorithms as soft-core assembly
+(the slow software baseline), the System-Generator hardware modules
+(Table 1), and the assembled system variants.
+"""
+
+from repro.app.tank import TankModel, MeasurementCircuit
+from repro.app.dsp import (
+    goertzel,
+    amplitude_phase,
+    capacity_from_phasors,
+    level_from_capacity,
+    LevelFilter,
+    process_measurement,
+    MeasurementOutcome,
+)
+from repro.app.frontend import AnalogFrontEnd, SampledCycle
+from repro.app.software import MeasurementSoftware, SoftwareRunResult
+from repro.app.modules import (
+    build_amp_phase_graph,
+    build_capacity_graph,
+    build_filter_graph,
+    build_frontend_graph,
+    standard_modules,
+    FRAME_SAMPLES,
+)
+from repro.app.system import (
+    SystemConfig,
+    CycleResult,
+    MicrocontrollerSystem,
+    FpgaSoftwareSystem,
+    FpgaFullHardwareSystem,
+    FpgaReconfigSystem,
+)
+from repro.app.failsafe import (
+    MeasurementWatchdog,
+    WatchdogLimits,
+    SelfHealingSystem,
+    RecoveryEvent,
+)
+from repro.app.interfaces import InterfaceManager, ReportRecord
+from repro.app.adaptation import AdaptiveProcessingManager, AlgorithmVariant, build_variants
+from repro.app.calibration import CalibrationTable, calibrate, calibrated_level
+from repro.app.display import LevelDisplay
+
+__all__ = [
+    "CalibrationTable",
+    "calibrate",
+    "calibrated_level",
+    "LevelDisplay",
+    "AdaptiveProcessingManager",
+    "AlgorithmVariant",
+    "build_variants",
+    "MeasurementWatchdog",
+    "WatchdogLimits",
+    "SelfHealingSystem",
+    "RecoveryEvent",
+    "InterfaceManager",
+    "ReportRecord",
+    "TankModel",
+    "MeasurementCircuit",
+    "goertzel",
+    "amplitude_phase",
+    "capacity_from_phasors",
+    "level_from_capacity",
+    "LevelFilter",
+    "process_measurement",
+    "MeasurementOutcome",
+    "AnalogFrontEnd",
+    "SampledCycle",
+    "MeasurementSoftware",
+    "SoftwareRunResult",
+    "build_amp_phase_graph",
+    "build_capacity_graph",
+    "build_filter_graph",
+    "build_frontend_graph",
+    "standard_modules",
+    "FRAME_SAMPLES",
+    "SystemConfig",
+    "CycleResult",
+    "MicrocontrollerSystem",
+    "FpgaSoftwareSystem",
+    "FpgaFullHardwareSystem",
+    "FpgaReconfigSystem",
+]

@@ -1,0 +1,193 @@
+"""Run-time adaptation of the data-processing algorithms.
+
+Paper §2: FPGAs "allow ... fast runtime adaptation of the data processing
+algorithms, which can be exploited for optimizing the calculations and the
+system implementation to changing requirements on power consumption and
+performance."
+
+Implemented here as algorithm *variants* of the amp/phase module differing
+in frame length and CORDIC precision:
+
+* ``precise`` — 512-sample frame, 22-bit CORDIC: best accuracy, largest
+  module, longest processing.
+* ``balanced`` — 256-sample frame, 18-bit CORDIC.
+* ``fast`` — 128-sample frame, 16-bit CORDIC: smallest and quickest (less
+  averaging, so noisier), lowest processing energy.
+
+Variants are swapped by partial reconfiguration of the same slot; the
+adaptation policy picks per-cycle based on the current power budget and
+accuracy requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.app import dsp
+from repro.app.frontend import AnalogFrontEnd
+from repro.app.modules import PHASOR_FRAC_BITS, build_amp_phase_graph
+from repro.app.system import static_side_slices
+from repro.app.tank import MeasurementCircuit
+from repro.fabric.device import DeviceSpec, get_device
+from repro.power.model import block_dynamic_power_w
+from repro.reconfig.controller import ReconfigController
+from repro.reconfig.ports import ConfigPort, Icap
+from repro.reconfig.slots import plan_floorplan
+from repro.sysgen.compile import CompiledModule, compile_graph
+
+#: The variant catalogue: name -> (frame samples, CORDIC width).
+VARIANT_PARAMS: Dict[str, Tuple[int, int]] = {
+    "precise": (512, 22),
+    "balanced": (256, 18),
+    "fast": (128, 16),
+}
+
+
+@dataclass(frozen=True)
+class AlgorithmVariant:
+    """One compiled variant of the amp/phase algorithm."""
+
+    name: str
+    frame_samples: int
+    cordic_width: int
+    compiled: CompiledModule
+
+    def processing_time_s(self, clock_mhz: float) -> float:
+        return self.compiled.processing_time_us(self.frame_samples, clock_mhz) * 1e-6
+
+    def processing_energy_j(self, clock_mhz: float) -> float:
+        power = block_dynamic_power_w(self.compiled.slices, 0.15, clock_mhz)
+        return power * self.processing_time_s(clock_mhz)
+
+    def quantize_bits(self) -> int:
+        """Fractional bits of the variant's outputs (narrower CORDIC ->
+        coarser phasors)."""
+        return PHASOR_FRAC_BITS - 2 * (22 - self.cordic_width) // 2
+
+
+def build_variants() -> Dict[str, AlgorithmVariant]:
+    """Compile the variant catalogue."""
+    variants = {}
+    for name, (frame, width) in VARIANT_PARAMS.items():
+        graph = build_amp_phase_graph(frame, width, name=f"amp_phase_{name}")
+        variants[name] = AlgorithmVariant(name, frame, width, compile_graph(graph))
+    return variants
+
+
+@dataclass(frozen=True)
+class AdaptiveMeasurement:
+    """One measurement taken under adaptation."""
+
+    variant: str
+    level: float
+    capacitance_pf: float
+    switch_time_s: float
+    processing_time_s: float
+    processing_energy_j: float
+
+
+class AdaptiveProcessingManager:
+    """Selects, loads and runs the algorithm variant fitting the moment's
+    requirements."""
+
+    def __init__(
+        self,
+        circuit: Optional[MeasurementCircuit] = None,
+        device: Optional[DeviceSpec] = None,
+        port: Optional[ConfigPort] = None,
+        clock_mhz: float = 75.0,
+        seed: int = 0,
+    ):
+        self.circuit = circuit or MeasurementCircuit()
+        self.device = device or get_device("XC3S400")
+        self.clock_mhz = clock_mhz
+        self.variants = build_variants()
+        slot_slices = max(v.compiled.slices for v in self.variants.values())
+        self.floorplan = plan_floorplan(self.device, static_side_slices(), [slot_slices])
+        self.controller = ReconfigController(self.floorplan, port or Icap())
+        for name in self.variants:
+            self.controller.prepare_module(name, 0)
+        self.frontend = AnalogFrontEnd(self.circuit, seed=seed)
+        self.history: List[AdaptiveMeasurement] = []
+
+    @property
+    def active_variant(self) -> Optional[str]:
+        return self.controller.resident.get(0)
+
+    def select(
+        self,
+        power_budget_w: Optional[float] = None,
+        accuracy_target: Optional[float] = None,
+    ) -> str:
+        """Pick the variant for the current requirements.
+
+        ``accuracy_target`` is the tolerable level error (smaller ->
+        stricter); ``power_budget_w`` bounds the per-cycle processing
+        power.  Accuracy dominates when both are given and conflict
+        (a wrong reading is worse than a warm regulator).
+        """
+        if accuracy_target is not None and accuracy_target < 0.02:
+            return "precise"
+        ranked = sorted(
+            self.variants.values(), key=lambda v: v.frame_samples, reverse=True
+        )
+        if power_budget_w is not None:
+            for variant in ranked:
+                avg_power = variant.processing_energy_j(self.clock_mhz) / 0.1
+                if avg_power <= power_budget_w:
+                    return variant.name
+            return ranked[-1].name  # cheapest available
+        if accuracy_target is not None and accuracy_target >= 0.05:
+            return "fast"
+        return "balanced"
+
+    def switch_to(self, name: str) -> float:
+        """Load a variant into the slot; returns the reconfiguration time.
+
+        Raises
+        ------
+        KeyError
+            For unknown variants.
+        """
+        if name not in self.variants:
+            known = ", ".join(sorted(self.variants))
+            raise KeyError(f"unknown variant {name!r}; available: {known}")
+        return self.controller.load(name, 0).total_time_s
+
+    def measure(
+        self,
+        level: float,
+        variant: Optional[str] = None,
+        power_budget_w: Optional[float] = None,
+        accuracy_target: Optional[float] = None,
+    ) -> AdaptiveMeasurement:
+        """One adapted measurement at a true fill level."""
+        chosen = variant or self.select(power_budget_w, accuracy_target)
+        switch_time = self.switch_to(chosen)
+        var = self.variants[chosen]
+        cycle = self.frontend.sample_cycle(level, var.frame_samples)
+        bits = max(8, var.quantize_bits())
+        m_amp, m_ph = dsp.amplitude_phase(cycle.meas, cycle.tone_hz, cycle.sample_rate_hz)
+        r_amp, r_ph = dsp.amplitude_phase(cycle.ref, cycle.tone_hz, cycle.sample_rate_hz)
+        c_pf = dsp.capacity_from_phasors(
+            dsp.quantize(m_amp, bits),
+            dsp.quantize(m_ph, bits),
+            dsp.quantize(r_amp, bits),
+            dsp.quantize(r_ph, bits),
+            self.circuit,
+            cycle.tone_hz,
+        )
+        measured = dsp.level_from_capacity(c_pf, self.circuit)
+        record = AdaptiveMeasurement(
+            variant=chosen,
+            level=measured,
+            capacitance_pf=c_pf,
+            switch_time_s=switch_time,
+            processing_time_s=var.processing_time_s(self.clock_mhz),
+            processing_energy_j=var.processing_energy_j(self.clock_mhz),
+        )
+        self.history.append(record)
+        return record

@@ -1,0 +1,134 @@
+"""Multi-point calibration of the measurement chain.
+
+Industrial capacitive level sensors are calibrated against known fill
+levels to cancel the systematic errors of the analog chain (converter gain
+nonlinearity, stray capacitance, filter droop).  The paper's §4.1 notes
+the IP-core flow makes per-product-variant adjustment cheap ("IP cores can
+also be designed to be parametrizable"); the calibration table below is
+exactly the content of the capacity module's ``cal_rom``/``cal_mul``
+correction stage (see :func:`repro.app.modules.build_capacity_graph`).
+
+Flow: measure the raw capacitance at a few known fill levels, fit a
+piecewise-linear map raw -> true, and apply it to every later reading.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.app.dsp import process_measurement
+from repro.app.frontend import AnalogFrontEnd
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One calibration sample: the raw reading at a known truth."""
+
+    raw_pf: float
+    true_pf: float
+
+
+class CalibrationTable:
+    """Piecewise-linear raw-to-true capacitance correction."""
+
+    def __init__(self, points: Sequence[CalibrationPoint]):
+        if len(points) < 2:
+            raise ValueError(f"need at least 2 calibration points, got {len(points)}")
+        ordered = sorted(points, key=lambda p: p.raw_pf)
+        for a, b in zip(ordered, ordered[1:]):
+            if b.raw_pf - a.raw_pf < 1e-9:
+                raise ValueError("calibration points must have distinct raw values")
+        self.points = ordered
+        self._raw = [p.raw_pf for p in ordered]
+
+    def apply(self, raw_pf: float) -> float:
+        """Correct one raw reading (linear extrapolation past the ends)."""
+        index = bisect.bisect_left(self._raw, raw_pf)
+        if index <= 0:
+            a, b = self.points[0], self.points[1]
+        elif index >= len(self.points):
+            a, b = self.points[-2], self.points[-1]
+        else:
+            a, b = self.points[index - 1], self.points[index]
+        slope = (b.true_pf - a.true_pf) / (b.raw_pf - a.raw_pf)
+        return a.true_pf + slope * (raw_pf - a.raw_pf)
+
+    def max_residual_pf(self) -> float:
+        """Residual at the calibration points themselves (zero for an
+        exactly interpolating table; useful as a sanity check)."""
+        return max(abs(self.apply(p.raw_pf) - p.true_pf) for p in self.points)
+
+    def rom_contents(self, depth: int, raw_min_pf: float, raw_max_pf: float,
+                     frac_bits: int = 10) -> List[int]:
+        """The correction table as fixed-point ROM words — what the
+        capacity module's ``cal_rom`` holds on the real hardware.
+
+        Raises
+        ------
+        ValueError
+            On an empty range or non-positive depth.
+        """
+        if depth < 2 or raw_max_pf <= raw_min_pf:
+            raise ValueError("need depth >= 2 and a non-empty raw range")
+        scale = 1 << frac_bits
+        words = []
+        for i in range(depth):
+            raw = raw_min_pf + (raw_max_pf - raw_min_pf) * i / (depth - 1)
+            words.append(max(0, int(round(self.apply(raw) * scale))))
+        return words
+
+
+def calibrate(
+    frontend: AnalogFrontEnd,
+    levels: Sequence[float] = (0.05, 0.25, 0.5, 0.75, 0.95),
+    frame_samples: int = 512,
+    repeats: int = 2,
+) -> CalibrationTable:
+    """Run the calibration procedure against known fill levels.
+
+    Each point averages ``repeats`` raw readings to suppress noise.
+
+    Raises
+    ------
+    ValueError
+        With fewer than two calibration levels.
+    """
+    if len(levels) < 2:
+        raise ValueError("need at least two calibration levels")
+    points = []
+    circuit = frontend.circuit
+    for level in levels:
+        raws = []
+        for _ in range(repeats):
+            cycle = frontend.sample_cycle(level, frame_samples)
+            outcome = process_measurement(
+                cycle.meas, cycle.ref, cycle.sample_rate_hz, cycle.tone_hz, circuit
+            )
+            raws.append(outcome.capacitance_pf)
+        points.append(
+            CalibrationPoint(
+                raw_pf=float(np.mean(raws)),
+                true_pf=circuit.tank.capacitance_pf(level),
+            )
+        )
+    return CalibrationTable(points)
+
+
+def calibrated_level(
+    frontend: AnalogFrontEnd,
+    table: CalibrationTable,
+    level: float,
+    frame_samples: int = 512,
+) -> Tuple[float, float]:
+    """One corrected measurement; returns (raw level, calibrated level)."""
+    circuit = frontend.circuit
+    cycle = frontend.sample_cycle(level, frame_samples)
+    outcome = process_measurement(
+        cycle.meas, cycle.ref, cycle.sample_rate_hz, cycle.tone_hz, circuit
+    )
+    corrected_pf = table.apply(outcome.capacitance_pf)
+    return outcome.level, circuit.tank.level_from_capacitance(corrected_pf)

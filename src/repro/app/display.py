@@ -1,0 +1,119 @@
+"""External level display, driven over the UART (paper §2).
+
+"The result of the current level may also be displayed on an external
+display, which is controlled by an UART component."  Modelled as a serial
+character display (HD44780-protocol-over-UART module, a common industrial
+part): the driver renders the level as text plus a bar graph, emits the
+command/data byte stream, and accounts the UART wire time — the ``report
+level`` task at the tail of every measurement cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.ip.uart import Uart
+
+#: Display geometry (2x16 character module).
+ROWS = 2
+COLUMNS = 16
+
+#: Serial protocol command bytes (escape-prefixed, as the common
+#: UART-backpack modules use).
+ESC = 0xFE
+CMD_CLEAR = 0x01
+CMD_SET_CURSOR = 0x80  # OR'ed with the DDRAM address
+
+#: DDRAM row base addresses of an HD44780.
+_ROW_BASE = (0x00, 0x40)
+
+#: Bar-graph glyphs: empty, partial, full.
+BAR_FULL = 0xFF
+BAR_EMPTY = ord("-")
+
+
+class LevelDisplay:
+    """Renders level readings onto the 2x16 display."""
+
+    def __init__(self, uart: Optional[Uart] = None):
+        self.uart = uart or Uart()
+        #: The display's character memory, for verification.
+        self.frame: List[List[int]] = [[ord(" ")] * COLUMNS for _ in range(ROWS)]
+        self._cursor: Tuple[int, int] = (0, 0)
+
+    # -- protocol ---------------------------------------------------------
+
+    def _emit(self, data: bytes, start_time_s: float) -> float:
+        """Send bytes through the UART and mirror them into the frame
+        model; returns the completion time."""
+        end = self.uart.send(data, start_time_s)
+        i = 0
+        while i < len(data):
+            byte = data[i]
+            if byte == ESC and i + 1 < len(data):
+                command = data[i + 1]
+                if command == CMD_CLEAR:
+                    self.frame = [[ord(" ")] * COLUMNS for _ in range(ROWS)]
+                    self._cursor = (0, 0)
+                elif command & CMD_SET_CURSOR:
+                    address = command & 0x7F
+                    row = 1 if address >= _ROW_BASE[1] else 0
+                    col = address - _ROW_BASE[row]
+                    if not (0 <= col < COLUMNS):
+                        raise ValueError(f"cursor address {address:#x} off screen")
+                    self._cursor = (row, col)
+                i += 2
+                continue
+            row, col = self._cursor
+            if col < COLUMNS:
+                self.frame[row][col] = byte
+                self._cursor = (row, col + 1)
+            i += 1
+        return end
+
+    # -- rendering ----------------------------------------------------------
+
+    @staticmethod
+    def format_level(level: float) -> str:
+        """First line: the numeric reading.
+
+        Raises
+        ------
+        ValueError
+            Outside [0, 1].
+        """
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"level {level} outside [0, 1]")
+        return f"LEVEL: {level * 100:5.1f} %".ljust(COLUMNS)[:COLUMNS]
+
+    @staticmethod
+    def bar_graph(level: float) -> bytes:
+        """Second line: a 16-segment bar graph."""
+        filled = round(level * COLUMNS)
+        return bytes([BAR_FULL] * filled + [BAR_EMPTY] * (COLUMNS - filled))
+
+    def show(self, level: float, start_time_s: float = 0.0) -> float:
+        """Render one reading; returns the UART completion time."""
+        stream = bytearray()
+        stream += bytes([ESC, CMD_SET_CURSOR | _ROW_BASE[0]])
+        stream += self.format_level(level).encode("ascii")
+        stream += bytes([ESC, CMD_SET_CURSOR | _ROW_BASE[1]])
+        stream += self.bar_graph(level)
+        return self._emit(bytes(stream), start_time_s)
+
+    def clear(self, start_time_s: float = 0.0) -> float:
+        """Blank the display."""
+        return self._emit(bytes([ESC, CMD_CLEAR]), start_time_s)
+
+    # -- verification ---------------------------------------------------------
+
+    def line(self, row: int) -> str:
+        """Displayed text of one row (bar glyphs rendered as '#')."""
+        return "".join(
+            "#" if b == BAR_FULL else chr(b) for b in self.frame[row]
+        )
+
+    def update_time_s(self) -> float:
+        """Wire time of one full update (both lines + cursor commands)."""
+        return (2 * 2 + 2 * COLUMNS) * self.uart.char_time_s

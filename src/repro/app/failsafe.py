@@ -1,0 +1,226 @@
+"""Failure detection and recovery for the measurement system.
+
+The paper's introduction motivates the FPGA platform with upcoming
+requirements the microcontroller cannot serve: "for example, this
+application will in a near future experience requirements on failure
+detection and recovery".  This module implements that future-work feature
+on top of the reconfigurable system:
+
+* a **measurement watchdog** applying plausibility checks to every cycle's
+  outputs (capacitance range, level rate-of-change, reference-channel
+  health);
+* **fault injection** corrupting a hardware module (modelling an SEU in
+  its configuration, via :mod:`repro.fabric.faults`);
+* **recovery by partial reconfiguration**: a detected fault triggers a
+  reload of the affected module's golden bitstream into the slot — the
+  repair path only the FPGA substrate offers, and orders of magnitude
+  cheaper than a full-device reset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.app.system import CycleResult, FpgaReconfigSystem
+from repro.fabric.faults import ConfigurationMemory, InjectedFault
+from repro.reconfig.readback import ReadbackScrubber
+
+
+@dataclass(frozen=True)
+class WatchdogLimits:
+    """Plausibility envelope of one measurement cycle."""
+
+    capacitance_min_pf: float = 30.0
+    capacitance_max_pf: float = 720.0
+    #: Maximum credible level change between consecutive cycles (a pump
+    #: cannot move the level faster than this per 100 ms).
+    max_level_step: float = 0.2
+    #: Minimum healthy reference-channel amplitude.
+    min_ref_amplitude: float = 0.02
+
+
+@dataclass(frozen=True)
+class WatchdogVerdict:
+    """Result of checking one cycle."""
+
+    plausible: bool
+    violations: List[str]
+
+
+class MeasurementWatchdog:
+    """Stateful plausibility checker over consecutive measurement cycles."""
+
+    def __init__(self, limits: Optional[WatchdogLimits] = None):
+        self.limits = limits or WatchdogLimits()
+        self._last_level: Optional[float] = None
+
+    def reset(self) -> None:
+        self._last_level = None
+
+    def check(
+        self,
+        capacitance_pf: float,
+        level: float,
+        ref_amplitude: Optional[float] = None,
+    ) -> WatchdogVerdict:
+        """Check one cycle's outputs; remembers the level for the
+        rate-of-change check of the next cycle."""
+        violations: List[str] = []
+        lim = self.limits
+        if not lim.capacitance_min_pf <= capacitance_pf <= lim.capacitance_max_pf:
+            violations.append(
+                f"capacitance {capacitance_pf:.1f} pF outside "
+                f"[{lim.capacitance_min_pf}, {lim.capacitance_max_pf}]"
+            )
+        if not 0.0 <= level <= 1.0:
+            violations.append(f"level {level:.3f} outside [0, 1]")
+        if self._last_level is not None and abs(level - self._last_level) > lim.max_level_step:
+            violations.append(
+                f"level step {abs(level - self._last_level):.3f} exceeds {lim.max_level_step}"
+            )
+        if ref_amplitude is not None and ref_amplitude < lim.min_ref_amplitude:
+            violations.append(f"reference amplitude {ref_amplitude:.4f} too low")
+        verdict = WatchdogVerdict(plausible=not violations, violations=violations)
+        if verdict.plausible:
+            self._last_level = level
+        return verdict
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One completed fault recovery."""
+
+    cycle_index: int
+    module: str
+    violations: List[str]
+    recovery_time_s: float
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"cycle {self.cycle_index}: recovered {self.module!r} in "
+            f"{self.recovery_time_s * 1e3:.2f} ms ({'; '.join(self.violations)})"
+        )
+
+
+class SelfHealingSystem:
+    """The reconfigurable measurement system with failure detection and
+    recovery.
+
+    Wraps :class:`repro.app.system.FpgaReconfigSystem`: every cycle's
+    output passes the watchdog; a detected fault triggers a scrub + reload
+    of the suspect module (amp_phase, the largest and statistically most
+    exposed one) and a clean re-measurement.
+    """
+
+    def __init__(
+        self,
+        system: Optional[FpgaReconfigSystem] = None,
+        limits: Optional[WatchdogLimits] = None,
+        seed: int = 0,
+    ):
+        from repro.reconfig.ports import Icap
+
+        self.system = system or FpgaReconfigSystem(port=Icap())
+        self.watchdog = MeasurementWatchdog(limits)
+        self.recoveries: List[RecoveryEvent] = []
+        self._cycle_index = 0
+        self._rng = random.Random(seed)
+        # Live configuration memory of the slot.  At any time the slot's
+        # frames hold one module's configuration; the golden image of every
+        # module stays in the bitstream store for scrubbing against.
+        self.config_memory = ConfigurationMemory()
+        self._faulty_module: Optional[str] = None
+        slot_region = self.system.floorplan.slots[0].region
+        self.goldens = {
+            name: self.system.controller.generator.partial_for_region(slot_region, name)
+            for name in self.system.modules
+        }
+        self.slot_frames = next(iter(self.goldens.values())).frame_count
+
+    # -- fault injection -----------------------------------------------------
+
+    def inject_module_fault(self, module: str = "amp_phase") -> InjectedFault:
+        """Upset one configuration bit of a module: its behaviour becomes
+        corrupted until the module is reloaded.
+
+        Raises
+        ------
+        KeyError
+            If the module does not exist.
+        """
+        if module not in self.system.modules:
+            raise KeyError(f"no module {module!r}")
+        # The slot's configuration memory holds the struck module's image
+        # at the moment of the upset.
+        self.config_memory.load(self.goldens[module])
+        fault = self.config_memory.inject_seu(self._rng)
+        self._faulty_module = module
+        return fault
+
+    @property
+    def has_active_fault(self) -> bool:
+        return self._faulty_module is not None
+
+    # -- operation -------------------------------------------------------------
+
+    def _corrupt(self, result: CycleResult) -> CycleResult:
+        """Model the corrupted module's effect: a wrong LUT equation in the
+        amp/phase datapath garbles the amplitude, so the capacitance (and
+        level) leave the plausible envelope."""
+        import dataclasses
+
+        garbled_c = result.capacitance_pf * (3.0 + self._rng.random())
+        return dataclasses.replace(
+            result,
+            capacitance_pf=garbled_c,
+            level_measured=min(4.0, garbled_c / 100.0),
+        )
+
+    def _recover(self, violations: List[str]) -> RecoveryEvent:
+        module = self._faulty_module or "amp_phase"
+        # Scrub the slot against the resident module's golden image: the
+        # readback pass localises the corrupted frame, the repair rewrites
+        # only that frame.
+        self.scrubber = ReadbackScrubber(self.config_memory, self.system.controller.port)
+        self.scrubber.register_golden(self.goldens[module])
+        scrub = self.scrubber.scrub(repair=True)
+        # The scrub pass both localised and repaired the corrupted frames;
+        # evict the residency record so the next cycle's regular module
+        # load starts from a known-good image.
+        self.system.controller.resident[0] = None
+        event = RecoveryEvent(
+            cycle_index=self._cycle_index,
+            module=module,
+            violations=violations,
+            recovery_time_s=scrub.total_time_s,
+        )
+        self.recoveries.append(event)
+        self._faulty_module = None
+        return event
+
+    def run_cycle(self, level: float) -> CycleResult:
+        """One measurement cycle with detection and recovery.
+
+        If the watchdog rejects the measurement, the module is repaired by
+        partial reconfiguration and the cycle is re-run; the returned
+        result carries the recovery time in ``reconfig_time_s``.
+        """
+        import dataclasses
+
+        self._cycle_index += 1
+        result = self.system.run_cycle(level)
+        if self._faulty_module is not None:
+            result = self._corrupt(result)
+        verdict = self.watchdog.check(result.capacitance_pf, result.level_measured)
+        if verdict.plausible:
+            return result
+        event = self._recover(verdict.violations)
+        # Clean re-measurement after repair.
+        retry = self.system.run_cycle(level)
+        retry = dataclasses.replace(
+            retry, reconfig_time_s=retry.reconfig_time_s + event.recovery_time_s
+        )
+        self.watchdog.check(retry.capacitance_pf, retry.level_measured)
+        return retry

@@ -1,0 +1,141 @@
+"""Analog front end: DAC -> divider/tank -> ADC, plus the reference path.
+
+One sampling phase of a measurement cycle (Figure 4, first task): the sinus
+generator feeds the delta-sigma DAC, the reconstructed analog excitation
+drives the tank divider and the reference divider, and two delta-sigma ADC
+channels digitise the returned signals.  The tank/divider is a linear
+circuit, so it is applied in the frequency domain (per-FFT-bin complex
+transfer) — amplitude *and* phase shifts, harmonics and converter noise all
+propagate exactly as in the physical loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.app.tank import MeasurementCircuit
+from repro.ip.delta_sigma import DeltaSigmaAdc, DeltaSigmaDac
+from repro.ip.sinus import LUT_DEPTH, SinusGenerator
+
+
+@dataclass(frozen=True)
+class SampledCycle:
+    """Digitised data of one sampling phase."""
+
+    meas: np.ndarray
+    ref: np.ndarray
+    sample_rate_hz: float
+    tone_hz: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.meas.size / self.sample_rate_hz
+
+
+class AnalogFrontEnd:
+    """The full excitation/acquisition loop of Figure 1."""
+
+    def __init__(
+        self,
+        circuit: Optional[MeasurementCircuit] = None,
+        excitation_scale: float = 0.75,
+        noise_rms: float = 0.002,
+        seed: int = 0,
+        meas_gain: float = 4.0,
+        ref_gain: float = 3.0,
+    ):
+        if not 0.0 < excitation_scale <= 0.9:
+            raise ValueError(
+                f"excitation scale must be in (0, 0.9] to keep the DAC stable, got {excitation_scale}"
+            )
+        if meas_gain <= 0 or ref_gain <= 0:
+            raise ValueError("channel gains must be positive")
+        self.circuit = circuit or MeasurementCircuit()
+        self.sinus = SinusGenerator(amplitude=excitation_scale)
+        self.dac = DeltaSigmaDac()
+        self.adc_meas = DeltaSigmaAdc()
+        self.adc_ref = DeltaSigmaAdc()
+        self.noise_rms = noise_rms
+        # Fixed-gain input amplifiers bring both channels near ADC full
+        # scale; a one-bit delta-sigma modulator's effective gain depends
+        # on its input amplitude, so running both channels at comparable,
+        # large amplitudes keeps that error common-mode (it then cancels
+        # in the measurement/reference ratio).  The known gains are divided
+        # out of the digital samples, as the DSP's input scaling would.
+        self.meas_gain = meas_gain
+        self.ref_gain = ref_gain
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def tone_hz(self) -> float:
+        return self.sinus.tone_hz
+
+    @property
+    def output_rate_hz(self) -> float:
+        return self.adc_meas.output_rate_hz
+
+    def _apply_channel(self, analog: np.ndarray, transfer) -> np.ndarray:
+        """Run a waveform through a linear channel given its H(f)."""
+        spectrum = np.fft.rfft(analog)
+        freqs = np.fft.rfftfreq(analog.size, 1.0 / self.dac.modulator_hz)
+        # DC bin: H(0) of a capacitive divider is 1 (no DC current, no drop
+        # across the series resistor at equilibrium); avoid 1/0 in Z(f).
+        h = np.ones_like(spectrum)
+        nonzero = freqs > 0
+        h[nonzero] = transfer(freqs[nonzero])
+        shaped = np.fft.irfft(spectrum * h, n=analog.size)
+        if self.noise_rms > 0:
+            shaped = shaped + self._rng.normal(0.0, self.noise_rms, analog.size)
+        return shaped
+
+    def sample_cycle(self, level: float, frame_samples: int = 512) -> SampledCycle:
+        """Acquire one cycle's data at a given tank fill level.
+
+        Parameters
+        ----------
+        level:
+            True fill level in [0, 1].
+        frame_samples:
+            ADC output samples to collect per channel.
+
+        Raises
+        ------
+        ValueError
+            If the level is out of range or the frame is too short to hold
+            at least one tone period.
+        """
+        adc_rate = self.adc_meas.output_rate_hz
+        if frame_samples < adc_rate / self.tone_hz:
+            raise ValueError(
+                f"frame of {frame_samples} samples at {adc_rate:.0f} Hz holds "
+                f"less than one {self.tone_hz:.0f} Hz period"
+            )
+        # Input samples needed: ADC frame duration at the DAC's input rate,
+        # plus settling margin for the converters' filters.
+        duration_s = frame_samples / adc_rate
+        settle_s = 4.0 / self.tone_hz
+        n_in = int(np.ceil((duration_s + settle_s) * self.sinus.sample_rate_hz))
+        n_in = ((n_in + LUT_DEPTH - 1) // LUT_DEPTH) * LUT_DEPTH
+
+        excitation = self.dac.convert(self.sinus.normalized_samples(n_in))
+        meas_analog = self.meas_gain * self._apply_channel(
+            excitation, lambda f: self.circuit.tank_transfer(level, f)
+        )
+        ref_analog = self.ref_gain * self._apply_channel(
+            excitation, self.circuit.reference_transfer
+        )
+
+        meas = self.adc_meas.convert(meas_analog) / self.meas_gain
+        ref = self.adc_ref.convert(ref_analog) / self.ref_gain
+        # Drop the settling prefix, keep the last `frame_samples`.
+        if meas.size < frame_samples or ref.size < frame_samples:
+            raise ValueError("internal error: converter produced too few samples")
+        return SampledCycle(
+            meas=meas[-frame_samples:],
+            ref=ref[-frame_samples:],
+            sample_rate_hz=adc_rate,
+            tone_hz=self.tone_hz,
+        )

@@ -1,0 +1,135 @@
+"""On-demand communication interfaces.
+
+The paper's introduction lists "flexibility regarding the available
+communication interfaces" among the requirements pushing the application
+onto reconfigurable hardware, and §2 names the candidates: Ethernet,
+Profibus, and the RS232-driven display.  This module implements that
+flexibility: a second reconfigurable slot hosts *one* interface core at a
+time, loaded on demand when the plant asks for a different fieldbus — so
+the device only ever pays the area of one interface, not all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.app.system import static_side_slices
+from repro.fabric.device import DeviceSpec, get_device
+from repro.ip.ethernet import ETHERNET_FOOTPRINT, EthernetMac
+from repro.ip.profibus import PROFIBUS_FOOTPRINT, ProfibusSlave
+from repro.ip.uart import UART_FOOTPRINT, Uart
+from repro.reconfig.controller import ReconfigController
+from repro.reconfig.ports import ConfigPort, Icap
+from repro.reconfig.slots import Floorplan, plan_floorplan
+
+#: The loadable interface cores and their footprints.
+INTERFACE_FOOTPRINTS = {
+    "ethernet": ETHERNET_FOOTPRINT,
+    "profibus": PROFIBUS_FOOTPRINT,
+    "uart": UART_FOOTPRINT,
+}
+
+
+@dataclass(frozen=True)
+class ReportRecord:
+    """One level report sent over the active interface."""
+
+    interface: str
+    payload_bytes: int
+    wire_time_s: float
+    switch_time_s: float
+
+
+class InterfaceManager:
+    """Manages the interface slot: switching cores, sending reports.
+
+    Parameters
+    ----------
+    module_slot_slices:
+        Slice demand of the *processing* slot (slot 0); the interface slot
+        (slot 1) is sized for the largest interface core.
+    """
+
+    def __init__(
+        self,
+        device: Optional[DeviceSpec] = None,
+        port: Optional[ConfigPort] = None,
+        module_slot_slices: int = 2200,
+    ):
+        self.device = device or get_device("XC3S1000")
+        interface_slices = max(fp.slices for fp in INTERFACE_FOOTPRINTS.values())
+        self.floorplan = plan_floorplan(
+            self.device,
+            static_side_slices(),
+            [module_slot_slices, interface_slices],
+            [32, 24],
+        )
+        self.controller = ReconfigController(self.floorplan, port or Icap())
+        for name in INTERFACE_FOOTPRINTS:
+            self.controller.prepare_module(name, 1)
+        self._behaviours = {
+            "ethernet": EthernetMac(),
+            "profibus": ProfibusSlave(),
+            "uart": Uart(),
+        }
+        self.reports: List[ReportRecord] = []
+
+    @property
+    def active_interface(self) -> Optional[str]:
+        return self.controller.resident.get(1)
+
+    def switch_to(self, interface: str) -> float:
+        """Load an interface core into the slot; returns the switch time
+        (zero when already resident).
+
+        Raises
+        ------
+        KeyError
+            For unknown interfaces.
+        """
+        if interface not in INTERFACE_FOOTPRINTS:
+            known = ", ".join(sorted(INTERFACE_FOOTPRINTS))
+            raise KeyError(f"unknown interface {interface!r}; available: {known}")
+        record = self.controller.load(interface, 1)
+        return record.total_time_s
+
+    def report_level(self, level: float, interface: Optional[str] = None) -> ReportRecord:
+        """Send one level report, switching interfaces first if needed.
+
+        Raises
+        ------
+        ValueError
+            If no interface was ever selected.
+        """
+        switch_time = 0.0
+        if interface is not None:
+            switch_time = self.switch_to(interface)
+        active = self.active_interface
+        if active is None:
+            raise ValueError("no interface loaded; call switch_to() first")
+        payload = f"LEVEL {level * 100:5.1f}%".encode("ascii")
+        behaviour = self._behaviours[active]
+        if active == "ethernet":
+            wire_time = behaviour.send_frame(payload)
+        elif active == "profibus":
+            wire_time = behaviour.exchange(payload[:8])
+        else:
+            wire_time = behaviour.send(payload) - behaviour.busy_until_s + behaviour.char_time_s * len(payload)
+            wire_time = behaviour.char_time_s * len(payload)
+        record = ReportRecord(
+            interface=active,
+            payload_bytes=len(payload),
+            wire_time_s=wire_time,
+            switch_time_s=switch_time,
+        )
+        self.reports.append(record)
+        return record
+
+    def resident_area_slices(self) -> int:
+        """Area paid for interfaces right now: the single slot."""
+        return self.floorplan.slots[1].slice_capacity(self.device)
+
+    def flat_area_slices(self) -> int:
+        """Area a non-reconfigurable design pays: every interface resident."""
+        return sum(fp.slices for fp in INTERFACE_FOOTPRINTS.values())

@@ -1,0 +1,352 @@
+"""The System-Generator hardware modules (paper §4.2, Table 1).
+
+"The algorithms were partitioned and implemented as modules to be
+reconfigured after each other, following the flow of the data processing":
+
+* ``amp_phase`` — dual-channel single-bin DFT (MACs against sine/cosine
+  ROMs) followed by vectoring CORDICs for magnitude and phase.  The
+  largest module, as in the paper ("this module is the largest one, which
+  is shown in Table 1").
+* ``capacity`` — complex-ratio arithmetic solving the tank capacitance
+  from the two phasors (wide LUT multipliers and dividers).
+* ``filter`` — MAC-serial IIR smoothing, level linearisation and alarm
+  comparators.
+* ``frontend`` — sinus generator + delta-sigma converter logic, loadable
+  on demand at the start of each cycle (the §4.1 extension: "only
+  configure the DA/AD converter/s when they are required").
+
+Each module pairs its compiled dataflow graph (resources, latency, fmax,
+netlist) with a bit-accurate-ish *behaviour* (the numpy reference quantised
+to the module's fixed-point formats) so system simulations produce real
+level readings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.app import dsp
+from repro.app.tank import MeasurementCircuit
+from repro.sysgen.compile import CompiledModule, compile_graph, split_into_modules
+from repro.sysgen.graph import DataflowGraph
+
+#: Samples per channel processed each measurement cycle.
+FRAME_SAMPLES = 512
+#: Fractional bits of the amplitude/phase outputs (Q4.20 in 24-bit words).
+PHASOR_FRAC_BITS = 20
+#: Fractional bits of the capacitance output (pF in Q22.10).
+CAP_FRAC_BITS = 10
+#: Fractional bits of the level output (Q2.22).
+LEVEL_FRAC_BITS = 22
+
+
+def build_amp_phase_graph(
+    frame_samples: int = FRAME_SAMPLES, cordic_width: int = 22, name: str = "amp_phase"
+) -> DataflowGraph:
+    """Amplitude & phase of the measurement and reference signals.
+
+    ``frame_samples`` and ``cordic_width`` parameterise the
+    accuracy/area/latency trade-off — the lever the run-time algorithm
+    adaptation (:mod:`repro.app.adaptation`) pulls.
+    """
+    g = DataflowGraph(name)
+    g.node("addr_ctr", "accumulator", 16, acc_width=16)
+    g.node("seq_ctl", "control", 16, depth=32)
+    g.connect("seq_ctl", "addr_ctr")
+    for ch in ("m", "r"):
+        g.node(f"{ch}_in", "input", 16)
+        g.node(f"{ch}_rom_cos", "rom", 16, depth=frame_samples)
+        g.node(f"{ch}_rom_sin", "rom", 16, depth=frame_samples)
+        g.node(f"{ch}_mac_i", "mac", 18, acc_width=48)
+        g.node(f"{ch}_mac_q", "mac", 18, acc_width=48)
+        g.node(f"{ch}_cordic", "cordic_magphase", cordic_width)
+        # Amplitude normalisation by 2/N: wide multiplier kept in fabric to
+        # spare the MULT18 budget for the MACs.
+        g.node(f"{ch}_scale", "mul", 24, use_mult18=False)
+        g.node(f"{ch}_amp_out", "output", 24)
+        g.node(f"{ch}_ph_out", "output", 24)
+        g.node(f"{ch}_pipe", "delay", 24, depth=2)
+        g.connect("addr_ctr", f"{ch}_rom_cos")
+        g.connect("addr_ctr", f"{ch}_rom_sin")
+        g.connect(f"{ch}_in", f"{ch}_mac_i")
+        g.connect(f"{ch}_in", f"{ch}_mac_q")
+        g.connect(f"{ch}_rom_cos", f"{ch}_mac_i")
+        g.connect(f"{ch}_rom_sin", f"{ch}_mac_q")
+        g.connect(f"{ch}_mac_i", f"{ch}_cordic")
+        g.connect(f"{ch}_mac_q", f"{ch}_cordic")
+        g.chain(f"{ch}_cordic", f"{ch}_scale", f"{ch}_pipe", f"{ch}_amp_out")
+        g.connect(f"{ch}_cordic", f"{ch}_ph_out")
+    return g
+
+
+def build_capacity_graph() -> DataflowGraph:
+    """Capacitance from the two phasors (complex-ratio solution)."""
+    g = DataflowGraph("capacity")
+    for name in ("m_amp", "m_ph", "r_amp", "r_ph"):
+        g.node(f"in_{name}", "input", 24)
+    g.node("dphi", "sub", 24)
+    g.chain("in_m_ph", "dphi")
+    g.connect("in_r_ph", "dphi")
+    g.node("rom_cos", "rom", 16, depth=2048)
+    g.node("rom_sin", "rom", 16, depth=2048)
+    g.connect("dphi", "rom_cos")
+    g.connect("dphi", "rom_sin")
+    g.node("ratio", "div", 24)
+    g.connect("in_m_amp", "ratio")
+    g.connect("in_r_amp", "ratio")
+    g.node("g_re", "mul", 18)
+    g.node("g_im", "mul", 18)
+    g.connect("ratio", "g_re")
+    g.connect("rom_cos", "g_re")
+    g.connect("ratio", "g_im")
+    g.connect("rom_sin", "g_im")
+    # H_tank = G * H_ref (complex multiply by constants).
+    for name in ("h_re_a", "h_re_b", "h_im_a", "h_im_b"):
+        g.node(name, "mul", 18)
+    g.node("h_re", "sub", 24)
+    g.node("h_im", "add", 24)
+    g.connect("g_re", "h_re_a")
+    g.connect("g_im", "h_re_b")
+    g.connect("g_re", "h_im_a")
+    g.connect("g_im", "h_im_b")
+    g.connect("h_re_a", "h_re")
+    g.connect("h_re_b", "h_re")
+    g.connect("h_im_a", "h_im")
+    g.connect("h_im_b", "h_im")
+    # Z = Rs*H/(1-H): denominator, |d|^2, dot/cross products, two divides.
+    g.node("d_re", "sub", 24)
+    g.node("d_im", "sub", 24)
+    g.connect("h_re", "d_re")
+    g.connect("h_im", "d_im")
+    for name in ("dd_re", "dd_im", "dot_a", "dot_b", "cross_a", "cross_b"):
+        g.node(name, "mul", 20, use_mult18=False)
+    g.node("d_mag", "add", 28)
+    g.node("dot", "add", 28)
+    g.node("cross", "sub", 28)
+    g.connect("d_re", "dd_re")
+    g.connect("d_im", "dd_im")
+    g.connect("dd_re", "d_mag")
+    g.connect("dd_im", "d_mag")
+    g.connect("h_re", "dot_a")
+    g.connect("d_re", "dot_a")
+    g.connect("h_im", "dot_b")
+    g.connect("d_im", "dot_b")
+    g.connect("dot_a", "dot")
+    g.connect("dot_b", "dot")
+    g.connect("h_im", "cross_a")
+    g.connect("d_re", "cross_a")
+    g.connect("h_re", "cross_b")
+    g.connect("d_im", "cross_b")
+    g.connect("cross_a", "cross")
+    g.connect("cross_b", "cross")
+    g.node("z_re_div", "div", 28)
+    g.node("z_im_div", "div", 28)
+    g.connect("dot", "z_re_div")
+    g.connect("d_mag", "z_re_div")
+    g.connect("cross", "z_im_div")
+    g.connect("d_mag", "z_im_div")
+    # C = Im(1/Z)/omega: |Z|^2 and the final divide + scaling.
+    g.node("zz_re", "mul", 20, use_mult18=False)
+    g.node("zz_im", "mul", 20, use_mult18=False)
+    g.node("z_mag", "add", 28)
+    g.connect("z_re_div", "zz_re")
+    g.connect("z_im_div", "zz_im")
+    g.connect("zz_re", "z_mag")
+    g.connect("zz_im", "z_mag")
+    g.node("y_im", "div", 28)
+    g.connect("z_im_div", "y_im")
+    g.connect("z_mag", "y_im")
+    g.node("c_scale", "mul", 18)
+    g.connect("y_im", "c_scale")
+    # Calibration: piecewise-linear correction from a table.
+    g.node("cal_rom", "rom", 24, depth=1024)
+    g.node("cal_mul", "mul", 18)
+    g.node("cal_add", "add", 24)
+    g.chain("c_scale", "cal_rom", "cal_mul", "cal_add")
+    g.node("ctl", "control", 16, depth=24)
+    g.node("out_cap", "output", 24)
+    g.connect("cal_add", "out_cap")
+    g.connect("ctl", "out_cap")
+    return g
+
+
+def build_filter_graph() -> DataflowGraph:
+    """Level filtering, linearisation and alarm logic."""
+    g = DataflowGraph("filter")
+    g.node("in_cap", "input", 24)
+    for i in range(4):
+        g.node(f"biquad{i}", "iir_mac_serial", 18, taps=5)
+    g.chain("in_cap", "biquad0", "biquad1", "biquad2", "biquad3")
+    # Level linearisation: (C - Cempty) / span plus a correction table.
+    g.node("c_off", "sub", 24)
+    g.node("lin_div", "div", 32)
+    g.node("lin_rom", "rom", 24, depth=1024)
+    g.node("lin_mul", "mul", 18)
+    g.node("lin_add", "add", 24)
+    g.chain("biquad3", "c_off", "lin_div", "lin_rom", "lin_mul", "lin_add")
+    # Moving average over the last 64 estimates.
+    g.node("avg_delay", "delay", 24, depth=64)
+    g.node("avg_acc", "accumulator", 24, acc_width=32)
+    g.connect("lin_add", "avg_delay")
+    g.connect("lin_add", "avg_acc")
+    g.connect("avg_delay", "avg_acc")
+    # Clamping and alarm thresholds.
+    g.node("clamp_lo", "cmp", 24)
+    g.node("clamp_hi", "cmp", 24)
+    g.node("alarm_lo", "cmp", 24)
+    g.node("alarm_hi", "cmp", 24)
+    g.node("clamp_mux", "mux", 24)
+    g.chain("avg_acc", "clamp_lo", "clamp_mux")
+    g.connect("avg_acc", "clamp_hi")
+    g.connect("clamp_hi", "clamp_mux")
+    g.connect("avg_acc", "alarm_lo")
+    g.connect("avg_acc", "alarm_hi")
+    g.node("ctl", "control", 16, depth=16)
+    g.node("out_level", "output", 24)
+    g.node("out_alarm", "output", 2)
+    g.connect("clamp_mux", "out_level")
+    g.connect("alarm_lo", "out_alarm")
+    g.connect("alarm_hi", "out_alarm")
+    g.connect("ctl", "out_level")
+    return g
+
+
+def build_frontend_graph() -> DataflowGraph:
+    """Sinus generator + delta-sigma converter logic as one loadable
+    module (on-demand configuration of the converters, §4.1)."""
+    g = DataflowGraph("frontend")
+    g.node("sin_rom", "rom", 8, depth=32)
+    g.node("addr", "accumulator", 8, acc_width=8)
+    g.chain("addr", "sin_rom")
+    # DAC modulator: two integrators and the quantiser feedback.
+    g.node("dac_int1", "accumulator", 12, acc_width=16)
+    g.node("dac_int2", "accumulator", 14, acc_width=18)
+    g.node("dac_q", "cmp", 14)
+    g.chain("sin_rom", "dac_int1", "dac_int2", "dac_q")
+    g.node("dac_out", "output", 1)
+    g.connect("dac_q", "dac_out")
+    for ch in ("m", "r"):
+        g.node(f"{ch}_adc_in", "input", 1)
+        g.node(f"{ch}_adc_int1", "accumulator", 12, acc_width=16)
+        g.node(f"{ch}_adc_int2", "accumulator", 14, acc_width=18)
+        g.node(f"{ch}_cic", "accumulator", 16, acc_width=24)
+        g.node(f"{ch}_dec", "delay", 16, depth=4)
+        g.node(f"{ch}_out", "output", 16)
+        g.chain(f"{ch}_adc_in", f"{ch}_adc_int1", f"{ch}_adc_int2", f"{ch}_cic", f"{ch}_dec", f"{ch}_out")
+    g.node("ctl", "control", 16, depth=24)
+    g.connect("ctl", "addr")
+    return g
+
+
+def build_processing_graph(frame_samples: int = FRAME_SAMPLES) -> DataflowGraph:
+    """The three processing modules merged into one graph — the flat
+    implementation, and the input to :func:`repro.sysgen.split_into_modules`
+    for the paper's "e.g. 5 reconfigurable modules" repartitioning."""
+    combined = DataflowGraph("processing")
+    stage_outputs: List[str] = []
+    for builder in (build_amp_phase_graph, build_capacity_graph, build_filter_graph):
+        sub = builder(frame_samples) if builder is build_amp_phase_graph else builder()
+        rename = {n.name: f"{sub.name}.{n.name}" for n in sub.nodes}
+        for node in sub.nodes:
+            combined.node(rename[node.name], node.kind, node.width, **node.params)
+        for s, d in sub.edges:
+            combined.connect(rename[s], rename[d])
+        # Chain the stages: outputs of one feed inputs of the next.
+        inputs = [rename[n.name] for n in sub.nodes if n.kind == "input"]
+        if stage_outputs:
+            for i, name in enumerate(inputs):
+                combined.connect(stage_outputs[i % len(stage_outputs)], name)
+        stage_outputs = [rename[n.name] for n in sub.nodes if n.kind == "output"]
+    return combined
+
+
+@dataclass
+class HardwareModule:
+    """A compiled module paired with its quantised behaviour."""
+
+    compiled: CompiledModule
+    behavior: Optional[Callable] = None
+
+    @property
+    def name(self) -> str:
+        return self.compiled.name
+
+    @property
+    def slices(self) -> int:
+        return self.compiled.slices
+
+
+def _q(value: float, frac_bits: int) -> float:
+    return dsp.quantize(value, frac_bits)
+
+
+def amp_phase_behavior(
+    meas: np.ndarray, ref: np.ndarray, sample_rate_hz: float, tone_hz: float
+) -> Tuple[float, float, float, float]:
+    """Bit-quantised amplitude/phase of both channels."""
+    m_amp, m_ph = dsp.amplitude_phase(meas, tone_hz, sample_rate_hz)
+    r_amp, r_ph = dsp.amplitude_phase(ref, tone_hz, sample_rate_hz)
+    return (
+        _q(m_amp, PHASOR_FRAC_BITS),
+        _q(m_ph, PHASOR_FRAC_BITS),
+        _q(r_amp, PHASOR_FRAC_BITS),
+        _q(r_ph, PHASOR_FRAC_BITS),
+    )
+
+
+def make_capacity_behavior(circuit: MeasurementCircuit, tone_hz: float) -> Callable:
+    """Capacity module behaviour bound to the circuit constants (they are
+    baked into the module's ROMs on real hardware)."""
+
+    def capacity_behavior(m_amp: float, m_ph: float, r_amp: float, r_ph: float) -> float:
+        c_pf = dsp.capacity_from_phasors(m_amp, m_ph, r_amp, r_ph, circuit, tone_hz)
+        return _q(c_pf, CAP_FRAC_BITS)
+
+    return capacity_behavior
+
+
+def make_filter_behavior(circuit: MeasurementCircuit, alpha: float = 0.25) -> Callable:
+    """Filter module behaviour: linearisation plus IIR smoothing with
+    quantised state."""
+
+    def filter_behavior(c_pf: float, state: Optional[float]) -> Tuple[float, float]:
+        level = dsp.level_from_capacity(c_pf, circuit)
+        if state is None:
+            smoothed = level
+        else:
+            smoothed = state + alpha * (level - state)
+        smoothed = _q(smoothed, LEVEL_FRAC_BITS)
+        return smoothed, smoothed
+
+    return filter_behavior
+
+
+def standard_modules(
+    circuit: Optional[MeasurementCircuit] = None,
+    tone_hz: float = 500_000.0,
+    frame_samples: int = FRAME_SAMPLES,
+) -> Dict[str, HardwareModule]:
+    """Compile the paper's module set with behaviours attached."""
+    circuit = circuit or MeasurementCircuit()
+    return {
+        "frontend": HardwareModule(compile_graph(build_frontend_graph())),
+        "amp_phase": HardwareModule(
+            compile_graph(build_amp_phase_graph(frame_samples)), amp_phase_behavior
+        ),
+        "capacity": HardwareModule(
+            compile_graph(build_capacity_graph()), make_capacity_behavior(circuit, tone_hz)
+        ),
+        "filter": HardwareModule(
+            compile_graph(build_filter_graph()), make_filter_behavior(circuit)
+        ),
+    }
+
+
+def repartitioned_modules(count: int = 5, frame_samples: int = FRAME_SAMPLES) -> List[CompiledModule]:
+    """The paper's smaller-slot variant: the whole processing graph split
+    into ``count`` balanced modules."""
+    return split_into_modules(build_processing_graph(frame_samples), count)

@@ -1,0 +1,121 @@
+"""Tank plant model: fill level -> capacitance -> complex impedance.
+
+The tank's electrodes form a capacitor whose value grows with the fill
+level (the dielectric constant of the material exceeds air's).  The
+measurement circuit drives the excitation tone through a series resistor
+into the tank; the voltage across the tank is a complex-valued function of
+the tank impedance, so amplitude *and* phase of the returned signal carry
+the capacitance information.  A parallel loss resistance models the
+material's conductivity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+Complexlike = Union[complex, np.ndarray]
+
+
+@dataclass(frozen=True)
+class TankModel:
+    """Electrical model of the tank sensor.
+
+    Attributes
+    ----------
+    c_empty_pf, c_full_pf:
+        Electrode capacitance at fill level 0.0 and 1.0.
+    r_loss_ohm:
+        Parallel loss resistance of the material.
+    """
+
+    c_empty_pf: float = 60.0
+    c_full_pf: float = 480.0
+    r_loss_ohm: float = 2.0e6
+
+    def __post_init__(self) -> None:
+        if self.c_empty_pf <= 0 or self.c_full_pf <= self.c_empty_pf:
+            raise ValueError(
+                f"need 0 < c_empty ({self.c_empty_pf}) < c_full ({self.c_full_pf})"
+            )
+        if self.r_loss_ohm <= 0:
+            raise ValueError(f"loss resistance must be positive, got {self.r_loss_ohm}")
+
+    def capacitance_pf(self, level: float) -> float:
+        """Tank capacitance at a fill level in [0, 1].
+
+        Raises
+        ------
+        ValueError
+            If the level is outside [0, 1].
+        """
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"fill level must be in [0, 1], got {level}")
+        return self.c_empty_pf + (self.c_full_pf - self.c_empty_pf) * level
+
+    def level_from_capacitance(self, c_pf: float) -> float:
+        """Inverse of :meth:`capacitance_pf`, clipped to [0, 1]."""
+        raw = (c_pf - self.c_empty_pf) / (self.c_full_pf - self.c_empty_pf)
+        return min(1.0, max(0.0, raw))
+
+    def impedance(self, c_pf: float, frequency_hz: Complexlike) -> Complexlike:
+        """Complex impedance of the tank (C parallel to the loss R)."""
+        omega = 2.0 * np.pi * np.asarray(frequency_hz, dtype=np.float64)
+        admittance = 1.0 / self.r_loss_ohm + 1j * omega * c_pf * 1e-12
+        return 1.0 / admittance
+
+
+@dataclass(frozen=True)
+class MeasurementCircuit:
+    """The divider network of one measurement channel.
+
+    The excitation drives a series resistor; the channel output is the
+    voltage across the element under test (tank or reference capacitor):
+    ``H(f) = Z / (Z + R_series)``.
+    """
+
+    tank: TankModel = TankModel()
+    r_series_ohm: float = 4700.0
+    c_ref_pf: float = 220.0
+
+    def __post_init__(self) -> None:
+        if self.r_series_ohm <= 0 or self.c_ref_pf <= 0:
+            raise ValueError("series resistance and reference capacitance must be positive")
+
+    def _divider(self, z: Complexlike) -> Complexlike:
+        return z / (z + self.r_series_ohm)
+
+    def tank_transfer(self, level: float, frequency_hz: Complexlike) -> Complexlike:
+        """H(f) of the measurement channel at a fill level."""
+        c = self.tank.capacitance_pf(level)
+        return self._divider(self.tank.impedance(c, frequency_hz))
+
+    def reference_transfer(self, frequency_hz: Complexlike) -> Complexlike:
+        """H(f) of the reference channel (fixed, loss-free capacitor)."""
+        omega = 2.0 * np.pi * np.asarray(frequency_hz, dtype=np.float64)
+        z = 1.0 / (1j * omega * self.c_ref_pf * 1e-12)
+        return self._divider(z)
+
+    def capacitance_from_transfer(self, h: complex, frequency_hz: float) -> float:
+        """Solve the tank capacitance from a measured channel transfer.
+
+        Inverts ``H = Z/(Z+R)`` to ``Z = R*H/(1-H)`` and takes the
+        capacitive part of the admittance.
+
+        Raises
+        ------
+        ValueError
+            If the transfer is numerically degenerate (|1-H| ~ 0).
+        """
+        denominator = 1.0 - h
+        if abs(denominator) < 1e-9:
+            raise ValueError(f"degenerate transfer {h}: tank looks like an open circuit")
+        z = self.r_series_ohm * h / denominator
+        if z == 0:
+            raise ValueError("degenerate transfer: tank looks like a short circuit")
+        admittance = 1.0 / z
+        omega = 2.0 * math.pi * frequency_hz
+        return admittance.imag / omega * 1e12

@@ -1,0 +1,175 @@
+"""Command-line interface.
+
+Exposes the headline analyses as subcommands::
+
+    repro tradeoff              # compare the system variants
+    repro cycle [--level 0.6]   # one measurement cycle + timeline
+    repro sizing                # Table-1 style resources + device chain
+    repro parflow               # the Section-4.3 power-aware PAR flow
+    repro recover               # fault injection / recovery demo
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    from repro.app.system import (
+        FpgaFullHardwareSystem,
+        FpgaReconfigSystem,
+        FpgaSoftwareSystem,
+        MicrocontrollerSystem,
+    )
+    from repro.core.tradeoff import SystemVariant, compare_variants, format_table
+    from repro.reconfig.ports import Icap
+
+    variants = [
+        SystemVariant("mcu", MicrocontrollerSystem()),
+        SystemVariant("fpga-software", FpgaSoftwareSystem()),
+        SystemVariant("fpga-full-hw", FpgaFullHardwareSystem()),
+        SystemVariant("reconfig-jcap", FpgaReconfigSystem()),
+        SystemVariant("reconfig-icap", FpgaReconfigSystem(port=Icap())),
+    ]
+    rows = compare_variants(variants, levels=args.levels)
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_cycle(args: argparse.Namespace) -> int:
+    from repro.app.system import FpgaReconfigSystem
+    from repro.reconfig.ports import Icap, Jcap
+
+    port = Icap() if args.port == "icap" else Jcap()
+    system = FpgaReconfigSystem(port=port, clock_gating=args.clock_gating)
+    result = system.run_cycle(args.level)
+    print(f"device   : {result.device}")
+    print(f"level    : true {args.level:.3f} -> measured {result.level_measured:.3f}")
+    print(f"capacity : {result.capacitance_pf:.1f} pF")
+    print(f"power    : {result.avg_power_w * 1e3:.1f} mW average")
+    print(f"fits     : {result.fits_period} (busy {result.cycle_busy_s * 1e3:.1f} ms)")
+    print(result.schedule.timeline())
+    return 0
+
+
+def _cmd_sizing(args: argparse.Namespace) -> int:
+    from repro.app.modules import repartitioned_modules, standard_modules
+    from repro.app.system import static_side_slices
+    from repro.core.reconfig_power import size_devices
+    from repro.ip.ethernet import ETHERNET_FOOTPRINT
+    from repro.ip.profibus import PROFIBUS_FOOTPRINT
+
+    modules = standard_modules()
+    print(f"{'component':<14}{'slices':>8}{'BRAM':>6}{'MULT':>6}{'latency':>9}{'fmax':>7}")
+    print(f"{'static side':<14}{static_side_slices():>8}{'-':>6}{'-':>6}{'-':>9}{'-':>7}")
+    for module in modules.values():
+        c = module.compiled
+        print(
+            f"{c.name:<14}{c.slices:>8}{c.brams:>6}{c.multipliers:>6}"
+            f"{c.latency_cycles:>9}{c.fmax_mhz:>6.0f}M"
+        )
+    sizing = size_devices(
+        static_slices=static_side_slices(),
+        resident_slices=ETHERNET_FOOTPRINT.slices + PROFIBUS_FOOTPRINT.slices,
+        modules=[m.compiled for m in modules.values()],
+        repartitioned=repartitioned_modules(args.partitions),
+    )
+    print()
+    print(sizing.summary())
+    return 0
+
+
+def _cmd_parflow(args: argparse.Namespace) -> int:
+    from repro.core.par_power import run_power_aware_flow
+    from repro.fabric.device import get_device
+    from repro.netlist.blocks import BlockFootprint, block_netlist
+    from repro.par.placer import PlacerOptions
+    from repro.par.report import routing_report, utilization_report
+
+    netlist = block_netlist(
+        BlockFootprint("cli_blk", slices=args.slices, mean_activity=0.1), seed=args.seed
+    )
+    result = run_power_aware_flow(
+        netlist,
+        get_device(args.device),
+        clock_mhz=args.clock,
+        top_n=args.nets,
+        placer_options=PlacerOptions(steps=25, seed=args.seed),
+    )
+    print(utilization_report(result.design).render())
+    print()
+    print(routing_report(result.design))
+    print()
+    print(result.table2())
+    print(
+        f"\nrouting power {result.power_before.routing_w * 1e6:.1f} uW -> "
+        f"{result.power_after.routing_w * 1e6:.1f} uW "
+        f"({result.routing_power_reduction_pct:.1f}% reduction)"
+    )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.app.failsafe import SelfHealingSystem
+
+    healing = SelfHealingSystem(seed=args.seed)
+    healing.run_cycle(args.level)
+    fault = healing.inject_module_fault("amp_phase")
+    print(f"injected: {fault}")
+    result = healing.run_cycle(args.level)
+    event = healing.recoveries[-1]
+    print(f"detected: {'; '.join(event.violations)}")
+    print(f"recovered in {event.recovery_time_s * 1e3:.2f} ms; "
+          f"level after recovery: {result.level_measured:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DATE 2008 cost/power-optimized FPGA system integration — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tradeoff", help="compare the system variants")
+    p.add_argument("--levels", type=float, nargs="+", default=[0.25, 0.6, 0.85])
+    p.set_defaults(func=_cmd_tradeoff)
+
+    p = sub.add_parser("cycle", help="run one measurement cycle")
+    p.add_argument("--level", type=float, default=0.6)
+    p.add_argument("--port", choices=["icap", "jcap"], default="icap")
+    p.add_argument("--clock-gating", action="store_true")
+    p.set_defaults(func=_cmd_cycle)
+
+    p = sub.add_parser("sizing", help="module resources and device sizing")
+    p.add_argument("--partitions", type=int, default=5)
+    p.set_defaults(func=_cmd_sizing)
+
+    p = sub.add_parser("parflow", help="power-aware place & route flow")
+    p.add_argument("--device", default="XC3S400")
+    p.add_argument("--slices", type=int, default=150)
+    p.add_argument("--clock", type=float, default=50.0)
+    p.add_argument("--nets", type=int, default=8)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_parflow)
+
+    p = sub.add_parser("recover", help="fault injection and recovery demo")
+    p.add_argument("--level", type=float, default=0.6)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_recover)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

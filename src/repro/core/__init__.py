@@ -1,0 +1,49 @@
+"""The paper's contribution: three methodologies for cost- and
+power-optimized FPGA system integration.
+
+* :mod:`repro.core.integration` — §4.1, integration of external digital
+  components (delta-sigma converters) into the FPGA.
+* :mod:`repro.core.reconfig_power` — §4.2, dynamic and partial
+  reconfiguration for reduced static and dynamic power (device sizing,
+  clock reduction, reconfiguration overhead).
+* :mod:`repro.core.par_power` — §4.3, power-optimized place-and-route by
+  activity-driven net reallocation.
+* :mod:`repro.core.tradeoff` — whole-system cost/power comparison across
+  the implementation variants.
+"""
+
+from repro.core.integration import IntegrationReport, analyze_converter_integration
+from repro.core.reconfig_power import (
+    DeviceSizingResult,
+    size_devices,
+    power_vs_clock,
+    reconfig_overhead_report,
+    PartitionStudy,
+    partition_study,
+)
+from repro.core.par_power import PowerAwareFlowResult, run_power_aware_flow
+from repro.core.tradeoff import SystemVariant, compare_variants, TradeoffRow
+from repro.core.autopartition import auto_partition, AutoPartitionResult, PartitionCandidate
+from repro.core.battery import BatteryModel, LifetimeRow, estimate_lifetimes
+
+__all__ = [
+    "BatteryModel",
+    "LifetimeRow",
+    "estimate_lifetimes",
+    "auto_partition",
+    "AutoPartitionResult",
+    "PartitionCandidate",
+    "IntegrationReport",
+    "analyze_converter_integration",
+    "DeviceSizingResult",
+    "size_devices",
+    "power_vs_clock",
+    "reconfig_overhead_report",
+    "PartitionStudy",
+    "partition_study",
+    "PowerAwareFlowResult",
+    "run_power_aware_flow",
+    "SystemVariant",
+    "compare_variants",
+    "TradeoffRow",
+]

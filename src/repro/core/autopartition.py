@@ -1,0 +1,150 @@
+"""Automatic static/dynamic partitioning.
+
+The paper's §3 points at reference [10] (Berthelot et al.): "Automatic
+tools for the design of on-demand reconfigurable systems with real-time
+requirements will be required in order to make dynamic reconfiguration
+suitable for industrial applications in a long-term perspective."
+
+This module is that tool for the measurement system's design space: given
+the combined processing dataflow graph and a cycle deadline, it sweeps the
+module partition count, sizes a device for each, evaluates static power,
+BOM cost and per-cycle reconfiguration overhead, discards infeasible
+points, and returns the optimum (and the whole Pareto front) for a chosen
+objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.fabric.bitstream import BitstreamGenerator
+from repro.power.model import static_power_w
+from repro.reconfig.ports import ConfigPort, Icap
+from repro.reconfig.scheduler import CYCLE_PERIOD_S
+from repro.reconfig.slots import FloorplanError, smallest_device_for_plan
+from repro.sysgen.compile import CompiledModule, split_into_modules
+from repro.sysgen.graph import DataflowGraph
+
+
+@dataclass(frozen=True)
+class PartitionCandidate:
+    """One evaluated design point."""
+
+    module_count: int
+    max_module_slices: int
+    device: str
+    device_price_usd: float
+    static_power_w: float
+    reconfig_time_per_cycle_s: float
+    feasible: bool
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"{self.module_count} modules -> {self.device}: "
+            f"{self.static_power_w * 1e3:.1f} mW static, "
+            f"{self.reconfig_time_per_cycle_s * 1e3:.1f} ms reconfig/cycle, "
+            f"{'feasible' if self.feasible else 'INFEASIBLE'}"
+        )
+
+
+@dataclass
+class AutoPartitionResult:
+    """Output of one automatic partitioning run."""
+
+    candidates: List[PartitionCandidate]
+    best: Optional[PartitionCandidate]
+    objective: str
+
+    def pareto_front(self) -> List[PartitionCandidate]:
+        """Feasible candidates not dominated in (static power,
+        reconfiguration time)."""
+        feasible = [c for c in self.candidates if c.feasible]
+        front = []
+        for c in feasible:
+            dominated = any(
+                o.static_power_w <= c.static_power_w
+                and o.reconfig_time_per_cycle_s <= c.reconfig_time_per_cycle_s
+                and (
+                    o.static_power_w < c.static_power_w
+                    or o.reconfig_time_per_cycle_s < c.reconfig_time_per_cycle_s
+                )
+                for o in feasible
+            )
+            if not dominated:
+                front.append(c)
+        return front
+
+
+def auto_partition(
+    graph: DataflowGraph,
+    static_slices: int,
+    counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+    port: Optional[ConfigPort] = None,
+    period_s: float = CYCLE_PERIOD_S,
+    reconfig_budget_fraction: float = 0.5,
+    objective: str = "power",
+) -> AutoPartitionResult:
+    """Search the partition-count design space.
+
+    Parameters
+    ----------
+    graph:
+        The combined processing dataflow graph.
+    static_slices:
+        Slice demand of the static side.
+    counts:
+        Partition counts to evaluate.
+    port:
+        Configuration port model (defaults to ICAP-class).
+    period_s, reconfig_budget_fraction:
+        Feasibility constraint: all per-cycle reconfigurations must fit
+        within ``reconfig_budget_fraction * period_s``.
+    objective:
+        ``"power"`` (minimise static power, tie-break on reconfig time),
+        ``"cost"`` (minimise device price) or ``"speed"`` (minimise
+        reconfiguration overhead).
+
+    Raises
+    ------
+    ValueError
+        On an empty count list or unknown objective.
+    """
+    if not counts:
+        raise ValueError("need at least one partition count")
+    if objective not in ("power", "cost", "speed"):
+        raise ValueError(f"unknown objective {objective!r}")
+    port = port or Icap()
+
+    candidates: List[PartitionCandidate] = []
+    for count in counts:
+        modules = split_into_modules(graph, count)
+        biggest = max(m.slices for m in modules)
+        signals = max(m.interface_nets for m in modules)
+        try:
+            plan = smallest_device_for_plan(static_slices, [biggest], [signals])
+        except FloorplanError:
+            continue
+        generator = BitstreamGenerator(plan.device)
+        per_load = generator.partial_for_region(plan.slots[0].region, "m").total_bytes
+        reconfig_time = count * port.configure_time_s(per_load)
+        candidates.append(
+            PartitionCandidate(
+                module_count=count,
+                max_module_slices=biggest,
+                device=plan.device.name,
+                device_price_usd=plan.device.price_usd,
+                static_power_w=static_power_w(plan.device),
+                reconfig_time_per_cycle_s=reconfig_time,
+                feasible=reconfig_time <= reconfig_budget_fraction * period_s,
+            )
+        )
+
+    keys: dict = {
+        "power": lambda c: (c.static_power_w, c.reconfig_time_per_cycle_s),
+        "cost": lambda c: (c.device_price_usd, c.reconfig_time_per_cycle_s),
+        "speed": lambda c: (c.reconfig_time_per_cycle_s, c.static_power_w),
+    }
+    feasible = [c for c in candidates if c.feasible]
+    best = min(feasible, key=keys[objective]) if feasible else None
+    return AutoPartitionResult(candidates=candidates, best=best, objective=objective)

@@ -1,0 +1,98 @@
+"""Battery-life estimation.
+
+The paper's introduction frames the whole problem around "low-power
+applications (e.g. battery-driven applications)" where FPGAs normally lose
+to microcontrollers.  This module turns the per-cycle energy numbers of the
+system variants into the figure a product manager asks for: how long does
+the battery last?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.app.system import CycleResult, _BaseSystem
+
+
+@dataclass(frozen=True)
+class BatteryModel:
+    """A primary battery pack feeding the system through a regulator."""
+
+    capacity_mah: float = 2600.0  # one industrial LiSOCl2 D cell ~ 19 Ah; AA ~2.6 Ah
+    voltage_v: float = 3.6
+    #: DC/DC conversion efficiency.
+    regulator_efficiency: float = 0.85
+    #: Fraction of capacity usable before the voltage sags out of spec.
+    usable_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0 or self.voltage_v <= 0:
+            raise ValueError("capacity and voltage must be positive")
+        if not 0 < self.regulator_efficiency <= 1 or not 0 < self.usable_fraction <= 1:
+            raise ValueError("efficiency and usable fraction must be in (0, 1]")
+
+    @property
+    def usable_energy_j(self) -> float:
+        """Energy deliverable to the load, joules."""
+        raw = self.capacity_mah * 1e-3 * 3600 * self.voltage_v
+        return raw * self.usable_fraction * self.regulator_efficiency
+
+    def lifetime_hours(self, load_power_w: float) -> float:
+        """Runtime at a constant load power.
+
+        Raises
+        ------
+        ValueError
+            On non-positive load.
+        """
+        if load_power_w <= 0:
+            raise ValueError(f"load power must be positive, got {load_power_w}")
+        return self.usable_energy_j / load_power_w / 3600
+
+    def measurement_cycles(self, energy_per_cycle_j: float) -> int:
+        """Total measurement cycles one battery delivers."""
+        if energy_per_cycle_j <= 0:
+            raise ValueError("cycle energy must be positive")
+        return int(self.usable_energy_j / energy_per_cycle_j)
+
+
+@dataclass(frozen=True)
+class LifetimeRow:
+    """Battery lifetime of one system variant."""
+
+    label: str
+    avg_power_mw: float
+    lifetime_days: float
+    cycles_total: int
+
+
+def estimate_lifetimes(
+    systems: Dict[str, _BaseSystem],
+    battery: Optional[BatteryModel] = None,
+    level: float = 0.5,
+) -> List[LifetimeRow]:
+    """Run one cycle per system and extrapolate battery lifetime.
+
+    Raises
+    ------
+    ValueError
+        On an empty system dict.
+    """
+    if not systems:
+        raise ValueError("need at least one system")
+    battery = battery or BatteryModel()
+    rows: List[LifetimeRow] = []
+    for label, system in systems.items():
+        system.reset()
+        result = system.run_cycle(level)
+        period = max(result.schedule.period_s, result.cycle_busy_s)
+        rows.append(
+            LifetimeRow(
+                label=label,
+                avg_power_mw=result.avg_power_w * 1e3,
+                lifetime_days=battery.lifetime_hours(result.avg_power_w) / 24,
+                cycles_total=battery.measurement_cycles(result.energy_j),
+            )
+        )
+    return rows

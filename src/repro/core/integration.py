@@ -1,0 +1,110 @@
+"""Approach 1 (paper §4.1): integration of external digital components.
+
+"One way to simplify the design process, and thereby reduce manufacturing
+costs, is to integrate the external digital components in the FPGA
+system."  This module quantifies that trade: discrete DA/AD converter
+chips versus the on-chip delta-sigma cores (plus the simple external RC
+filters that remain), in BOM cost, board power and FPGA resources — and
+the further §4.1 refinement of configuring the converters only during the
+sampling phase of each cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ip.delta_sigma import (
+    ADC_FOOTPRINT,
+    DAC_FOOTPRINT,
+    DAC_FOOTPRINT_WITH_OPB,
+    EXTERNAL_ADC_CHIP,
+    EXTERNAL_DAC_CHIP,
+)
+from repro.ip.sinus import SINUS_FOOTPRINT
+from repro.power.model import PowerParams, block_dynamic_power_w
+
+#: BOM cost of the passive RC filter networks that remain external.
+RC_FILTER_COST_USD = 0.30
+#: Board cost saved per removed discrete package (area, assembly, routing).
+BOARD_COST_PER_PACKAGE_USD = 0.45
+
+
+@dataclass(frozen=True)
+class IntegrationReport:
+    """Cost/power/resource comparison of external vs integrated converters."""
+
+    external_bom_usd: float
+    integrated_bom_usd: float
+    external_power_mw: float
+    integrated_power_mw: float
+    integrated_slices: int
+    integrated_slices_with_opb: int
+    opb_interface_slices_saved: int
+    on_demand_power_mw: float
+
+    @property
+    def bom_saving_usd(self) -> float:
+        return self.external_bom_usd - self.integrated_bom_usd
+
+    @property
+    def power_saving_mw(self) -> float:
+        return self.external_power_mw - self.integrated_power_mw
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                "Converter integration (paper Section 4.1):",
+                f"  external chips : {self.external_bom_usd:6.2f} USD, {self.external_power_mw:6.1f} mW",
+                f"  integrated     : {self.integrated_bom_usd:6.2f} USD, {self.integrated_power_mw:6.1f} mW, "
+                f"{self.integrated_slices} slices",
+                f"  OPB interface removed: -{self.opb_interface_slices_saved} slices",
+                f"  on-demand configuration: {self.on_demand_power_mw:6.1f} mW effective",
+            ]
+        )
+
+
+def analyze_converter_integration(
+    converter_clock_mhz: float = 16.0,
+    sampling_duty: float = 0.0013,
+    params: Optional[PowerParams] = None,
+) -> IntegrationReport:
+    """Quantify the §4.1 integration step.
+
+    Parameters
+    ----------
+    converter_clock_mhz:
+        Input-sample clock of the converter cores.
+    sampling_duty:
+        Fraction of the measurement cycle during which the converters are
+        needed ("restricted to the initial phase of each measurement
+        cycle") — with a 128 us sampling phase in a 100 ms cycle this is
+        ~0.13 %.
+
+    Raises
+    ------
+    ValueError
+        If the duty cycle is outside (0, 1].
+    """
+    if not 0.0 < sampling_duty <= 1.0:
+        raise ValueError(f"sampling duty must be in (0, 1], got {sampling_duty}")
+    params = params or PowerParams()
+
+    external_bom = EXTERNAL_DAC_CHIP.price_usd + EXTERNAL_ADC_CHIP.price_usd
+    external_power = EXTERNAL_DAC_CHIP.power_mw + EXTERNAL_ADC_CHIP.power_mw
+
+    slices = SINUS_FOOTPRINT.slices + DAC_FOOTPRINT.slices + ADC_FOOTPRINT.slices
+    slices_with_opb = SINUS_FOOTPRINT.slices + DAC_FOOTPRINT_WITH_OPB.slices + ADC_FOOTPRINT.slices
+    mean_activity = 0.45
+    integrated_power = block_dynamic_power_w(slices, mean_activity, converter_clock_mhz, params) * 1e3
+
+    return IntegrationReport(
+        external_bom_usd=external_bom + 2 * BOARD_COST_PER_PACKAGE_USD,
+        integrated_bom_usd=RC_FILTER_COST_USD,
+        external_power_mw=external_power,
+        integrated_power_mw=integrated_power,
+        integrated_slices=slices,
+        integrated_slices_with_opb=slices_with_opb,
+        opb_interface_slices_saved=DAC_FOOTPRINT_WITH_OPB.slices - DAC_FOOTPRINT.slices,
+        on_demand_power_mw=integrated_power * sampling_duty,
+    )

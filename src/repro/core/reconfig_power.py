@@ -1,0 +1,289 @@
+"""Approach 2 (paper §4.2): reconfiguration for power optimization.
+
+Three quantities the paper argues about, as analysis functions:
+
+* :func:`size_devices` — the device each implementation style needs (flat
+  vs one slot vs N smaller slots), hence the static-power and cost deltas.
+* :func:`power_vs_clock` — "the increase in performance ... allows a
+  reduced clock frequency, which further reduces dynamic power".
+* :func:`reconfig_overhead_report` — "it is also very important to
+  consider the time overhead induced by the reconfiguration process"
+  (JCAP vs ICAP against the 100 ms cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fabric.device import SPARTAN3, DeviceSpec, smallest_fitting_device
+from repro.power.model import PowerParams, block_dynamic_power_w, static_power_w
+from repro.reconfig.ports import ConfigPort, Icap, Jcap
+from repro.reconfig.scheduler import CYCLE_PERIOD_S
+from repro.reconfig.slots import Floorplan, FloorplanError, smallest_device_for_plan
+from repro.sysgen.compile import CompiledModule
+
+
+@dataclass(frozen=True)
+class DeviceSizingResult:
+    """Devices required by each implementation style."""
+
+    flat_slices: int
+    flat_device: DeviceSpec
+    one_slot_device: DeviceSpec
+    one_slot_floorplan: Floorplan
+    multi_slot_count: int
+    multi_slot_device: DeviceSpec
+    multi_slot_floorplan: Floorplan
+
+    @property
+    def static_power_saving_w(self) -> float:
+        """Static power saved by the one-slot reconfigurable system vs the
+        flat system — the §4.2 headline mechanism."""
+        return static_power_w(self.flat_device) - static_power_w(self.one_slot_device)
+
+    @property
+    def cost_saving_usd(self) -> float:
+        return self.flat_device.price_usd - self.one_slot_device.price_usd
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                "Device sizing (paper Section 4.2 / conclusions):",
+                f"  flat (no reconfiguration): {self.flat_slices} slices -> {self.flat_device.name}",
+                f"  1 slot  (3 modules)      : -> {self.one_slot_device.name}",
+                f"  {self.multi_slot_count} smaller modules       : -> {self.multi_slot_device.name}",
+                f"  static power saving: {self.static_power_saving_w * 1e3:.1f} mW, "
+                f"cost saving: {self.cost_saving_usd:.2f} USD",
+            ]
+        )
+
+
+def size_devices(
+    static_slices: int,
+    resident_slices: int,
+    modules: Sequence[CompiledModule],
+    repartitioned: Sequence[CompiledModule],
+) -> DeviceSizingResult:
+    """Compute the paper's device-downsizing chain.
+
+    Parameters
+    ----------
+    static_slices:
+        Slice demand of the static side (controller, links, config port).
+    resident_slices:
+        Always-resident extras of the *flat* system only (interfaces the
+        reconfigurable system loads on demand).
+    modules:
+        The functional modules (time-multiplexed in the one-slot system).
+    repartitioned:
+        The same functionality split into more, smaller modules.
+
+    Raises
+    ------
+    ValueError
+        If any module list is empty.
+    """
+    if not modules or not repartitioned:
+        raise ValueError("need at least one module in each partitioning")
+    flat_slices = static_slices + resident_slices + sum(m.slices for m in modules)
+    flat_brams = max(2, sum(m.brams for m in modules))
+    flat_mults = sum(m.multipliers for m in modules) + 1
+    flat_device = smallest_fitting_device(flat_slices, flat_brams, flat_mults, utilization_cap=0.95)
+
+    one_slot = smallest_device_for_plan(
+        static_slices,
+        [max(m.slices for m in modules)],
+        [max(m.interface_nets for m in modules)],
+    )
+    multi = smallest_device_for_plan(
+        static_slices,
+        [max(m.slices for m in repartitioned)],
+        [max(m.interface_nets for m in repartitioned)],
+    )
+    return DeviceSizingResult(
+        flat_slices=flat_slices,
+        flat_device=flat_device,
+        one_slot_device=one_slot.device,
+        one_slot_floorplan=one_slot,
+        multi_slot_count=len(repartitioned),
+        multi_slot_device=multi.device,
+        multi_slot_floorplan=multi,
+    )
+
+
+@dataclass(frozen=True)
+class ClockPowerPoint:
+    """One point of the clock/power trade-off curve."""
+
+    clock_mhz: float
+    processing_time_s: float
+    dynamic_power_w: float
+    total_power_w: float
+    meets_deadline: bool
+
+
+def power_vs_clock(
+    module_slices: int,
+    frame_samples: int,
+    latency_cycles: int,
+    device: DeviceSpec,
+    clocks_mhz: Sequence[float],
+    deadline_s: float = CYCLE_PERIOD_S / 10,
+    mean_activity: float = 0.15,
+    params: Optional[PowerParams] = None,
+) -> List[ClockPowerPoint]:
+    """Sweep the hardware clock: dynamic power falls linearly with the
+    clock while the (fast) hardware still meets the processing deadline —
+    the §4.2 "reduced clock frequency" argument made quantitative.
+
+    Raises
+    ------
+    ValueError
+        On an empty clock list.
+    """
+    if not clocks_mhz:
+        raise ValueError("need at least one clock point")
+    params = params or PowerParams()
+    static = static_power_w(device, params)
+    points = []
+    for clock in sorted(clocks_mhz):
+        if clock <= 0:
+            raise ValueError(f"clock must be positive, got {clock}")
+        processing = (frame_samples + latency_cycles) / (clock * 1e6)
+        dynamic = block_dynamic_power_w(module_slices, mean_activity, clock, params)
+        points.append(
+            ClockPowerPoint(
+                clock_mhz=clock,
+                processing_time_s=processing,
+                dynamic_power_w=dynamic,
+                total_power_w=static + dynamic,
+                meets_deadline=processing <= deadline_s,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """Reconfiguration overhead of one module over one port."""
+
+    port: str
+    module: str
+    bitstream_bytes: int
+    time_s: float
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """JCAP-vs-ICAP overhead against the measurement period."""
+
+    rows: Tuple[OverheadRow, ...]
+    period_s: float
+
+    def total_time_s(self, port: str) -> float:
+        return sum(r.time_s for r in self.rows if r.port == port)
+
+    def fits(self, port: str) -> bool:
+        return self.total_time_s(port) <= self.period_s
+
+    def summary(self) -> str:
+        ports = sorted({r.port for r in self.rows})
+        lines = [f"Reconfiguration overhead per {self.period_s * 1e3:.0f} ms cycle:"]
+        for port in ports:
+            total = self.total_time_s(port)
+            lines.append(
+                f"  {port:<16}: {total * 1e3:8.2f} ms "
+                f"({'fits' if self.fits(port) else 'EXCEEDS'} the cycle)"
+            )
+        return "\n".join(lines)
+
+
+def reconfig_overhead_report(
+    controller_factory,
+    module_names: Sequence[str],
+    ports: Optional[Sequence[ConfigPort]] = None,
+    period_s: float = CYCLE_PERIOD_S,
+) -> OverheadReport:
+    """Measure per-cycle reconfiguration time over several port models.
+
+    Parameters
+    ----------
+    controller_factory:
+        Callable ``port -> ReconfigController`` with the modules prepared
+        (so each port sees identical bitstream sizes).
+    module_names:
+        Modules loaded per cycle, in schedule order.
+    ports:
+        Port models to compare; defaults to improved JCAP, basic JCAP and
+        ICAP.
+    """
+    ports = list(ports) if ports is not None else [Jcap(improved=True), Jcap(improved=False), Icap()]
+    rows: List[OverheadRow] = []
+    for port in ports:
+        controller = controller_factory(port)
+        label = port.name
+        if isinstance(port, Jcap):
+            label = f"{port.name}({'improved' if port.improved else 'basic'})"
+        for name in module_names:
+            record = controller.load(name, 0)
+            rows.append(
+                OverheadRow(
+                    port=label,
+                    module=name,
+                    bitstream_bytes=record.config.bitstream_bytes,
+                    time_s=record.total_time_s,
+                )
+            )
+    return OverheadReport(rows=tuple(rows), period_s=period_s)
+
+
+@dataclass(frozen=True)
+class PartitionStudy:
+    """Ablation: module count vs slot size, device and per-cycle overhead."""
+
+    counts: Tuple[int, ...]
+    max_module_slices: Tuple[int, ...]
+    devices: Tuple[str, ...]
+    reconfig_times_s: Tuple[float, ...]
+
+
+def partition_study(
+    graph_splitter,
+    static_slices: int,
+    counts: Sequence[int],
+    port: Optional[ConfigPort] = None,
+) -> PartitionStudy:
+    """Sweep the repartitioning count (the paper's "e.g. 5 reconfigurable
+    modules"): more modules -> smaller slot -> smaller device, but more
+    reconfigurations per cycle.
+
+    Parameters
+    ----------
+    graph_splitter:
+        Callable ``count -> List[CompiledModule]``.
+    """
+    from repro.fabric.bitstream import BitstreamGenerator
+
+    port = port or Jcap()
+    max_slices: List[int] = []
+    devices: List[str] = []
+    times: List[float] = []
+    for count in counts:
+        modules = graph_splitter(count)
+        biggest = max(m.slices for m in modules)
+        plan = smallest_device_for_plan(
+            static_slices, [biggest], [max(m.interface_nets for m in modules)]
+        )
+        generator = BitstreamGenerator(plan.device)
+        slot_region = plan.slots[0].region
+        per_load = generator.partial_for_region(slot_region, "m").total_bytes
+        max_slices.append(biggest)
+        devices.append(plan.device.name)
+        times.append(len(modules) * port.configure_time_s(per_load))
+    return PartitionStudy(
+        counts=tuple(counts),
+        max_module_slices=tuple(max_slices),
+        devices=tuple(devices),
+        reconfig_times_s=tuple(times),
+    )

@@ -1,0 +1,90 @@
+"""Whole-system cost/power/performance comparison across the
+implementation variants — the table the paper's conclusions gesture at."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.app.system import CycleResult, SystemConfig, _BaseSystem
+
+
+@dataclass
+class SystemVariant:
+    """One implementation variant under comparison."""
+
+    label: str
+    system: _BaseSystem
+
+    def run(self, levels: Sequence[float]) -> List[CycleResult]:
+        """One cycle per fill level, with the smoothing filter reset
+        between levels (each level is an independent test point, not a
+        continuous fill trajectory)."""
+        results = []
+        for level in levels:
+            self.system.reset()
+            results.append(self.system.run_cycle(level))
+        return results
+
+
+@dataclass(frozen=True)
+class TradeoffRow:
+    """Aggregated comparison row for one variant."""
+
+    label: str
+    device: str
+    bom_cost_usd: float
+    avg_power_mw: float
+    processing_time_ms: float
+    reconfig_time_ms: float
+    max_level_error: float
+    fits_period: bool
+
+
+def compare_variants(
+    variants: Sequence[SystemVariant],
+    levels: Sequence[float] = (0.2, 0.5, 0.8),
+) -> List[TradeoffRow]:
+    """Run every variant over the same fill levels and aggregate.
+
+    Raises
+    ------
+    ValueError
+        On empty inputs.
+    """
+    if not variants:
+        raise ValueError("need at least one variant")
+    if not levels:
+        raise ValueError("need at least one fill level")
+    rows: List[TradeoffRow] = []
+    for variant in variants:
+        results = variant.run(levels)
+        rows.append(
+            TradeoffRow(
+                label=variant.label,
+                device=results[0].device,
+                bom_cost_usd=variant.system.bom_cost_usd(),
+                avg_power_mw=sum(r.avg_power_w for r in results) / len(results) * 1e3,
+                processing_time_ms=sum(r.processing_time_s for r in results) / len(results) * 1e3,
+                reconfig_time_ms=sum(r.reconfig_time_s for r in results) / len(results) * 1e3,
+                max_level_error=max(r.level_error for r in results),
+                fits_period=all(r.fits_period for r in results),
+            )
+        )
+    return rows
+
+
+def format_table(rows: Sequence[TradeoffRow]) -> str:
+    """Render comparison rows as a fixed-width table."""
+    header = (
+        f"{'variant':<16} {'device':<14} {'BOM $':>7} {'power mW':>9} "
+        f"{'proc ms':>9} {'reconf ms':>10} {'max err':>8} {'fits':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.label:<16} {r.device:<14} {r.bom_cost_usd:>7.2f} {r.avg_power_mw:>9.2f} "
+            f"{r.processing_time_ms:>9.4f} {r.reconfig_time_ms:>10.3f} "
+            f"{r.max_level_error:>8.4f} {str(r.fits_period):>5}"
+        )
+    return "\n".join(lines)

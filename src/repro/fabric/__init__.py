@@ -1,0 +1,44 @@
+"""Simulated Spartan-3 fabric: device catalog, CLB/slice grid, routing wire
+types, routing-resource graph, and the frame-based configuration (bitstream)
+model.
+
+This subpackage is the substitute for the physical Xilinx Spartan-3 silicon
+used in the paper.  It models the quantities the paper's arguments rest on:
+slice counts per device, BRAM capacity, routing wire capacitance per segment
+type (direct / double / hex / long), configuration frame counts (which set
+partial-bitstream sizes), and per-device static power.
+"""
+
+from repro.fabric.device import DeviceSpec, SPARTAN3, get_device, smallest_fitting_device
+from repro.fabric.grid import Grid, SliceCoord, Region
+from repro.fabric.wires import WireType, WIRE_TYPES, wire_type_by_name
+from repro.fabric.routing import RoutingGraph, RouteSegment, RoutedNet
+from repro.fabric.bitstream import Bitstream, BitstreamGenerator, Frame, SYNC_WORD
+from repro.fabric.faults import ConfigurationMemory, InjectedFault
+from repro.fabric.ecc import EccScrubber, EccStatus, encode_frame, check_frame
+
+__all__ = [
+    "ConfigurationMemory",
+    "InjectedFault",
+    "EccScrubber",
+    "EccStatus",
+    "encode_frame",
+    "check_frame",
+    "DeviceSpec",
+    "SPARTAN3",
+    "get_device",
+    "smallest_fitting_device",
+    "Grid",
+    "SliceCoord",
+    "Region",
+    "WireType",
+    "WIRE_TYPES",
+    "wire_type_by_name",
+    "RoutingGraph",
+    "RouteSegment",
+    "RoutedNet",
+    "Bitstream",
+    "BitstreamGenerator",
+    "Frame",
+    "SYNC_WORD",
+]

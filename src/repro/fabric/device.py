@@ -1,0 +1,189 @@
+"""Spartan-3 device catalog.
+
+Geometry and configuration numbers follow the Xilinx DS099 data sheet (the
+paper's reference [2]): CLB array sizes, slice counts (4 slices per CLB),
+18-Kbit block RAM counts, dedicated 18x18 multipliers, DCMs, and total
+configuration bit counts.  Quiescent currents and unit prices are calibrated
+to be representative of the 2008 time frame; the paper's arguments only rely
+on their monotone scaling with device size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+#: Core supply voltage of the Spartan-3 family (VCCINT), volts.
+VCCINT = 1.2
+
+#: Configuration frames per CLB column on Spartan-3 (DS099 configuration
+#: details; used to size partial bitstreams for column-aligned regions).
+FRAMES_PER_CLB_COLUMN = 19
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one FPGA device.
+
+    Attributes
+    ----------
+    name:
+        Device name, e.g. ``"XC3S400"``.
+    clb_columns, clb_rows:
+        CLB array dimensions.  Each CLB holds :attr:`slices_per_clb` slices.
+    bram_blocks:
+        Number of 18-Kbit block RAMs.
+    multipliers:
+        Number of dedicated 18x18 multipliers.
+    dcms:
+        Number of Digital Clock Managers.
+    config_bits:
+        Total configuration bitstream size in bits (full device).
+    quiescent_current_ma:
+        Typical quiescent (static) core current in mA at nominal VCCINT and
+        25 degC.  Static power grows with die size; this is the lever the
+        paper's approach 2 pulls by fitting a smaller device.
+    price_usd:
+        Representative unit price (volume, 2008).  Lever of the "cost" half
+        of the paper's title.
+    """
+
+    name: str
+    clb_columns: int
+    clb_rows: int
+    bram_blocks: int
+    multipliers: int
+    dcms: int
+    config_bits: int
+    quiescent_current_ma: float
+    price_usd: float
+    slices_per_clb: int = 4
+    bram_kbits_per_block: int = 18
+
+    @property
+    def clb_count(self) -> int:
+        """Total number of CLBs in the array."""
+        return self.clb_columns * self.clb_rows
+
+    @property
+    def slices(self) -> int:
+        """Total number of logic slices."""
+        return self.clb_count * self.slices_per_clb
+
+    @property
+    def bram_kbits(self) -> int:
+        """Total block RAM capacity in Kbits."""
+        return self.bram_blocks * self.bram_kbits_per_block
+
+    @property
+    def bram_bytes(self) -> int:
+        """Total block RAM capacity in bytes (data bits only)."""
+        return self.bram_kbits * 1024 // 8
+
+    @property
+    def frame_count(self) -> int:
+        """Total number of configuration frames (approximate, derived from
+        the per-CLB-column frame count plus IOB/BRAM/GCLK columns)."""
+        # CLB columns plus two IOB columns, the GCLK column and one frame
+        # column pair per BRAM column (DS099 layout, simplified).
+        bram_columns = max(1, self.bram_blocks // self.clb_rows)
+        extra_columns = 3 + 2 * bram_columns
+        return FRAMES_PER_CLB_COLUMN * (self.clb_columns + extra_columns)
+
+    @property
+    def frame_bits(self) -> int:
+        """Bits per configuration frame (config_bits spread over frames,
+        rounded up to a 32-bit word multiple)."""
+        raw = self.config_bits / self.frame_count
+        return int(math.ceil(raw / 32.0)) * 32
+
+    @property
+    def config_bytes(self) -> int:
+        """Full-device bitstream size in bytes."""
+        return (self.config_bits + 7) // 8
+
+    @property
+    def static_power_w(self) -> float:
+        """Typical static (quiescent) core power in watts."""
+        return self.quiescent_current_ma * 1e-3 * VCCINT
+
+    def fits(self, slices: int = 0, bram_blocks: int = 0, multipliers: int = 0) -> bool:
+        """Return ``True`` when the given resource demand fits this device."""
+        return (
+            slices <= self.slices
+            and bram_blocks <= self.bram_blocks
+            and multipliers <= self.multipliers
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"{self.name} ({self.clb_columns}x{self.clb_rows} CLBs, "
+            f"{self.slices} slices, {self.bram_blocks} BRAMs)"
+        )
+
+
+#: The Spartan-3 family (DS099 Table 1), smallest to largest.
+SPARTAN3 = (
+    DeviceSpec("XC3S50", 12, 16, 4, 4, 2, 439_264, 8.0, 3.50),
+    DeviceSpec("XC3S200", 20, 24, 12, 12, 4, 1_047_616, 12.0, 6.20),
+    DeviceSpec("XC3S400", 28, 32, 16, 16, 4, 1_699_136, 18.0, 10.40),
+    DeviceSpec("XC3S1000", 40, 48, 24, 24, 4, 3_223_488, 35.0, 22.10),
+    DeviceSpec("XC3S1500", 52, 64, 32, 32, 4, 5_214_784, 50.0, 38.00),
+    DeviceSpec("XC3S2000", 64, 80, 40, 40, 4, 7_673_024, 70.0, 59.50),
+    DeviceSpec("XC3S4000", 72, 96, 96, 96, 4, 11_316_864, 100.0, 94.00),
+    DeviceSpec("XC3S5000", 80, 104, 104, 104, 4, 13_271_936, 120.0, 128.00),
+)
+
+_BY_NAME = {spec.name: spec for spec in SPARTAN3}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a Spartan-3 device by name (case-insensitive).
+
+    Raises
+    ------
+    KeyError
+        If the name is not in the catalog.
+    """
+    key = name.upper()
+    if key not in _BY_NAME:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}")
+    return _BY_NAME[key]
+
+
+def smallest_fitting_device(
+    slices: int,
+    bram_blocks: int = 0,
+    multipliers: int = 0,
+    utilization_cap: float = 1.0,
+) -> DeviceSpec:
+    """Return the smallest Spartan-3 device that fits the given demand.
+
+    Parameters
+    ----------
+    slices, bram_blocks, multipliers:
+        Resource demand of the design.
+    utilization_cap:
+        Fraction of the device's slices that may be used (routability head
+        room).  ``1.0`` allows a completely full device.
+
+    Raises
+    ------
+    ValueError
+        If no device in the family is large enough.
+    """
+    if not 0.0 < utilization_cap <= 1.0:
+        raise ValueError(f"utilization_cap must be in (0, 1], got {utilization_cap}")
+    for spec in SPARTAN3:
+        if spec.fits(
+            slices=int(math.ceil(slices / utilization_cap)),
+            bram_blocks=bram_blocks,
+            multipliers=multipliers,
+        ):
+            return spec
+    raise ValueError(
+        f"no Spartan-3 device fits {slices} slices / {bram_blocks} BRAMs / "
+        f"{multipliers} multipliers"
+    )

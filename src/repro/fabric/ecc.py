@@ -1,0 +1,158 @@
+"""Per-frame SECDED error-correcting codes.
+
+Later Xilinx families carry a FRAME_ECC primitive: every configuration
+frame stores Hamming parity, so a readback pass can *correct* single-bit
+upsets without comparing against a golden image in external memory — the
+scrubber only needs the small per-frame ECC table, not the whole
+bitstream.  This module implements that scheme for the frame model:
+single-bit errors are located and corrected, double-bit errors are
+detected (and escalate to a golden-image reload).
+
+Encoding: classic Hamming-position syndrome — the XOR of the (1-based)
+positions of all set data bits — extended with an overall parity bit for
+double-error detection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fabric.bitstream import Bitstream, Frame
+
+
+class EccStatus(enum.Enum):
+    """Outcome of one frame check."""
+
+    OK = "ok"
+    CORRECTED = "corrected"
+    UNCORRECTABLE = "uncorrectable"
+
+
+def _position_syndrome(words: Sequence[int]) -> Tuple[int, int]:
+    """(XOR of set-bit positions, overall parity) over a frame's words.
+
+    Bit ``b`` of word ``w`` sits at position ``32*w + b + 1`` (1-based so
+    position 0 means 'no error').
+    """
+    syndrome = 0
+    parity = 0
+    base = 1
+    for word in words:
+        w = word & 0xFFFFFFFF
+        while w:
+            low = w & -w
+            bit = low.bit_length() - 1
+            syndrome ^= base + bit
+            parity ^= 1
+            w ^= low
+        base += 32
+    return syndrome, parity
+
+
+@dataclass(frozen=True)
+class FrameEcc:
+    """Stored check bits of one frame."""
+
+    syndrome: int
+    parity: int
+
+
+def encode_frame(frame: Frame) -> FrameEcc:
+    """Compute the ECC of a frame's current content."""
+    syndrome, parity = _position_syndrome(frame.words)
+    return FrameEcc(syndrome=syndrome, parity=parity)
+
+
+def check_frame(words: Sequence[int], ecc: FrameEcc) -> Tuple[EccStatus, Optional[int]]:
+    """Check (possibly corrupted) frame words against stored ECC.
+
+    Returns
+    -------
+    (status, bit_position)
+        ``bit_position`` is the 0-based flipped bit for CORRECTED, else
+        None.
+    """
+    syndrome, parity = _position_syndrome(words)
+    diff = syndrome ^ ecc.syndrome
+    parity_flip = parity ^ ecc.parity
+    if diff == 0 and parity_flip == 0:
+        return (EccStatus.OK, None)
+    if diff != 0 and parity_flip == 1:
+        position = diff - 1
+        if position >= 32 * len(words):
+            return (EccStatus.UNCORRECTABLE, None)
+        return (EccStatus.CORRECTED, position)
+    # Zero syndrome with odd parity, or nonzero syndrome with even parity:
+    # an even number of flips (>= 2) — beyond single-bit correction.
+    return (EccStatus.UNCORRECTABLE, None)
+
+
+def correct_words(words: Sequence[int], bit_position: int) -> List[int]:
+    """Flip one bit back; returns the corrected word list.
+
+    Raises
+    ------
+    ValueError
+        If the position is outside the frame.
+    """
+    if not 0 <= bit_position < 32 * len(words):
+        raise ValueError(f"bit position {bit_position} outside frame")
+    corrected = list(words)
+    corrected[bit_position // 32] ^= 1 << (bit_position % 32)
+    return corrected
+
+
+class EccScrubber:
+    """Golden-free scrubbing: per-frame ECC instead of a golden image.
+
+    Parameters
+    ----------
+    memory:
+        The :class:`repro.fabric.faults.ConfigurationMemory` under
+        protection.
+    """
+
+    def __init__(self, memory):
+        self.memory = memory
+        self._ecc: Dict[int, FrameEcc] = {}
+
+    def protect(self, bitstream: Bitstream) -> None:
+        """Record the ECC of every frame in a loaded bitstream."""
+        for frame in bitstream.frames:
+            self._ecc[frame.address] = encode_frame(frame)
+
+    @property
+    def protected_frames(self) -> int:
+        return len(self._ecc)
+
+    def scrub(self) -> Dict[str, List[int]]:
+        """One pass over all protected frames.
+
+        Returns a dict with the frame addresses per outcome:
+        ``{"ok": [...], "corrected": [...], "uncorrectable": [...]}``.
+        Corrected frames are written back into the memory.
+
+        Raises
+        ------
+        ValueError
+            If nothing is protected.
+        """
+        if not self._ecc:
+            raise ValueError("no frames protected; call protect() first")
+        outcome: Dict[str, List[int]] = {"ok": [], "corrected": [], "uncorrectable": []}
+        for address, ecc in sorted(self._ecc.items()):
+            words = self.memory.frame(address)
+            status, position = check_frame(words, ecc)
+            if status is EccStatus.OK:
+                outcome["ok"].append(address)
+            elif status is EccStatus.CORRECTED:
+                fixed = correct_words(words, position)
+                self.memory.load(
+                    Bitstream(device_name="?", frames=[Frame(address, tuple(fixed))], partial=True)
+                )
+                outcome["corrected"].append(address)
+            else:
+                outcome["uncorrectable"].append(address)
+        return outcome

@@ -1,0 +1,174 @@
+"""CLB/slice grid geometry of one device.
+
+The grid provides slice coordinates, rectangular regions (used for the
+static/dynamic floorplan of the reconfigurable system), and distance
+helpers used by the placer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.fabric.device import DeviceSpec
+
+
+@dataclass(frozen=True, order=True)
+class SliceCoord:
+    """Coordinate of one slice: CLB column ``x``, CLB row ``y``, and slice
+    index ``idx`` within the CLB (0..slices_per_clb-1)."""
+
+    x: int
+    y: int
+    idx: int
+
+    @property
+    def clb(self) -> Tuple[int, int]:
+        """The (x, y) coordinate of the CLB containing this slice."""
+        return (self.x, self.y)
+
+    def manhattan(self, other: "SliceCoord") -> int:
+        """Manhattan distance in CLBs to another slice."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"SLICE_X{self.x}Y{self.y}.{self.idx}"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A rectangle of CLBs, inclusive on both ends.
+
+    Regions describe floorplan areas: the static side, the dynamic side, and
+    individual reconfigurable slots.  Spartan-3 configuration is column
+    based, so reconfigurable regions should span full columns
+    (:meth:`is_column_aligned`).
+    """
+
+    x_min: int
+    y_min: int
+    x_max: int
+    y_max: int
+
+    def __post_init__(self) -> None:
+        if self.x_min > self.x_max or self.y_min > self.y_max:
+            raise ValueError(f"degenerate region {self}")
+        if self.x_min < 0 or self.y_min < 0:
+            raise ValueError(f"negative region origin {self}")
+
+    @property
+    def width(self) -> int:
+        return self.x_max - self.x_min + 1
+
+    @property
+    def height(self) -> int:
+        return self.y_max - self.y_min + 1
+
+    @property
+    def clb_count(self) -> int:
+        return self.width * self.height
+
+    @property
+    def columns(self) -> range:
+        """CLB column indices covered by the region."""
+        return range(self.x_min, self.x_max + 1)
+
+    def contains(self, coord: SliceCoord) -> bool:
+        """Whether the slice lies inside this region."""
+        return self.x_min <= coord.x <= self.x_max and self.y_min <= coord.y <= self.y_max
+
+    def contains_clb(self, x: int, y: int) -> bool:
+        return self.x_min <= x <= self.x_max and self.y_min <= y <= self.y_max
+
+    def overlaps(self, other: "Region") -> bool:
+        """Whether two regions share at least one CLB."""
+        return not (
+            self.x_max < other.x_min
+            or other.x_max < self.x_min
+            or self.y_max < other.y_min
+            or other.y_max < self.y_min
+        )
+
+    def is_column_aligned(self, device: DeviceSpec) -> bool:
+        """Whether the region spans full device columns (required for a
+        Spartan-3 reconfigurable region, whose frames configure whole
+        columns)."""
+        return self.y_min == 0 and self.y_max == device.clb_rows - 1
+
+    def slice_capacity(self, device: DeviceSpec) -> int:
+        """Number of slices the region can hold."""
+        return self.clb_count * device.slices_per_clb
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"Region[X{self.x_min}:{self.x_max}, Y{self.y_min}:{self.y_max}]"
+
+
+class Grid:
+    """Slice-level view of one device's CLB array."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    @property
+    def full_region(self) -> Region:
+        """The region covering the entire CLB array."""
+        return Region(0, 0, self.device.clb_columns - 1, self.device.clb_rows - 1)
+
+    def is_valid(self, coord: SliceCoord) -> bool:
+        """Whether the coordinate exists on this device."""
+        return (
+            0 <= coord.x < self.device.clb_columns
+            and 0 <= coord.y < self.device.clb_rows
+            and 0 <= coord.idx < self.device.slices_per_clb
+        )
+
+    def slices_in(self, region: Region) -> Iterator[SliceCoord]:
+        """Iterate all slice coordinates inside a region (raster order)."""
+        self._check_region(region)
+        for y in range(region.y_min, region.y_max + 1):
+            for x in range(region.x_min, region.x_max + 1):
+                for idx in range(self.device.slices_per_clb):
+                    yield SliceCoord(x, y, idx)
+
+    def all_slices(self) -> Iterator[SliceCoord]:
+        """Iterate every slice on the device."""
+        return self.slices_in(self.full_region)
+
+    def column_region(self, x_min: int, x_max: int) -> Region:
+        """A full-height region spanning CLB columns ``x_min..x_max`` —
+        the shape of a Spartan-3 reconfigurable slot."""
+        return Region(x_min, 0, x_max, self.device.clb_rows - 1)
+
+    def split_columns(self, boundary: int) -> Tuple[Region, Region]:
+        """Split the array at a column boundary into (left, right) full
+        height regions.  ``boundary`` is the first column of the right part.
+        """
+        if not 0 < boundary < self.device.clb_columns:
+            raise ValueError(
+                f"boundary {boundary} outside (0, {self.device.clb_columns})"
+            )
+        left = self.column_region(0, boundary - 1)
+        right = self.column_region(boundary, self.device.clb_columns - 1)
+        return left, right
+
+    def _check_region(self, region: Region) -> None:
+        if (
+            region.x_max >= self.device.clb_columns
+            or region.y_max >= self.device.clb_rows
+        ):
+            raise ValueError(f"{region} exceeds {self.device.name} array")
+
+
+def bounding_region(coords: List[SliceCoord]) -> Region:
+    """Smallest region containing all given slices.
+
+    Raises
+    ------
+    ValueError
+        If ``coords`` is empty.
+    """
+    if not coords:
+        raise ValueError("bounding_region of no slices")
+    xs = [c.x for c in coords]
+    ys = [c.y for c in coords]
+    return Region(min(xs), min(ys), max(xs), max(ys))

@@ -1,0 +1,211 @@
+"""Routing-resource graph and routed-net representation.
+
+Switch boxes sit at every CLB coordinate.  From each switch box, segments of
+every wire type leave in the four cardinal directions; the number of parallel
+segments per (switch box, direction, type) channel is bounded
+(:data:`repro.fabric.wires.CHANNEL_CAPACITY`), which is what makes routing a
+congestion problem rather than pure shortest path.
+
+The graph intentionally stays at the abstraction level the paper reasons at:
+a routed net is a tree of typed segments, its capacitance is the sum of the
+segment capacitances plus pin loads, and its delay is the sum of segment
+delays along the longest source-to-sink path.  The router itself (rip-up and
+re-route with negotiated congestion) lives in :mod:`repro.par.router`; this
+module provides the substrate it searches over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.fabric.device import DeviceSpec
+from repro.fabric.wires import CHANNEL_CAPACITY, PIN_CAPACITANCE_PF, WIRE_TYPES, WireType
+
+#: A switch-box coordinate — the (x, y) of a CLB.
+XY = Tuple[int, int]
+
+#: Cardinal directions as (dx, dy) unit steps.
+DIRECTIONS = ((1, 0), (-1, 0), (0, 1), (0, -1))
+
+
+@dataclass(frozen=True)
+class RouteSegment:
+    """One routing segment used by a net: a typed hop between switch boxes."""
+
+    wire: WireType
+    source: XY
+    dest: XY
+
+    @property
+    def channel(self) -> Tuple[XY, XY, str]:
+        """Key identifying the channel this segment occupies.  Segments are
+        bidirectional wires, so the channel is normalised on the endpoint
+        pair."""
+        a, b = sorted((self.source, self.dest))
+        return (a, b, self.wire.name)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.wire.name}:{self.source}->{self.dest}"
+
+
+@dataclass
+class RoutedNet:
+    """The physical realisation of one logical net after routing."""
+
+    name: str
+    source: XY
+    sinks: List[XY]
+    segments: List[RouteSegment] = field(default_factory=list)
+
+    @property
+    def capacitance_pf(self) -> float:
+        """Total switched capacitance: segment wires plus one pin load per
+        sink and the driver output load."""
+        wire_c = sum(seg.wire.capacitance_pf for seg in self.segments)
+        pin_c = PIN_CAPACITANCE_PF * (len(self.sinks) + 1)
+        return wire_c + pin_c
+
+    @property
+    def wirelength_clbs(self) -> int:
+        """Total routed length in CLB hops."""
+        return sum(seg.wire.span for seg in self.segments)
+
+    def delay_ns(self, sink: Optional[XY] = None) -> float:
+        """Worst (or per-sink) source-to-sink delay along the routed tree.
+
+        The routed tree is stored as a flat segment list; delay is computed
+        by walking the tree from the source.
+        """
+        adjacency: Dict[XY, List[Tuple[XY, float]]] = {}
+        for seg in self.segments:
+            adjacency.setdefault(seg.source, []).append((seg.dest, seg.wire.intrinsic_delay_ns))
+            adjacency.setdefault(seg.dest, []).append((seg.source, seg.wire.intrinsic_delay_ns))
+        arrival: Dict[XY, float] = {self.source: 0.0}
+        frontier = [self.source]
+        while frontier:
+            node = frontier.pop()
+            for nxt, d in adjacency.get(node, ()):
+                t = arrival[node] + d
+                if nxt not in arrival or t < arrival[nxt]:
+                    arrival[nxt] = t
+                    frontier.append(nxt)
+        if sink is not None:
+            if sink not in arrival:
+                raise ValueError(f"sink {sink} not reached by routing of {self.name}")
+            return arrival[sink]
+        missing = [s for s in self.sinks if s not in arrival]
+        if missing:
+            raise ValueError(f"net {self.name}: sinks {missing} not reached by routing")
+        if not self.sinks:
+            return 0.0
+        return max(arrival[s] for s in self.sinks)
+
+    def is_complete(self) -> bool:
+        """Whether every sink is reachable from the source over the routed
+        segments."""
+        try:
+            self.delay_ns()
+        except ValueError:
+            return False
+        return True
+
+
+class RoutingGraph:
+    """Channel occupancy bookkeeping over one device's switch-box array.
+
+    The graph is implicit (neighbours are generated from wire-type spans);
+    only per-channel usage is stored, keeping even XC3S5000-size arrays
+    cheap to hold.
+    """
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+        self._usage: Dict[Tuple[XY, XY, str], int] = {}
+        #: PathFinder history cost per channel, grown every iteration a
+        #: channel ends up over capacity.
+        self.history: Dict[Tuple[XY, XY, str], float] = {}
+
+    # -- geometry ---------------------------------------------------------
+
+    def in_bounds(self, node: XY) -> bool:
+        x, y = node
+        return 0 <= x < self.device.clb_columns and 0 <= y < self.device.clb_rows
+
+    def neighbours(self, node: XY) -> Iterator[Tuple[XY, WireType]]:
+        """All (destination, wire type) hops leaving a switch box."""
+        x, y = node
+        for dx, dy in DIRECTIONS:
+            for wire in WIRE_TYPES:
+                dest = (x + dx * wire.span, y + dy * wire.span)
+                if self.in_bounds(dest):
+                    yield dest, wire
+
+    # -- occupancy --------------------------------------------------------
+
+    @staticmethod
+    def channel_key(a: XY, b: XY, wire: WireType) -> Tuple[XY, XY, str]:
+        lo, hi = sorted((a, b))
+        return (lo, hi, wire.name)
+
+    def capacity(self, wire: WireType) -> int:
+        return CHANNEL_CAPACITY[wire.name]
+
+    def usage(self, a: XY, b: XY, wire: WireType) -> int:
+        return self._usage.get(self.channel_key(a, b, wire), 0)
+
+    def occupy(self, segment: RouteSegment) -> None:
+        """Claim one wire in the segment's channel."""
+        key = segment.channel
+        self._usage[key] = self._usage.get(key, 0) + 1
+
+    def release(self, segment: RouteSegment) -> None:
+        """Release one wire in the segment's channel (rip-up)."""
+        key = segment.channel
+        current = self._usage.get(key, 0)
+        if current <= 0:
+            raise ValueError(f"release of unoccupied channel {key}")
+        if current == 1:
+            del self._usage[key]
+        else:
+            self._usage[key] = current - 1
+
+    def occupy_net(self, net: RoutedNet) -> None:
+        for seg in net.segments:
+            self.occupy(seg)
+
+    def release_net(self, net: RoutedNet) -> None:
+        for seg in net.segments:
+            self.release(seg)
+
+    def overused_channels(self) -> List[Tuple[Tuple[XY, XY, str], int]]:
+        """Channels whose usage exceeds capacity, with the overflow count."""
+        result = []
+        for key, used in self._usage.items():
+            cap = CHANNEL_CAPACITY[key[2]]
+            if used > cap:
+                result.append((key, used - cap))
+        return result
+
+    def is_legal(self) -> bool:
+        """Whether no channel is over capacity."""
+        return not self.overused_channels()
+
+    def bump_history(self, increment: float = 0.5) -> None:
+        """PathFinder: raise the history cost of every over-used channel."""
+        for key, _overflow in self.overused_channels():
+            self.history[key] = self.history.get(key, 0.0) + increment
+
+    def congestion_cost(self, a: XY, b: XY, wire: WireType) -> float:
+        """Present + history congestion cost of taking one more wire in the
+        channel.  Zero when the channel has free wires and no history."""
+        key = self.channel_key(a, b, wire)
+        used = self._usage.get(key, 0)
+        cap = CHANNEL_CAPACITY[wire.name]
+        present = 0.0 if used < cap else float(used - cap + 1)
+        return present + self.history.get(key, 0.0)
+
+    def reset(self) -> None:
+        """Drop all occupancy and history (fresh routing run)."""
+        self._usage.clear()
+        self.history.clear()

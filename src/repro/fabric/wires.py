@@ -1,0 +1,94 @@
+"""Routing wire segment types.
+
+Spartan-3 interconnect offers several segment lengths (the paper's §4.3):
+*direct* connections to neighbouring CLBs, *double* lines spanning two CLBs,
+*hex* lines spanning six, and *long* lines spanning the device.  Longer lines
+give fewer switch-box hops (higher performance) but carry more metal and more
+attached programmable interconnect points, i.e. **higher capacitance and
+therefore higher dynamic power** — the physical fact the paper's third
+methodology exploits by re-routing high-activity nets onto shorter segments.
+
+Electrical values are calibrated for a 90 nm fabric so that one long line
+carries roughly the capacitance of eight direct segments while covering
+24 CLBs; the paper only relies on this qualitative ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WireType:
+    """One class of routing segment.
+
+    Attributes
+    ----------
+    name:
+        ``"direct"``, ``"double"``, ``"hex"`` or ``"long"``.
+    span:
+        Number of CLBs the segment crosses in one hop.
+    capacitance_pf:
+        Total switched capacitance of one segment (wire + programmable
+        interconnect points), picofarads.
+    resistance_ohm:
+        Series resistance of one segment, ohms.
+    intrinsic_delay_ns:
+        Buffer + RC delay contributed by one segment, nanoseconds.
+    """
+
+    name: str
+    span: int
+    capacitance_pf: float
+    resistance_ohm: float
+    intrinsic_delay_ns: float
+
+    @property
+    def capacitance_per_clb_pf(self) -> float:
+        """Capacitance per CLB of distance covered — the figure of merit for
+        power-aware routing (lower is better)."""
+        return self.capacitance_pf / self.span
+
+    @property
+    def delay_per_clb_ns(self) -> float:
+        """Delay per CLB of distance covered — the figure of merit for
+        performance routing (lower is better)."""
+        return self.intrinsic_delay_ns / self.span
+
+
+DIRECT = WireType("direct", span=1, capacitance_pf=0.10, resistance_ohm=90.0, intrinsic_delay_ns=0.20)
+DOUBLE = WireType("double", span=2, capacitance_pf=0.22, resistance_ohm=140.0, intrinsic_delay_ns=0.28)
+HEX = WireType("hex", span=6, capacitance_pf=0.72, resistance_ohm=300.0, intrinsic_delay_ns=0.46)
+LONG = WireType("long", span=24, capacitance_pf=3.10, resistance_ohm=900.0, intrinsic_delay_ns=0.90)
+
+#: All wire types, shortest first.
+WIRE_TYPES = (DIRECT, DOUBLE, HEX, LONG)
+
+#: Per-channel segment counts: how many segments of each type leave one
+#: switch box in one direction.  These bound routing congestion.
+CHANNEL_CAPACITY = {
+    "direct": 8,
+    "double": 8,
+    "hex": 6,
+    "long": 3,
+}
+
+#: Input pin capacitance of a slice (LUT input + local interconnect), pF.
+PIN_CAPACITANCE_PF = 0.035
+
+_BY_NAME = {w.name: w for w in WIRE_TYPES}
+
+
+def wire_type_by_name(name: str) -> WireType:
+    """Look up a wire type by name.
+
+    Raises
+    ------
+    KeyError
+        If the name is not one of direct/double/hex/long.
+    """
+    key = name.lower()
+    if key not in _BY_NAME:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown wire type {name!r}; known types: {known}")
+    return _BY_NAME[key]

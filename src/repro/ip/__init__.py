@@ -1,0 +1,63 @@
+"""IP-core library.
+
+Behavioural models plus resource footprints for every core the paper's
+system instantiates: the sinus generator (32-entry sine LUT + address
+counter), the Xilinx-style delta-sigma DA and AD converters that replace
+the external converter chips (§4.1), the DCM clock manager, FIFOs, the
+RS232 UART, Fast Simplex Links and the OPB bus.
+"""
+
+from repro.ip.sinus import SinusGenerator, SINUS_LUT_VALUES, SINUS_FOOTPRINT
+from repro.ip.delta_sigma import (
+    DeltaSigmaDac,
+    DeltaSigmaAdc,
+    RcLowPass,
+    DAC_FOOTPRINT,
+    DAC_FOOTPRINT_WITH_OPB,
+    ADC_FOOTPRINT,
+    EXTERNAL_DAC_CHIP,
+    EXTERNAL_ADC_CHIP,
+    ExternalConverterChip,
+)
+from repro.ip.dcm import Dcm, DcmError, ClockPlan
+from repro.ip.fifo import Fifo, fifo_footprint
+from repro.ip.uart import Uart, UART_FOOTPRINT
+from repro.ip.fsl import FslLink, FSL_FOOTPRINT
+from repro.ip.opb import OpbBus, OpbPeripheral, OPB_ATTACHMENT_FOOTPRINT
+from repro.ip.ethernet import EthernetMac, ETHERNET_FOOTPRINT
+from repro.ip.profibus import ProfibusSlave, PROFIBUS_FOOTPRINT
+from repro.ip.uart_gates import build_uart_tx
+from repro.ip.delta_sigma import functional_first_order_dac
+
+__all__ = [
+    "EthernetMac",
+    "ETHERNET_FOOTPRINT",
+    "ProfibusSlave",
+    "PROFIBUS_FOOTPRINT",
+    "build_uart_tx",
+    "functional_first_order_dac",
+    "SinusGenerator",
+    "SINUS_LUT_VALUES",
+    "SINUS_FOOTPRINT",
+    "DeltaSigmaDac",
+    "DeltaSigmaAdc",
+    "RcLowPass",
+    "DAC_FOOTPRINT",
+    "DAC_FOOTPRINT_WITH_OPB",
+    "ADC_FOOTPRINT",
+    "EXTERNAL_DAC_CHIP",
+    "EXTERNAL_ADC_CHIP",
+    "ExternalConverterChip",
+    "Dcm",
+    "DcmError",
+    "ClockPlan",
+    "Fifo",
+    "fifo_footprint",
+    "Uart",
+    "UART_FOOTPRINT",
+    "FslLink",
+    "FSL_FOOTPRINT",
+    "OpbBus",
+    "OpbPeripheral",
+    "OPB_ATTACHMENT_FOOTPRINT",
+]

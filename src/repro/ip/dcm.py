@@ -1,0 +1,97 @@
+"""Digital Clock Manager (DCM) frequency synthesis.
+
+"A fixed implemented Digital Clock Manager, DCM, was used to generate the
+different clock frequencies" (paper §4.1, Figure 3).  Spartan-3 DCMs
+synthesise ``f_out = f_in * M / D`` on the CLKFX output with M in 2..32 and
+D in 1..32, subject to output-range limits, and provide divided clocks on
+CLKDV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: CLKFX output frequency limits for Spartan-3 (-4 speed grade, DFS
+#: low-frequency mode reaches down to 5 MHz per DS099), MHz.
+CLKFX_MIN_MHZ = 5.0
+CLKFX_MAX_MHZ = 307.0
+#: Multiplier / divider ranges.
+M_RANGE = range(2, 33)
+D_RANGE = range(1, 33)
+#: CLKDV divide options.
+CLKDV_DIVIDERS = (1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5, 5.5, 6, 6.5, 7, 7.5, 8, 9, 10, 11, 12, 13, 14, 15, 16)
+
+
+class DcmError(ValueError):
+    """Raised when a requested frequency cannot be synthesised."""
+
+
+@dataclass(frozen=True)
+class ClockPlan:
+    """One synthesised clock: the DCM settings producing it."""
+
+    output_mhz: float
+    source: str  # "clkfx" or "clkdv"
+    multiply: int = 1
+    divide: float = 1.0
+    error_ppm: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        if self.source == "clkfx":
+            return f"CLKFX M={self.multiply} D={int(self.divide)} -> {self.output_mhz:.4f} MHz"
+        return f"CLKDV /{self.divide} -> {self.output_mhz:.4f} MHz"
+
+
+class Dcm:
+    """One DCM fed by an input clock."""
+
+    def __init__(self, input_mhz: float):
+        if input_mhz <= 0:
+            raise ValueError(f"input clock must be positive, got {input_mhz}")
+        self.input_mhz = input_mhz
+
+    def synthesize(self, target_mhz: float, tolerance_ppm: float = 100.0) -> ClockPlan:
+        """Find DCM settings for a target frequency.
+
+        Prefers CLKDV (simple division) when it hits the target exactly,
+        then searches CLKFX M/D combinations; picks the smallest error.
+
+        Raises
+        ------
+        DcmError
+            If no setting lands within ``tolerance_ppm``.
+        """
+        if target_mhz <= 0:
+            raise DcmError(f"target must be positive, got {target_mhz}")
+        best: Optional[ClockPlan] = None
+        for div in CLKDV_DIVIDERS:
+            out = self.input_mhz / div
+            err = abs(out - target_mhz) / target_mhz * 1e6
+            if best is None or err < best.error_ppm:
+                best = ClockPlan(out, "clkdv", divide=div, error_ppm=err)
+        for m in M_RANGE:
+            for d in D_RANGE:
+                out = self.input_mhz * m / d
+                if not CLKFX_MIN_MHZ <= out <= CLKFX_MAX_MHZ:
+                    continue
+                err = abs(out - target_mhz) / target_mhz * 1e6
+                if best is None or err < best.error_ppm:
+                    best = ClockPlan(out, "clkfx", multiply=m, divide=d, error_ppm=err)
+        if best is None or best.error_ppm > tolerance_ppm:
+            achieved = f"{best.output_mhz:.4f} MHz ({best.error_ppm:.0f} ppm off)" if best else "nothing"
+            raise DcmError(
+                f"cannot synthesise {target_mhz} MHz from {self.input_mhz} MHz; best was {achieved}"
+            )
+        return best
+
+    def clock_plan(self, targets_mhz: List[float]) -> List[ClockPlan]:
+        """Plan several clocks (one DCM output each); Spartan-3 devices have
+        2-4 DCMs, so systems needing more clocks must cascade.
+
+        Raises
+        ------
+        DcmError
+            If any target is unreachable.
+        """
+        return [self.synthesize(t) for t in targets_mhz]

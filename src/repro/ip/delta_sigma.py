@@ -1,0 +1,258 @@
+"""Delta-sigma DA and AD converters (paper §4.1).
+
+"Xilinx offers delta-sigma DA and AD converters for the Spartan 3 FPGA
+family. ... The Xilinx delta-sigma DA converter is typically suitable for
+audio applications, and a sample frequency of 16 MSPS cannot be achieved
+from this converter.  However, by performing real hardware tests and
+Fourier analysis it was concluded that the delta-sigma DA-converter could
+run with a frequency high enough to generate a 500 kHz sinus signal."
+
+The behavioural models here are second-order one-bit modulators; the "real
+hardware tests and Fourier analysis" become the spectral benchmark
+(``benchmarks/bench_fig3_sinus.py``), which verifies the 500 kHz tone
+survives the low oversampling ratio.  "Naturally only digital signal
+processing can be performed on FPGA; so simple external filters are still
+required" — the external anti-alias/low-pass RC filters are modelled by
+:class:`RcLowPass`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.netlist.blocks import BlockFootprint, block_netlist
+from repro.netlist.netlist import Netlist
+
+#: Modulator clock of the on-chip converters, Hz.  The DCM multiplies the
+#: system clock up to this; it is the "frequency high enough" of the paper
+#: (oversampling ratio 128 relative to the 500 kHz tone).
+DEFAULT_MODULATOR_HZ = 64_000_000
+
+#: Delta-sigma DAC core after removing the OPB bus interface ("the
+#: interface was not required and was therefore removed to save
+#: resources").
+DAC_FOOTPRINT = BlockFootprint(
+    name="ds_dac",
+    slices=108,
+    registered_fraction=0.55,
+    carry_fraction=0.30,
+    mean_activity=0.50,
+)
+
+#: The stock core including its OPB slave interface.
+DAC_FOOTPRINT_WITH_OPB = BlockFootprint(
+    name="ds_dac_opb",
+    slices=168,
+    registered_fraction=0.55,
+    carry_fraction=0.25,
+    mean_activity=0.40,
+)
+
+#: Delta-sigma ADC core (modulator feedback + CIC decimator).
+ADC_FOOTPRINT = BlockFootprint(
+    name="ds_adc",
+    slices=134,
+    registered_fraction=0.60,
+    carry_fraction=0.28,
+    mean_activity=0.45,
+)
+
+
+@dataclass(frozen=True)
+class ExternalConverterChip:
+    """BOM data of a discrete converter chip (what §4.1 integrates away)."""
+
+    name: str
+    price_usd: float
+    power_mw: float
+    sample_rate_msps: float
+
+
+#: Representative discrete parts of the original board.
+EXTERNAL_DAC_CHIP = ExternalConverterChip("ext-DAC-8bit-16MSPS", 2.80, 36.0, 16.0)
+EXTERNAL_ADC_CHIP = ExternalConverterChip("ext-ADC-12bit-1MSPS", 4.20, 52.0, 1.0)
+
+
+class RcLowPass:
+    """External analog RC low-pass (one pole per stage, cascadable).
+
+    Models the "external low-pass filter and anti-alias filter to eliminate
+    the high-frequency components" that accompany the on-chip delta-sigma
+    cores.
+    """
+
+    def __init__(self, cutoff_hz: float, sample_rate_hz: float, order: int = 2):
+        if cutoff_hz <= 0 or sample_rate_hz <= 0:
+            raise ValueError("cutoff and sample rate must be positive")
+        if not 1 <= order <= 8:
+            raise ValueError(f"order must be 1..8, got {order}")
+        self.cutoff_hz = cutoff_hz
+        self.sample_rate_hz = sample_rate_hz
+        self.order = order
+        rc = 1.0 / (2.0 * math.pi * cutoff_hz)
+        dt = 1.0 / sample_rate_hz
+        self.alpha = dt / (rc + dt)
+
+    def filter(self, samples: np.ndarray) -> np.ndarray:
+        """Apply the filter (zero initial state)."""
+        out = np.asarray(samples, dtype=np.float64)
+        for _stage in range(self.order):
+            acc = np.empty_like(out)
+            state = 0.0
+            alpha = self.alpha
+            for i, x in enumerate(out):
+                state += alpha * (x - state)
+                acc[i] = state
+            out = acc
+        return out
+
+
+class DeltaSigmaDac:
+    """Second-order one-bit delta-sigma DAC.
+
+    The digital side (modulator) runs at ``modulator_hz``; each input
+    sample is held for ``modulator_hz / input_rate_hz`` modulator clocks.
+    The analog side is the external RC reconstruction filter.
+    """
+
+    def __init__(
+        self,
+        modulator_hz: float = DEFAULT_MODULATOR_HZ,
+        input_rate_hz: float = 16_000_000,
+        filter_cutoff_hz: float = 800_000.0,
+        with_opb_interface: bool = False,
+    ):
+        if modulator_hz < input_rate_hz:
+            raise ValueError(
+                f"modulator ({modulator_hz} Hz) must run at least as fast as "
+                f"the input rate ({input_rate_hz} Hz)"
+            )
+        self.modulator_hz = modulator_hz
+        self.input_rate_hz = input_rate_hz
+        self.oversampling = int(round(modulator_hz / input_rate_hz))
+        self.reconstruction = RcLowPass(filter_cutoff_hz, modulator_hz, order=2)
+        self.with_opb_interface = with_opb_interface
+
+    @property
+    def footprint(self) -> BlockFootprint:
+        return DAC_FOOTPRINT_WITH_OPB if self.with_opb_interface else DAC_FOOTPRINT
+
+    def netlist(self, seed: int = 13) -> Netlist:
+        return block_netlist(self.footprint, seed=seed, interface_nets=12)
+
+    def modulate(self, samples: np.ndarray) -> np.ndarray:
+        """One-bit stream (+1/-1) at the modulator rate for normalised
+        [-1, 1] input samples at the input rate.
+
+        Raises
+        ------
+        ValueError
+            If input exceeds the modulator's stable range (|x| <= 0.9).
+        """
+        x = np.asarray(samples, dtype=np.float64)
+        if x.size and np.max(np.abs(x)) > 0.9:
+            raise ValueError("delta-sigma input must stay within +-0.9 full scale")
+        held = np.repeat(x, self.oversampling)
+        bits = np.empty(held.size, dtype=np.float64)
+        v1 = 0.0
+        v2 = 0.0
+        y = 1.0
+        for i, u in enumerate(held):
+            v1 += u - y
+            v2 += v1 - y
+            y = 1.0 if v2 >= 0.0 else -1.0
+            bits[i] = y
+        return bits
+
+    def convert(self, samples: np.ndarray) -> np.ndarray:
+        """Full DAC path: modulator + external reconstruction filter.
+        Returns the analog waveform at the modulator rate."""
+        return self.reconstruction.filter(self.modulate(samples))
+
+
+def functional_first_order_dac(width: int = 8):
+    """A first-order delta-sigma DAC as *real gates*: a ``width``-bit
+    phase-accumulator whose carry-out is the one-bit output (the density
+    of ones equals input / 2**width).
+
+    Returns ``(netlist, input nets LSB-first, output net)`` for simulation
+    with :class:`repro.sim.netlist_sim.NetlistSimulator`.
+
+    Raises
+    ------
+    ValueError
+        For degenerate widths.
+    """
+    from repro.netlist.logic import FunctionalNetlist, build_adder
+
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    fn = FunctionalNetlist("ds1_dac")
+    inputs = [fn.input(f"x{i}") for i in range(width)]
+    state = [f"acc_q{i}" for i in range(width)]
+    sums, carry = build_adder(fn, "acc_add", state, inputs)
+    for q, s in zip(state, sums):
+        fn.dff(q, s)
+    fn.dff("bit_out", carry)
+    return fn, inputs, "bit_out"
+
+
+class DeltaSigmaAdc:
+    """Second-order one-bit delta-sigma ADC with a boxcar decimator.
+
+    Analog input is sampled at the modulator rate (after the external
+    anti-alias filter); the one-bit stream is decimated by ``decimation``
+    into multi-bit samples at ``modulator_hz / decimation``.
+    """
+
+    def __init__(
+        self,
+        modulator_hz: float = DEFAULT_MODULATOR_HZ,
+        decimation: int = 16,
+        antialias_cutoff_hz: float = 800_000.0,
+    ):
+        if decimation < 2:
+            raise ValueError(f"decimation must be >= 2, got {decimation}")
+        self.modulator_hz = modulator_hz
+        self.decimation = decimation
+        self.antialias = RcLowPass(antialias_cutoff_hz, modulator_hz, order=2)
+
+    @property
+    def output_rate_hz(self) -> float:
+        return self.modulator_hz / self.decimation
+
+    @property
+    def footprint(self) -> BlockFootprint:
+        return ADC_FOOTPRINT
+
+    def netlist(self, seed: int = 17) -> Netlist:
+        return block_netlist(self.footprint, seed=seed, interface_nets=12)
+
+    def modulate(self, analog: np.ndarray) -> np.ndarray:
+        """One-bit stream for an analog waveform at the modulator rate."""
+        x = np.clip(np.asarray(analog, dtype=np.float64), -0.9, 0.9)
+        bits = np.empty(x.size, dtype=np.float64)
+        v1 = 0.0
+        v2 = 0.0
+        y = 1.0
+        for i, u in enumerate(x):
+            v1 += u - y
+            v2 += v1 - y
+            y = 1.0 if v2 >= 0.0 else -1.0
+            bits[i] = y
+        return bits
+
+    def convert(self, analog: np.ndarray) -> np.ndarray:
+        """Full ADC path: anti-alias filter, modulator, boxcar decimation.
+        Returns normalised samples in [-1, 1] at :attr:`output_rate_hz`."""
+        filtered = self.antialias.filter(analog)
+        bits = self.modulate(filtered)
+        usable = (bits.size // self.decimation) * self.decimation
+        if usable == 0:
+            return np.empty(0)
+        blocks = bits[:usable].reshape(-1, self.decimation)
+        return blocks.mean(axis=1)

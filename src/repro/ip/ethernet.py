@@ -1,0 +1,59 @@
+"""Ethernet MAC core.
+
+Paper §2: "some different interface components are used such as Ethernet
+and profibus components".  In the flat (non-reconfigurable) system these
+interfaces are always resident; the reconfigurable system can load them on
+demand ("flexibility regarding the available communication interfaces",
+§1), which is part of why the flat system needs the larger device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.netlist.blocks import BlockFootprint
+
+#: 10/100 MAC with RX/TX FIFOs in BRAM.
+ETHERNET_FOOTPRINT = BlockFootprint(
+    name="ethernet_mac",
+    slices=455,
+    brams=2,
+    registered_fraction=0.55,
+    carry_fraction=0.15,
+    ram_fraction=0.05,
+    mean_activity=0.08,
+)
+
+#: Minimum/maximum Ethernet frame payload.
+MIN_PAYLOAD = 46
+MAX_PAYLOAD = 1500
+
+
+@dataclass
+class EthernetMac:
+    """Behavioural transmit-side MAC (enough to model reporting the level
+    over the network)."""
+
+    mbps: int = 100
+    frames_sent: List[bytes] = field(default_factory=list)
+
+    def send_frame(self, payload: bytes) -> float:
+        """Queue one frame; returns its wire time in seconds.
+
+        Raises
+        ------
+        ValueError
+            If the payload exceeds the Ethernet maximum.
+        """
+        if len(payload) > MAX_PAYLOAD:
+            raise ValueError(f"payload of {len(payload)} bytes exceeds {MAX_PAYLOAD}")
+        padded = max(len(payload), MIN_PAYLOAD)
+        self.frames_sent.append(payload)
+        # preamble 8 + header 14 + payload + FCS 4 + interframe gap 12
+        wire_bytes = 8 + 14 + padded + 4 + 12
+        return wire_bytes * 8 / (self.mbps * 1e6)
+
+    @property
+    def footprint(self) -> BlockFootprint:
+        return ETHERNET_FOOTPRINT

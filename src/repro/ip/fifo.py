@@ -1,0 +1,75 @@
+"""FIFO core (Figure 3 buffers the sinus samples through a FIFO)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.netlist.blocks import BlockFootprint
+
+
+class Fifo:
+    """Behavioural synchronous FIFO with full/empty flags."""
+
+    def __init__(self, depth: int, width: int = 8):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.depth = depth
+        self.width = width
+        self.mask = (1 << width) - 1
+        self._data: Deque[int] = deque()
+        self.overflows = 0
+        self.underflows = 0
+
+    @property
+    def fill(self) -> int:
+        return len(self._data)
+
+    @property
+    def empty(self) -> bool:
+        return not self._data
+
+    @property
+    def full(self) -> bool:
+        return len(self._data) >= self.depth
+
+    def push(self, value: int) -> bool:
+        """Write one word; returns False (and counts an overflow) when full."""
+        if self.full:
+            self.overflows += 1
+            return False
+        self._data.append(value & self.mask)
+        return True
+
+    def pop(self) -> Optional[int]:
+        """Read one word; returns None (and counts an underflow) when empty."""
+        if self.empty:
+            self.underflows += 1
+            return None
+        return self._data.popleft()
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+def fifo_footprint(depth: int, width: int = 8) -> BlockFootprint:
+    """Resource footprint of a FIFO: shallow FIFOs use SRL16 distributed
+    RAM (1 slice per 16x2 bits plus flags); deep ones take a BRAM."""
+    if depth <= 64:
+        slices = 6 + (depth + 15) // 16 * ((width + 1) // 2)
+        return BlockFootprint(
+            name=f"fifo{depth}x{width}",
+            slices=slices,
+            registered_fraction=0.4,
+            carry_fraction=0.25,
+            ram_fraction=0.3,
+        )
+    return BlockFootprint(
+        name=f"fifo{depth}x{width}",
+        slices=22,
+        brams=max(1, (depth * width + 18 * 1024 - 1) // (18 * 1024)),
+        registered_fraction=0.5,
+        carry_fraction=0.3,
+    )

@@ -1,0 +1,60 @@
+"""Fast Simplex Link (FSL).
+
+"A direct signal communication interface, the Fast Simplex Links (FSL),
+from Xilinx was used for communication and was extended with busmacros over
+the border between the static and dynamic areas" (paper §4.2).  An FSL is a
+unidirectional FIFO channel between the MicroBlaze ``put``/``get``
+instructions and a hardware module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ip.fifo import Fifo
+from repro.netlist.blocks import BlockFootprint
+
+#: One FSL channel: 16-deep 32-bit SRL16 FIFO plus handshake.
+FSL_FOOTPRINT = BlockFootprint(
+    name="fsl",
+    slices=34,
+    registered_fraction=0.45,
+    carry_fraction=0.15,
+    ram_fraction=0.35,
+    mean_activity=0.15,
+)
+
+#: Write-to-read latency of one word through the channel, clock cycles.
+FSL_LATENCY_CYCLES = 2
+
+
+class FslLink:
+    """One unidirectional FSL channel (master writes, slave reads)."""
+
+    def __init__(self, name: str, depth: int = 16, width: int = 32):
+        self.name = name
+        self.fifo = Fifo(depth, width)
+        self.words_transferred = 0
+
+    def write(self, value: int) -> bool:
+        """Master side; returns False when the channel is full."""
+        ok = self.fifo.push(value)
+        if ok:
+            self.words_transferred += 1
+        return ok
+
+    def read(self) -> Optional[int]:
+        """Slave side; returns None when the channel is empty."""
+        return self.fifo.pop()
+
+    @property
+    def footprint(self) -> BlockFootprint:
+        return FSL_FOOTPRINT
+
+    def transfer_cycles(self, words: int) -> int:
+        """Cycles to move ``words`` through the link (one word per cycle
+        plus pipeline latency)."""
+        if words < 0:
+            raise ValueError(f"negative word count {words}")
+        return 0 if words == 0 else words + FSL_LATENCY_CYCLES

@@ -1,0 +1,57 @@
+"""RS232 UART core — drives the external level display and debug console
+(part of the static side in the paper's Table 1: "MicroBlaze, FSL, RS232,
+etc.")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.netlist.blocks import BlockFootprint
+
+#: UART-lite style core: baud generator, TX/RX shift registers, status.
+UART_FOOTPRINT = BlockFootprint(
+    name="uart",
+    slices=68,
+    registered_fraction=0.55,
+    carry_fraction=0.20,
+    mean_activity=0.02,  # mostly idle between characters
+)
+
+#: Bits per transmitted character: start + 8 data + stop.
+FRAME_BITS = 10
+
+
+@dataclass
+class Uart:
+    """Behavioural transmit-side UART."""
+
+    baud_rate: int = 115_200
+    transmitted: List[int] = field(default_factory=list)
+    busy_until_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.baud_rate <= 0:
+            raise ValueError(f"baud rate must be positive, got {self.baud_rate}")
+
+    @property
+    def char_time_s(self) -> float:
+        """Wire time of one character."""
+        return FRAME_BITS / self.baud_rate
+
+    def send(self, data: bytes, start_time_s: float = 0.0) -> float:
+        """Queue bytes for transmission; returns the completion time."""
+        t = max(start_time_s, self.busy_until_s)
+        for byte in data:
+            self.transmitted.append(byte)
+            t += self.char_time_s
+        self.busy_until_s = t
+        return t
+
+    def send_line(self, text: str, start_time_s: float = 0.0) -> float:
+        """Transmit a text line (CR LF terminated)."""
+        return self.send(text.encode("ascii") + b"\r\n", start_time_s)
+
+    @property
+    def footprint(self) -> BlockFootprint:
+        return UART_FOOTPRINT

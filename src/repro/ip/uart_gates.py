@@ -1,0 +1,97 @@
+"""Gate-level UART transmitter.
+
+The RS232 core of the static side (see :mod:`repro.ip.uart` for the
+behavioural model and footprint) as real gates: a 10-bit frame shift
+register (start + 8 data LSB-first + stop), a bit counter and a busy FSM.
+For simulation economy one clock equals one bit time (the baud-rate
+divider of the real core is a plain counter already exercised by
+:func:`repro.netlist.logic.build_counter`).
+
+Useful both as a library block and as the richest FSM test of the
+functional-netlist layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.netlist.logic import FunctionalNetlist
+
+#: Frame length: start bit + 8 data bits + stop bit.
+FRAME_BITS = 10
+
+
+def build_uart_tx(
+    netlist: FunctionalNetlist,
+    prefix: str,
+    data_nets: Sequence[str],
+    load_net: str,
+) -> Tuple[str, str]:
+    """Build the transmitter; returns ``(tx net, busy net)``.
+
+    ``load_net`` pulses high for one cycle with the byte stable on
+    ``data_nets`` (LSB first); ``tx`` idles high and emits the frame over
+    the next 10 cycles; ``busy`` covers the transmission.
+
+    Raises
+    ------
+    ValueError
+        Unless exactly 8 data nets are given.
+    """
+    if len(data_nets) != 8:
+        raise ValueError(f"UART frames carry 8 data bits, got {len(data_nets)}")
+    one = f"{prefix}_one"
+    zero = f"{prefix}_zero"
+    netlist.const(one, 1)
+    netlist.const(zero, 0)
+
+    busy = f"{prefix}_busy"
+    # Frame source bits: start(0), data, stop(1).
+    frame_bits: List[str] = [zero, *data_nets, one]
+    shift = [f"{prefix}_sh{i}" for i in range(FRAME_BITS)]
+    for i in range(FRAME_BITS):
+        upstream = shift[i + 1] if i + 1 < FRAME_BITS else one
+        shifted = f"{prefix}_mv{i}"
+        netlist.mux2(shifted, busy, upstream, shift[i])  # advance only while busy
+        d_net = f"{prefix}_d{i}"
+        netlist.mux2(d_net, load_net, frame_bits[i], shifted)
+        netlist.dff(shift[i], d_net, init=1)
+
+    # Bit counter 0..9 with synchronous clear on load.
+    count = [f"{prefix}_cnt{i}" for i in range(4)]
+    inc_carry: List[str] = []
+    for i in range(1, 4):
+        if i == 1:
+            inc_carry.append(count[0])
+        else:
+            name = f"{prefix}_cc{i}"
+            netlist.and_gate(name, [inc_carry[-1], count[i - 1]])
+            inc_carry.append(name)
+    for i in range(4):
+        inc = f"{prefix}_inc{i}"
+        if i == 0:
+            netlist.not_gate(inc, count[0])
+        else:
+            netlist.xor_gate(inc, [count[i], inc_carry[i - 1]])
+        advanced = f"{prefix}_ca{i}"
+        netlist.mux2(advanced, busy, inc, count[i])
+        d_net = f"{prefix}_cd{i}"
+        netlist.mux2(d_net, load_net, zero, advanced)
+        netlist.dff(count[i], d_net)
+
+    # done when count == 9 (0b1001).
+    done = f"{prefix}_done"
+    netlist.lut(done, count, 1 << 0b1001)
+    # busy' = load | (busy & !done)
+    hold = f"{prefix}_hold"
+    not_done = f"{prefix}_ndone"
+    netlist.not_gate(not_done, done)
+    netlist.and_gate(hold, [busy, not_done])
+    busy_d = f"{prefix}_busyd"
+    netlist.or_gate(busy_d, [load_net, hold])
+    netlist.dff(busy, busy_d)
+
+    # The line: shift stage 0 while busy, idle high otherwise.
+    tx = f"{prefix}_tx"
+    netlist.mux2(tx, busy, shift[0], one)
+    return tx, busy

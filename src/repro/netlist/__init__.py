@@ -1,0 +1,46 @@
+"""Structural netlist layer: cell library, nets, netlists and generators.
+
+A netlist is the hand-off artifact between synthesis (``repro.sysgen``, the
+IP cores in ``repro.ip``) and physical design (``repro.par``).  Cells are
+modelled at slice granularity — the same granularity the paper's Table 1
+reports — plus dedicated sites for BRAM, multipliers and IOBs.
+"""
+
+from repro.netlist.cells import CellType, CELL_TYPES, SiteKind, cell_type_by_name
+from repro.netlist.netlist import Cell, Net, Netlist, NetlistStats
+from repro.netlist.generate import random_netlist, chain_netlist
+from repro.netlist.blocks import BlockFootprint, block_netlist
+from repro.netlist.logic import (
+    FunctionalNetlist,
+    LogicCell,
+    build_accumulator,
+    build_adder,
+    build_counter,
+    build_register,
+    build_rom,
+)
+from repro.netlist.datapath import build_serial_mac, build_shift_register
+
+__all__ = [
+    "build_accumulator",
+    "build_adder",
+    "build_serial_mac",
+    "build_shift_register",
+    "BlockFootprint",
+    "block_netlist",
+    "FunctionalNetlist",
+    "LogicCell",
+    "build_counter",
+    "build_register",
+    "build_rom",
+    "CellType",
+    "CELL_TYPES",
+    "SiteKind",
+    "cell_type_by_name",
+    "Cell",
+    "Net",
+    "Netlist",
+    "NetlistStats",
+    "random_netlist",
+    "chain_netlist",
+]

@@ -1,0 +1,101 @@
+"""Cell library.
+
+Cells are placement atoms.  Logic is modelled at *slice* granularity (one
+slice = two 4-input LUTs + two flip-flops on Spartan-3), which matches the
+resource numbers the paper reports and keeps placement tractable while
+preserving everything the power model needs: each cell type carries its
+internal switched capacitance and leakage share, so logic power scales with
+utilisation and activity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SiteKind(enum.Enum):
+    """Kinds of physical site a cell can occupy."""
+
+    SLICE = "slice"
+    BRAM = "bram"
+    MULT = "mult"
+    IOB = "iob"
+    DCM = "dcm"
+
+
+@dataclass(frozen=True)
+class CellType:
+    """One kind of placement atom.
+
+    Attributes
+    ----------
+    name:
+        Library name, e.g. ``"SLICE_LOGIC"``.
+    site:
+        Which site kind the cell occupies.
+    internal_capacitance_pf:
+        Equivalent switched capacitance inside the cell per output toggle
+        (LUT + local interconnect), used by the dynamic power model.
+    logic_delay_ns:
+        Input-to-output combinational delay (or clock-to-out for
+        sequential cells).
+    is_sequential:
+        Whether the cell's output is registered (its output toggles at most
+        once per clock edge; it is also a timing path endpoint).
+    """
+
+    name: str
+    site: SiteKind
+    internal_capacitance_pf: float
+    logic_delay_ns: float
+    is_sequential: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.name
+
+
+#: Combinational slice: two LUT4s used as logic.
+SLICE_LOGIC = CellType("SLICE_LOGIC", SiteKind.SLICE, 0.060, 0.61)
+#: Registered slice: LUTs + both flip-flops in use.
+SLICE_REG = CellType("SLICE_REG", SiteKind.SLICE, 0.075, 0.72, is_sequential=True)
+#: Slice used as carry-chain arithmetic (adders/counters).
+SLICE_CARRY = CellType("SLICE_CARRY", SiteKind.SLICE, 0.082, 0.80, is_sequential=True)
+#: Slice used as 16x1 distributed RAM / SRL16.
+SLICE_RAM = CellType("SLICE_RAM", SiteKind.SLICE, 0.090, 0.75, is_sequential=True)
+#: 18-Kbit block RAM.
+BRAM18 = CellType("BRAM18", SiteKind.BRAM, 1.80, 2.30, is_sequential=True)
+#: Dedicated 18x18 multiplier.
+MULT18 = CellType("MULT18", SiteKind.MULT, 1.20, 4.10)
+#: Input/output block.
+IOB = CellType("IOB", SiteKind.IOB, 0.40, 1.50)
+#: Digital clock manager.
+DCM = CellType("DCM", SiteKind.DCM, 0.90, 0.0, is_sequential=True)
+
+CELL_TYPES = (
+    SLICE_LOGIC,
+    SLICE_REG,
+    SLICE_CARRY,
+    SLICE_RAM,
+    BRAM18,
+    MULT18,
+    IOB,
+    DCM,
+)
+
+_BY_NAME = {c.name: c for c in CELL_TYPES}
+
+
+def cell_type_by_name(name: str) -> CellType:
+    """Look up a cell type by library name.
+
+    Raises
+    ------
+    KeyError
+        If the name is unknown.
+    """
+    key = name.upper()
+    if key not in _BY_NAME:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown cell type {name!r}; known: {known}")
+    return _BY_NAME[key]

@@ -1,0 +1,330 @@
+"""Functional (gate-level) netlists.
+
+Where :class:`repro.netlist.netlist.Netlist` is purely structural (cells
+and nets for placement/routing/power), a :class:`FunctionalNetlist` also
+carries *logic*: LUT truth tables, flip-flops and constants, so the design
+can be simulated cycle by cycle (:mod:`repro.sim.netlist_sim`) and its
+**real** switching activity extracted — the genuine version of the paper's
+post-PAR simulation step.
+
+LUTs take up to five inputs (a Spartan-3 slice computes any 5-input
+function from its two 4-LUTs plus the F5 mux).  Each functional cell maps
+to one slice-level structural cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.netlist.cells import SLICE_LOGIC, SLICE_REG
+from repro.netlist.netlist import Netlist
+
+#: Maximum LUT inputs (two 4-LUTs + F5MUX per slice).
+MAX_LUT_INPUTS = 5
+
+
+@dataclass
+class LogicCell:
+    """One functional element.  ``kind`` is ``"lut"``, ``"dff"`` or
+    ``"const"``.
+
+    * lut: ``inputs`` are net names (LSB first); ``table`` holds the truth
+      table as an integer (bit ``i`` = output for input pattern ``i``).
+    * dff: one input (the D net); ``init`` is the reset value.
+    * const: no inputs; ``init`` is the constant.
+
+    Every cell drives the net named after itself.
+    """
+
+    name: str
+    kind: str
+    inputs: List[str] = field(default_factory=list)
+    table: int = 0
+    init: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("lut", "dff", "const"):
+            raise ValueError(f"unknown logic kind {self.kind!r}")
+        if self.kind == "lut":
+            if not 1 <= len(self.inputs) <= MAX_LUT_INPUTS:
+                raise ValueError(
+                    f"LUT {self.name!r}: {len(self.inputs)} inputs (1..{MAX_LUT_INPUTS} allowed)"
+                )
+            if self.table >> (1 << len(self.inputs)):
+                raise ValueError(f"LUT {self.name!r}: truth table wider than 2^inputs bits")
+        if self.kind == "dff" and len(self.inputs) != 1:
+            raise ValueError(f"DFF {self.name!r} needs exactly one input")
+        if self.kind == "const" and self.inputs:
+            raise ValueError(f"const {self.name!r} takes no inputs")
+
+    def evaluate(self, values: Dict[str, int]) -> int:
+        """Combinational output for given net values (dff returns its
+        current state, which the simulator manages)."""
+        if self.kind == "const":
+            return self.init & 1
+        if self.kind == "lut":
+            index = 0
+            for bit, net in enumerate(self.inputs):
+                index |= (values[net] & 1) << bit
+            return (self.table >> index) & 1
+        raise ValueError("dff cells are evaluated by the simulator, not directly")
+
+
+class FunctionalNetlist:
+    """A named collection of logic cells wired by net name."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._cells: Dict[str, LogicCell] = {}
+        #: Nets the environment drives (simulator inputs).
+        self.external_inputs: List[str] = []
+
+    # -- construction -----------------------------------------------------
+
+    def _add(self, cell: LogicCell) -> LogicCell:
+        if cell.name in self._cells:
+            raise ValueError(f"duplicate logic cell {cell.name!r}")
+        self._cells[cell.name] = cell
+        return cell
+
+    def lut(self, name: str, inputs: Sequence[str], table: int) -> LogicCell:
+        """Add a LUT computing ``table`` over ``inputs`` (LSB first)."""
+        return self._add(LogicCell(name, "lut", list(inputs), table=table))
+
+    def dff(self, name: str, d_input: str, init: int = 0) -> LogicCell:
+        """Add a flip-flop sampling ``d_input`` every clock."""
+        return self._add(LogicCell(name, "dff", [d_input], init=init))
+
+    def const(self, name: str, value: int) -> LogicCell:
+        """Add a constant driver."""
+        return self._add(LogicCell(name, "const", init=value))
+
+    def input(self, name: str) -> str:
+        """Declare an externally driven net."""
+        if name in self._cells or name in self.external_inputs:
+            raise ValueError(f"duplicate net {name!r}")
+        self.external_inputs.append(name)
+        return name
+
+    # -- convenience gates --------------------------------------------------
+
+    def and_gate(self, name: str, inputs: Sequence[str]) -> LogicCell:
+        n = len(inputs)
+        return self.lut(name, inputs, 1 << ((1 << n) - 1))
+
+    def or_gate(self, name: str, inputs: Sequence[str]) -> LogicCell:
+        n = len(inputs)
+        return self.lut(name, inputs, ((1 << (1 << n)) - 1) & ~1)
+
+    def xor_gate(self, name: str, inputs: Sequence[str]) -> LogicCell:
+        n = len(inputs)
+        table = 0
+        for pattern in range(1 << n):
+            if bin(pattern).count("1") % 2:
+                table |= 1 << pattern
+        return self.lut(name, inputs, table)
+
+    def not_gate(self, name: str, input_net: str) -> LogicCell:
+        return self.lut(name, [input_net], 0b01)
+
+    def mux2(self, name: str, select: str, when_one: str, when_zero: str) -> LogicCell:
+        """2:1 multiplexer: ``select ? when_one : when_zero``."""
+        return self.lut(name, [select, when_one, when_zero], 0xD8)
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def cells(self) -> List[LogicCell]:
+        return list(self._cells.values())
+
+    def cell(self, name: str) -> LogicCell:
+        return self._cells[name]
+
+    def net_names(self) -> List[str]:
+        return list(self._cells) + list(self.external_inputs)
+
+    def sinks_of(self, net: str) -> List[LogicCell]:
+        return [c for c in self._cells.values() if net in c.inputs]
+
+    def validate(self) -> None:
+        """Every referenced input net must be driven by a cell or declared
+        external.
+
+        Raises
+        ------
+        ValueError
+            On undriven nets.
+        """
+        driven = set(self._cells) | set(self.external_inputs)
+        for cell in self._cells.values():
+            for net in cell.inputs:
+                if net not in driven:
+                    raise ValueError(f"cell {cell.name!r}: undriven input net {net!r}")
+
+    # -- conversion ----------------------------------------------------------
+
+    def to_structural(self) -> Netlist:
+        """Lower to a structural netlist for place & route: one slice cell
+        per logic cell, nets from the name-based wiring, a clock net to
+        all flip-flops.  Activities are left at zero — the netlist
+        simulator fills them with measured values."""
+        self.validate()
+        structural = Netlist(self.name)
+        mapping = {}
+        for cell in self._cells.values():
+            ctype = SLICE_REG if cell.kind == "dff" else SLICE_LOGIC
+            mapping[cell.name] = structural.add_cell(cell.name, ctype)
+        for cell in self._cells.values():
+            sinks = [mapping[s.name] for s in self.sinks_of(cell.name)]
+            if sinks:
+                structural.add_net(cell.name, mapping[cell.name], sinks)
+        flops = [c for c in self._cells.values() if c.kind == "dff"]
+        if len(flops) >= 2:
+            structural.add_net(
+                f"{self.name}/clk",
+                mapping[flops[0].name],
+                [mapping[f.name] for f in flops[1:]],
+                activity=2.0,
+                is_clock=True,
+            )
+        return structural
+
+
+# -- library blocks ----------------------------------------------------------
+
+
+def build_counter(netlist: FunctionalNetlist, prefix: str, width: int) -> List[str]:
+    """A binary up-counter; returns its bit nets (LSB first).
+
+    The increment logic is built from AND chains so no LUT exceeds its
+    input limit.
+    """
+    if width < 1:
+        raise ValueError(f"counter width must be >= 1, got {width}")
+    bits = [f"{prefix}_q{i}" for i in range(width)]
+    # Carry chain: carry[i] = AND of bits 0..i-1 (carry[1] = q0).
+    carries: List[str] = []
+    for i in range(1, width):
+        if i == 1:
+            carries.append(bits[0])
+        else:
+            name = f"{prefix}_c{i}"
+            prev = carries[-1]
+            netlist.and_gate(name, [prev, bits[i - 1]])
+            carries.append(name)
+    for i in range(width):
+        d_net = f"{prefix}_d{i}"
+        if i == 0:
+            netlist.not_gate(d_net, bits[0])
+        else:
+            netlist.xor_gate(d_net, [bits[i], carries[i - 1]])
+        netlist.dff(bits[i], d_net)
+    return bits
+
+
+def build_rom(
+    netlist: FunctionalNetlist,
+    prefix: str,
+    address_nets: Sequence[str],
+    values: Sequence[int],
+    data_width: int,
+) -> List[str]:
+    """A combinational ROM over address nets; returns output bit nets
+    (LSB first).  Each output bit is one LUT over the address.
+
+    Raises
+    ------
+    ValueError
+        If the address space cannot index all values or exceeds the LUT
+        input limit.
+    """
+    depth = len(values)
+    if depth > (1 << len(address_nets)):
+        raise ValueError(f"{depth} values need more than {len(address_nets)} address bits")
+    if len(address_nets) > MAX_LUT_INPUTS:
+        raise ValueError(
+            f"{len(address_nets)} address bits exceed the {MAX_LUT_INPUTS}-input LUT limit; "
+            "split the ROM"
+        )
+    outputs = []
+    for bit in range(data_width):
+        table = 0
+        for address, value in enumerate(values):
+            if (value >> bit) & 1:
+                table |= 1 << address
+        name = f"{prefix}_o{bit}"
+        netlist.lut(name, list(address_nets), table)
+        outputs.append(name)
+    return outputs
+
+
+def build_adder(
+    netlist: FunctionalNetlist,
+    prefix: str,
+    a_nets: Sequence[str],
+    b_nets: Sequence[str],
+    carry_in: Optional[str] = None,
+) -> Tuple[List[str], str]:
+    """A ripple-carry adder; returns (sum nets LSB first, carry-out net).
+
+    Each bit is one sum LUT (3-input XOR) and one majority LUT for the
+    carry — the LUT/carry-chain structure of a real slice adder.
+
+    Raises
+    ------
+    ValueError
+        On width mismatch.
+    """
+    if len(a_nets) != len(b_nets) or not a_nets:
+        raise ValueError("adder operands must be equal, non-zero width")
+    carry = carry_in
+    if carry is None:
+        carry = f"{prefix}_cin"
+        netlist.const(carry, 0)
+    sums: List[str] = []
+    for i, (a, b) in enumerate(zip(a_nets, b_nets)):
+        sum_net = f"{prefix}_s{i}"
+        netlist.xor_gate(sum_net, [a, b, carry])
+        next_carry = f"{prefix}_c{i + 1}"
+        # Majority(a, b, cin): carry-out truth table over (a, b, cin).
+        netlist.lut(next_carry, [a, b, carry], 0b11101000)
+        sums.append(sum_net)
+        carry = next_carry
+    return sums, carry
+
+
+def build_accumulator(
+    netlist: FunctionalNetlist, prefix: str, input_nets: Sequence[str], width: int
+) -> List[str]:
+    """A registered accumulator ``acc += input`` of ``width`` bits;
+    returns the accumulator state nets (LSB first).
+
+    Raises
+    ------
+    ValueError
+        If the input is wider than the accumulator.
+    """
+    if len(input_nets) > width:
+        raise ValueError("input wider than the accumulator")
+    state = [f"{prefix}_q{i}" for i in range(width)]
+    # Zero-extend the input to the accumulator width.
+    extended = list(input_nets)
+    for i in range(len(input_nets), width):
+        zero = f"{prefix}_z{i}"
+        netlist.const(zero, 0)
+        extended.append(zero)
+    sums, _carry = build_adder(netlist, f"{prefix}_add", state, extended)
+    for q, s in zip(state, sums):
+        netlist.dff(q, s)
+    return state
+
+
+def build_register(netlist: FunctionalNetlist, prefix: str, d_nets: Sequence[str]) -> List[str]:
+    """A register bank sampling ``d_nets``; returns the Q nets."""
+    outputs = []
+    for i, d in enumerate(d_nets):
+        name = f"{prefix}_q{i}"
+        netlist.dff(name, d)
+        outputs.append(name)
+    return outputs

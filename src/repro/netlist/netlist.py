@@ -1,0 +1,225 @@
+"""Netlist data structure: cells connected by driver→sinks nets."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.netlist.cells import CellType, SiteKind
+
+
+@dataclass
+class Cell:
+    """One placement atom in a netlist."""
+
+    name: str
+    ctype: CellType
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Cell) and other.name == self.name
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.name}({self.ctype.name})"
+
+
+@dataclass
+class Net:
+    """A signal: one driver cell fanning out to sink cells.
+
+    ``activity`` is the toggle rate of the signal relative to the system
+    clock (0.0 = static, 1.0 = toggles every cycle, 2.0 = toggles on both
+    edges, as a clock does).  It is filled in by
+    :func:`repro.activity.annotate.annotate_netlist` from simulation, or set
+    by generators for synthetic workloads.  The paper calls this the net's
+    *communication rate* and derives it from a post-PAR VCD.
+    """
+
+    name: str
+    driver: Cell
+    sinks: List[Cell]
+    activity: float = 0.0
+    is_clock: bool = False
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+    @property
+    def cells(self) -> List[Cell]:
+        """Driver and sinks, driver first (sinks may repeat the driver for
+        self-loops such as counters)."""
+        return [self.driver] + self.sinks
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.name}[{self.driver.name}->{self.fanout} sinks]"
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Resource demand summary of a netlist (what Table 1 reports)."""
+
+    slices: int
+    brams: int
+    multipliers: int
+    iobs: int
+    dcms: int
+    nets: int
+    cells: int
+
+    def __add__(self, other: "NetlistStats") -> "NetlistStats":
+        return NetlistStats(
+            slices=self.slices + other.slices,
+            brams=self.brams + other.brams,
+            multipliers=self.multipliers + other.multipliers,
+            iobs=self.iobs + other.iobs,
+            dcms=self.dcms + other.dcms,
+            nets=self.nets + other.nets,
+            cells=self.cells + other.cells,
+        )
+
+
+class Netlist:
+    """A named collection of cells and nets with structural validation."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._cells: Dict[str, Cell] = {}
+        self._nets: Dict[str, Net] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_cell(self, name: str, ctype: CellType) -> Cell:
+        """Create and register a cell.
+
+        Raises
+        ------
+        ValueError
+            If a cell with the same name exists.
+        """
+        if name in self._cells:
+            raise ValueError(f"duplicate cell {name!r} in netlist {self.name!r}")
+        cell = Cell(name, ctype)
+        self._cells[name] = cell
+        return cell
+
+    def add_net(
+        self,
+        name: str,
+        driver: Cell,
+        sinks: Iterable[Cell],
+        activity: float = 0.0,
+        is_clock: bool = False,
+    ) -> Net:
+        """Create and register a net.
+
+        Raises
+        ------
+        ValueError
+            If the name collides, the driver/sinks are foreign cells, the
+            net has no sinks, or the activity is negative.
+        """
+        if name in self._nets:
+            raise ValueError(f"duplicate net {name!r} in netlist {self.name!r}")
+        sinks = list(sinks)
+        if not sinks:
+            raise ValueError(f"net {name!r} has no sinks")
+        if activity < 0:
+            raise ValueError(f"net {name!r} has negative activity {activity}")
+        for cell in [driver] + sinks:
+            if self._cells.get(cell.name) is not cell:
+                raise ValueError(
+                    f"net {name!r} references cell {cell.name!r} not in netlist"
+                )
+        net = Net(name, driver, sinks, activity=activity, is_clock=is_clock)
+        self._nets[name] = net
+        return net
+
+    def merge(self, other: "Netlist", prefix: Optional[str] = None) -> None:
+        """Copy all cells and nets from another netlist into this one,
+        optionally namespacing them with ``prefix/``."""
+        pfx = f"{prefix}/" if prefix else ""
+        mapping: Dict[str, Cell] = {}
+        for cell in other.cells:
+            mapping[cell.name] = self.add_cell(pfx + cell.name, cell.ctype)
+        for net in other.nets:
+            self.add_net(
+                pfx + net.name,
+                mapping[net.driver.name],
+                [mapping[s.name] for s in net.sinks],
+                activity=net.activity,
+                is_clock=net.is_clock,
+            )
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def cells(self) -> List[Cell]:
+        return list(self._cells.values())
+
+    @property
+    def nets(self) -> List[Net]:
+        return list(self._nets.values())
+
+    def cell(self, name: str) -> Cell:
+        """Look up a cell by name (KeyError if absent)."""
+        return self._cells[name]
+
+    def net(self, name: str) -> Net:
+        """Look up a net by name (KeyError if absent)."""
+        return self._nets[name]
+
+    def has_cell(self, name: str) -> bool:
+        return name in self._cells
+
+    def nets_of(self, cell: Cell) -> List[Net]:
+        """All nets the cell drives or receives."""
+        return [n for n in self._nets.values() if cell is n.driver or cell in n.sinks]
+
+    # -- analysis ---------------------------------------------------------
+
+    def stats(self) -> NetlistStats:
+        """Resource demand of the netlist."""
+        counts = Counter(cell.ctype.site for cell in self._cells.values())
+        return NetlistStats(
+            slices=counts.get(SiteKind.SLICE, 0),
+            brams=counts.get(SiteKind.BRAM, 0),
+            multipliers=counts.get(SiteKind.MULT, 0),
+            iobs=counts.get(SiteKind.IOB, 0),
+            dcms=counts.get(SiteKind.DCM, 0),
+            nets=len(self._nets),
+            cells=len(self._cells),
+        )
+
+    def validate(self) -> None:
+        """Structural checks beyond construction-time validation.
+
+        Raises
+        ------
+        ValueError
+            If any cell drives more than one net under the same name space
+            assumption is violated, or a cell is completely disconnected
+            while the netlist has nets.
+        """
+        driven: Counter = Counter(net.driver.name for net in self._nets.values())
+        connected = set()
+        for net in self._nets.values():
+            connected.add(net.driver.name)
+            connected.update(s.name for s in net.sinks)
+        if self._nets:
+            dangling = sorted(set(self._cells) - connected)
+            if dangling:
+                raise ValueError(
+                    f"netlist {self.name!r}: disconnected cells {dangling[:5]}"
+                    + ("..." if len(dangling) > 5 else "")
+                )
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        s = self.stats()
+        return f"Netlist {self.name!r}: {s.cells} cells, {s.nets} nets, {s.slices} slices"

@@ -1,0 +1,39 @@
+"""Place and route: simulated-annealing placer, congestion-negotiated
+router over the Spartan-3 wire types, static timing analysis, and the
+paper's §4.3 power-driven net reallocation optimizer.
+"""
+
+from repro.par.design import Design
+from repro.par.placer import Placement, place, PlacerOptions
+from repro.par.router import route, RoutingResult, RouterOptions
+from repro.par.timing import TimingReport, analyze_timing
+from repro.par.power_opt import NetOptimizationRecord, PowerOptResult, optimize_nets
+from repro.par.report import UtilizationReport, utilization_report, routing_report, floorplan_view
+from repro.par.slot_impl import SlotImplementation, implement_module_in_slot, attach_busmacro_anchors
+from repro.par.checkpoint import save_design, load_design, design_to_dict, design_from_dict
+
+__all__ = [
+    "SlotImplementation",
+    "implement_module_in_slot",
+    "attach_busmacro_anchors",
+    "save_design",
+    "load_design",
+    "design_to_dict",
+    "design_from_dict",
+    "UtilizationReport",
+    "utilization_report",
+    "routing_report",
+    "floorplan_view",
+    "Design",
+    "Placement",
+    "place",
+    "PlacerOptions",
+    "route",
+    "RoutingResult",
+    "RouterOptions",
+    "TimingReport",
+    "analyze_timing",
+    "NetOptimizationRecord",
+    "PowerOptResult",
+    "optimize_nets",
+]

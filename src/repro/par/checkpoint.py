@@ -1,0 +1,147 @@
+"""Design checkpointing: save/restore placed-and-routed designs as JSON.
+
+The ISE flow persists implementation state in .ncd files so later steps
+(re-entrant PAR, FPGA Editor edits like the paper's Figure 6 reallocation,
+bitstream generation) start from it; this is the equivalent for the Python
+substrate.  The checkpoint carries the netlist (cells, nets, activities),
+the device/region binding, the placement and every routed segment, and
+round-trips bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.fabric.device import get_device
+from repro.fabric.grid import Region, SliceCoord
+from repro.fabric.routing import RoutedNet, RouteSegment, RoutingGraph
+from repro.fabric.wires import wire_type_by_name
+from repro.netlist.cells import cell_type_by_name
+from repro.netlist.netlist import Netlist
+from repro.par.design import Design
+from repro.par.placer import Placement
+
+#: Format identifier written into every checkpoint.
+FORMAT = "repro-design-checkpoint"
+VERSION = 1
+
+
+def design_to_dict(design: Design) -> dict:
+    """Serialise a design (netlist + placement + routing) to plain data."""
+    netlist = design.netlist
+    data: dict = {
+        "format": FORMAT,
+        "version": VERSION,
+        "name": netlist.name,
+        "device": design.device.name,
+        "region": (
+            [design.region.x_min, design.region.y_min, design.region.x_max, design.region.y_max]
+            if design.region is not None
+            else None
+        ),
+        "cells": [[c.name, c.ctype.name] for c in netlist.cells],
+        "nets": [
+            {
+                "name": n.name,
+                "driver": n.driver.name,
+                "sinks": [s.name for s in n.sinks],
+                "activity": n.activity,
+                "clock": n.is_clock,
+            }
+            for n in netlist.nets
+        ],
+    }
+    if design.placement is not None:
+        data["placement"] = {
+            name: [c.x, c.y, c.idx] for name, c in design.placement.as_dict().items()
+        }
+    if design.routed_nets:
+        data["routing"] = {
+            name: {
+                "source": list(rn.source),
+                "sinks": [list(s) for s in rn.sinks],
+                "segments": [
+                    [seg.wire.name, list(seg.source), list(seg.dest)] for seg in rn.segments
+                ],
+            }
+            for name, rn in design.routed_nets.items()
+        }
+    return data
+
+
+def design_from_dict(data: dict) -> Design:
+    """Rebuild a design from serialised data.
+
+    Raises
+    ------
+    ValueError
+        On unknown formats or versions.
+    """
+    if data.get("format") != FORMAT:
+        raise ValueError(f"not a design checkpoint (format={data.get('format')!r})")
+    if data.get("version") != VERSION:
+        raise ValueError(f"unsupported checkpoint version {data.get('version')}")
+    device = get_device(data["device"])
+    netlist = Netlist(data["name"])
+    for name, type_name in data["cells"]:
+        netlist.add_cell(name, cell_type_by_name(type_name))
+    for net in data["nets"]:
+        netlist.add_net(
+            net["name"],
+            netlist.cell(net["driver"]),
+            [netlist.cell(s) for s in net["sinks"]],
+            activity=net["activity"],
+            is_clock=net["clock"],
+        )
+    region = None
+    if data.get("region") is not None:
+        x0, y0, x1, y1 = data["region"]
+        region = Region(x0, y0, x1, y1)
+    design = Design(netlist=netlist, device=device, region=region)
+
+    if "placement" in data:
+        placement = Placement(device, region or design.grid.full_region)
+        # Non-slice cells share sites (see the placer), so re-assign
+        # non-exclusively when a site is already taken.
+        for name, (x, y, idx) in data["placement"].items():
+            coord = SliceCoord(x, y, idx)
+            exclusive = placement.occupant(coord) is None
+            placement.assign(name, coord, exclusive=exclusive)
+        design.placement = placement
+
+    if "routing" in data:
+        graph = RoutingGraph(device)
+        for name, rn in data["routing"].items():
+            routed = RoutedNet(
+                name,
+                tuple(rn["source"]),
+                [tuple(s) for s in rn["sinks"]],
+            )
+            routed.segments = [
+                RouteSegment(wire_type_by_name(w), tuple(src), tuple(dst))
+                for w, src, dst in rn["segments"]
+            ]
+            graph.occupy_net(routed)
+            design.routed_nets[name] = routed
+        design.graph = graph
+    return design
+
+
+def save_design(design: Design, path: Union[str, Path]) -> Path:
+    """Write a checkpoint file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(design_to_dict(design), indent=1))
+    return path
+
+
+def load_design(path: Union[str, Path]) -> Design:
+    """Read a checkpoint file.
+
+    Raises
+    ------
+    ValueError / OSError
+        On malformed files.
+    """
+    return design_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,67 @@
+"""The :class:`Design` container: a netlist bound to a device through
+placement and routing — the object the power estimator and the net
+optimizer operate on."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.fabric.device import DeviceSpec
+from repro.fabric.grid import Grid, Region
+from repro.fabric.routing import RoutedNet, RoutingGraph
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class Design:
+    """A netlist in some stage of physical implementation.
+
+    Attributes
+    ----------
+    netlist:
+        The logical design.
+    device:
+        Target device.
+    region:
+        Placement region (defaults to the whole device) — used to confine a
+        module to its reconfigurable slot.
+    placement:
+        ``cell name -> SliceCoord`` once placed.
+    routed_nets:
+        ``net name -> RoutedNet`` once routed.
+    graph:
+        The routing-resource graph holding channel occupancy.
+    """
+
+    netlist: Netlist
+    device: DeviceSpec
+    region: Optional[Region] = None
+    placement: Optional["Placement"] = None
+    routed_nets: Dict[str, RoutedNet] = field(default_factory=dict)
+    graph: Optional[RoutingGraph] = None
+
+    @property
+    def grid(self) -> Grid:
+        return Grid(self.device)
+
+    @property
+    def effective_region(self) -> Region:
+        return self.region if self.region is not None else self.grid.full_region
+
+    @property
+    def is_placed(self) -> bool:
+        return self.placement is not None
+
+    @property
+    def is_routed(self) -> bool:
+        return bool(self.routed_nets) and self.graph is not None
+
+    def require_placed(self) -> None:
+        if not self.is_placed:
+            raise ValueError(f"design {self.netlist.name!r} is not placed yet")
+
+    def require_routed(self) -> None:
+        self.require_placed()
+        if not self.is_routed:
+            raise ValueError(f"design {self.netlist.name!r} is not routed yet")

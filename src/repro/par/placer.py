@@ -1,0 +1,261 @@
+"""Simulated-annealing placement.
+
+Cost is activity-weighted half-perimeter wirelength (HPWL): in
+``wirelength`` mode every net weighs 1; in ``power`` mode a net's weight
+grows with its communication rate, so the annealer pulls the logic of hot
+nets together — the placement half of the paper's §4.3 observation that
+"the logic of the nets with higher communication rates can be placed closer
+during the Place-and-Route process".
+
+Logic cells contend for slice sites (one cell per slice); BRAM, multiplier,
+IOB and DCM cells are assigned coordinates on their dedicated columns and do
+not contend with logic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.fabric.device import DeviceSpec
+from repro.fabric.grid import Grid, Region, SliceCoord
+from repro.netlist.cells import SiteKind
+from repro.netlist.netlist import Net, Netlist
+
+
+@dataclass
+class PlacerOptions:
+    """Tuning knobs for :func:`place`."""
+
+    seed: int = 1
+    #: Moves per cell per temperature step.
+    moves_per_cell: float = 4.0
+    #: Number of temperature steps.
+    steps: int = 60
+    #: Geometric cooling factor per step.
+    cooling: float = 0.92
+    #: ``"wirelength"`` or ``"power"``.
+    mode: str = "wirelength"
+    #: Extra weight per unit of net activity in power mode.
+    activity_weight: float = 8.0
+
+    def net_weight(self, net: Net) -> float:
+        if self.mode == "power" and not net.is_clock:
+            return 1.0 + self.activity_weight * net.activity
+        return 1.0
+
+
+class Placement:
+    """Mapping from cell names to slice coordinates, with occupancy
+    tracking so moves stay legal."""
+
+    def __init__(self, device: DeviceSpec, region: Region):
+        self.device = device
+        self.region = region
+        self._coords: Dict[str, SliceCoord] = {}
+        self._occupied: Dict[SliceCoord, str] = {}
+
+    def __contains__(self, cell_name: str) -> bool:
+        return cell_name in self._coords
+
+    def __len__(self) -> int:
+        return len(self._coords)
+
+    def coord(self, cell_name: str) -> SliceCoord:
+        """Location of a cell (KeyError if unplaced)."""
+        return self._coords[cell_name]
+
+    def occupant(self, coord: SliceCoord) -> Optional[str]:
+        return self._occupied.get(coord)
+
+    def assign(self, cell_name: str, coord: SliceCoord, exclusive: bool = True) -> None:
+        """Place (or move) a cell.
+
+        Raises
+        ------
+        ValueError
+            If the target site is occupied by another cell (when
+            ``exclusive``) or lies outside the region.
+        """
+        if not self.region.contains(coord):
+            raise ValueError(f"{coord} outside placement region {self.region}")
+        if exclusive:
+            holder = self._occupied.get(coord)
+            if holder is not None and holder != cell_name:
+                raise ValueError(f"site {coord} already holds {holder!r}")
+        old = self._coords.get(cell_name)
+        if old is not None and self._occupied.get(old) == cell_name:
+            del self._occupied[old]
+        self._coords[cell_name] = coord
+        if exclusive:
+            self._occupied[coord] = cell_name
+
+    def swap(self, a: str, b: str) -> None:
+        """Exchange the sites of two placed cells."""
+        ca, cb = self._coords[a], self._coords[b]
+        self._coords[a], self._coords[b] = cb, ca
+        self._occupied[ca], self._occupied[cb] = b, a
+
+    def free_sites(self, grid: Grid, limit: Optional[int] = None) -> List[SliceCoord]:
+        """Unoccupied slice sites in the region (raster order)."""
+        sites = []
+        for coord in grid.slices_in(self.region):
+            if coord not in self._occupied:
+                sites.append(coord)
+                if limit is not None and len(sites) >= limit:
+                    break
+        return sites
+
+    def as_dict(self) -> Dict[str, SliceCoord]:
+        return dict(self._coords)
+
+
+def net_hpwl(net: Net, placement: Placement) -> int:
+    """Half-perimeter wirelength of a net under a placement."""
+    xs = [placement.coord(c.name).x for c in net.cells]
+    ys = [placement.coord(c.name).y for c in net.cells]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def total_hpwl(netlist: Netlist, placement: Placement) -> int:
+    """Unweighted HPWL over all nets."""
+    return sum(net_hpwl(net, placement) for net in netlist.nets)
+
+
+def place(
+    netlist: Netlist,
+    device: DeviceSpec,
+    region: Optional[Region] = None,
+    options: Optional[PlacerOptions] = None,
+    fixed: Optional[Dict[str, SliceCoord]] = None,
+) -> Placement:
+    """Place a netlist on a device (or inside a region of it).
+
+    Parameters
+    ----------
+    fixed:
+        Cells pinned to given sites (IO anchors, bus-macro halves); the
+        annealer never moves them.
+
+    Returns the final :class:`Placement`.
+
+    Raises
+    ------
+    ValueError
+        If the region cannot hold the netlist's slice cells, or a fixed
+        cell is unknown.
+    """
+    options = options or PlacerOptions()
+    grid = Grid(device)
+    region = region or grid.full_region
+    rng = random.Random(options.seed)
+    fixed = fixed or {}
+    for name in fixed:
+        if not netlist.has_cell(name):
+            raise ValueError(f"fixed cell {name!r} not in netlist")
+
+    slice_cells = [c for c in netlist.cells if c.ctype.site == SiteKind.SLICE]
+    other_cells = [c for c in netlist.cells if c.ctype.site != SiteKind.SLICE]
+    capacity = region.slice_capacity(device)
+    if len(slice_cells) > capacity:
+        raise ValueError(
+            f"netlist {netlist.name!r} needs {len(slice_cells)} slices but "
+            f"{region} on {device.name} holds only {capacity}"
+        )
+
+    placement = Placement(device, region)
+    for name, coord in fixed.items():
+        # Pinned cells may legitimately share a site (e.g. the two signal
+        # positions of one bus-macro slice).
+        placement.assign(name, coord, exclusive=placement.occupant(coord) is None)
+    movable = [c for c in slice_cells if c.name not in fixed]
+    sites = [s for s in grid.slices_in(region) if placement.occupant(s) is None]
+    rng.shuffle(sites)
+    for cell, site in zip(movable, sites):
+        placement.assign(cell.name, site)
+    _place_dedicated([c for c in other_cells if c.name not in fixed],
+                     placement, device, region)
+
+    if len(movable) >= 2:
+        _anneal(netlist, placement, grid, movable, options, rng)
+    return placement
+
+
+def _place_dedicated(cells, placement: Placement, device: DeviceSpec, region: Region) -> None:
+    """Give BRAM/MULT/IOB/DCM cells coordinates on their columns.
+
+    Dedicated sites sit on fixed columns of the array (BRAM/multiplier
+    columns run down the fabric; IOBs ring it).  They do not contend with
+    slice sites, so they are placed non-exclusively at representative
+    coordinates inside the region: BRAM/MULT at the region's left edge,
+    IOB/DCM at the bottom edge.
+    """
+    counters = {SiteKind.BRAM: 0, SiteKind.MULT: 0, SiteKind.IOB: 0, SiteKind.DCM: 0}
+    for cell in cells:
+        kind = cell.ctype.site
+        k = counters[kind]
+        counters[kind] += 1
+        if kind in (SiteKind.BRAM, SiteKind.MULT):
+            y = min(region.y_min + k, region.y_max)
+            coord = SliceCoord(region.x_min, y, 0)
+        else:
+            x = min(region.x_min + k, region.x_max)
+            coord = SliceCoord(x, region.y_min, 0)
+        placement.assign(cell.name, coord, exclusive=False)
+
+
+def _anneal(netlist, placement, grid, slice_cells, options, rng) -> None:
+    nets_of_cell: Dict[str, List[Net]] = {c.name: [] for c in netlist.cells}
+    for net in netlist.nets:
+        for cell in set(net.cells):
+            nets_of_cell[cell.name].append(net)
+
+    weights = {net.name: options.net_weight(net) for net in netlist.nets}
+
+    def weighted_hpwl(nets) -> float:
+        return sum(weights[n.name] * net_hpwl(n, placement) for n in nets)
+
+    cost = weighted_hpwl(netlist.nets)
+    # Initial temperature: big enough that typical moves are accepted.
+    temperature = max(1.0, cost / max(1, len(netlist.nets)) * 2.0)
+    moves_per_step = max(8, int(options.moves_per_cell * len(slice_cells)))
+    free_pool = placement.free_sites(grid)
+
+    for _step in range(options.steps):
+        for _m in range(moves_per_step):
+            cell = rng.choice(slice_cells)
+            use_free = free_pool and rng.random() < 0.3
+            if use_free:
+                target_site = rng.choice(free_pool)
+                touched = nets_of_cell[cell.name]
+                before = weighted_hpwl(touched)
+                old_site = placement.coord(cell.name)
+                placement.assign(cell.name, target_site)
+                after = weighted_hpwl(touched)
+                if _accept(after - before, temperature, rng):
+                    free_pool.remove(target_site)
+                    free_pool.append(old_site)
+                    cost += after - before
+                else:
+                    placement.assign(cell.name, old_site)
+            else:
+                other = rng.choice(slice_cells)
+                if other is cell:
+                    continue
+                touched = list({n.name: n for n in nets_of_cell[cell.name] + nets_of_cell[other.name]}.values())
+                before = weighted_hpwl(touched)
+                placement.swap(cell.name, other.name)
+                after = weighted_hpwl(touched)
+                if _accept(after - before, temperature, rng):
+                    cost += after - before
+                else:
+                    placement.swap(cell.name, other.name)
+        temperature *= options.cooling
+
+
+def _accept(delta: float, temperature: float, rng: random.Random) -> bool:
+    if delta <= 0:
+        return True
+    return rng.random() < math.exp(-delta / max(temperature, 1e-9))

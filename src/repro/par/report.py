@@ -1,0 +1,130 @@
+"""ISE-style implementation reports.
+
+The paper's tool flow emits MAP/PAR reports (device utilization, routing
+summaries) and the authors read designs in the FPGA Editor (Figure 5).
+This module renders the equivalent text artifacts from a :class:`Design`,
+including an ASCII floorplan view of where a module's logic landed —
+the closest a Python substrate gets to the Figure 5 screenshot.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.fabric.wires import WIRE_TYPES
+from repro.netlist.cells import SiteKind
+from repro.par.design import Design
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Device utilization of one design (the MAP report's headline)."""
+
+    device: str
+    slices_used: int
+    slices_available: int
+    brams_used: int
+    brams_available: int
+    multipliers_used: int
+    multipliers_available: int
+
+    @property
+    def slice_utilization(self) -> float:
+        return self.slices_used / self.slices_available
+
+    def render(self) -> str:
+        def row(name: str, used: int, avail: int) -> str:
+            pct = 100.0 * used / avail if avail else 0.0
+            return f"  {name:<22} {used:>7} out of {avail:>7}  {pct:5.1f}%"
+
+        return "\n".join(
+            [
+                f"Design utilization summary ({self.device}):",
+                row("Occupied slices", self.slices_used, self.slices_available),
+                row("Block RAMs", self.brams_used, self.brams_available),
+                row("MULT18X18s", self.multipliers_used, self.multipliers_available),
+            ]
+        )
+
+
+def utilization_report(design: Design) -> UtilizationReport:
+    """Compute device utilization of a design."""
+    stats = design.netlist.stats()
+    device = design.device
+    return UtilizationReport(
+        device=device.name,
+        slices_used=stats.slices,
+        slices_available=device.slices,
+        brams_used=stats.brams,
+        brams_available=device.bram_blocks,
+        multipliers_used=stats.multipliers,
+        multipliers_available=device.multipliers,
+    )
+
+
+def routing_report(design: Design) -> str:
+    """PAR-style routing summary: wire-type usage and capacitance split.
+
+    Raises
+    ------
+    ValueError
+        If the design is not routed.
+    """
+    design.require_routed()
+    segment_counts: Counter = Counter()
+    capacitance: Dict[str, float] = {w.name: 0.0 for w in WIRE_TYPES}
+    for routed in design.routed_nets.values():
+        for segment in routed.segments:
+            segment_counts[segment.wire.name] += 1
+            capacitance[segment.wire.name] += segment.wire.capacitance_pf
+    total_cap = sum(capacitance.values()) or 1.0
+    lines = [
+        f"Routing summary ({len(design.routed_nets)} nets, "
+        f"{sum(segment_counts.values())} segments):",
+        f"  {'wire type':<10} {'segments':>9} {'capacitance':>13} {'share':>7}",
+    ]
+    for wire in WIRE_TYPES:
+        lines.append(
+            f"  {wire.name:<10} {segment_counts.get(wire.name, 0):>9} "
+            f"{capacitance[wire.name]:>10.1f} pF {100 * capacitance[wire.name] / total_cap:>6.1f}%"
+        )
+    overused = design.graph.overused_channels()
+    lines.append(f"  over-capacity channels: {len(overused)}")
+    return "\n".join(lines)
+
+
+def floorplan_view(design: Design, width: Optional[int] = None) -> str:
+    """ASCII rendering of slice occupancy per CLB (the Figure-5 view).
+
+    Each character is one CLB column cell: ``.`` empty, ``1``-``4`` the
+    number of occupied slices, ``#`` full.
+
+    Raises
+    ------
+    ValueError
+        If the design is not placed.
+    """
+    design.require_placed()
+    device = design.device
+    per_clb: Counter = Counter()
+    for cell in design.netlist.cells:
+        if cell.ctype.site != SiteKind.SLICE:
+            continue
+        coord = design.placement.coord(cell.name)
+        per_clb[coord.clb] += 1
+    columns = width or device.clb_columns
+    lines = [f"CLB occupancy ({device.name}, {columns}x{device.clb_rows}):"]
+    for y in range(device.clb_rows - 1, -1, -1):
+        row = []
+        for x in range(columns):
+            n = per_clb.get((x, y), 0)
+            if n == 0:
+                row.append(".")
+            elif n >= device.slices_per_clb:
+                row.append("#")
+            else:
+                row.append(str(n))
+        lines.append("".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""Congestion-negotiated routing over the Spartan-3 wire types.
+
+Each net becomes a tree of typed segments (direct/double/hex/long).  The
+router runs PathFinder-style: every net is routed by A* search whose edge
+cost combines a base cost with present+history congestion penalties; after
+each iteration the history cost of over-used channels grows and the nets
+through them are ripped up and re-routed, until no channel is over capacity.
+
+The base cost is the router's *mode* — the knob the paper's §4.3 turns:
+
+``performance``
+    minimise delay: long lines look cheap because one hop covers 24 CLBs.
+``power``
+    minimise switched capacitance: chains of direct/double segments win.
+``balanced``
+    a normalised mix (the default, resembling a stock tool flow).
+
+Clock nets are not routed here: like on the real device they use the
+dedicated global clock tree, which the power model accounts separately.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.fabric.device import DeviceSpec
+from repro.fabric.routing import RoutedNet, RouteSegment, RoutingGraph, XY
+from repro.fabric.wires import WIRE_TYPES, WireType
+from repro.netlist.netlist import Net, Netlist
+from repro.par.placer import Placement
+
+#: Normalisation constants for the balanced mode: the best per-CLB delay
+#: and capacitance any wire type offers.
+_MIN_DELAY_PER_CLB = min(w.delay_per_clb_ns for w in WIRE_TYPES)
+_MIN_CAP_PER_CLB = min(w.capacitance_per_clb_pf for w in WIRE_TYPES)
+
+
+@dataclass
+class RouterOptions:
+    """Tuning knobs for :func:`route`."""
+
+    mode: str = "balanced"
+    max_iterations: int = 12
+    congestion_weight: float = 1.0
+    history_increment: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("balanced", "performance", "power"):
+            raise ValueError(f"unknown router mode {self.mode!r}")
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of one routing run."""
+
+    nets: Dict[str, RoutedNet]
+    graph: RoutingGraph
+    iterations: int
+    legal: bool
+
+    @property
+    def total_capacitance_pf(self) -> float:
+        return sum(net.capacitance_pf for net in self.nets.values())
+
+    @property
+    def total_wirelength(self) -> int:
+        return sum(net.wirelength_clbs for net in self.nets.values())
+
+
+def base_cost(wire: WireType, mode: str) -> float:
+    """Per-segment base cost of a wire type under a router mode."""
+    if mode == "performance":
+        return wire.intrinsic_delay_ns
+    if mode == "power":
+        return wire.capacitance_pf
+    delay_term = wire.delay_per_clb_ns / _MIN_DELAY_PER_CLB
+    cap_term = wire.capacitance_per_clb_pf / _MIN_CAP_PER_CLB
+    return 0.5 * (delay_term + cap_term) * wire.span
+
+
+def _heuristic_scale(mode: str) -> float:
+    """Admissible per-CLB lower bound of the base cost."""
+    return min(base_cost(w, mode) / w.span for w in WIRE_TYPES)
+
+
+def route_single_net(
+    net: Net,
+    placement: Placement,
+    graph: RoutingGraph,
+    options: RouterOptions,
+) -> RoutedNet:
+    """Route one net as a Steiner-ish tree: sinks are connected one by one
+    (nearest first) to the growing tree with A* searches.
+
+    Raises
+    ------
+    ValueError
+        If a sink cannot be reached (should not happen on a connected
+        grid).
+    """
+    source: XY = placement.coord(net.driver.name).clb
+    sink_clbs: List[XY] = []
+    for sink in net.sinks:
+        clb = placement.coord(sink.name).clb
+        if clb != source and clb not in sink_clbs:
+            sink_clbs.append(clb)
+    routed = RoutedNet(net.name, source, sink_clbs)
+    if not sink_clbs:
+        return routed
+
+    h_scale = _heuristic_scale(options.mode)
+    tree: Set[XY] = {source}
+    remaining = sorted(sink_clbs, key=lambda s: abs(s[0] - source[0]) + abs(s[1] - source[1]))
+    for target in remaining:
+        if target in tree:
+            continue
+        path = _astar(tree, target, graph, options, h_scale)
+        for seg in path:
+            routed.segments.append(seg)
+            tree.add(seg.source)
+            tree.add(seg.dest)
+    return routed
+
+
+def _astar(
+    sources: Set[XY],
+    target: XY,
+    graph: RoutingGraph,
+    options: RouterOptions,
+    h_scale: float,
+) -> List[RouteSegment]:
+    def heuristic(node: XY) -> float:
+        return h_scale * (abs(node[0] - target[0]) + abs(node[1] - target[1]))
+
+    best: Dict[XY, float] = {}
+    came: Dict[XY, RouteSegment] = {}
+    frontier: List[Tuple[float, float, XY]] = []
+    for s in sources:
+        best[s] = 0.0
+        heapq.heappush(frontier, (heuristic(s), 0.0, s))
+    while frontier:
+        _f, g, node = heapq.heappop(frontier)
+        if node == target:
+            break
+        if g > best.get(node, float("inf")):
+            continue
+        for dest, wire in graph.neighbours(node):
+            cost = base_cost(wire, options.mode)
+            cost += options.congestion_weight * graph.congestion_cost(node, dest, wire)
+            ng = g + cost
+            if ng < best.get(dest, float("inf")):
+                best[dest] = ng
+                came[dest] = RouteSegment(wire, node, dest)
+                heapq.heappush(frontier, (ng + heuristic(dest), ng, dest))
+    if target not in came and target not in sources:
+        raise ValueError(f"router: no path to {target}")
+    path: List[RouteSegment] = []
+    node = target
+    while node in came:
+        seg = came[node]
+        path.append(seg)
+        node = seg.source
+        if node in sources:
+            break
+    path.reverse()
+    return path
+
+
+def route(
+    netlist: Netlist,
+    placement: Placement,
+    device: DeviceSpec,
+    options: Optional[RouterOptions] = None,
+    graph: Optional[RoutingGraph] = None,
+    nets: Optional[Iterable[Net]] = None,
+) -> RoutingResult:
+    """Route a placed netlist; returns routed nets plus the occupancy graph.
+
+    Parameters
+    ----------
+    graph:
+        Pass an existing graph to route *into* occupied fabric (used when a
+        module is routed inside its slot while the static side stays put).
+    nets:
+        Restrict routing to these nets (default: all non-clock nets).
+    """
+    options = options or RouterOptions()
+    graph = graph if graph is not None else RoutingGraph(device)
+    to_route = [n for n in (nets if nets is not None else netlist.nets) if not n.is_clock]
+    # Hot nets first so they get first pick of the cheap wires.
+    to_route.sort(key=lambda n: n.activity, reverse=True)
+
+    routed: Dict[str, RoutedNet] = {}
+    for net in to_route:
+        rn = route_single_net(net, placement, graph, options)
+        graph.occupy_net(rn)
+        routed[net.name] = rn
+
+    iterations = 1
+    while not graph.is_legal() and iterations < options.max_iterations:
+        graph.bump_history(options.history_increment)
+        overused = {key for key, _ in graph.overused_channels()}
+        victims = [
+            name
+            for name, rn in routed.items()
+            if any(seg.channel in overused for seg in rn.segments)
+        ]
+        for name in victims:
+            graph.release_net(routed[name])
+        for name in victims:
+            net = netlist.net(name)
+            rn = route_single_net(net, placement, graph, options)
+            graph.occupy_net(rn)
+            routed[name] = rn
+        iterations += 1
+
+    return RoutingResult(nets=routed, graph=graph, iterations=iterations, legal=graph.is_legal())

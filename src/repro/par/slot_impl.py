@@ -1,0 +1,149 @@
+"""Implementing a module inside its reconfigurable slot.
+
+The paper's Figure 5 shows the amp/phase module implemented in the dynamic
+region with its interface routed through the slice-based bus macros.  This
+flow reproduces it: the module's interface nets are anchored to the bus
+macros' fixed dynamic-side slices, placement is confined to the slot, and
+routing runs inside fabric the static side may already occupy — exactly
+the constraints a module-based partial-reconfiguration flow imposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.fabric.grid import SliceCoord
+from repro.fabric.routing import RoutingGraph
+from repro.netlist.cells import SLICE_REG
+from repro.netlist.netlist import Netlist
+from repro.par.design import Design
+from repro.par.placer import PlacerOptions, place
+from repro.par.router import RouterOptions, route
+from repro.reconfig.slots import Floorplan, Slot
+
+#: Prefix identifying a bus-macro anchor cell added by this flow.
+ANCHOR_PREFIX = "__busmacro"
+
+
+def attach_busmacro_anchors(
+    netlist: Netlist, slot: Slot
+) -> Tuple[Netlist, Dict[str, SliceCoord]]:
+    """Copy the netlist and add one anchor cell per interface net, pinned
+    to a bus-macro slice on the slot boundary.
+
+    Interface nets are recognised by the ``<block>_io<N>`` naming the
+    block builders and the sysgen compiler emit.
+
+    Returns
+    -------
+    (netlist with anchors, {anchor cell name: pinned coordinate})
+
+    Raises
+    ------
+    ValueError
+        If the slot's macros cannot carry all interface signals.
+    """
+    interface_nets = [n for n in netlist.nets if "_io" in n.name and not n.is_clock]
+    # Each bus-macro slice carries two signals, so two anchors may share a
+    # slice (assigned non-exclusively by the placer's fixed handling).
+    macro_slices: List[SliceCoord] = []
+    for macro in slot.busmacros:
+        for coord in macro.dynamic_slices:
+            macro_slices.extend([coord, coord])
+    if len(interface_nets) > len(macro_slices):
+        raise ValueError(
+            f"{len(interface_nets)} interface nets exceed the "
+            f"{len(macro_slices)} bus-macro signal positions of slot {slot.index}"
+        )
+
+    anchored = Netlist(netlist.name)
+    mapping = {}
+    for cell in netlist.cells:
+        mapping[cell.name] = anchored.add_cell(cell.name, cell.ctype)
+    pins: Dict[str, SliceCoord] = {}
+    anchors: Dict[str, str] = {}
+    for i, net in enumerate(interface_nets):
+        anchor_name = f"{ANCHOR_PREFIX}{i}"
+        anchored.add_cell(anchor_name, SLICE_REG)
+        pins[anchor_name] = macro_slices[i]
+        anchors[net.name] = anchor_name
+    for net in netlist.nets:
+        sinks = [mapping[s.name] for s in net.sinks]
+        if net.name in anchors:
+            sinks = sinks + [anchored.cell(anchors[net.name])]
+        anchored.add_net(
+            net.name, mapping[net.driver.name], sinks,
+            activity=net.activity, is_clock=net.is_clock,
+        )
+    return anchored, pins
+
+
+@dataclass
+class SlotImplementation:
+    """Result of implementing one module in one slot."""
+
+    design: Design
+    anchor_count: int
+    routing_legal: bool
+
+    @property
+    def interface_wirelength(self) -> int:
+        """Routed length of the anchored interface nets."""
+        total = 0
+        for name, routed in self.design.routed_nets.items():
+            if any(c.name.startswith(ANCHOR_PREFIX) for c in self.design.netlist.net(name).sinks):
+                total += routed.wirelength_clbs
+        return total
+
+
+def implement_module_in_slot(
+    netlist: Netlist,
+    floorplan: Floorplan,
+    slot_index: int = 0,
+    placer_options: Optional[PlacerOptions] = None,
+    router_options: Optional[RouterOptions] = None,
+    occupied_graph: Optional[RoutingGraph] = None,
+) -> SlotImplementation:
+    """Place and route a module inside its slot with bus-macro anchoring.
+
+    Parameters
+    ----------
+    occupied_graph:
+        Routing graph already holding the static side's routes; the module
+        negotiates around them (pass None for an empty device).
+
+    Raises
+    ------
+    ValueError
+        If the module does not fit the slot or anchoring fails.
+    """
+    slot = floorplan.slot(slot_index)
+    anchored, pins = attach_busmacro_anchors(netlist, slot)
+    placement = place(
+        anchored,
+        floorplan.device,
+        region=slot.region,
+        options=placer_options or PlacerOptions(steps=25),
+        fixed=pins,
+    )
+    routing = route(
+        anchored,
+        placement,
+        floorplan.device,
+        options=router_options,
+        graph=occupied_graph,
+    )
+    design = Design(
+        netlist=anchored,
+        device=floorplan.device,
+        region=slot.region,
+        placement=placement,
+        routed_nets=routing.nets,
+        graph=routing.graph,
+    )
+    return SlotImplementation(
+        design=design,
+        anchor_count=len(pins),
+        routing_legal=routing.legal,
+    )

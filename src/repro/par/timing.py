@@ -1,0 +1,175 @@
+"""Static timing analysis over a routed design.
+
+Paths start at sequential cell outputs (and cells with no fanin) and end at
+sequential cell inputs; arc delay = driving cell's logic delay + routed net
+delay to the sink.  The critical path bounds the usable clock frequency —
+the quantity behind the paper's argument that the ~1000x faster hardware
+modules "allow a reduced clock frequency, which further reduces dynamic
+power consumption".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.netlist import Netlist
+from repro.par.design import Design
+
+#: Fallback estimate for net delay when the design is placed but not routed:
+#: delay per CLB of Manhattan distance (double-line-ish), ns.
+_EST_DELAY_PER_CLB_NS = 0.30
+
+
+@dataclass
+class TimingReport:
+    """Result of one STA run."""
+
+    critical_path_ns: float
+    critical_path: List[str]
+    fmax_mhz: float
+    arc_count: int
+
+    def meets(self, clock_mhz: float) -> bool:
+        """Whether the design closes timing at the given clock."""
+        return clock_mhz <= self.fmax_mhz + 1e-9
+
+    def render(self, clock_mhz: Optional[float] = None) -> str:
+        """TRCE-style text report: critical path, fmax, and (optionally)
+        slack against a clock constraint."""
+        lines = [
+            "Timing summary:",
+            f"  critical path : {self.critical_path_ns:8.3f} ns "
+            f"({len(self.critical_path)} cells)",
+            f"  fmax          : {self.fmax_mhz:8.2f} MHz",
+            f"  timing arcs   : {self.arc_count}",
+        ]
+        if self.critical_path:
+            lines.append("  path          : " + " -> ".join(self.critical_path[:8])
+                         + (" ..." if len(self.critical_path) > 8 else ""))
+        if clock_mhz is not None:
+            period = 1000.0 / clock_mhz
+            slack = period - self.critical_path_ns
+            verdict = "MET" if self.meets(clock_mhz) else "VIOLATED"
+            lines.append(
+                f"  constraint    : {clock_mhz:.2f} MHz ({period:.3f} ns) "
+                f"slack {slack:+.3f} ns  [{verdict}]"
+            )
+        return "\n".join(lines)
+
+
+def analyze_timing(design: Design, use_routing: bool = True) -> TimingReport:
+    """Compute the critical register-to-register path.
+
+    Combinational cycles (possible in synthetic netlists) are broken by
+    ignoring back edges discovered during the longest-path traversal; real
+    synthesized designs from :mod:`repro.sysgen` are acyclic.
+
+    Raises
+    ------
+    ValueError
+        If the design is not placed.
+    """
+    design.require_placed()
+    netlist = design.netlist
+    placement = design.placement
+
+    # Arc list: (driver cell, sink cell, delay, net name).
+    arcs: Dict[str, List[Tuple[str, float, str]]] = {c.name: [] for c in netlist.cells}
+    arc_count = 0
+    for net in netlist.nets:
+        if net.is_clock:
+            continue
+        for sink in net.sinks:
+            if sink is net.driver:
+                continue
+            delay = net.driver.ctype.logic_delay_ns + _net_delay(design, net, sink, use_routing)
+            arcs[net.driver.name].append((sink.name, delay, net.name))
+            arc_count += 1
+
+    sequential = {c.name for c in netlist.cells if c.ctype.is_sequential}
+    has_fanin = set()
+    for net in netlist.nets:
+        if net.is_clock:
+            continue
+        has_fanin.update(s.name for s in net.sinks if s is not net.driver)
+    starts = [c.name for c in netlist.cells if c.name in sequential or c.name not in has_fanin]
+
+    # Longest path by DFS with memoisation; back edges (combinational
+    # loops) are cut by the on-stack check.
+    longest: Dict[str, float] = {}
+    successor: Dict[str, Optional[Tuple[str, str]]] = {}
+    on_stack: set = set()
+
+    def visit(cell: str, from_start: bool) -> float:
+        # Paths terminate at sequential inputs (unless this is the start).
+        if not from_start and cell in sequential:
+            return 0.0
+        key = cell
+        if key in longest and not from_start:
+            return longest[key]
+        if cell in on_stack:
+            return 0.0  # combinational loop: cut
+        on_stack.add(cell)
+        best = 0.0
+        best_succ: Optional[Tuple[str, str]] = None
+        for sink, delay, net_name in arcs.get(cell, ()):
+            tail = visit(sink, from_start=False)
+            if delay + tail > best:
+                best = delay + tail
+                best_succ = (sink, net_name)
+        on_stack.discard(cell)
+        if not from_start:
+            longest[key] = best
+            successor[key] = best_succ
+        return best
+
+    critical = 0.0
+    critical_start = None
+    start_succ: Dict[str, Optional[Tuple[str, str]]] = {}
+    for start in starts:
+        best = 0.0
+        best_succ = None
+        for sink, delay, net_name in arcs.get(start, ()):
+            tail = visit(sink, from_start=False)
+            if delay + tail > best:
+                best = delay + tail
+                best_succ = (sink, net_name)
+        start_succ[start] = best_succ
+        if best > critical:
+            critical = best
+            critical_start = start
+
+    path: List[str] = []
+    if critical_start is not None:
+        path.append(critical_start)
+        step = start_succ[critical_start]
+        guard = 0
+        while step is not None and guard < 10_000:
+            sink, _net = step
+            path.append(sink)
+            step = successor.get(sink)
+            guard += 1
+
+    fmax = float("inf") if critical <= 0 else 1000.0 / critical
+    return TimingReport(
+        critical_path_ns=critical,
+        critical_path=path,
+        fmax_mhz=fmax,
+        arc_count=arc_count,
+    )
+
+
+def _net_delay(design: Design, net, sink, use_routing: bool) -> float:
+    if use_routing and net.name in design.routed_nets:
+        routed = design.routed_nets[net.name]
+        sink_clb = design.placement.coord(sink.name).clb
+        if sink_clb == routed.source:
+            return 0.0
+        try:
+            return routed.delay_ns(sink_clb)
+        except ValueError:
+            pass
+    a = design.placement.coord(net.driver.name)
+    b = design.placement.coord(sink.name)
+    return _EST_DELAY_PER_CLB_NS * a.manhattan(b)

@@ -1,0 +1,36 @@
+"""Power estimation — the XPower substitute.
+
+Dynamic power per net follows the standard CMOS switching model
+``P = 0.5 * alpha * f * C * V^2`` where ``alpha`` is the net's toggles per
+clock cycle (its *communication rate*), ``C`` the routed capacitance from
+the fabric model plus pin and driver loads, and ``f`` the clock.  Static
+power comes from the device catalog (quiescent current scaled for voltage
+and temperature), which is what shrinks when partial reconfiguration lets
+the design fit a smaller device.
+"""
+
+from repro.power.model import (
+    PowerParams,
+    net_dynamic_power_w,
+    static_power_w,
+    block_dynamic_power_w,
+    clock_tree_power_w,
+    switching_power_w,
+)
+from repro.power.estimator import PowerEstimator, PowerReport, NetPower
+from repro.power.profile import PowerProfile, PowerSample, power_profile
+
+__all__ = [
+    "PowerProfile",
+    "PowerSample",
+    "power_profile",
+    "PowerParams",
+    "net_dynamic_power_w",
+    "static_power_w",
+    "block_dynamic_power_w",
+    "clock_tree_power_w",
+    "switching_power_w",
+    "PowerEstimator",
+    "PowerReport",
+    "NetPower",
+]

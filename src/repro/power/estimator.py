@@ -1,0 +1,171 @@
+"""Design-level power estimation and reporting (the XPower substitute)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fabric.routing import RoutedNet
+from repro.netlist.netlist import Net
+from repro.par.design import Design
+from repro.power.model import (
+    PowerParams,
+    clock_tree_power_w,
+    net_dynamic_power_w,
+    static_power_w,
+    switching_power_w,
+)
+
+#: Estimated interconnect capacitance per CLB of Manhattan distance when a
+#: net is placed but not routed (double-line mix), pF.
+_EST_CAP_PER_CLB_PF = 0.13
+#: Minimum local-interconnect capacitance of an unrouted net, pF.
+_EST_CAP_FLOOR_PF = 0.08
+
+#: VCCAUX standby draw (DCMs, configuration logic), watts.
+VCCAUX_STANDBY_W = 0.008
+
+#: Board-level load one IOB drives (trace + receiver), pF — far above any
+#: internal net, which is why IO power gets its own rail.
+_IO_LOAD_PF = 12.0
+
+
+@dataclass
+class NetPower:
+    """Power breakdown of one net."""
+
+    name: str
+    activity: float
+    capacitance_pf: float
+    routing_power_w: float
+    logic_power_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.routing_power_w + self.logic_power_w
+
+    @property
+    def total_uw(self) -> float:
+        return self.total_w * 1e6
+
+
+@dataclass
+class PowerReport:
+    """Full power report of one design at one operating point."""
+
+    design_name: str
+    device_name: str
+    clock_mhz: float
+    static_w: float
+    clock_w: float
+    io_w: float = 0.0
+    nets: Dict[str, NetPower] = field(default_factory=dict)
+
+    @property
+    def routing_w(self) -> float:
+        return sum(n.routing_power_w for n in self.nets.values())
+
+    @property
+    def logic_w(self) -> float:
+        return sum(n.logic_power_w for n in self.nets.values())
+
+    @property
+    def dynamic_w(self) -> float:
+        return self.routing_w + self.logic_w + self.clock_w
+
+    @property
+    def total_w(self) -> float:
+        return self.static_w + self.dynamic_w + self.io_w
+
+    def rails(self) -> Dict[str, float]:
+        """Supply-rail breakdown, XPower style: VCCINT carries core static
+        and dynamic power; VCCAUX the DCMs/configuration standby; VCCO the
+        IO drivers.  Watts per rail."""
+        return {
+            "VCCINT": self.static_w + self.dynamic_w,
+            "VCCAUX": VCCAUX_STANDBY_W,
+            "VCCO": self.io_w,
+        }
+
+    def net(self, name: str) -> NetPower:
+        return self.nets[name]
+
+    def hottest_nets(self, count: int = 10) -> List[NetPower]:
+        """Nets ranked by dissipated power, hottest first."""
+        return sorted(self.nets.values(), key=lambda n: n.total_w, reverse=True)[:count]
+
+    def summary(self) -> str:
+        """Human-readable report in the spirit of an XPower summary."""
+        lines = [
+            f"Power report: {self.design_name} on {self.device_name} @ {self.clock_mhz:.1f} MHz",
+            f"  static   : {self.static_w * 1e3:8.2f} mW",
+            f"  clock    : {self.clock_w * 1e3:8.2f} mW",
+            f"  logic    : {self.logic_w * 1e3:8.2f} mW",
+            f"  routing  : {self.routing_w * 1e3:8.2f} mW",
+            f"  dynamic  : {self.dynamic_w * 1e3:8.2f} mW",
+            f"  total    : {self.total_w * 1e3:8.2f} mW",
+        ]
+        return "\n".join(lines)
+
+
+class PowerEstimator:
+    """Estimates the power of a (placed and ideally routed) design.
+
+    Routed nets use exact segment capacitances; unrouted nets fall back to
+    a distance-based estimate so early floorplanning studies still get
+    sensible totals.
+    """
+
+    def __init__(self, design: Design, clock_mhz: float, params: Optional[PowerParams] = None):
+        if clock_mhz <= 0:
+            raise ValueError(f"clock must be positive, got {clock_mhz}")
+        design.require_placed()
+        self.design = design
+        self.clock_mhz = clock_mhz
+        self.params = params or PowerParams()
+
+    def net_capacitance_pf(self, net: Net) -> float:
+        """Interconnect capacitance of one net (routed or estimated)."""
+        routed = self.design.routed_nets.get(net.name)
+        if routed is not None:
+            return routed.capacitance_pf
+        coords = [self.design.placement.coord(c.name) for c in net.cells]
+        span = max(c.x for c in coords) - min(c.x for c in coords)
+        span += max(c.y for c in coords) - min(c.y for c in coords)
+        return _EST_CAP_FLOOR_PF + _EST_CAP_PER_CLB_PF * span
+
+    def net_power(self, net: Net) -> NetPower:
+        """Routing + logic power of one net."""
+        cap = self.net_capacitance_pf(net)
+        routing = switching_power_w(cap, net.activity, self.clock_mhz, self.params.vccint)
+        # Logic power: the driver's internal capacitance switches with the
+        # net, and each sink's input stage switches too.
+        internal = net.driver.ctype.internal_capacitance_pf
+        internal += sum(0.25 * s.ctype.internal_capacitance_pf for s in net.sinks)
+        logic = switching_power_w(internal, net.activity, self.clock_mhz, self.params.vccint)
+        return NetPower(net.name, net.activity, cap, routing, logic)
+
+    def report(self) -> PowerReport:
+        """Estimate the whole design."""
+        design = self.design
+        sequential = sum(1 for c in design.netlist.cells if c.ctype.is_sequential)
+        report = PowerReport(
+            design_name=design.netlist.name,
+            device_name=design.device.name,
+            clock_mhz=self.clock_mhz,
+            static_w=static_power_w(design.device, self.params),
+            clock_w=clock_tree_power_w(design.device, sequential, self.clock_mhz, self.params),
+        )
+        io_w = 0.0
+        from repro.netlist.cells import SiteKind
+
+        for net in design.netlist.nets:
+            if net.is_clock:
+                continue  # accounted in the clock-tree term
+            report.nets[net.name] = self.net_power(net)
+            if net.driver.ctype.site == SiteKind.IOB:
+                # Output drivers swing board-level loads on the VCCO rail
+                # (3.3 V LVCMOS).
+                io_w += switching_power_w(_IO_LOAD_PF, net.activity, self.clock_mhz, 3.3)
+        report.io_w = io_w
+        return report

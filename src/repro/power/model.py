@@ -1,0 +1,107 @@
+"""Electrical power models."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fabric.device import VCCINT, DeviceSpec
+from repro.fabric.routing import RoutedNet
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """Operating-point parameters for power estimation."""
+
+    vccint: float = VCCINT
+    #: Junction temperature, degC (leakage roughly doubles every ~25 K on
+    #: 90 nm silicon).
+    temperature_c: float = 25.0
+    #: Capacitance of one global clock tree spine per CLB row it crosses, pF.
+    clock_tree_cap_per_row_pf: float = 1.6
+    #: Capacitance of the clock input pin of one sequential cell, pF.
+    clock_pin_cap_pf: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.vccint <= 0:
+            raise ValueError(f"vccint must be positive, got {self.vccint}")
+
+
+def switching_power_w(
+    capacitance_pf: float,
+    activity: float,
+    clock_mhz: float,
+    vccint: float = VCCINT,
+) -> float:
+    """Dynamic power of one capacitance switching ``activity`` times per
+    cycle: ``P = 0.5 * alpha * f * C * V^2`` (watts).
+
+    Raises
+    ------
+    ValueError
+        On negative inputs.
+    """
+    if capacitance_pf < 0 or activity < 0 or clock_mhz < 0:
+        raise ValueError("switching_power_w: negative input")
+    return 0.5 * activity * (clock_mhz * 1e6) * (capacitance_pf * 1e-12) * vccint**2
+
+
+def net_dynamic_power_w(
+    routed: RoutedNet,
+    activity: float,
+    clock_mhz: float,
+    params: PowerParams = PowerParams(),
+) -> float:
+    """Dynamic power dissipated in one routed net's interconnect."""
+    return switching_power_w(routed.capacitance_pf, activity, clock_mhz, params.vccint)
+
+
+def static_power_w(device: DeviceSpec, params: PowerParams = PowerParams()) -> float:
+    """Static (leakage) power of a device at the given operating point.
+
+    Leakage scales quadratically-ish with voltage and exponentially with
+    temperature (doubling per 25 K above 25 degC).
+    """
+    voltage_scale = (params.vccint / VCCINT) ** 2
+    temp_scale = 2.0 ** ((params.temperature_c - 25.0) / 25.0)
+    return device.static_power_w * voltage_scale * temp_scale
+
+
+#: Mean switched capacitance per occupied slice: internal logic plus its
+#: share of local routing, pF.  Used for block-level (pre-PAR) estimates.
+BLOCK_CAP_PER_SLICE_PF = 0.34
+
+
+def block_dynamic_power_w(
+    slices: int,
+    mean_activity: float,
+    clock_mhz: float,
+    params: PowerParams = PowerParams(),
+) -> float:
+    """Block-level dynamic power estimate: ``slices`` of logic toggling at
+    ``mean_activity`` per cycle.  The routed-design estimator
+    (:class:`repro.power.estimator.PowerEstimator`) supersedes this when a
+    placed-and-routed netlist exists; system-level studies use this form.
+
+    Raises
+    ------
+    ValueError
+        On negative inputs.
+    """
+    if slices < 0:
+        raise ValueError(f"negative slice count {slices}")
+    total_cap = slices * BLOCK_CAP_PER_SLICE_PF
+    return switching_power_w(total_cap, mean_activity, clock_mhz, params.vccint)
+
+
+def clock_tree_power_w(
+    device: DeviceSpec,
+    sequential_cells: int,
+    clock_mhz: float,
+    params: PowerParams = PowerParams(),
+) -> float:
+    """Power of one global clock network: the spine/rows capacitance plus
+    the clock pins of every sequential cell, toggling twice per cycle."""
+    tree_cap = params.clock_tree_cap_per_row_pf * device.clb_rows
+    pin_cap = params.clock_pin_cap_pf * sequential_cells
+    return switching_power_w(tree_cap + pin_cap, 2.0, clock_mhz, params.vccint)

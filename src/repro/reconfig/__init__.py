@@ -1,0 +1,57 @@
+"""Dynamic and partial reconfiguration (paper §3 and §4.2).
+
+Floorplanning into a static side and column-aligned reconfigurable slots,
+slice-based bus macros across the boundary, configuration-port models
+(the Virtex ICAP and the paper's JTAG-based JCAP for Spartan-3, reference
+[11]), the reconfiguration controller that fetches partial bitstreams from
+external memory, and the per-measurement-cycle module scheduler.
+"""
+
+from repro.reconfig.slots import Floorplan, Slot, plan_floorplan, FloorplanError
+from repro.reconfig.busmacro import BusMacro, busmacros_for_signals, BUSMACRO_SIGNALS
+from repro.reconfig.ports import ConfigPort, Icap, Jcap, ConfigurationEvent
+from repro.reconfig.controller import ReconfigController, BitstreamStore
+from repro.reconfig.scheduler import CycleSchedule, ScheduledTask, build_cycle_schedule
+from repro.reconfig.readback import ReadbackScrubber, ScrubReport, frame_crc
+from repro.reconfig.relocation import relocate, check_compatible, RelocationError, store_savings
+from repro.reconfig.multislot import (
+    ArrangementReport,
+    compare_arrangements,
+    evaluate_resident_hot_module,
+    evaluate_single_slot,
+)
+
+from repro.reconfig.diffload import diff_bitstream, diff_load_time_s, DiffResult
+
+__all__ = [
+    "diff_bitstream",
+    "diff_load_time_s",
+    "DiffResult",
+    "ArrangementReport",
+    "compare_arrangements",
+    "evaluate_resident_hot_module",
+    "evaluate_single_slot",
+    "ReadbackScrubber",
+    "ScrubReport",
+    "frame_crc",
+    "relocate",
+    "check_compatible",
+    "RelocationError",
+    "store_savings",
+    "Floorplan",
+    "Slot",
+    "plan_floorplan",
+    "FloorplanError",
+    "BusMacro",
+    "busmacros_for_signals",
+    "BUSMACRO_SIGNALS",
+    "ConfigPort",
+    "Icap",
+    "Jcap",
+    "ConfigurationEvent",
+    "ReconfigController",
+    "BitstreamStore",
+    "CycleSchedule",
+    "ScheduledTask",
+    "build_cycle_schedule",
+]

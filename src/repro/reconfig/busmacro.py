@@ -1,0 +1,87 @@
+"""Slice-based bus macros (paper reference [8]).
+
+"Slice based busmacros are used for the communication between the static
+and dynamic areas": fixed-placement slice pairs straddling the boundary
+column so that signals cross at known routing resources regardless of what
+is configured on either side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.fabric.grid import SliceCoord
+
+#: Signals carried by one bus macro (8-bit macros, as in [8]).
+BUSMACRO_SIGNALS = 8
+#: Slices per macro: one slice per two signals on each side of the border.
+SLICES_PER_MACRO = 8
+#: Propagation delay added by crossing one macro, ns.
+MACRO_DELAY_NS = 1.1
+
+
+@dataclass(frozen=True)
+class BusMacro:
+    """One bus macro instance on the static/dynamic border.
+
+    Attributes
+    ----------
+    boundary_column:
+        The first CLB column of the dynamic region; the macro occupies the
+        CLBs at ``boundary_column - 1`` and ``boundary_column``.
+    row:
+        CLB row of the macro.
+    direction:
+        ``"s2d"`` (static drives dynamic) or ``"d2s"``.
+    """
+
+    boundary_column: int
+    row: int
+    direction: str = "s2d"
+
+    def __post_init__(self) -> None:
+        if self.boundary_column < 1:
+            raise ValueError("bus macro needs a column on each side of the border")
+        if self.direction not in ("s2d", "d2s"):
+            raise ValueError(f"direction must be 's2d' or 'd2s', got {self.direction!r}")
+
+    @property
+    def static_slices(self) -> List[SliceCoord]:
+        """Slices occupied on the static side."""
+        x = self.boundary_column - 1
+        return [SliceCoord(x, self.row, i) for i in range(SLICES_PER_MACRO // 2)]
+
+    @property
+    def dynamic_slices(self) -> List[SliceCoord]:
+        """Slices occupied on the dynamic side."""
+        x = self.boundary_column
+        return [SliceCoord(x, self.row, i) for i in range(SLICES_PER_MACRO // 2)]
+
+    @property
+    def signals(self) -> int:
+        return BUSMACRO_SIGNALS
+
+
+def busmacros_for_signals(
+    signal_count: int, boundary_column: int, rows: int, start_row: int = 0
+) -> List[BusMacro]:
+    """Allocate enough macros (alternating directions) for a module
+    interface of ``signal_count`` signals.
+
+    Raises
+    ------
+    ValueError
+        If the border column does not offer enough rows.
+    """
+    if signal_count < 0:
+        raise ValueError(f"negative signal count {signal_count}")
+    needed = -(-signal_count // BUSMACRO_SIGNALS)
+    if start_row + needed > rows:
+        raise ValueError(
+            f"{needed} bus macros do not fit {rows - start_row} border rows"
+        )
+    return [
+        BusMacro(boundary_column, start_row + i, "s2d" if i % 2 == 0 else "d2s")
+        for i in range(needed)
+    ]

@@ -1,0 +1,160 @@
+"""Multi-slot arrangements: trading area for reconfiguration time.
+
+The paper's system uses one reconfigurable slot sized for the largest
+module, so *every* module load rewrites that largest slot's frames — over
+the slow Spartan-3 JCAP that overruns the 100 ms measurement cycle (see
+``benchmarks/bench_reconfig_overhead.py``).
+
+A known remedy the paper's multi-slot discussion (§3, Figure 2 shows the
+general multi-slot partitioning) points toward: keep the *hot* module
+(amp/phase — largest and used every cycle) resident in its own slot, and
+cycle only the smaller modules through a second slot.  Per-cycle bitstream
+traffic shrinks to the small modules' frames, which fits even the JCAP —
+at the price of a larger device (both slots exist at once).  This module
+builds and evaluates that arrangement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fabric.bitstream import BitstreamGenerator
+from repro.fabric.device import DeviceSpec
+from repro.power.model import static_power_w
+from repro.reconfig.ports import ConfigPort
+from repro.reconfig.scheduler import CYCLE_PERIOD_S
+from repro.reconfig.slots import Floorplan, FloorplanError, smallest_device_for_plan
+from repro.sysgen.compile import CompiledModule
+
+
+@dataclass(frozen=True)
+class ArrangementReport:
+    """Evaluation of one slot arrangement under one port."""
+
+    name: str
+    device: str
+    static_power_w: float
+    device_price_usd: float
+    loads_per_cycle: int
+    reconfig_time_per_cycle_s: float
+    fits_period: bool
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"{self.name}: {self.device}, {self.loads_per_cycle} loads/cycle, "
+            f"{self.reconfig_time_per_cycle_s * 1e3:.1f} ms reconfig, "
+            f"{'fits' if self.fits_period else 'MISSES'} the cycle"
+        )
+
+
+def _bitstream_bytes(device: DeviceSpec, plan: Floorplan, slot_index: int) -> int:
+    generator = BitstreamGenerator(device)
+    return generator.partial_for_region(plan.slot(slot_index).region, "m").total_bytes
+
+
+def evaluate_single_slot(
+    static_slices: int,
+    modules: Sequence[CompiledModule],
+    port: ConfigPort,
+    period_s: float = CYCLE_PERIOD_S,
+) -> ArrangementReport:
+    """The paper's arrangement: one slot, every module loaded each cycle.
+
+    Raises
+    ------
+    FloorplanError
+        If no device fits.
+    """
+    plan = smallest_device_for_plan(
+        static_slices,
+        [max(m.slices for m in modules)],
+        [max(m.interface_nets for m in modules)],
+    )
+    per_load = _bitstream_bytes(plan.device, plan, 0)
+    time = len(modules) * port.configure_time_s(per_load)
+    return ArrangementReport(
+        name="single-slot",
+        device=plan.device.name,
+        static_power_w=static_power_w(plan.device),
+        device_price_usd=plan.device.price_usd,
+        loads_per_cycle=len(modules),
+        reconfig_time_per_cycle_s=time,
+        fits_period=time <= period_s,
+    )
+
+
+def evaluate_resident_hot_module(
+    static_slices: int,
+    modules: Sequence[CompiledModule],
+    resident_name: str,
+    port: ConfigPort,
+    period_s: float = CYCLE_PERIOD_S,
+) -> ArrangementReport:
+    """Two slots: ``resident_name`` stays loaded in its own slot; the rest
+    share a second slot sized for the largest of them.
+
+    Raises
+    ------
+    ValueError
+        If the resident module is not in the list or nothing remains for
+        the shared slot.
+    FloorplanError
+        If no device holds both slots.
+    """
+    by_name = {m.name: m for m in modules}
+    if resident_name not in by_name:
+        raise ValueError(f"no module named {resident_name!r}")
+    resident = by_name[resident_name]
+    rotating = [m for m in modules if m.name != resident_name]
+    if not rotating:
+        raise ValueError("no modules left for the shared slot")
+    plan = smallest_device_for_plan(
+        static_slices,
+        [resident.slices, max(m.slices for m in rotating)],
+        [resident.interface_nets, max(m.interface_nets for m in rotating)],
+    )
+    # The resident module is configured once at power-up; per cycle only
+    # the shared slot is rewritten, once per rotating module.
+    per_load = _bitstream_bytes(plan.device, plan, 1)
+    time = len(rotating) * port.configure_time_s(per_load)
+    return ArrangementReport(
+        name=f"resident-{resident_name}",
+        device=plan.device.name,
+        static_power_w=static_power_w(plan.device),
+        device_price_usd=plan.device.price_usd,
+        loads_per_cycle=len(rotating),
+        reconfig_time_per_cycle_s=time,
+        fits_period=time <= period_s,
+    )
+
+
+def compare_arrangements(
+    static_slices: int,
+    modules: Sequence[CompiledModule],
+    resident_name: str,
+    ports: Dict[str, ConfigPort],
+    period_s: float = CYCLE_PERIOD_S,
+) -> List[ArrangementReport]:
+    """Evaluate single-slot and resident-hot-module arrangements over the
+    given port models; returns one report per (arrangement, port), the
+    port name appended to the arrangement name."""
+    reports: List[ArrangementReport] = []
+    for port_name, port in ports.items():
+        for evaluator, kwargs in (
+            (evaluate_single_slot, {}),
+            (evaluate_resident_hot_module, {"resident_name": resident_name}),
+        ):
+            report = evaluator(static_slices, modules, port=port, period_s=period_s, **kwargs)
+            reports.append(
+                ArrangementReport(
+                    name=f"{report.name}/{port_name}",
+                    device=report.device,
+                    static_power_w=report.static_power_w,
+                    device_price_usd=report.device_price_usd,
+                    loads_per_cycle=report.loads_per_cycle,
+                    reconfig_time_per_cycle_s=report.reconfig_time_per_cycle_s,
+                    fits_period=report.fits_period,
+                )
+            )
+    return reports

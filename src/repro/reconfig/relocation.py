@@ -1,0 +1,118 @@
+"""Partial-bitstream relocation.
+
+The paper cites work on dynamic interconnection of relocatable modules
+(reference [5], Bobda/Ahmadinia) as a way "to decrease the bitstream
+overhead and thereby reduce memory requirements for the reconfigurable
+modules": if one stored bitstream can be loaded into *any* compatible
+slot, the store holds one image per module instead of one per
+(module, slot) pair.
+
+On column-addressed devices relocation rewrites the column field of every
+frame address by the slot offset; it is legal only between slots of equal
+width and height with equal hard-resource columns — checked here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.fabric.bitstream import Bitstream, Frame
+from repro.fabric.device import DeviceSpec
+from repro.fabric.grid import Region
+
+
+class RelocationError(ValueError):
+    """Raised when a bitstream cannot be relocated between two regions."""
+
+
+def check_compatible(source: Region, target: Region, device: DeviceSpec) -> None:
+    """Verify two regions can host the same partial bitstream.
+
+    Raises
+    ------
+    RelocationError
+        If the regions differ in shape, are not column aligned, or the
+        target leaves the device.
+    """
+    if not source.is_column_aligned(device) or not target.is_column_aligned(device):
+        raise RelocationError("both regions must be column aligned")
+    if source.width != target.width:
+        raise RelocationError(
+            f"region widths differ: {source.width} vs {target.width} columns"
+        )
+    if target.x_max >= device.clb_columns:
+        raise RelocationError(f"target {target} exceeds {device.name}")
+
+
+def relocate(
+    bitstream: Bitstream,
+    source: Region,
+    target: Region,
+    device: DeviceSpec,
+) -> Bitstream:
+    """Rewrite a partial bitstream from one slot to a same-shaped other.
+
+    Frame addresses encode the CLB column in their upper bits
+    (see :meth:`repro.fabric.bitstream.BitstreamGenerator.column_frame_addresses`);
+    relocation shifts that column by the slot offset and keeps the minor
+    frame index.
+
+    Raises
+    ------
+    RelocationError
+        On incompatible regions or frames outside the source region.
+    """
+    check_compatible(source, target, device)
+    offset = target.x_min - source.x_min
+    frames: List[Frame] = []
+    for frame in bitstream.frames:
+        column = frame.address >> 8
+        minor = frame.address & 0xFF
+        if not source.x_min <= column <= source.x_max:
+            raise RelocationError(
+                f"frame {frame.address:#x} (column {column}) outside source {source}"
+            )
+        frames.append(Frame(((column + offset) << 8) | minor, frame.words))
+    return Bitstream(
+        device_name=bitstream.device_name,
+        frames=frames,
+        partial=True,
+        description=f"{bitstream.description}@+{offset}cols",
+    )
+
+
+@dataclass(frozen=True)
+class StoreSavings:
+    """Memory saved by storing relocatable instead of per-slot images."""
+
+    modules: int
+    slots: int
+    per_image_bytes: int
+
+    @property
+    def per_slot_bytes(self) -> int:
+        """Store size with one image per (module, slot)."""
+        return self.modules * self.slots * self.per_image_bytes
+
+    @property
+    def relocatable_bytes(self) -> int:
+        """Store size with one relocatable image per module."""
+        return self.modules * self.per_image_bytes
+
+    @property
+    def saved_bytes(self) -> int:
+        return self.per_slot_bytes - self.relocatable_bytes
+
+
+def store_savings(modules: int, slots: int, per_image_bytes: int) -> StoreSavings:
+    """Quantify the [5]-style memory reduction.
+
+    Raises
+    ------
+    ValueError
+        On non-positive inputs.
+    """
+    if modules < 1 or slots < 1 or per_image_bytes < 1:
+        raise ValueError("modules, slots and image size must be positive")
+    return StoreSavings(modules, slots, per_image_bytes)

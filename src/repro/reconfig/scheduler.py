@@ -1,0 +1,131 @@
+"""Measurement-cycle scheduling (paper Figure 4).
+
+One cycle (t ~ 100 ms): sample the analog signals, compute amplitude and
+phase, compute the capacity, filter and output the level.  On the
+reconfigurable system the processing modules are "reconfigured after each
+other, following the flow of the data processing", so reconfiguration
+times interleave with the task times; the schedule verifies everything
+fits the cycle period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+#: The paper's measurement repetition period, seconds ("t ~ 100 ms").
+CYCLE_PERIOD_S = 0.100
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One task instance on the cycle timeline."""
+
+    name: str
+    start_s: float
+    duration_s: float
+    kind: str  # "reconfig", "compute", "sample", "io", "idle"
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass
+class CycleSchedule:
+    """A fully laid-out measurement cycle."""
+
+    period_s: float
+    tasks: List[ScheduledTask] = field(default_factory=list)
+
+    def append(self, name: str, duration_s: float, kind: str) -> ScheduledTask:
+        """Append a task after the current end of the schedule.
+
+        Raises
+        ------
+        ValueError
+            On negative durations.
+        """
+        if duration_s < 0:
+            raise ValueError(f"task {name!r} has negative duration")
+        task = ScheduledTask(name, self.busy_time_s, duration_s, kind)
+        self.tasks.append(task)
+        return task
+
+    @property
+    def busy_time_s(self) -> float:
+        return self.tasks[-1].end_s if self.tasks else 0.0
+
+    @property
+    def reconfig_time_s(self) -> float:
+        return sum(t.duration_s for t in self.tasks if t.kind == "reconfig")
+
+    @property
+    def compute_time_s(self) -> float:
+        return sum(t.duration_s for t in self.tasks if t.kind == "compute")
+
+    @property
+    def sample_time_s(self) -> float:
+        return sum(t.duration_s for t in self.tasks if t.kind == "sample")
+
+    @property
+    def idle_time_s(self) -> float:
+        return max(0.0, self.period_s - self.busy_time_s)
+
+    @property
+    def fits(self) -> bool:
+        """Whether the whole cycle fits the measurement period."""
+        return self.busy_time_s <= self.period_s + 1e-12
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the period."""
+        return min(1.0, self.busy_time_s / self.period_s)
+
+    def timeline(self) -> str:
+        """Human-readable Figure-4-style timeline."""
+        lines = [f"cycle period {self.period_s * 1e3:.1f} ms"]
+        for t in self.tasks:
+            lines.append(
+                f"  {t.start_s * 1e3:9.3f} ms  {t.kind:<8} {t.name:<24} "
+                f"({t.duration_s * 1e6:10.1f} us)"
+            )
+        lines.append(f"  idle: {self.idle_time_s * 1e3:.3f} ms ({1 - self.utilization:.1%})")
+        return "\n".join(lines)
+
+
+def build_cycle_schedule(
+    sample_time_s: float,
+    compute_steps: Sequence,
+    reconfig_times_s: Optional[Sequence[float]] = None,
+    io_time_s: float = 0.0,
+    period_s: float = CYCLE_PERIOD_S,
+) -> CycleSchedule:
+    """Lay out one measurement cycle.
+
+    Parameters
+    ----------
+    sample_time_s:
+        Duration of the sampling phase.
+    compute_steps:
+        Sequence of ``(name, duration_s)`` processing steps.
+    reconfig_times_s:
+        Optional per-step reconfiguration time *before* each step (same
+        length as ``compute_steps`` plus optionally one leading entry for
+        the front end).  ``None`` for static systems.
+    io_time_s:
+        Display/communication time at the end of the cycle.
+    """
+    schedule = CycleSchedule(period_s=period_s)
+    reconfigs = list(reconfig_times_s) if reconfig_times_s is not None else []
+    # A leading reconfiguration (front-end load) precedes sampling.
+    if len(reconfigs) == len(compute_steps) + 1:
+        schedule.append("load frontend", reconfigs.pop(0), "reconfig")
+    schedule.append("sample signals", sample_time_s, "sample")
+    for i, (name, duration) in enumerate(compute_steps):
+        if reconfigs:
+            schedule.append(f"load {name}", reconfigs[i], "reconfig")
+        schedule.append(name, duration, "compute")
+    if io_time_s > 0:
+        schedule.append("report level", io_time_s, "io")
+    return schedule

@@ -1,0 +1,164 @@
+"""Static/dynamic floorplanning (paper Figure 2 and §4.2).
+
+"The complete system was then partitioned in a static and a dynamic part":
+the static side keeps the controller (MicroBlaze), its links and the
+configuration port; the dynamic side holds one or more full-column
+reconfigurable slots sized for the largest module each will carry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.fabric.device import SPARTAN3, DeviceSpec
+from repro.fabric.grid import Grid, Region
+from repro.reconfig.busmacro import BusMacro, busmacros_for_signals
+
+
+class FloorplanError(ValueError):
+    """Raised when a demand set cannot be floorplanned onto a device."""
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One reconfigurable slot: a full-column region plus its bus macros."""
+
+    index: int
+    region: Region
+    busmacros: tuple
+
+    @property
+    def columns(self) -> int:
+        return self.region.width
+
+    def slice_capacity(self, device: DeviceSpec) -> int:
+        return self.region.slice_capacity(device)
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A complete static/dynamic partition of one device."""
+
+    device: DeviceSpec
+    static_region: Region
+    slots: tuple
+
+    @property
+    def static_slices(self) -> int:
+        return self.static_region.slice_capacity(self.device)
+
+    @property
+    def dynamic_slices(self) -> int:
+        return sum(s.slice_capacity(self.device) for s in self.slots)
+
+    def slot(self, index: int) -> Slot:
+        for s in self.slots:
+            if s.index == index:
+                return s
+        raise KeyError(f"no slot {index}")
+
+    def validate(self) -> None:
+        """Check structural invariants (regions column-aligned, disjoint,
+        on-device).
+
+        Raises
+        ------
+        FloorplanError
+            On any violation.
+        """
+        grid = Grid(self.device)
+        regions = [self.static_region] + [s.region for s in self.slots]
+        for region in regions:
+            if region.x_max >= self.device.clb_columns or region.y_max >= self.device.clb_rows:
+                raise FloorplanError(f"{region} exceeds {self.device.name}")
+        for slot in self.slots:
+            if not slot.region.is_column_aligned(self.device):
+                raise FloorplanError(
+                    f"slot {slot.index} region {slot.region} is not column aligned"
+                )
+        for i, a in enumerate(regions):
+            for b in regions[i + 1 :]:
+                if a.overlaps(b):
+                    raise FloorplanError(f"{a} overlaps {b}")
+
+
+def columns_for_slices(device: DeviceSpec, slices: int) -> int:
+    """Full-height columns needed to hold a slice demand."""
+    per_column = device.clb_rows * device.slices_per_clb
+    return max(1, math.ceil(slices / per_column))
+
+
+def plan_floorplan(
+    device: DeviceSpec,
+    static_slices: int,
+    slot_slices: Sequence[int],
+    slot_signals: Optional[Sequence[int]] = None,
+) -> Floorplan:
+    """Plan a floorplan: static side on the left, slots to the right.
+
+    Parameters
+    ----------
+    static_slices:
+        Slice demand of the static side (including bus-macro halves).
+    slot_slices:
+        Slice demand of each slot (sized for the largest module it hosts).
+    slot_signals:
+        Interface signal count per slot (bus macros); defaults to 32.
+
+    Raises
+    ------
+    FloorplanError
+        If the demands do not fit the device's columns.
+    """
+    if static_slices < 0 or any(s <= 0 for s in slot_slices):
+        raise FloorplanError("slice demands must be positive")
+    signals = list(slot_signals) if slot_signals is not None else [32] * len(slot_slices)
+    if len(signals) != len(slot_slices):
+        raise FloorplanError("slot_signals must match slot_slices in length")
+
+    static_cols = columns_for_slices(device, static_slices)
+    slot_cols = [columns_for_slices(device, s) for s in slot_slices]
+    total = static_cols + sum(slot_cols)
+    if total > device.clb_columns:
+        raise FloorplanError(
+            f"{device.name}: need {total} columns "
+            f"(static {static_cols} + slots {slot_cols}), have {device.clb_columns}"
+        )
+
+    grid = Grid(device)
+    static_region = grid.column_region(0, static_cols - 1)
+    slots: List[Slot] = []
+    x = static_cols
+    for i, (cols, sigs) in enumerate(zip(slot_cols, signals)):
+        region = grid.column_region(x, x + cols - 1)
+        macros = tuple(busmacros_for_signals(sigs, boundary_column=x, rows=device.clb_rows))
+        slots.append(Slot(index=i, region=region, busmacros=macros))
+        x += cols
+    plan = Floorplan(device=device, static_region=static_region, slots=tuple(slots))
+    plan.validate()
+    return plan
+
+
+def smallest_device_for_plan(
+    static_slices: int,
+    slot_slices: Sequence[int],
+    slot_signals: Optional[Sequence[int]] = None,
+    family: Sequence[DeviceSpec] = SPARTAN3,
+) -> Floorplan:
+    """The paper's device-sizing question: the smallest family member whose
+    columns can hold the static side plus every slot.
+
+    Raises
+    ------
+    FloorplanError
+        If not even the largest device fits.
+    """
+    last_error: Optional[FloorplanError] = None
+    for device in family:
+        try:
+            return plan_floorplan(device, static_slices, slot_slices, slot_signals)
+        except FloorplanError as exc:
+            last_error = exc
+    raise FloorplanError(f"no device in family fits: {last_error}")

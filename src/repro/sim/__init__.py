@@ -1,0 +1,20 @@
+"""Event-driven logic simulation kernel.
+
+The paper's power methodology needs a *post-place-and-route simulation*
+producing a VCD from which per-net communication rates are extracted.  This
+subpackage provides the simulator: discrete-event kernel with delta cycles,
+signals, clocked and combinational processes, and trace capture feeding
+:mod:`repro.activity`.
+"""
+
+from repro.sim.events import Simulator, Signal, Clock, Process
+from repro.sim.netlist_sim import NetlistSimulator, CombinationalLoopError
+
+__all__ = [
+    "Simulator",
+    "Signal",
+    "Clock",
+    "Process",
+    "NetlistSimulator",
+    "CombinationalLoopError",
+]

@@ -1,0 +1,193 @@
+"""Discrete-event simulation kernel with delta cycles.
+
+Time is integer picoseconds, so clock periods derived from MHz values stay
+exact.  Signals carry integer values of a declared bit width; processes are
+callbacks sensitive to signal changes (combinational) or to clock edges
+(sequential).  Every committed value change is recorded when tracing is on,
+which is what the VCD writer consumes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: One nanosecond in simulator time units (picoseconds).
+NS = 1000
+#: One microsecond.
+US = 1000 * NS
+#: One millisecond.
+MS = 1000 * US
+
+
+class Signal:
+    """A traced, width-checked signal.
+
+    Values are non-negative integers masked to ``width`` bits.  Writes go
+    through the owning :class:`Simulator` so they take effect in the next
+    delta cycle, like HDL signal assignment.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, width: int = 1, init: int = 0):
+        if width < 1:
+            raise ValueError(f"signal {name!r}: width must be >= 1, got {width}")
+        self.sim = sim
+        self.name = name
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.value = init & self.mask
+        self.toggles = 0
+        self._watchers: List["Process"] = []
+
+    def set(self, value: int, delay: int = 0) -> None:
+        """Schedule a new value ``delay`` time units from now (0 = next
+        delta cycle)."""
+        self.sim._schedule_update(self, value & self.mask, delay)
+
+    def _commit(self, value: int) -> bool:
+        """Apply a scheduled value; returns True when the value changed."""
+        if value == self.value:
+            return False
+        # Hamming distance counts bit toggles, which is what the power
+        # model's per-bit activity wants for buses.
+        self.toggles += bin(value ^ self.value).count("1")
+        self.value = value
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.name}[{self.width}]={self.value}"
+
+
+class Process:
+    """A callback sensitive to a set of signals (combinational process) or
+    invoked on clock edges (see :class:`Clock`)."""
+
+    def __init__(self, name: str, fn: Callable[[], None]):
+        self.name = name
+        self.fn = fn
+
+    def __call__(self) -> None:
+        self.fn()
+
+
+class Clock:
+    """A free-running clock signal with rising-edge callbacks."""
+
+    def __init__(self, sim: "Simulator", name: str, period: int, start_high: bool = False):
+        if period < 2:
+            raise ValueError(f"clock {name!r}: period must be >= 2, got {period}")
+        self.sim = sim
+        self.signal = sim.signal(name, 1, init=1 if start_high else 0)
+        self.period = period
+        self.half = period // 2
+        self._edge_procs: List[Process] = []
+        sim._register_clock(self)
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Clock frequency in MHz (period is in picoseconds)."""
+        return 1e6 / self.period
+
+    def on_rising_edge(self, fn: Callable[[], None], name: Optional[str] = None) -> Process:
+        """Register a process run on every rising edge of this clock."""
+        proc = Process(name or f"{self.signal.name}_proc{len(self._edge_procs)}", fn)
+        self._edge_procs.append(proc)
+        return proc
+
+
+class Simulator:
+    """The event kernel.
+
+    Typical use::
+
+        sim = Simulator()
+        clk = sim.clock("clk", period_ns=20)
+        q = sim.signal("q", width=8)
+        clk.on_rising_edge(lambda: q.set(q.value + 1))
+        sim.run(us=10)
+    """
+
+    def __init__(self, trace: bool = False):
+        self.now = 0
+        self.trace = trace
+        self.changes: List[Tuple[int, str, int, int]] = []  # (time, name, value, width)
+        self._signals: Dict[str, Signal] = {}
+        self._clocks: List[Clock] = []
+        self._queue: List[Tuple[int, int, Signal, int]] = []
+        self._seq = 0
+
+    # -- construction -----------------------------------------------------
+
+    def signal(self, name: str, width: int = 1, init: int = 0) -> Signal:
+        """Create a signal (names must be unique)."""
+        if name in self._signals:
+            raise ValueError(f"duplicate signal {name!r}")
+        sig = Signal(self, name, width, init)
+        self._signals[name] = sig
+        if self.trace:
+            self.changes.append((0, name, sig.value, width))
+        return sig
+
+    def clock(self, name: str, period_ns: float) -> Clock:
+        """Create a free-running clock with the given period."""
+        return Clock(self, name, int(round(period_ns * NS)))
+
+    def on_change(self, fn: Callable[[], None], *signals: Signal, name: str = "comb") -> Process:
+        """Register a combinational process re-run whenever any of the
+        given signals changes."""
+        proc = Process(name, fn)
+        for sig in signals:
+            sig._watchers.append(proc)
+        return proc
+
+    def signals(self) -> List[Signal]:
+        return list(self._signals.values())
+
+    def get_signal(self, name: str) -> Signal:
+        return self._signals[name]
+
+    # -- kernel -----------------------------------------------------------
+
+    def _register_clock(self, clock: Clock) -> None:
+        self._clocks.append(clock)
+        self._schedule_update(clock.signal, clock.signal.value ^ 1, clock.half)
+
+    def _schedule_update(self, signal: Signal, value: int, delay: int) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, signal, value))
+
+    def run_until(self, end_time: int) -> None:
+        """Advance simulation to ``end_time`` (picoseconds)."""
+        while self._queue and self._queue[0][0] <= end_time:
+            time, _seq, signal, value = heapq.heappop(self._queue)
+            self.now = time
+            changed = signal._commit(value)
+            if not changed:
+                self._reschedule_clock_if_needed(signal)
+                continue
+            if self.trace:
+                self.changes.append((time, signal.name, signal.value, signal.width))
+            # Combinational fanout.
+            for proc in signal._watchers:
+                proc()
+            # Clock edges.
+            self._reschedule_clock_if_needed(signal, fire=True)
+        self.now = max(self.now, end_time)
+
+    def _reschedule_clock_if_needed(self, signal: Signal, fire: bool = False) -> None:
+        for clock in self._clocks:
+            if clock.signal is signal:
+                if fire and signal.value == 1:
+                    for proc in clock._edge_procs:
+                        proc()
+                self._schedule_update(signal, signal.value ^ 1, clock.half)
+                return
+
+    def run(self, ns: float = 0, us: float = 0, ms: float = 0) -> None:
+        """Advance simulation by the given amount of time."""
+        span = int(round(ns * NS + us * US + ms * MS))
+        if span <= 0:
+            raise ValueError("run() needs a positive time span")
+        self.run_until(self.now + span)

@@ -1,0 +1,37 @@
+"""MicroBlaze-subset soft-core processor.
+
+The paper's first FPGA prototype "simply ported" the microcontroller
+software onto a MicroBlaze soft core; the data-processing algorithms took
+7 ms per cycle and their >60 KB image had to live in external SRAM.  This
+subpackage provides the substitute: a 32-register load/store ISA close to
+the MicroBlaze subset the application needs, a two-pass assembler, and a
+cycle-counting simulator with a memory map distinguishing on-chip BRAM from
+wait-stated external SRAM, plus FSL ports toward hardware modules.
+
+Floating point executes as *soft-float pseudo-instructions*: MicroBlaze has
+no FPU, so each FP operation stands for an inlined soft-float library call
+and is charged that library's cycle cost — the very reason the software
+implementation is ~1000x slower than the pipelined hardware modules.
+"""
+
+from repro.softcore.isa import Instruction, OPCODES, float_to_bits, bits_to_float
+from repro.softcore.asm import assemble, AssemblyError, Program
+from repro.softcore.cpu import Cpu, MemoryRegion, MemoryMap, FslPort, CpuError
+from repro.softcore.footprint import MICROBLAZE_FOOTPRINT, microblaze_netlist
+
+__all__ = [
+    "Instruction",
+    "OPCODES",
+    "float_to_bits",
+    "bits_to_float",
+    "assemble",
+    "AssemblyError",
+    "Program",
+    "Cpu",
+    "MemoryRegion",
+    "MemoryMap",
+    "FslPort",
+    "CpuError",
+    "MICROBLAZE_FOOTPRINT",
+    "microblaze_netlist",
+]

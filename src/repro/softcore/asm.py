@@ -1,0 +1,223 @@
+"""Two-pass assembler for the soft-core ISA.
+
+Syntax (one statement per line, ``#`` or ``;`` start a comment)::
+
+    # code
+    loop:   lw    r5, r4, 0       # rd, base, offset
+            fmul  r6, r5, r7
+            addi  r4, r4, 4
+            bne   r4, r8, loop
+            halt
+
+    # data segment
+    .data
+    coeffs: .word 0x3F800000, 0x40000000
+    buffer: .space 2048           # bytes, zero-filled
+
+Labels in the code segment resolve to instruction indices (the PC is
+instruction-addressed); labels in the data segment resolve to byte
+addresses starting at the ``.data base`` (default 0x1000).  Data labels can
+be used as immediates anywhere (e.g. ``addi r4, r0, buffer``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.softcore.isa import INSTRUCTION_BYTES, OPCODES, Instruction
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly input, with the offending line."""
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions plus an initialised data image."""
+
+    instructions: List[Instruction]
+    data_base: int
+    data_image: bytes
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def code_bytes(self) -> int:
+        """Size of the code segment in bytes."""
+        return len(self.instructions) * INSTRUCTION_BYTES
+
+    @property
+    def image_bytes(self) -> int:
+        """Total memory image: code plus initialised/reserved data."""
+        return self.code_bytes + len(self.data_image)
+
+
+_REGISTER = re.compile(r"^r([0-9]|[12][0-9]|3[01])$")
+_FSL = re.compile(r"^fsl([0-9]+)$")
+
+
+def _parse_operand(token: str, labels: Dict[str, int]) -> Tuple[str, int]:
+    """Classify one operand token as register / fsl / immediate / label."""
+    token = token.strip()
+    m = _REGISTER.match(token)
+    if m:
+        return ("reg", int(m.group(1)))
+    m = _FSL.match(token)
+    if m:
+        return ("fsl", int(m.group(1)))
+    try:
+        return ("imm", int(token, 0))
+    except ValueError:
+        return ("label", token)  # resolved in pass 2
+
+
+def assemble(source: str, data_base: int = 0x1000) -> Program:
+    """Assemble source text into a :class:`Program`.
+
+    Raises
+    ------
+    AssemblyError
+        On syntax errors, unknown opcodes/labels, or operand mismatches.
+    """
+    code: List[Tuple[int, str, List[str]]] = []  # (line no, op, operands)
+    labels: Dict[str, int] = {}
+    data: List[bytes] = []
+    data_size = 0
+    in_data = False
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        while True:
+            m = re.match(r"^([A-Za-z_][\w]*)\s*:\s*(.*)$", line)
+            if not m:
+                break
+            label, line = m.group(1), m.group(2).strip()
+            if label in labels:
+                raise AssemblyError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = (data_base + data_size) if in_data else len(code)
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split(None, 1)
+            directive = parts[0]
+            arg = parts[1] if len(parts) > 1 else ""
+            if directive == ".data":
+                in_data = True
+                continue
+            if not in_data:
+                raise AssemblyError(f"line {lineno}: {directive} outside .data segment")
+            if directive == ".word":
+                for tok in arg.split(","):
+                    try:
+                        value = int(tok.strip(), 0) & 0xFFFFFFFF
+                    except ValueError:
+                        raise AssemblyError(
+                            f"line {lineno}: bad .word value {tok.strip()!r}"
+                        ) from None
+                    data.append(value.to_bytes(4, "big"))
+                    data_size += 4
+            elif directive == ".space":
+                try:
+                    n = int(arg.strip(), 0)
+                except ValueError:
+                    raise AssemblyError(f"line {lineno}: bad .space size {arg!r}") from None
+                if n < 0:
+                    raise AssemblyError(f"line {lineno}: negative .space")
+                data.append(bytes(n))
+                data_size += n
+            else:
+                raise AssemblyError(f"line {lineno}: unknown directive {directive}")
+            continue
+        if in_data:
+            raise AssemblyError(f"line {lineno}: instruction after .data segment")
+        parts = line.split(None, 1)
+        op = parts[0].lower()
+        operands = [t.strip() for t in parts[1].split(",")] if len(parts) > 1 else []
+        if op not in OPCODES:
+            raise AssemblyError(f"line {lineno}: unknown opcode {op!r}")
+        code.append((lineno, op, operands))
+
+    # Pass 2: resolve operands.
+    instructions: List[Instruction] = []
+    for lineno, op, operands in code:
+        try:
+            instructions.append(_build(op, operands, labels))
+        except AssemblyError:
+            raise
+        except ValueError as exc:
+            raise AssemblyError(f"line {lineno}: {exc}") from None
+    return Program(
+        instructions=instructions,
+        data_base=data_base,
+        data_image=b"".join(data),
+        labels=labels,
+    )
+
+
+def _need(operands: List[str], count: int, op: str) -> None:
+    if len(operands) != count:
+        raise ValueError(f"{op} expects {count} operands, got {len(operands)}")
+
+
+def _reg(kind_value: Tuple[str, int], op: str) -> int:
+    kind, value = kind_value
+    if kind != "reg":
+        raise ValueError(f"{op}: expected register, got {kind}")
+    return value
+
+
+def _imm_or_label(kind_value: Tuple[str, int], labels: Dict[str, int], op: str) -> int:
+    kind, value = kind_value
+    if kind == "imm":
+        return value
+    if kind == "label":
+        if value not in labels:
+            raise ValueError(f"{op}: undefined label {value!r}")
+        return labels[value]
+    raise ValueError(f"{op}: expected immediate or label, got {kind}")
+
+
+def _build(op: str, operands: List[str], labels: Dict[str, int]) -> Instruction:
+    fmt = OPCODES[op][0]
+    parsed = [_parse_operand(t, labels) for t in operands]
+    if fmt == "R":
+        _need(operands, 3, op)
+        return Instruction(op, rd=_reg(parsed[0], op), ra=_reg(parsed[1], op), rb=_reg(parsed[2], op))
+    if fmt == "I":
+        _need(operands, 3, op)
+        return Instruction(
+            op,
+            rd=_reg(parsed[0], op),
+            ra=_reg(parsed[1], op),
+            imm=_imm_or_label(parsed[2], labels, op),
+        )
+    if fmt == "B":
+        _need(operands, 3, op)
+        return Instruction(
+            op,
+            ra=_reg(parsed[0], op),
+            rb=_reg(parsed[1], op),
+            imm=_imm_or_label(parsed[2], labels, op),
+        )
+    if fmt == "J":
+        _need(operands, 1, op)
+        return Instruction(op, imm=_imm_or_label(parsed[0], labels, op))
+    if fmt == "JL":
+        _need(operands, 2, op)
+        return Instruction(op, rd=_reg(parsed[0], op), imm=_imm_or_label(parsed[1], labels, op))
+    if fmt == "JR":
+        _need(operands, 1, op)
+        return Instruction(op, ra=_reg(parsed[0], op))
+    if fmt == "F":
+        _need(operands, 2, op)
+        kind, value = parsed[1]
+        if kind != "fsl":
+            raise ValueError(f"{op}: second operand must be fslN")
+        return Instruction(op, rd=_reg(parsed[0], op), imm=value)
+    if fmt == "N":
+        _need(operands, 0, op)
+        return Instruction(op)
+    raise ValueError(f"unhandled format {fmt} for {op}")

@@ -1,0 +1,340 @@
+"""Cycle-counting simulator for the soft core.
+
+The memory map separates on-chip BRAM (zero wait states) from external
+SRAM (several wait states per access) — the distinction behind the paper's
+observation that the >60 KB software image "made it necessary to store the
+code in external SRAM", hurting both performance and power.  Instruction
+fetches are charged the wait states of the region the code lives in.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.softcore.asm import Program
+from repro.softcore.isa import (
+    BRANCH_TAKEN_PENALTY,
+    Instruction,
+    bits_to_float,
+    float_to_bits,
+)
+
+
+class CpuError(RuntimeError):
+    """Raised on illegal execution: bad addresses, missing FSL data, or
+    exceeding the cycle budget."""
+
+
+@dataclass
+class MemoryRegion:
+    """One region of the address space."""
+
+    name: str
+    base: int
+    size: int
+    wait_states: int = 0
+    readonly: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.base < 0:
+            raise ValueError(f"bad region {self.name}: base={self.base} size={self.size}")
+        self.data = bytearray(self.size)
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.size
+
+
+class MemoryMap:
+    """Routes word accesses to regions and charges their wait states."""
+
+    def __init__(self, regions: List[MemoryRegion]):
+        regions = sorted(regions, key=lambda r: r.base)
+        for a, b in zip(regions, regions[1:]):
+            if a.base + a.size > b.base:
+                raise ValueError(f"regions {a.name} and {b.name} overlap")
+        self.regions = regions
+
+    def region_at(self, address: int) -> MemoryRegion:
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        raise CpuError(f"bus error: no region at {address:#x}")
+
+    def load_image(self, base: int, image: bytes) -> None:
+        """Copy an initialised data image into memory."""
+        for offset, byte in enumerate(image):
+            region = self.region_at(base + offset)
+            region.data[base + offset - region.base] = byte
+
+    def read_word(self, address: int) -> tuple:
+        """Returns (value, wait_states)."""
+        if address % 4:
+            raise CpuError(f"unaligned read at {address:#x}")
+        region = self.region_at(address)
+        off = address - region.base
+        value = int.from_bytes(region.data[off : off + 4], "big")
+        return value, region.wait_states
+
+    def write_word(self, address: int, value: int) -> int:
+        """Returns the wait states charged."""
+        if address % 4:
+            raise CpuError(f"unaligned write at {address:#x}")
+        region = self.region_at(address)
+        if region.readonly:
+            raise CpuError(f"write to read-only region {region.name} at {address:#x}")
+        off = address - region.base
+        region.data[off : off + 4] = (value & 0xFFFFFFFF).to_bytes(4, "big")
+        return region.wait_states
+
+
+@dataclass
+class FslPort:
+    """One Fast Simplex Link endpoint pair: a read queue (toward the CPU)
+    and a write queue (from the CPU)."""
+
+    index: int
+    rx: Deque[int] = field(default_factory=deque)
+    tx: Deque[int] = field(default_factory=deque)
+
+
+def _signed(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+class Cpu:
+    """Executes an assembled :class:`Program`.
+
+    Parameters
+    ----------
+    program:
+        The program to run; its data image is loaded at ``program.data_base``.
+    memory:
+        The memory map.  Defaults to 32 KB BRAM at 0 and 256 KB external
+        SRAM (6 wait states) at 0x40000.
+    code_region:
+        Name of the region holding the code; its wait states are charged on
+        every instruction fetch.  Defaults to the region containing the
+        data base (i.e. code and data co-located).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[MemoryMap] = None,
+        fsl_count: int = 4,
+        code_region: Optional[str] = None,
+        profile: bool = False,
+    ):
+        self.program = program
+        self.memory = memory or MemoryMap(
+            [
+                MemoryRegion("bram", 0x0, 32 * 1024, wait_states=0),
+                MemoryRegion("sram", 0x40000, 256 * 1024, wait_states=6),
+            ]
+        )
+        self.memory.load_image(program.data_base, program.data_image)
+        self.fsl = [FslPort(i) for i in range(fsl_count)]
+        self.registers = [0] * 32
+        self.pc = 0
+        self.cycles = 0
+        self.instructions_executed = 0
+        self.halted = False
+        #: Per-PC cycle attribution when profiling is on.
+        self.profile = profile
+        self.pc_cycles: Dict[int, int] = {}
+        if code_region is None:
+            self._fetch_waits = self.memory.region_at(program.data_base).wait_states
+        else:
+            matches = [r for r in self.memory.regions if r.name == code_region]
+            if not matches:
+                raise ValueError(f"no region named {code_region!r}")
+            self._fetch_waits = matches[0].wait_states
+
+    # -- register access --------------------------------------------------
+
+    def reg(self, index: int) -> int:
+        return 0 if index == 0 else self.registers[index] & 0xFFFFFFFF
+
+    def set_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.registers[index] = value & 0xFFFFFFFF
+
+    def reg_float(self, index: int) -> float:
+        return bits_to_float(self.reg(index))
+
+    def set_reg_float(self, index: int, value: float) -> None:
+        self.set_reg(index, float_to_bits(value))
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one instruction.
+
+        Raises
+        ------
+        CpuError
+            On illegal accesses or running past the end of the program.
+        """
+        if self.halted:
+            return
+        if not 0 <= self.pc < len(self.program.instructions):
+            raise CpuError(f"PC {self.pc} outside program")
+        inst = self.program.instructions[self.pc]
+        fetch_pc = self.pc
+        cycles_before = self.cycles
+        self.pc += 1
+        self.cycles += inst.base_cycles + self._fetch_waits
+        self.instructions_executed += 1
+        self._execute(inst)
+        if self.profile:
+            self.pc_cycles[fetch_pc] = (
+                self.pc_cycles.get(fetch_pc, 0) + self.cycles - cycles_before
+            )
+
+    def run(self, max_cycles: int = 50_000_000) -> int:
+        """Run until ``halt``; returns the cycle count.
+
+        Raises
+        ------
+        CpuError
+            If the cycle budget is exceeded (runaway program).
+        """
+        while not self.halted:
+            if self.cycles > max_cycles:
+                raise CpuError(f"cycle budget {max_cycles} exceeded at PC {self.pc}")
+            self.step()
+        return self.cycles
+
+    def time_s(self, clock_mhz: float) -> float:
+        """Wall time of the executed cycles at a clock frequency."""
+        return self.cycles / (clock_mhz * 1e6)
+
+    def hot_spots(self, top_n: int = 10) -> List[tuple]:
+        """The most expensive instructions: (pc, cycles, share, text).
+
+        Raises
+        ------
+        ValueError
+            If profiling was not enabled.
+        """
+        if not self.profile:
+            raise ValueError("create the CPU with profile=True to collect hot spots")
+        total = sum(self.pc_cycles.values()) or 1
+        ranked = sorted(self.pc_cycles.items(), key=lambda kv: kv[1], reverse=True)
+        return [
+            (pc, cycles, cycles / total, str(self.program.instructions[pc]))
+            for pc, cycles in ranked[:top_n]
+        ]
+
+    def profile_report(self, top_n: int = 10) -> str:
+        """Human-readable hot-spot report."""
+        lines = [f"{'PC':>6} {'cycles':>10} {'share':>7}  instruction"]
+        for pc, cycles, share, text in self.hot_spots(top_n):
+            lines.append(f"{pc:>6} {cycles:>10} {share:>6.1%}  {text}")
+        return "\n".join(lines)
+
+    # -- instruction semantics ----------------------------------------------
+
+    def _execute(self, inst: Instruction) -> None:
+        op = inst.op
+        if op == "halt":
+            self.halted = True
+        elif op == "nop":
+            pass
+        elif op in ("add", "addi"):
+            b = self.reg(inst.rb) if op == "add" else inst.imm
+            self.set_reg(inst.rd, self.reg(inst.ra) + b)
+        elif op == "sub":
+            self.set_reg(inst.rd, self.reg(inst.ra) - self.reg(inst.rb))
+        elif op in ("and", "andi"):
+            b = self.reg(inst.rb) if op == "and" else inst.imm
+            self.set_reg(inst.rd, self.reg(inst.ra) & b)
+        elif op in ("or", "ori"):
+            b = self.reg(inst.rb) if op == "or" else inst.imm
+            self.set_reg(inst.rd, self.reg(inst.ra) | b)
+        elif op in ("xor", "xori"):
+            b = self.reg(inst.rb) if op == "xor" else inst.imm
+            self.set_reg(inst.rd, self.reg(inst.ra) ^ b)
+        elif op in ("sll", "slli"):
+            b = (self.reg(inst.rb) if op == "sll" else inst.imm) & 31
+            self.set_reg(inst.rd, self.reg(inst.ra) << b)
+        elif op in ("srl", "srli"):
+            b = (self.reg(inst.rb) if op == "srl" else inst.imm) & 31
+            self.set_reg(inst.rd, self.reg(inst.ra) >> b)
+        elif op in ("sra", "srai"):
+            b = (self.reg(inst.rb) if op == "sra" else inst.imm) & 31
+            self.set_reg(inst.rd, _signed(self.reg(inst.ra)) >> b)
+        elif op in ("mul", "muli"):
+            b = self.reg(inst.rb) if op == "mul" else inst.imm
+            self.set_reg(inst.rd, _signed(self.reg(inst.ra)) * _signed(b))
+        elif op == "cmplt":
+            self.set_reg(inst.rd, 1 if _signed(self.reg(inst.ra)) < _signed(self.reg(inst.rb)) else 0)
+        elif op == "cmpltu":
+            self.set_reg(inst.rd, 1 if self.reg(inst.ra) < self.reg(inst.rb) else 0)
+        elif op == "lw":
+            value, waits = self.memory.read_word(self.reg(inst.ra) + inst.imm)
+            self.set_reg(inst.rd, value)
+            self.cycles += waits
+        elif op == "sw":
+            waits = self.memory.write_word(self.reg(inst.ra) + inst.imm, self.reg(inst.rd))
+            self.cycles += waits
+        elif op in ("beq", "bne", "blt", "bge"):
+            a, b = _signed(self.reg(inst.ra)), _signed(self.reg(inst.rb))
+            taken = {
+                "beq": a == b,
+                "bne": a != b,
+                "blt": a < b,
+                "bge": a >= b,
+            }[op]
+            if taken:
+                self.pc = inst.imm
+                self.cycles += BRANCH_TAKEN_PENALTY
+        elif op == "br":
+            self.pc = inst.imm
+        elif op == "brl":
+            self.set_reg(inst.rd, self.pc)
+            self.pc = inst.imm
+        elif op == "jr":
+            self.pc = self.reg(inst.ra)
+        elif op == "get":
+            port = self._fsl_port(inst.imm)
+            if not port.rx:
+                raise CpuError(f"FSL{inst.imm} get on empty channel at PC {self.pc - 1}")
+            self.set_reg(inst.rd, port.rx.popleft())
+        elif op == "put":
+            self._fsl_port(inst.imm).tx.append(self.reg(inst.rd))
+        elif op == "fadd":
+            self.set_reg_float(inst.rd, self.reg_float(inst.ra) + self.reg_float(inst.rb))
+        elif op == "fsub":
+            self.set_reg_float(inst.rd, self.reg_float(inst.ra) - self.reg_float(inst.rb))
+        elif op == "fmul":
+            self.set_reg_float(inst.rd, self.reg_float(inst.ra) * self.reg_float(inst.rb))
+        elif op == "fdiv":
+            denominator = self.reg_float(inst.rb)
+            if denominator == 0.0:
+                raise CpuError(f"float divide by zero at PC {self.pc - 1}")
+            self.set_reg_float(inst.rd, self.reg_float(inst.ra) / denominator)
+        elif op == "fsqrt":
+            value = self.reg_float(inst.ra)
+            if value < 0.0:
+                raise CpuError(f"fsqrt of negative value at PC {self.pc - 1}")
+            self.set_reg_float(inst.rd, math.sqrt(value))
+        elif op == "fatan2":
+            self.set_reg_float(inst.rd, math.atan2(self.reg_float(inst.ra), self.reg_float(inst.rb)))
+        elif op == "fcmplt":
+            self.set_reg(inst.rd, 1 if self.reg_float(inst.ra) < self.reg_float(inst.rb) else 0)
+        elif op == "i2f":
+            self.set_reg_float(inst.rd, float(_signed(self.reg(inst.ra))))
+        elif op == "f2i":
+            self.set_reg(inst.rd, int(self.reg_float(inst.ra)))
+        else:  # pragma: no cover - OPCODES and _execute kept in sync
+            raise CpuError(f"unimplemented opcode {op}")
+
+    def _fsl_port(self, index: int) -> FslPort:
+        if not 0 <= index < len(self.fsl):
+            raise CpuError(f"no FSL port {index}")
+        return self.fsl[index]

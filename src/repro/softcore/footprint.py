@@ -1,0 +1,34 @@
+"""Resource footprint of the MicroBlaze soft core.
+
+Numbers follow the MicroBlaze v4 reference (paper reference [6]) for a
+3-stage, no-cache configuration on Spartan-3: roughly 500 slices for the
+core, plus barrel shifter and multiplier options.  The static side of the
+paper's system adds FSL links, the RS232 UART, the JCAP configuration core
+and glue — those are in :mod:`repro.ip` and assembled by
+:mod:`repro.app.system`.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.blocks import BlockFootprint, block_netlist
+from repro.netlist.netlist import Netlist
+
+#: MicroBlaze core (3-stage pipeline, HW multiplier, no caches) plus the
+#: local-memory-bus BRAM controller.  Two BRAMs hold the boot code/stack;
+#: the multiplier option uses one dedicated MULT18.
+MICROBLAZE_FOOTPRINT = BlockFootprint(
+    name="microblaze",
+    slices=510,
+    brams=2,
+    multipliers=1,
+    registered_fraction=0.55,
+    carry_fraction=0.20,
+    ram_fraction=0.08,
+    mean_activity=0.10,
+)
+
+
+def microblaze_netlist(seed: int = 7) -> Netlist:
+    """Structured netlist of the MicroBlaze core for floorplanning and
+    power studies of the static side."""
+    return block_netlist(MICROBLAZE_FOOTPRINT, seed=seed, interface_nets=16)

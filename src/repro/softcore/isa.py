@@ -1,0 +1,140 @@
+"""Instruction set of the soft core.
+
+A MicroBlaze-flavoured 32-bit RISC: 32 general registers (``r0`` reads as
+zero), word-addressed loads/stores with register+immediate addressing,
+compare-and-branch, link-and-jump, and blocking FSL channel access (the
+MicroBlaze ``get``/``put`` instructions the paper uses to talk to the
+hardware modules over Fast Simplex Links).
+
+Cycle costs follow the 3-stage MicroBlaze pipeline: single-cycle ALU ops,
+3-cycle multiply, 3-cycle taken branches (pipeline flush), memory at
+1 cycle plus the target region's wait states.
+
+Floating point is provided as *soft-float pseudo-instructions* (``fadd``,
+``fmul``, ...).  Each stands for the inlined soft-float library routine the
+real tool flow links in (MicroBlaze has no FPU) and is charged that
+routine's typical cycle count; operands/results travel as IEEE-754 single
+bit patterns in integer registers, exactly like the real ABI.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: opcode -> (operand format, base cycle cost)
+#: formats: R = rd,ra,rb; I = rd,ra,imm; B = ra,rb,label; J = label;
+#: JL = rd,label; JR = ra; F = rd,fsl; N = none
+OPCODES: Dict[str, Tuple[str, int]] = {
+    # integer ALU
+    "add": ("R", 1),
+    "sub": ("R", 1),
+    "and": ("R", 1),
+    "or": ("R", 1),
+    "xor": ("R", 1),
+    "sll": ("R", 1),
+    "srl": ("R", 1),
+    "sra": ("R", 1),
+    "cmplt": ("R", 1),   # rd = 1 if ra < rb (signed) else 0
+    "cmpltu": ("R", 1),  # unsigned compare
+    "mul": ("R", 3),
+    # immediate forms
+    "addi": ("I", 1),
+    "andi": ("I", 1),
+    "ori": ("I", 1),
+    "xori": ("I", 1),
+    "slli": ("I", 1),
+    "srli": ("I", 1),
+    "srai": ("I", 1),
+    "muli": ("I", 3),
+    # memory (plus region wait states)
+    "lw": ("I", 2),
+    "sw": ("I", 2),
+    # control flow
+    "beq": ("B", 1),
+    "bne": ("B", 1),
+    "blt": ("B", 1),
+    "bge": ("B", 1),
+    "br": ("J", 3),
+    "brl": ("JL", 3),
+    "jr": ("JR", 3),
+    "nop": ("N", 1),
+    "halt": ("N", 1),
+    # FSL channels (blocking)
+    "get": ("F", 2),
+    "put": ("F", 2),
+    # soft-float pseudo-instructions (inlined library calls, see module doc)
+    "fadd": ("R", 43),
+    "fsub": ("R", 45),
+    "fmul": ("R", 38),
+    "fdiv": ("R", 125),
+    "fsqrt": ("R", 155),
+    "fatan2": ("R", 340),
+    "fcmplt": ("R", 30),
+    "i2f": ("I", 25),
+    "f2i": ("I", 25),
+}
+
+#: Cycles added when a conditional branch is taken (pipeline flush).
+BRANCH_TAKEN_PENALTY = 2
+
+#: Encoded instruction width in bytes (for image-size accounting).
+INSTRUCTION_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    ``rd``/``ra``/``rb`` are register numbers, ``imm`` a signed 32-bit
+    immediate (also used for resolved branch targets), ``label`` the
+    unresolved target name during assembly.
+    """
+
+    op: str
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OPCODES:
+            raise ValueError(f"unknown opcode {self.op!r}")
+        for reg in (self.rd, self.ra, self.rb):
+            if not 0 <= reg < 32:
+                raise ValueError(f"register out of range in {self.op}: {reg}")
+
+    @property
+    def base_cycles(self) -> int:
+        return OPCODES[self.op][1]
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        fmt = OPCODES[self.op][0]
+        if fmt == "R":
+            return f"{self.op} r{self.rd}, r{self.ra}, r{self.rb}"
+        if fmt == "I":
+            return f"{self.op} r{self.rd}, r{self.ra}, {self.imm}"
+        if fmt == "B":
+            return f"{self.op} r{self.ra}, r{self.rb}, {self.label or self.imm}"
+        if fmt == "J":
+            return f"{self.op} {self.label or self.imm}"
+        if fmt == "JL":
+            return f"{self.op} r{self.rd}, {self.label or self.imm}"
+        if fmt == "JR":
+            return f"{self.op} r{self.ra}"
+        if fmt == "F":
+            return f"{self.op} r{self.rd}, fsl{self.imm}"
+        return self.op
+
+
+def float_to_bits(value: float) -> int:
+    """IEEE-754 single-precision bit pattern of a float (as the soft-float
+    ABI passes it in an integer register)."""
+    return struct.unpack(">I", struct.pack(">f", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Inverse of :func:`float_to_bits`."""
+    return struct.unpack(">f", struct.pack(">I", bits & 0xFFFFFFFF))[0]

@@ -1,0 +1,26 @@
+"""System-Generator substitute: dataflow graphs compiled to hardware
+modules.
+
+"In order to optimize the implementation for FPGA, the software algorithms
+were implemented as hardware components in the System Generator tool from
+Xilinx" (paper §4.2).  Here a module is described as a dataflow graph of
+fixed-point operators (MAC, CORDIC, divider, ROM, ...), and the compiler
+derives what System Generator reports: the resource footprint (Table 1),
+the pipeline latency behind the 7 us processing time, the achievable clock,
+and a structured netlist for place-and-route and power studies.
+"""
+
+from repro.sysgen.ops import OpSpec, op_cost, OP_KINDS
+from repro.sysgen.graph import DataflowGraph, DataflowNode
+from repro.sysgen.compile import CompiledModule, compile_graph, split_into_modules
+
+__all__ = [
+    "OpSpec",
+    "op_cost",
+    "OP_KINDS",
+    "DataflowGraph",
+    "DataflowNode",
+    "CompiledModule",
+    "compile_graph",
+    "split_into_modules",
+]

@@ -1,0 +1,240 @@
+"""Dataflow-graph compiler: footprints, latency, clocking and netlists."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.blocks import BlockFootprint, block_netlist
+from repro.netlist.netlist import Netlist
+from repro.sysgen.graph import DataflowGraph
+
+
+@dataclass
+class CompiledModule:
+    """A hardware module produced from a dataflow graph.
+
+    Attributes
+    ----------
+    name:
+        Module name.
+    slices, brams, multipliers:
+        Aggregate resource footprint (the paper's Table 1 numbers).
+    latency_cycles:
+        Pipeline fill latency (longest operator path).
+    fmax_mhz:
+        Achievable clock (slowest operator).
+    interface_nets:
+        Signals crossing the module boundary — what bus macros must carry
+        when the module sits in a reconfigurable slot.
+    """
+
+    name: str
+    slices: int
+    brams: int
+    multipliers: int
+    latency_cycles: int
+    fmax_mhz: float
+    interface_nets: int
+    graph: Optional[DataflowGraph] = None
+
+    def processing_time_us(self, samples: int, clock_mhz: float) -> float:
+        """Time to stream ``samples`` through the fully-pipelined module
+        (initiation interval 1) at a clock frequency.
+
+        Raises
+        ------
+        ValueError
+            If the requested clock exceeds the module's fmax.
+        """
+        if clock_mhz <= 0:
+            raise ValueError(f"clock must be positive, got {clock_mhz}")
+        if clock_mhz > self.fmax_mhz + 1e-9:
+            raise ValueError(
+                f"{self.name}: {clock_mhz} MHz exceeds module fmax {self.fmax_mhz:.1f} MHz"
+            )
+        return (samples + self.latency_cycles) / clock_mhz
+
+    @property
+    def footprint(self) -> BlockFootprint:
+        return BlockFootprint(
+            name=self.name,
+            slices=self.slices,
+            brams=self.brams,
+            multipliers=self.multipliers,
+            registered_fraction=0.5,
+            carry_fraction=0.25,
+            ram_fraction=0.05,
+            mean_activity=0.15,
+        )
+
+    def netlist(self, seed: int = 0) -> Netlist:
+        """Structured netlist sized to the module's footprint."""
+        return block_netlist(self.footprint, seed=seed or (hash(self.name) & 0x7FFF),
+                             interface_nets=self.interface_nets)
+
+    def structured_netlist(self, seed: int = 0) -> Netlist:
+        """Netlist preserving the dataflow structure: one clustered block
+        per operator, inter-operator nets following the graph's edges.
+        Placement then sees the module's true topology (e.g. the MAC
+        clusters feeding the CORDIC), unlike the flat :meth:`netlist`.
+
+        Raises
+        ------
+        ValueError
+            If the module was compiled without its graph (e.g. after
+            deserialisation).
+        """
+        if self.graph is None:
+            raise ValueError(f"module {self.name!r} carries no dataflow graph")
+        combined = Netlist(self.name)
+        port_cells = {}
+        for index, node in enumerate(self.graph.nodes):
+            cost = node.cost
+            footprint = BlockFootprint(
+                name=node.name.replace("/", "_"),
+                slices=max(1, cost.slices),
+                brams=cost.brams,
+                multipliers=cost.multipliers,
+                registered_fraction=0.5,
+                carry_fraction=0.25,
+                mean_activity=cost.activity,
+            )
+            sub = block_netlist(
+                footprint,
+                seed=(seed or hash(self.name)) ^ index,
+                interface_nets=2,
+            )
+            combined.merge(sub, prefix=node.name)
+            # The operator's boundary cells carry its inter-op connections.
+            port_cells[node.name] = [
+                combined.net(f"{node.name}/{footprint.name}_io{k}").driver for k in range(2)
+            ]
+        for i, (src, dst) in enumerate(self.graph.edges):
+            combined.add_net(
+                f"edge{i}/{src}->{dst}",
+                port_cells[src][0],
+                [port_cells[dst][1]],
+                activity=self.graph.get(src).cost.activity,
+            )
+        return combined
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"{self.name}: {self.slices} slices, {self.brams} BRAM, "
+            f"{self.multipliers} MULT18, latency {self.latency_cycles} cy, "
+            f"fmax {self.fmax_mhz:.0f} MHz"
+        )
+
+
+def compile_graph(graph: DataflowGraph, interface_nets: Optional[int] = None) -> CompiledModule:
+    """Compile one dataflow graph into a module.
+
+    Raises
+    ------
+    ValueError
+        If the graph is cyclic or empty.
+    """
+    if not graph.nodes:
+        raise ValueError(f"graph {graph.name!r} is empty")
+    slices = brams = mults = 0
+    fmax = float("inf")
+    for node in graph.nodes:
+        cost = node.cost
+        slices += cost.slices
+        brams += cost.brams
+        mults += cost.multipliers
+        fmax = min(fmax, cost.fmax_mhz)
+    io_nodes = sum(1 for n in graph.nodes if n.kind in ("input", "output"))
+    return CompiledModule(
+        name=graph.name,
+        slices=slices,
+        brams=brams,
+        multipliers=mults,
+        latency_cycles=graph.critical_latency_cycles(),
+        fmax_mhz=fmax,
+        interface_nets=interface_nets if interface_nets is not None else max(4, 2 * io_nodes),
+        graph=graph,
+    )
+
+
+def _balanced_partition(weights: List[int], count: int) -> List[List[int]]:
+    """Optimal contiguous partition of ``weights`` into ``count`` non-empty
+    groups minimising the maximum group sum (classic linear-partition DP).
+    Returns index groups."""
+    n = len(weights)
+    prefix = [0]
+    for w in weights:
+        prefix.append(prefix[-1] + w)
+
+    def span(i: int, j: int) -> int:  # sum of weights[i:j]
+        return prefix[j] - prefix[i]
+
+    INF = float("inf")
+    # best[k][j]: minimal max-group-sum partitioning weights[:j] into k groups.
+    best = [[INF] * (n + 1) for _ in range(count + 1)]
+    cut = [[0] * (n + 1) for _ in range(count + 1)]
+    best[0][0] = 0.0
+    for k in range(1, count + 1):
+        for j in range(k, n + 1):
+            for i in range(k - 1, j):
+                candidate = max(best[k - 1][i], span(i, j))
+                if candidate < best[k][j]:
+                    best[k][j] = candidate
+                    cut[k][j] = i
+    bounds = [n]
+    j = n
+    for k in range(count, 0, -1):
+        j = cut[k][j]
+        bounds.append(j)
+    bounds.reverse()
+    return [list(range(bounds[k], bounds[k + 1])) for k in range(count)]
+
+
+def split_into_modules(graph: DataflowGraph, count: int, name_prefix: Optional[str] = None) -> List[CompiledModule]:
+    """Re-partition a dataflow graph into ``count`` balanced modules.
+
+    This is the paper's "re-partitioning the modules into e.g. 5
+    reconfigurable modules of smaller sizes": the topological order is cut
+    into contiguous groups of near-equal slice weight, so each group can be
+    loaded into a smaller reconfigurable slot; edges cut by the partition
+    become extra interface nets (bus-macro signals).
+
+    Raises
+    ------
+    ValueError
+        If ``count`` is less than 1 or exceeds the node count.
+    """
+    nodes_in_order = graph.topological_order()
+    if nodes_in_order is None:
+        raise ValueError(f"graph {graph.name!r} has a cycle")
+    if not 1 <= count <= len(nodes_in_order):
+        raise ValueError(f"cannot split {len(nodes_in_order)} nodes into {count} modules")
+    prefix = name_prefix or graph.name
+
+    weights = [graph.get(name).cost.slices for name in nodes_in_order]
+    groups = [
+        [nodes_in_order[i] for i in index_group]
+        for index_group in _balanced_partition(weights, count)
+    ]
+
+    membership = {}
+    for gi, group in enumerate(groups):
+        for name in group:
+            membership[name] = gi
+
+    modules: List[CompiledModule] = []
+    for gi, group in enumerate(groups):
+        sub = DataflowGraph(f"{prefix}_p{gi}")
+        for name in group:
+            node = graph.get(name)
+            sub.node(name, node.kind, node.width, **node.params)
+        cut_edges = 0
+        for s, d in graph.edges:
+            if membership[s] == gi and membership[d] == gi:
+                sub.connect(s, d)
+            elif membership[s] == gi or membership[d] == gi:
+                cut_edges += 1
+        io_nodes = sum(1 for n in sub.nodes if n.kind in ("input", "output"))
+        modules.append(compile_graph(sub, interface_nets=max(4, 2 * io_nodes + cut_edges)))
+    return modules

@@ -1,0 +1,126 @@
+"""Dataflow graph IR for hardware modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sysgen.ops import OpSpec, op_cost
+
+
+@dataclass
+class DataflowNode:
+    """One operator instance in a graph."""
+
+    name: str
+    kind: str
+    width: int = 16
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def cost(self) -> OpSpec:
+        return op_cost(self.kind, self.width, **self.params)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.name}:{self.kind}({self.width})"
+
+
+class DataflowGraph:
+    """A DAG of operators.
+
+    Edges carry data from one operator's output to another's input; the
+    graph must stay acyclic (feedback inside operators — accumulators, IIR
+    state — is encapsulated in the operator cost models, as in System
+    Generator block semantics).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._nodes: Dict[str, DataflowNode] = {}
+        self._edges: List[Tuple[str, str]] = []
+
+    def node(self, name: str, kind: str, width: int = 16, **params) -> DataflowNode:
+        """Add an operator.
+
+        Raises
+        ------
+        ValueError
+            On duplicate names or unknown kinds (checked eagerly via the
+            cost model).
+        """
+        if name in self._nodes:
+            raise ValueError(f"duplicate node {name!r} in graph {self.name!r}")
+        node = DataflowNode(name, kind, width, params)
+        node.cost  # validate kind/params eagerly
+        self._nodes[name] = node
+        return node
+
+    def connect(self, source: str, dest: str) -> None:
+        """Add an edge.
+
+        Raises
+        ------
+        ValueError
+            If either endpoint is missing or the edge closes a cycle.
+        """
+        if source not in self._nodes:
+            raise ValueError(f"unknown source node {source!r}")
+        if dest not in self._nodes:
+            raise ValueError(f"unknown dest node {dest!r}")
+        self._edges.append((source, dest))
+        if self.topological_order() is None:
+            self._edges.pop()
+            raise ValueError(f"edge {source}->{dest} would create a cycle")
+
+    def chain(self, *names: str) -> None:
+        """Connect nodes in sequence."""
+        for a, b in zip(names, names[1:]):
+            self.connect(a, b)
+
+    @property
+    def nodes(self) -> List[DataflowNode]:
+        return list(self._nodes.values())
+
+    @property
+    def edges(self) -> List[Tuple[str, str]]:
+        return list(self._edges)
+
+    def get(self, name: str) -> DataflowNode:
+        return self._nodes[name]
+
+    def successors(self, name: str) -> List[str]:
+        return [d for s, d in self._edges if s == name]
+
+    def predecessors(self, name: str) -> List[str]:
+        return [s for s, d in self._edges if d == name]
+
+    def topological_order(self) -> Optional[List[str]]:
+        """Topological order of node names, or None if the graph has a
+        cycle."""
+        indegree = {n: 0 for n in self._nodes}
+        for _s, d in self._edges:
+            indegree[d] += 1
+        frontier = [n for n, deg in indegree.items() if deg == 0]
+        order: List[str] = []
+        while frontier:
+            node = frontier.pop()
+            order.append(node)
+            for succ in self.successors(node):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    frontier.append(succ)
+        if len(order) != len(self._nodes):
+            return None
+        return order
+
+    def critical_latency_cycles(self) -> int:
+        """Pipeline latency: the longest path through operator latencies."""
+        order = self.topological_order()
+        if order is None:
+            raise ValueError(f"graph {self.name!r} has a cycle")
+        finish: Dict[str, int] = {}
+        for name in order:
+            node = self._nodes[name]
+            start = max((finish[p] for p in self.predecessors(name)), default=0)
+            finish[name] = start + node.cost.latency_cycles
+        return max(finish.values(), default=0)

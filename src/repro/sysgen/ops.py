@@ -1,0 +1,190 @@
+"""Operator library with resource/latency/frequency cost models.
+
+Costs follow standard Spartan-3 implementation idioms: ripple-carry adders
+at two bits per slice, MULT18-backed multipliers up to 18 bits (LUT
+fabric beyond that, or when the multiplier budget is spent), unrolled
+CORDIC for magnitude/phase, non-restoring dividers, distributed ROM below
+2 Kbit and block RAM above.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Cost of one operator instance."""
+
+    kind: str
+    slices: int
+    brams: int = 0
+    multipliers: int = 0
+    latency_cycles: int = 1
+    fmax_mhz: float = 125.0
+    #: Mean toggle rate of the operator's datapath.
+    activity: float = 0.10
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def op_cost(kind: str, width: int = 16, **params) -> OpSpec:
+    """Compute the cost of one operator.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`OP_KINDS`.
+    width:
+        Datapath width in bits.
+    params:
+        Kind-specific: ``depth`` (rom/delay), ``acc_width`` (mac/accum),
+        ``taps`` (fir/iir), ``use_mult18`` (mul/mac, default True).
+
+    Raises
+    ------
+    ValueError
+        On unknown kinds or out-of-range parameters.
+    """
+    if width < 1 or width > 64:
+        raise ValueError(f"width must be 1..64, got {width}")
+    half = _ceil_div(width, 2)
+
+    if kind in ("input", "output"):
+        return OpSpec(kind, slices=half, latency_cycles=0, fmax_mhz=200.0, activity=0.15)
+    if kind == "const":
+        return OpSpec(kind, slices=0, latency_cycles=0, fmax_mhz=300.0, activity=0.0)
+    if kind in ("add", "sub"):
+        return OpSpec(kind, slices=half + 1, latency_cycles=1, fmax_mhz=140.0, activity=0.15)
+    if kind == "accumulator":
+        acc = params.get("acc_width", width + 8)
+        return OpSpec(kind, slices=_ceil_div(acc, 2) + 2, latency_cycles=1, fmax_mhz=130.0, activity=0.20)
+    if kind == "mul":
+        use_mult18 = params.get("use_mult18", True)
+        if use_mult18 and width <= 18:
+            return OpSpec(kind, slices=4, multipliers=1, latency_cycles=3, fmax_mhz=90.0, activity=0.25)
+        if use_mult18 and width <= 35:
+            # Split into four 18x18 partial products recombined in fabric.
+            return OpSpec(kind, slices=width + 8, multipliers=4, latency_cycles=5, fmax_mhz=80.0, activity=0.25)
+        # LUT-fabric multiplier, deeply pipelined (spares the MULT18 budget).
+        return OpSpec(kind, slices=width * width // 4, latency_cycles=8, fmax_mhz=85.0, activity=0.25)
+    if kind == "mac":
+        mul = op_cost("mul", width, **params)
+        acc = params.get("acc_width", 2 * width + 8)
+        return OpSpec(
+            kind,
+            slices=mul.slices + _ceil_div(acc, 2) + 3,
+            multipliers=mul.multipliers,
+            latency_cycles=mul.latency_cycles + 1,
+            fmax_mhz=min(mul.fmax_mhz, 120.0),
+            activity=0.25,
+        )
+    if kind == "cordic_magphase":
+        # Unrolled vectoring CORDIC: `width` stages of three add/sub each
+        # (x, y, z paths) plus the angle-constant distributed ROM.
+        stages = width
+        per_stage = 3 * half + 2
+        return OpSpec(
+            kind,
+            slices=stages * per_stage + 2 * half,
+            latency_cycles=stages + 2,
+            fmax_mhz=110.0,
+            activity=0.22,
+        )
+    if kind == "div":
+        # Non-restoring divider, one bit per stage.
+        return OpSpec(
+            kind,
+            slices=width * (half + 2) // 2 + 10,
+            latency_cycles=width + 2,
+            fmax_mhz=75.0,
+            activity=0.20,
+        )
+    if kind == "sqrt":
+        return OpSpec(
+            kind,
+            slices=width * (_ceil_div(width, 4) + 2) // 2 + 8,
+            latency_cycles=width,
+            fmax_mhz=85.0,
+            activity=0.18,
+        )
+    if kind == "rom":
+        depth = params.get("depth", 256)
+        bits = depth * width
+        if bits <= 2048:
+            return OpSpec(kind, slices=_ceil_div(bits, 32) + 2, latency_cycles=1, fmax_mhz=140.0, activity=0.15)
+        return OpSpec(
+            kind,
+            slices=4,
+            brams=_ceil_div(bits, 18 * 1024),
+            latency_cycles=2,
+            fmax_mhz=100.0,
+            activity=0.15,
+        )
+    if kind == "delay":
+        depth = params.get("depth", 1)
+        if depth <= 1:
+            return OpSpec(kind, slices=half, latency_cycles=depth, fmax_mhz=180.0, activity=0.15)
+        # SRL16 shift-register chains: 16 stages per LUT.
+        return OpSpec(
+            kind,
+            slices=half * _ceil_div(depth, 16) + 1,
+            latency_cycles=depth,
+            fmax_mhz=150.0,
+            activity=0.15,
+        )
+    if kind == "mux":
+        return OpSpec(kind, slices=half + 1, latency_cycles=0, fmax_mhz=160.0, activity=0.12)
+    if kind == "cmp":
+        return OpSpec(kind, slices=half + 1, latency_cycles=1, fmax_mhz=150.0, activity=0.08)
+    if kind == "iir_mac_serial":
+        # Time-multiplexed IIR: one MAC, a coefficient ROM and state
+        # registers, iterating `taps` coefficients per sample.
+        taps = params.get("taps", 5)
+        mac = op_cost("mac", width, **{k: v for k, v in params.items() if k != "taps"})
+        rom = op_cost("rom", width, depth=max(16, taps))
+        return OpSpec(
+            kind,
+            slices=mac.slices + rom.slices + 2 * half + 12,
+            brams=rom.brams,
+            multipliers=mac.multipliers,
+            latency_cycles=taps + mac.latency_cycles + 1,
+            fmax_mhz=min(mac.fmax_mhz, 110.0),
+            activity=0.20,
+        )
+    if kind == "control":
+        states = params.get("depth", 16)
+        return OpSpec(
+            kind,
+            slices=_ceil_div(states, 2) + 8,
+            latency_cycles=0,
+            fmax_mhz=150.0,
+            activity=0.05,
+        )
+    raise ValueError(f"unknown operator kind {kind!r}")
+
+
+#: All operator kinds the library supports.
+OP_KINDS = (
+    "input",
+    "output",
+    "const",
+    "add",
+    "sub",
+    "accumulator",
+    "mul",
+    "mac",
+    "cordic_magphase",
+    "div",
+    "sqrt",
+    "rom",
+    "delay",
+    "mux",
+    "cmp",
+    "iir_mac_serial",
+    "control",
+)

@@ -1,0 +1,146 @@
+"""Tests for the VCD writer/parser and toggle-rate extraction."""
+
+import io
+
+import pytest
+
+from repro.activity.annotate import annotate_netlist
+from repro.activity.estimate import ActivityReport, activity_from_vcd, toggle_rates
+from repro.activity.vcd import VcdWriter, parse_vcd, vcd_from_simulator
+from repro.netlist.generate import chain_netlist
+from repro.sim.events import Simulator
+
+
+def _counter_vcd(cycles: int = 100, period_ps: int = 20_000) -> str:
+    sim = Simulator(trace=True)
+    clk = sim.clock("clk", period_ns=period_ps / 1000)
+    q = sim.signal("q", width=8)
+    clk.on_rising_edge(lambda: q.set((q.value + 1) & 0xFF))
+    sim.run(ns=cycles * period_ps / 1000)
+    out = io.StringIO()
+    vcd_from_simulator(sim, out)
+    return out.getvalue()
+
+
+class TestVcdWriter:
+    def test_header_and_changes(self):
+        out = io.StringIO()
+        w = VcdWriter(out)
+        w.declare("a", 1)
+        w.declare("bus", 8)
+        w.change(0, "a", 1)
+        w.change(10, "bus", 0xA5)
+        text = out.getvalue()
+        assert "$enddefinitions" in text
+        assert "$var wire 1" in text
+        assert "$var wire 8" in text
+        assert "#10" in text
+        assert "b10100101" in text
+
+    def test_time_must_not_go_backwards(self):
+        w = VcdWriter(io.StringIO())
+        w.declare("a", 1)
+        w.change(10, "a", 1)
+        with pytest.raises(ValueError, match="backwards"):
+            w.change(5, "a", 0)
+
+    def test_undeclared_variable_raises(self):
+        w = VcdWriter(io.StringIO())
+        w.declare("a", 1)
+        with pytest.raises(KeyError):
+            w.change(0, "b", 1)
+
+    def test_declare_after_header_raises(self):
+        w = VcdWriter(io.StringIO())
+        w.declare("a", 1)
+        w.change(0, "a", 1)
+        with pytest.raises(ValueError):
+            w.declare("b", 1)
+
+
+class TestVcdRoundtrip:
+    def test_simulator_roundtrip(self):
+        text = _counter_vcd()
+        data = parse_vcd(text)
+        assert set(data) == {"clk", "q"}
+        width, changes = data["q"]
+        assert width == 8
+        values = [v for _t, v in changes]
+        # Counter counts up monotonically (mod 256).
+        assert values[-1] == (len(values) - 1) % 256
+
+    def test_parse_scalar_and_vector(self):
+        text = (
+            "$timescale 1ps $end\n"
+            "$var wire 1 ! a $end\n"
+            "$var wire 4 \" b $end\n"
+            "$enddefinitions $end\n"
+            "#0\n1!\nb1010 \"\n#5\n0!\n"
+        )
+        data = parse_vcd(text)
+        assert data["a"][1] == [(0, 1), (5, 0)]
+        assert data["b"][1] == [(0, 10)]
+
+    def test_x_bits_map_to_zero(self):
+        text = (
+            "$var wire 4 ! b $end\n$enddefinitions $end\n#0\nb1x1z !\n"
+        )
+        data = parse_vcd(text)
+        assert data["b"][1] == [(0, 0b1010)]
+
+    def test_malformed_change_raises(self):
+        text = "$var wire 1 ! a $end\n$enddefinitions $end\n#0\n1?\n"
+        with pytest.raises(ValueError):
+            parse_vcd(text)
+
+    def test_untraced_simulator_rejected(self):
+        sim = Simulator(trace=False)
+        with pytest.raises(ValueError, match="trace=True"):
+            vcd_from_simulator(sim, io.StringIO())
+
+
+class TestToggleRates:
+    def test_counter_activities(self):
+        """An 8-bit counter toggles 2 bits/cycle on average -> per-bit
+        activity 0.25; the clock's is 2.0."""
+        report = activity_from_vcd(_counter_vcd(200), clock_period_ps=20_000)
+        assert report.get("clk") == pytest.approx(2.0, rel=0.02)
+        assert report.get("q") == pytest.approx(0.25, rel=0.05)
+
+    def test_hottest_ordering(self):
+        report = ActivityReport(1000, 100_000, {"a": 0.5, "b": 0.1, "c": 0.9})
+        assert [name for name, _v in report.hottest(2)] == ["c", "a"]
+
+    def test_zero_duration_raises(self):
+        with pytest.raises(ValueError):
+            toggle_rates({"a": (1, [])}, clock_period_ps=1000)
+
+    def test_explicit_window(self):
+        data = {"a": (1, [(0, 0), (500, 1), (1500, 0)])}
+        report = toggle_rates(data, clock_period_ps=1000, duration_ps=2000)
+        assert report.get("a") == pytest.approx(1.0)  # 2 toggles / 2 cycles
+
+
+class TestAnnotate:
+    def test_annotation_matches_by_name(self):
+        nl = chain_netlist("c", 4)
+        report = ActivityReport(1000, 10_000, {"q0": 0.4, "q2": 0.6})
+        matched = annotate_netlist(nl, report, default=0.05)
+        assert matched == 2
+        assert nl.net("q0").activity == pytest.approx(0.4)
+        assert nl.net("q1").activity == pytest.approx(0.05)
+
+    def test_name_map(self):
+        nl = chain_netlist("c", 3)
+        report = ActivityReport(1000, 10_000, {"top/q0": 0.7})
+        annotate_netlist(nl, report, name_map={"q0": "top/q0"})
+        assert nl.net("q0").activity == pytest.approx(0.7)
+
+    def test_clock_nets_keep_clock_activity(self):
+        from repro.netlist.generate import random_netlist
+
+        nl = random_netlist("r", 30, seed=2)
+        report = ActivityReport(1000, 10_000, {})
+        annotate_netlist(nl, report)
+        clk = [n for n in nl.nets if n.is_clock][0]
+        assert clk.activity == 2.0

@@ -1,0 +1,122 @@
+"""Tests for the analog front end and the soft-core software baseline."""
+
+import numpy as np
+import pytest
+
+from repro.app.dsp import process_measurement
+from repro.app.frontend import AnalogFrontEnd
+from repro.app.software import RUNTIME_OVERHEAD_BYTES, MeasurementSoftware
+from repro.app.tank import MeasurementCircuit
+from repro.fabric.device import get_device
+
+
+@pytest.fixture(scope="module")
+def fe():
+    return AnalogFrontEnd(seed=42)
+
+
+@pytest.fixture(scope="module")
+def cycle(fe):
+    return fe.sample_cycle(0.6, 512)
+
+
+class TestFrontend:
+    def test_sample_counts_and_rate(self, fe, cycle):
+        assert cycle.meas.size == 512
+        assert cycle.ref.size == 512
+        assert cycle.sample_rate_hz == pytest.approx(4e6)
+        assert cycle.tone_hz == pytest.approx(500e3)
+        assert cycle.duration_s == pytest.approx(128e-6)
+
+    def test_level_recovered(self, fe):
+        for level in (0.2, 0.8):
+            cyc = fe.sample_cycle(level, 512)
+            out = process_measurement(cyc.meas, cyc.ref, cyc.sample_rate_hz, cyc.tone_hz, fe.circuit)
+            assert out.level == pytest.approx(level, abs=0.05)
+
+    def test_monotone_in_level(self, fe):
+        caps = []
+        for level in (0.1, 0.5, 0.9):
+            cyc = fe.sample_cycle(level, 512)
+            out = process_measurement(cyc.meas, cyc.ref, cyc.sample_rate_hz, cyc.tone_hz, fe.circuit)
+            caps.append(out.capacitance_pf)
+        assert caps[0] < caps[1] < caps[2]
+
+    def test_frame_too_short_rejected(self, fe):
+        with pytest.raises(ValueError, match="period"):
+            fe.sample_cycle(0.5, 4)
+
+    def test_bad_level_rejected(self, fe):
+        with pytest.raises(ValueError):
+            fe.sample_cycle(1.4, 512)
+
+    def test_gain_validation(self):
+        with pytest.raises(ValueError, match="gains"):
+            AnalogFrontEnd(meas_gain=0.0)
+        with pytest.raises(ValueError, match="excitation"):
+            AnalogFrontEnd(excitation_scale=0.95)
+
+    def test_noise_changes_samples_not_level(self):
+        quiet = AnalogFrontEnd(noise_rms=0.0, seed=1)
+        noisy = AnalogFrontEnd(noise_rms=0.005, seed=1)
+        a = quiet.sample_cycle(0.5, 512)
+        b = noisy.sample_cycle(0.5, 512)
+        assert not np.array_equal(a.meas, b.meas)
+        out = process_measurement(b.meas, b.ref, b.sample_rate_hz, b.tone_hz, noisy.circuit)
+        assert out.level == pytest.approx(0.5, abs=0.06)
+
+
+class TestSoftware:
+    @pytest.fixture(scope="class")
+    def sw(self):
+        return MeasurementSoftware(frame_samples=512)
+
+    def test_image_exceeds_60_kbyte(self, sw):
+        """Paper: 'the software algorithms required more than 60 Kbyte of
+        memory, which made it necessary to store the code in external
+        SRAM.'"""
+        assert sw.image_bytes > 60 * 1024
+        assert sw.image_bytes - RUNTIME_OVERHEAD_BYTES > 8 * 1024  # real kernel+data too
+
+    def test_image_exceeds_small_device_bram(self, sw):
+        for name in ("XC3S50", "XC3S200", "XC3S400"):
+            assert not sw.fits_in_bram(get_device(name).bram_bytes)
+
+    def test_matches_reference_dsp(self, sw, fe, cycle):
+        """The assembly program must compute what the numpy reference
+        computes (within float32/fixed-point tolerance)."""
+        result = sw.run(cycle.meas, cycle.ref)
+        ref = process_measurement(
+            cycle.meas, cycle.ref, cycle.sample_rate_hz, cycle.tone_hz, fe.circuit
+        )
+        assert result.meas_amplitude == pytest.approx(ref.meas_amplitude, rel=2e-3)
+        assert result.ref_amplitude == pytest.approx(ref.ref_amplitude, rel=2e-3)
+        assert result.capacitance_pf == pytest.approx(ref.capacitance_pf, rel=2e-2)
+        assert result.level == pytest.approx(ref.level, abs=0.02)
+
+    def test_processing_time_near_paper(self, sw, cycle):
+        """~7 ms at the MicroBlaze clock (paper: 7 ms)."""
+        result = sw.run(cycle.meas, cycle.ref)
+        t = result.time_s(25.0)
+        assert 4e-3 < t < 12e-3
+
+    def test_external_sram_slower_than_bram(self, sw, cycle):
+        ext = sw.run(cycle.meas, cycle.ref, external_code=True)
+        bram = sw.run(cycle.meas, cycle.ref, external_code=False)
+        assert ext.cycles > 1.05 * bram.cycles
+        assert ext.level == bram.level  # identical results
+
+    def test_filter_state_carries(self, sw, cycle):
+        first = sw.run(cycle.meas, cycle.ref)
+        second = sw.run(cycle.meas, cycle.ref, previous_state=(0.0, True))
+        # IIR from 0 toward the level: second reading must be below first.
+        assert second.level < first.level
+
+    def test_frame_size_validated(self, sw):
+        with pytest.raises(ValueError, match="512"):
+            sw.run(np.zeros(100), np.zeros(100))
+
+    def test_cycle_counts_deterministic(self, sw, cycle):
+        a = sw.run(cycle.meas, cycle.ref)
+        b = sw.run(cycle.meas, cycle.ref)
+        assert a.cycles == b.cycles

@@ -1,0 +1,184 @@
+"""Tests for the hardware modules and the assembled system variants."""
+
+import numpy as np
+import pytest
+
+from repro.app.dsp import process_measurement
+from repro.app.frontend import AnalogFrontEnd
+from repro.app.modules import (
+    FRAME_SAMPLES,
+    build_amp_phase_graph,
+    build_capacity_graph,
+    build_filter_graph,
+    build_frontend_graph,
+    build_processing_graph,
+    repartitioned_modules,
+    standard_modules,
+)
+from repro.app.system import (
+    FpgaFullHardwareSystem,
+    FpgaReconfigSystem,
+    FpgaSoftwareSystem,
+    MicrocontrollerSystem,
+    frontend_slices,
+    static_side_slices,
+)
+from repro.reconfig.ports import Icap
+from repro.sysgen.compile import compile_graph
+
+
+@pytest.fixture(scope="module")
+def modules():
+    return standard_modules()
+
+
+class TestModuleFootprints:
+    def test_amp_phase_is_largest(self, modules):
+        """Paper: 'the module for calculating the amplitude and phase of a
+        signal ... is the largest one.'"""
+        ap = modules["amp_phase"].slices
+        assert ap > modules["capacity"].slices
+        assert ap > modules["filter"].slices
+        assert ap > modules["frontend"].slices
+
+    def test_total_exceeds_6000_without_reconfig(self, modules):
+        """Paper: 'Implementing the complete system without exploiting
+        reconfiguration would require more than 6000 slices.'"""
+        from repro.ip.ethernet import ETHERNET_FOOTPRINT
+        from repro.ip.profibus import PROFIBUS_FOOTPRINT
+
+        flat = (
+            static_side_slices(with_jcap=False)
+            + sum(m.slices for m in modules.values())
+            + ETHERNET_FOOTPRINT.slices
+            + PROFIBUS_FOOTPRINT.slices
+        )
+        assert flat > 6000
+
+    def test_modules_fit_xc3s400_slot(self, modules):
+        """Static side + largest module fit the XC3S400 (the paper's
+        one-slot system)."""
+        from repro.fabric.device import get_device
+
+        dev = get_device("XC3S400")
+        assert static_side_slices() + modules["amp_phase"].slices <= dev.slices
+
+    def test_graph_compilation_deterministic(self):
+        a = compile_graph(build_amp_phase_graph())
+        b = compile_graph(build_amp_phase_graph())
+        assert a.slices == b.slices
+
+    def test_all_modules_meet_75mhz(self, modules):
+        for m in modules.values():
+            assert m.compiled.fmax_mhz >= 75.0
+
+    def test_amp_phase_processing_near_7us(self, modules):
+        """Paper headline: 7 us of hardware processing time."""
+        t = modules["amp_phase"].compiled.processing_time_us(FRAME_SAMPLES, 75.0)
+        assert 4.0 < t < 12.0
+
+    def test_repartition_into_five(self):
+        """Paper: 're-partitioning the modules into e.g. 5 reconfigurable
+        modules of smaller sizes' lets the system use a smaller device."""
+        parts = repartitioned_modules(5)
+        combined = compile_graph(build_processing_graph())
+        assert len(parts) == 5
+        assert sum(p.slices for p in parts) == combined.slices
+        assert max(p.slices for p in parts) < combined.slices / 2
+
+    def test_frontend_module_small(self, modules):
+        assert modules["frontend"].slices < 400
+
+
+class TestModuleBehaviours:
+    def test_hw_pipeline_matches_reference(self, modules):
+        fe = AnalogFrontEnd(seed=7)
+        cyc = fe.sample_cycle(0.45, FRAME_SAMPLES)
+        ref = process_measurement(cyc.meas, cyc.ref, cyc.sample_rate_hz, cyc.tone_hz, fe.circuit)
+        m_amp, m_ph, r_amp, r_ph = modules["amp_phase"].behavior(
+            cyc.meas, cyc.ref, cyc.sample_rate_hz, cyc.tone_hz
+        )
+        assert m_amp == pytest.approx(ref.meas_amplitude, abs=2e-5)
+        c = modules["capacity"].behavior(m_amp, m_ph, r_amp, r_ph)
+        assert c == pytest.approx(ref.capacitance_pf, rel=1e-2)
+        level, _state = modules["filter"].behavior(c, None)
+        assert level == pytest.approx(ref.level, abs=1e-2)
+
+    def test_filter_behavior_state(self, modules):
+        behavior = modules["filter"].behavior
+        level1, state = behavior(300.0, None)
+        level2, _ = behavior(300.0, state)
+        assert level2 == pytest.approx(level1, abs=1e-6)
+
+
+class TestSystems:
+    def test_all_variants_measure_same_level(self):
+        level = 0.55
+        results = {}
+        for cls in (MicrocontrollerSystem, FpgaSoftwareSystem, FpgaFullHardwareSystem):
+            system = cls()
+            results[cls.__name__] = system.run_cycle(level).level_measured
+        values = list(results.values())
+        assert max(values) - min(values) < 0.02
+        assert all(abs(v - level) < 0.06 for v in values)
+
+    def test_software_needs_external_sram(self):
+        assert FpgaSoftwareSystem().needs_external_sram
+
+    def test_full_hw_needs_xc3s1000(self):
+        system = FpgaFullHardwareSystem()
+        assert system.device.name == "XC3S1000"
+
+    def test_reconfig_fits_xc3s400(self):
+        system = FpgaReconfigSystem()
+        assert system.device.name == "XC3S400"
+
+    def test_speedup_about_1000x(self):
+        """Paper: 'the processing performance increased with approximately
+        a factor 1000, from 7 ms ... to 7 us.'"""
+        sw = FpgaSoftwareSystem().run_cycle(0.5)
+        hw = FpgaFullHardwareSystem().run_cycle(0.5)
+        speedup = sw.processing_time_s / hw.processing_time_s
+        assert 300 < speedup < 3000
+
+    def test_reconfig_static_power_lower_than_flat(self):
+        from repro.power.model import static_power_w
+
+        flat = FpgaFullHardwareSystem()
+        reconf = FpgaReconfigSystem()
+        assert static_power_w(reconf.device) < static_power_w(flat.device)
+
+    def test_jcap_overruns_100ms_cycle(self):
+        """The paper's caveat: the JCAP rate is the bottleneck."""
+        result = FpgaReconfigSystem().run_cycle(0.5)
+        assert not result.fits_period
+        assert result.reconfig_time_s > 0.05
+
+    def test_icap_fits_100ms_cycle(self):
+        result = FpgaReconfigSystem(port=Icap()).run_cycle(0.5)
+        assert result.fits_period
+
+    def test_reduced_clock_reduces_power(self):
+        fast = FpgaReconfigSystem(port=Icap())
+        slow = FpgaReconfigSystem(port=Icap(), hw_clock_mhz=25.0)
+        pf = fast.run_cycle(0.5).avg_power_w
+        ps = slow.run_cycle(0.5).avg_power_w
+        assert ps < pf
+
+    def test_overclock_rejected(self):
+        with pytest.raises(ValueError, match="fmax"):
+            FpgaReconfigSystem(hw_clock_mhz=200.0)
+
+    def test_reset_clears_filter(self):
+        system = MicrocontrollerSystem()
+        system.run_cycle(0.2)
+        system.reset()
+        r = system.run_cycle(0.8)
+        assert r.level_measured == pytest.approx(0.8, abs=0.05)
+
+    def test_schedule_accounting(self):
+        r = FpgaReconfigSystem(port=Icap()).run_cycle(0.5)
+        s = r.schedule
+        assert s.reconfig_time_s == pytest.approx(r.reconfig_time_s, rel=1e-9)
+        assert s.busy_time_s <= s.period_s
+        assert "load" in s.timeline()

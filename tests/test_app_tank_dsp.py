@@ -1,0 +1,170 @@
+"""Tests for the tank plant model and the reference DSP chain."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.app.dsp import (
+    LevelFilter,
+    amplitude_phase,
+    capacity_from_phasors,
+    goertzel,
+    level_from_capacity,
+    process_measurement,
+    quantize,
+)
+from repro.app.tank import MeasurementCircuit, TankModel
+
+
+class TestTankModel:
+    def test_capacitance_endpoints(self):
+        tank = TankModel(c_empty_pf=60, c_full_pf=480)
+        assert tank.capacitance_pf(0.0) == 60
+        assert tank.capacitance_pf(1.0) == 480
+        assert tank.capacitance_pf(0.5) == 270
+
+    def test_level_roundtrip(self):
+        tank = TankModel()
+        for level in (0.0, 0.3, 0.77, 1.0):
+            c = tank.capacitance_pf(level)
+            assert tank.level_from_capacitance(c) == pytest.approx(level)
+
+    def test_level_clipping(self):
+        tank = TankModel()
+        assert tank.level_from_capacitance(tank.c_empty_pf - 50) == 0.0
+        assert tank.level_from_capacitance(tank.c_full_pf + 50) == 1.0
+
+    def test_out_of_range_level_rejected(self):
+        with pytest.raises(ValueError):
+            TankModel().capacitance_pf(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TankModel(c_empty_pf=100, c_full_pf=50)
+        with pytest.raises(ValueError):
+            TankModel(r_loss_ohm=0)
+
+    def test_impedance_capacitive(self):
+        tank = TankModel()
+        z = tank.impedance(300.0, 500e3)
+        assert z.imag < 0  # capacitive
+        assert abs(z) == pytest.approx(1.0 / (2 * math.pi * 500e3 * 300e-12), rel=0.01)
+
+
+class TestCircuit:
+    def test_transfer_magnitude_decreases_with_level(self):
+        """More material -> more capacitance -> lower impedance -> smaller
+        divider output: the measurement principle."""
+        circ = MeasurementCircuit()
+        mags = [abs(circ.tank_transfer(lv, 500e3)) for lv in (0.1, 0.5, 0.9)]
+        assert mags[0] > mags[1] > mags[2]
+
+    def test_capacitance_inversion_exact(self):
+        circ = MeasurementCircuit()
+        for level in (0.05, 0.4, 0.95):
+            h = complex(circ.tank_transfer(level, 500e3))
+            c = circ.capacitance_from_transfer(h, 500e3)
+            assert c == pytest.approx(circ.tank.capacitance_pf(level), rel=1e-9)
+
+    def test_degenerate_transfer_rejected(self):
+        circ = MeasurementCircuit()
+        with pytest.raises(ValueError, match="open circuit"):
+            circ.capacitance_from_transfer(1.0 + 0j, 500e3)
+
+
+class TestGoertzel:
+    def test_matches_fft_bin(self):
+        fs, f, n = 4e6, 500e3, 512
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, n)
+        ours = goertzel(x, f, fs)
+        k = int(f * n / fs)
+        ref = np.fft.fft(x)[k] / (n / 2)
+        assert ours == pytest.approx(complex(ref), rel=1e-9)
+
+    def test_amplitude_of_pure_tone(self):
+        fs, f, n = 4e6, 500e3, 512
+        t = np.arange(n) / fs
+        amp, _ph = amplitude_phase(0.37 * np.sin(2 * np.pi * f * t), f, fs)
+        assert amp == pytest.approx(0.37, rel=1e-9)
+
+    def test_phase_reference(self):
+        fs, f, n = 4e6, 500e3, 512
+        t = np.arange(n) / fs
+        for phi in (-1.0, 0.0, 0.8):
+            _amp, ph = amplitude_phase(np.cos(2 * np.pi * f * t + phi), f, fs)
+            assert ph == pytest.approx(phi, abs=1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            goertzel(np.array([]), 1.0, 2.0)
+
+
+class TestCapacityPipeline:
+    def test_synthetic_roundtrip(self):
+        circ = MeasurementCircuit()
+        fs, f, n = 4e6, 500e3, 512
+        t = np.arange(n) / fs
+        level = 0.63
+        hm = complex(circ.tank_transfer(level, f))
+        hr = complex(circ.reference_transfer(f))
+        meas = abs(hm) * np.sin(2 * np.pi * f * t + cmath.phase(hm))
+        ref = abs(hr) * np.sin(2 * np.pi * f * t + cmath.phase(hr))
+        out = process_measurement(meas, ref, fs, f, circ)
+        assert out.level == pytest.approx(level, abs=1e-6)
+        assert out.capacitance_pf == pytest.approx(circ.tank.capacitance_pf(level), rel=1e-6)
+
+    def test_common_gain_cancels(self):
+        """The reference channel calibrates out common gain and phase —
+        why the two-channel design works."""
+        circ = MeasurementCircuit()
+        fs, f, n = 4e6, 500e3, 512
+        t = np.arange(n) / fs
+        hm = complex(circ.tank_transfer(0.5, f))
+        hr = complex(circ.reference_transfer(f))
+        gain, phase_off = 0.123, 0.77
+        meas = gain * abs(hm) * np.sin(2 * np.pi * f * t + cmath.phase(hm) + phase_off)
+        ref = gain * abs(hr) * np.sin(2 * np.pi * f * t + cmath.phase(hr) + phase_off)
+        out = process_measurement(meas, ref, fs, f, circ)
+        assert out.level == pytest.approx(0.5, abs=1e-6)
+
+    def test_zero_reference_rejected(self):
+        circ = MeasurementCircuit()
+        with pytest.raises(ValueError, match="reference"):
+            capacity_from_phasors(0.1, 0.0, 0.0, 0.0, circ, 500e3)
+
+
+class TestLevelFilter:
+    def test_first_sample_passthrough(self):
+        f = LevelFilter(alpha=0.25)
+        assert f.update(0.8) == 0.8
+
+    def test_smoothing(self):
+        f = LevelFilter(alpha=0.5, initial=0.0)
+        assert f.update(1.0) == 0.5
+        assert f.update(1.0) == 0.75
+
+    def test_converges(self):
+        f = LevelFilter(alpha=0.3)
+        out = 0.0
+        for _ in range(50):
+            out = f.update(0.6)
+        assert out == pytest.approx(0.6, abs=1e-6)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            LevelFilter(alpha=0.0)
+
+
+class TestQuantize:
+    def test_grid(self):
+        assert quantize(0.1234567, 10) == pytest.approx(round(0.1234567 * 1024) / 1024)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError, match="overflows"):
+            quantize(3.0e5, 20, total_bits=24)
+
+    def test_negative_values(self):
+        assert quantize(-0.5, 8) == -0.5

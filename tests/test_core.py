@@ -1,0 +1,160 @@
+"""Tests for the methodology-level APIs (repro.core)."""
+
+import pytest
+
+from repro.app.modules import build_processing_graph, repartitioned_modules, standard_modules
+from repro.app.system import (
+    FpgaReconfigSystem,
+    FpgaSoftwareSystem,
+    MicrocontrollerSystem,
+    frontend_slices,
+    static_side_slices,
+)
+from repro.core.integration import analyze_converter_integration
+from repro.core.par_power import run_power_aware_flow
+from repro.core.reconfig_power import (
+    partition_study,
+    power_vs_clock,
+    reconfig_overhead_report,
+    size_devices,
+)
+from repro.core.tradeoff import SystemVariant, compare_variants, format_table
+from repro.fabric.device import get_device
+from repro.netlist.generate import random_netlist
+from repro.par.placer import PlacerOptions
+from repro.reconfig.controller import ReconfigController
+from repro.reconfig.ports import Icap, Jcap
+from repro.reconfig.slots import plan_floorplan
+from repro.sysgen.compile import split_into_modules
+
+
+class TestIntegration:
+    def test_bom_and_power_savings(self):
+        """§4.1: integrating the converters cuts BOM cost, and on-demand
+        configuration makes their power negligible."""
+        report = analyze_converter_integration()
+        assert report.bom_saving_usd > 5.0
+        assert report.integrated_power_mw < report.external_power_mw
+        assert report.on_demand_power_mw < 0.01 * report.integrated_power_mw
+
+    def test_opb_removal_accounted(self):
+        report = analyze_converter_integration()
+        assert report.opb_interface_slices_saved == 60
+
+    def test_duty_validation(self):
+        with pytest.raises(ValueError):
+            analyze_converter_integration(sampling_duty=0.0)
+
+    def test_summary_text(self):
+        assert "Section 4.1" in analyze_converter_integration().summary()
+
+
+class TestReconfigPower:
+    @pytest.fixture(scope="class")
+    def modules(self):
+        return [m.compiled for m in standard_modules().values()]
+
+    def test_size_devices_chain(self, modules):
+        """The conclusions' chain: flat > 6000 slices -> XC3S1000; 1 slot
+        -> XC3S400; 5 modules -> XC3S200."""
+        from repro.ip.ethernet import ETHERNET_FOOTPRINT
+        from repro.ip.profibus import PROFIBUS_FOOTPRINT
+
+        result = size_devices(
+            static_slices=static_side_slices(),
+            resident_slices=ETHERNET_FOOTPRINT.slices + PROFIBUS_FOOTPRINT.slices,
+            modules=modules,
+            repartitioned=repartitioned_modules(5),
+        )
+        assert result.flat_slices > 6000
+        assert result.flat_device.name == "XC3S1000"
+        assert result.one_slot_device.name == "XC3S400"
+        assert result.multi_slot_device.name == "XC3S200"
+        assert result.static_power_saving_w > 0
+        assert result.cost_saving_usd > 0
+        assert "XC3S1000" in result.summary()
+
+    def test_power_vs_clock_tradeoff(self):
+        points = power_vs_clock(
+            module_slices=2400,
+            frame_samples=512,
+            latency_cycles=50,
+            device=get_device("XC3S400"),
+            clocks_mhz=[10, 25, 50, 75],
+        )
+        dynamics = [p.dynamic_power_w for p in points]
+        assert dynamics == sorted(dynamics)  # power rises with clock
+        assert all(p.meets_deadline for p in points)  # hw is fast enough even at 10 MHz
+
+    def test_empty_clock_list_rejected(self):
+        with pytest.raises(ValueError):
+            power_vs_clock(100, 512, 10, get_device("XC3S400"), [])
+
+    def test_overhead_report(self, modules):
+        def factory(port):
+            plan = plan_floorplan(get_device("XC3S400"), static_side_slices(), [2500])
+            controller = ReconfigController(plan, port)
+            for name in ("frontend", "amp_phase", "capacity", "filter"):
+                controller.prepare_module(name, 0)
+            return controller
+
+        report = reconfig_overhead_report(factory, ["frontend", "amp_phase", "capacity", "filter"])
+        assert report.fits("ICAP")
+        assert not report.fits("JCAP(improved)")
+        assert not report.fits("JCAP(basic)")
+        assert report.total_time_s("JCAP(basic)") > report.total_time_s("JCAP(improved)")
+        assert "EXCEEDS" in report.summary()
+
+    def test_partition_study_monotone(self):
+        graph = build_processing_graph()
+        study = partition_study(
+            lambda n: split_into_modules(graph, n),
+            static_slices=static_side_slices(),
+            counts=[1, 3, 5],
+        )
+        assert study.max_module_slices[0] > study.max_module_slices[-1]
+        # More partitions never need a bigger device.
+        sizes = [get_device(d).slices for d in study.devices]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestParPowerFlow:
+    def test_flow_end_to_end(self):
+        netlist = random_netlist("flow", 90, seed=21)
+        result = run_power_aware_flow(
+            netlist,
+            get_device("XC3S200"),
+            clock_mhz=50.0,
+            top_n=5,
+            placer_options=PlacerOptions(steps=12),
+        )
+        assert result.power_after.routing_w <= result.power_before.routing_w
+        assert len(result.optimization.records) == 5
+        assert "Reduction" in result.table2()
+
+    def test_netlist_too_big_rejected(self):
+        netlist = random_netlist("big", 900, seed=1)
+        with pytest.raises(ValueError):
+            run_power_aware_flow(
+                netlist, get_device("XC3S50"), clock_mhz=50.0,
+                placer_options=PlacerOptions(steps=2),
+            )
+
+
+class TestTradeoff:
+    def test_compare_and_format(self):
+        variants = [
+            SystemVariant("mcu", MicrocontrollerSystem()),
+            SystemVariant("fpga-sw", FpgaSoftwareSystem()),
+        ]
+        rows = compare_variants(variants, levels=[0.5])
+        assert len(rows) == 2
+        assert rows[0].label == "mcu"
+        table = format_table(rows)
+        assert "variant" in table and "mcu" in table
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            compare_variants([])
+        with pytest.raises(ValueError):
+            compare_variants([SystemVariant("m", MicrocontrollerSystem())], levels=[])

@@ -1,0 +1,86 @@
+"""Tests for difference-based reconfiguration."""
+
+import pytest
+
+from repro.fabric.bitstream import Bitstream, BitstreamGenerator
+from repro.fabric.device import get_device
+from repro.fabric.grid import Grid
+from repro.reconfig.diffload import diff_bitstream, diff_load_time_s, tweak_frames
+from repro.reconfig.ports import Jcap
+
+
+@pytest.fixture
+def base():
+    dev = get_device("XC3S400")
+    gen = BitstreamGenerator(dev)
+    return gen.partial_for_region(Grid(dev).column_region(8, 18), "amp_phase")
+
+
+class TestDiff:
+    def test_identical_bitstreams_empty_diff(self, base):
+        result = diff_bitstream(base, base)
+        assert result.frames_changed == 0
+        assert result.reduction == 1.0
+
+    def test_small_tweak_small_diff(self, base):
+        tweaked = tweak_frames(base, [3, 40, 100])
+        result = diff_bitstream(base, tweaked)
+        assert result.frames_changed == 3
+        assert result.reduction > 0.95
+        # The diff carries exactly the changed frames' addresses.
+        changed_addresses = {f.address for f in result.bitstream.frames}
+        assert changed_addresses == {
+            base.frames[i].address for i in (3, 40, 100)
+        }
+
+    def test_diff_applies_to_correct_content(self, base):
+        tweaked = tweak_frames(base, [7])
+        result = diff_bitstream(base, tweaked)
+        [frame] = result.bitstream.frames
+        assert frame.words == tweaked.frames[7].words
+        assert frame.words != base.frames[7].words
+
+    def test_disjoint_regions_rejected(self, base):
+        dev = get_device("XC3S400")
+        other = BitstreamGenerator(dev).partial_for_region(
+            Grid(dev).column_region(0, 5), "filter"
+        )
+        with pytest.raises(ValueError, match="frame coverage"):
+            diff_bitstream(base, other)
+
+    def test_fully_different_modules_no_savings(self, base):
+        dev = get_device("XC3S400")
+        other = BitstreamGenerator(dev).partial_for_region(
+            Grid(dev).column_region(8, 18), "capacity"
+        )
+        result = diff_bitstream(base, other)
+        assert result.reduction == pytest.approx(0.0, abs=0.02)
+
+    def test_tweak_validation(self, base):
+        with pytest.raises(ValueError, match="outside"):
+            tweak_frames(base, [10_000])
+
+    def test_diff_bitstream_still_parses(self, base):
+        tweaked = tweak_frames(base, [1, 2])
+        result = diff_bitstream(base, tweaked)
+        back = Bitstream.from_bytes(result.bitstream.to_bytes())
+        assert back.frame_count == 2
+
+
+class TestDiffTiming:
+    def test_adaptation_tweak_fits_easily_over_jcap(self, base):
+        """A coefficient tweak (3 frames) loads ~70x faster than a full
+        module swap — 'fast run-time adaptation' even over the slow JCAP."""
+        tweaked = tweak_frames(base, [3, 40, 100])
+        full, diff = diff_load_time_s(base, tweaked, Jcap().bytes_per_second)
+        assert diff < full / 50
+        assert diff < 0.002  # sub-2ms over JCAP
+
+    def test_identical_is_free(self, base):
+        full, diff = diff_load_time_s(base, base, 1e6)
+        assert diff == 0.0
+        assert full > 0
+
+    def test_bandwidth_validation(self, base):
+        with pytest.raises(ValueError):
+            diff_load_time_s(base, base, 0.0)

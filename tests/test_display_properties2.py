@@ -1,0 +1,137 @@
+"""Tests for the level display driver plus a second round of
+property-based tests (logic gates, adders, relocation, assembler)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.app.display import BAR_FULL, COLUMNS, LevelDisplay
+from repro.fabric.bitstream import BitstreamGenerator
+from repro.fabric.device import get_device
+from repro.fabric.grid import Grid
+from repro.netlist.logic import FunctionalNetlist, build_adder
+from repro.reconfig.relocation import relocate
+from repro.sim.netlist_sim import NetlistSimulator
+from repro.softcore.asm import assemble
+
+
+class TestLevelDisplay:
+    def test_show_renders_both_lines(self):
+        display = LevelDisplay()
+        display.show(0.5)
+        assert display.line(0).startswith("LEVEL:")
+        assert "50.0 %" in display.line(0)
+        assert display.line(1) == "#" * 8 + "-" * 8
+
+    def test_bar_extremes(self):
+        display = LevelDisplay()
+        display.show(0.0)
+        assert display.line(1) == "-" * COLUMNS
+        display.show(1.0)
+        assert display.line(1) == "#" * COLUMNS
+
+    def test_clear(self):
+        display = LevelDisplay()
+        display.show(0.7)
+        display.clear()
+        assert display.line(0) == " " * COLUMNS
+        assert display.line(1) == " " * COLUMNS
+
+    def test_uart_timing(self):
+        display = LevelDisplay()
+        end = display.show(0.4)
+        assert end == pytest.approx(display.update_time_s())
+        # Updates queue behind each other on the wire.
+        end2 = display.show(0.5, start_time_s=0.0)
+        assert end2 == pytest.approx(2 * display.update_time_s())
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            LevelDisplay().show(1.4)
+
+    def test_fits_in_cycle_tail(self):
+        """One display update fits comfortably in the ~1.4 ms reporting
+        window of the measurement cycle."""
+        display = LevelDisplay()
+        assert display.update_time_s() < 0.01
+
+
+class TestGateProperties:
+    @given(st.integers(min_value=1, max_value=4), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_and_or_xor_tables(self, n_inputs, data):
+        fn = FunctionalNetlist("g")
+        nets = [fn.input(f"i{k}") for k in range(n_inputs)]
+        gates = {
+            "and": fn.and_gate("and_y", nets),
+            "or": fn.or_gate("or_y", nets),
+            "xor": fn.xor_gate("xor_y", nets),
+        }
+        pattern = data.draw(st.integers(0, (1 << n_inputs) - 1))
+        values = {f"i{k}": (pattern >> k) & 1 for k in range(n_inputs)}
+        bits = list(values.values())
+        assert gates["and"].evaluate(values) == int(all(bits))
+        assert gates["or"].evaluate(values) == int(any(bits))
+        assert gates["xor"].evaluate(values) == sum(bits) % 2
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0),
+        st.integers(min_value=0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_adder_correct_for_any_operands(self, width, a, b):
+        a %= 1 << width
+        b %= 1 << width
+        fn = FunctionalNetlist("add")
+        a_nets = [fn.input(f"a{i}") for i in range(width)]
+        b_nets = [fn.input(f"b{i}") for i in range(width)]
+        sums, cout = build_adder(fn, "u", a_nets, b_nets)
+        sim = NetlistSimulator(fn)
+        for i in range(width):
+            sim.drive(f"a{i}", lambda _c, v=a, k=i: (v >> k) & 1)
+            sim.drive(f"b{i}", lambda _c, v=b, k=i: (v >> k) & 1)
+        sim.step()
+        assert sim.value_of(sums) | (sim.values[cout] << width) == a + b
+
+
+class TestRelocationProperty:
+    @given(st.integers(min_value=0, max_value=20), st.integers(min_value=0, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_relocation_preserves_payload(self, src_col, dst_col):
+        dev = get_device("XC3S1000")
+        grid = Grid(dev)
+        width = 3
+        src_col = min(src_col, dev.clb_columns - width)
+        dst_col = min(dst_col, dev.clb_columns - width)
+        source = grid.column_region(src_col, src_col + width - 1)
+        target = grid.column_region(dst_col, dst_col + width - 1)
+        bs = BitstreamGenerator(dev).partial_for_region(source, "m")
+        moved = relocate(bs, source, target, dev)
+        assert [f.words for f in moved.frames] == [f.words for f in bs.frames]
+        assert all(
+            (f.address >> 8) - (g.address >> 8) == dst_col - src_col
+            for f, g in zip(moved.frames, bs.frames)
+        )
+
+
+class TestAssemblerProperty:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "sub", "and", "or", "xor"]),
+                st.integers(1, 31),
+                st.integers(0, 31),
+                st.integers(0, 31),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_r_format_roundtrip(self, instructions):
+        source = "\n".join(f"{op} r{rd}, r{ra}, r{rb}" for op, rd, ra, rb in instructions)
+        program = assemble(source + "\nhalt")
+        assert len(program.instructions) == len(instructions) + 1
+        for (op, rd, ra, rb), inst in zip(instructions, program.instructions):
+            assert (inst.op, inst.rd, inst.ra, inst.rb) == (op, rd, ra, rb)

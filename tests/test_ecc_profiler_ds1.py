@@ -1,0 +1,187 @@
+"""Tests for frame ECC scrubbing, the CPU profiler, and the gate-level
+first-order delta-sigma DAC."""
+
+import random
+
+import pytest
+
+from repro.app.frontend import AnalogFrontEnd
+from repro.app.software import MeasurementSoftware
+from repro.fabric.bitstream import BitstreamGenerator, Frame
+from repro.fabric.device import get_device
+from repro.fabric.ecc import (
+    EccScrubber,
+    EccStatus,
+    check_frame,
+    correct_words,
+    encode_frame,
+)
+from repro.fabric.faults import ConfigurationMemory
+from repro.fabric.grid import Grid
+from repro.ip.delta_sigma import functional_first_order_dac
+from repro.sim.netlist_sim import NetlistSimulator
+from repro.softcore.asm import assemble
+from repro.softcore.cpu import Cpu
+
+
+@pytest.fixture
+def frame():
+    dev = get_device("XC3S400")
+    gen = BitstreamGenerator(dev)
+    bs = gen.partial_for_region(Grid(dev).column_region(3, 3), "m")
+    return bs.frames[0]
+
+
+class TestEccCodec:
+    def test_clean_frame_ok(self, frame):
+        ecc = encode_frame(frame)
+        status, pos = check_frame(frame.words, ecc)
+        assert status is EccStatus.OK and pos is None
+
+    def test_single_bit_corrected(self, frame):
+        ecc = encode_frame(frame)
+        rng = random.Random(4)
+        for _ in range(10):
+            word = rng.randrange(len(frame.words))
+            bit = rng.randrange(32)
+            corrupted = list(frame.words)
+            corrupted[word] ^= 1 << bit
+            status, pos = check_frame(corrupted, ecc)
+            assert status is EccStatus.CORRECTED
+            assert pos == 32 * word + bit
+            assert tuple(correct_words(corrupted, pos)) == frame.words
+
+    def test_double_bit_detected_not_corrected(self, frame):
+        ecc = encode_frame(frame)
+        corrupted = list(frame.words)
+        corrupted[0] ^= 1 << 3
+        corrupted[5] ^= 1 << 17
+        status, _pos = check_frame(corrupted, ecc)
+        assert status is EccStatus.UNCORRECTABLE
+
+    def test_correct_words_validation(self, frame):
+        with pytest.raises(ValueError):
+            correct_words(frame.words, 32 * len(frame.words))
+
+
+class TestEccScrubber:
+    def _setup(self):
+        dev = get_device("XC3S400")
+        gen = BitstreamGenerator(dev)
+        bs = gen.partial_for_region(Grid(dev).column_region(6, 8), "m")
+        memory = ConfigurationMemory()
+        memory.load(bs)
+        scrubber = EccScrubber(memory)
+        scrubber.protect(bs)
+        return memory, scrubber, bs
+
+    def test_clean_pass(self):
+        _m, scrubber, bs = self._setup()
+        outcome = scrubber.scrub()
+        assert len(outcome["ok"]) == bs.frame_count
+        assert not outcome["corrected"] and not outcome["uncorrectable"]
+
+    def test_corrects_seu_without_golden(self):
+        memory, scrubber, bs = self._setup()
+        fault = memory.inject_seu(random.Random(7))
+        outcome = scrubber.scrub()
+        assert outcome["corrected"] == [fault.frame_address]
+        # Memory is restored bit-exactly.
+        assert memory.corrupted_frames(bs) == []
+        # And a second pass is clean.
+        assert not scrubber.scrub()["corrected"]
+
+    def test_double_fault_escalates(self):
+        memory, scrubber, _bs = self._setup()
+        address = sorted(memory._frames)[0]
+        memory.inject_at(address, 0, 1)
+        memory.inject_at(address, 2, 9)
+        outcome = scrubber.scrub()
+        assert outcome["uncorrectable"] == [address]
+
+    def test_unprotected_rejected(self):
+        memory = ConfigurationMemory()
+        with pytest.raises(ValueError, match="protect"):
+            EccScrubber(memory).scrub()
+
+
+class TestCpuProfiler:
+    def test_hot_spots_find_the_loop(self):
+        src = """
+            addi r2, r0, 100
+        loop:
+            muli r3, r2, 3
+            addi r2, r2, -1
+            bne  r2, r0, loop
+            halt
+        """
+        cpu = Cpu(assemble(src), profile=True)
+        cpu.run()
+        spots = cpu.hot_spots(3)
+        # The multiply inside the loop dominates.
+        assert spots[0][3].startswith("muli")
+        assert spots[0][2] > 0.3
+        report = cpu.profile_report()
+        assert "muli" in report and "%" in report
+
+    def test_profiler_off_by_default(self):
+        cpu = Cpu(assemble("nop\nhalt"))
+        cpu.run()
+        with pytest.raises(ValueError, match="profile=True"):
+            cpu.hot_spots()
+
+    def test_software_profile_blames_the_dft_loop(self):
+        """The paper's motivation made visible: nearly all software cycles
+        sit in the per-sample DFT loop's soft-float operations."""
+        fe = AnalogFrontEnd(seed=9)
+        cycle = fe.sample_cycle(0.5, 512)
+        sw = MeasurementSoftware(fe.circuit, 512, fe.output_rate_hz, fe.tone_hz)
+        result, report = sw.profile_run(cycle.meas, cycle.ref)
+        assert result.cycles > 100_000
+        top = report.splitlines()[1]
+        assert any(op in top for op in ("fmul", "fadd", "i2f", "lw"))
+        # The loop body (a handful of PCs) accounts for most cycles.
+        cpu_share = sum(
+            float(line.split()[2].rstrip("%")) for line in report.splitlines()[1:9]
+        )
+        assert cpu_share > 80.0
+
+
+class TestFunctionalFirstOrderDac:
+    def test_ones_density_matches_input(self):
+        fn, inputs, out = functional_first_order_dac(width=6)
+        sim = NetlistSimulator(fn)
+        code = 21  # 21/64
+        for i, net in enumerate(inputs):
+            sim.drive(net, lambda _c, k=i: (code >> k) & 1)
+        ones = 0
+        cycles = 640
+        for _ in range(cycles):
+            sim.step()
+            ones += sim.values[out]
+        assert ones / cycles == pytest.approx(code / 64, abs=0.02)
+
+    def test_zero_input_stays_low(self):
+        fn, inputs, out = functional_first_order_dac(width=4)
+        sim = NetlistSimulator(fn)
+        sim.run(50)
+        assert sim.values[out] == 0
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            functional_first_order_dac(width=1)
+
+    def test_output_activity_peaks_midscale(self):
+        """Delta-sigma physics: the output bit toggles fastest at
+        mid-scale input — measurable on the gate-level model."""
+        def out_activity(code, width=5):
+            fn, inputs, out = functional_first_order_dac(width)
+            sim = NetlistSimulator(fn)
+            for i, net in enumerate(inputs):
+                sim.drive(net, lambda _c, k=i: (code >> k) & 1)
+            sim.run(320)
+            return sim.activity_report().get(out)
+
+        mid = out_activity(16)
+        low = out_activity(2)
+        assert mid > 2 * low

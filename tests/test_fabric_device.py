@@ -1,0 +1,100 @@
+"""Tests for the Spartan-3 device catalog."""
+
+import math
+
+import pytest
+
+from repro.fabric.device import (
+    FRAMES_PER_CLB_COLUMN,
+    SPARTAN3,
+    DeviceSpec,
+    get_device,
+    smallest_fitting_device,
+)
+
+
+class TestCatalog:
+    def test_family_size(self):
+        assert len(SPARTAN3) == 8
+
+    def test_slice_counts_match_datasheet(self):
+        expected = {
+            "XC3S50": 768,
+            "XC3S200": 1920,
+            "XC3S400": 3584,
+            "XC3S1000": 7680,
+            "XC3S1500": 13312,
+            "XC3S2000": 20480,
+            "XC3S4000": 27648,
+            "XC3S5000": 33280,
+        }
+        for name, slices in expected.items():
+            assert get_device(name).slices == slices
+
+    def test_family_sorted_ascending(self):
+        sizes = [d.slices for d in SPARTAN3]
+        assert sizes == sorted(sizes)
+
+    def test_monotone_static_power_and_price(self):
+        powers = [d.static_power_w for d in SPARTAN3]
+        prices = [d.price_usd for d in SPARTAN3]
+        assert powers == sorted(powers)
+        assert prices == sorted(prices)
+
+    def test_lookup_case_insensitive(self):
+        assert get_device("xc3s400") is get_device("XC3S400")
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("XC9999")
+
+    def test_bram_capacity(self):
+        dev = get_device("XC3S400")
+        assert dev.bram_kbits == 16 * 18
+        assert dev.bram_bytes == 16 * 18 * 1024 // 8
+
+    def test_config_bytes(self):
+        dev = get_device("XC3S400")
+        assert dev.config_bytes == math.ceil(1_699_136 / 8)
+
+    def test_frame_geometry_consistent(self):
+        for dev in SPARTAN3:
+            assert dev.frame_count > FRAMES_PER_CLB_COLUMN * dev.clb_columns
+            assert dev.frame_bits % 32 == 0
+            # Frames must cover the whole configuration image.
+            assert dev.frame_count * dev.frame_bits >= dev.config_bits
+
+
+class TestFitting:
+    def test_fits_boundaries(self):
+        dev = get_device("XC3S200")
+        assert dev.fits(slices=dev.slices)
+        assert not dev.fits(slices=dev.slices + 1)
+        assert not dev.fits(bram_blocks=dev.bram_blocks + 1)
+        assert not dev.fits(multipliers=dev.multipliers + 1)
+
+    def test_smallest_fitting(self):
+        assert smallest_fitting_device(100).name == "XC3S50"
+        assert smallest_fitting_device(1000).name == "XC3S200"
+        assert smallest_fitting_device(6100).name == "XC3S1000"
+
+    def test_paper_headline_sizing(self):
+        """>6000 slices needs at least a Spartan-3 1000 (paper §4.2)."""
+        assert smallest_fitting_device(6001).name == "XC3S1000"
+
+    def test_utilization_cap(self):
+        # 1900 slices fit XC3S200 raw but not at 90% utilization.
+        assert smallest_fitting_device(1900).name == "XC3S200"
+        assert smallest_fitting_device(1900, utilization_cap=0.9).name == "XC3S400"
+
+    def test_utilization_cap_validation(self):
+        with pytest.raises(ValueError, match="utilization_cap"):
+            smallest_fitting_device(100, utilization_cap=0.0)
+
+    def test_nothing_fits_raises(self):
+        with pytest.raises(ValueError, match="no Spartan-3 device"):
+            smallest_fitting_device(100_000)
+
+    def test_bram_constrained_choice(self):
+        # 100 slices but 20 BRAMs forces the 24-BRAM XC3S1000.
+        assert smallest_fitting_device(100, bram_blocks=20).name == "XC3S1000"

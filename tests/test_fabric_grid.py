@@ -1,0 +1,120 @@
+"""Tests for the CLB/slice grid geometry."""
+
+import pytest
+
+from repro.fabric.device import get_device
+from repro.fabric.grid import Grid, Region, SliceCoord, bounding_region
+
+
+@pytest.fixture
+def dev():
+    return get_device("XC3S200")
+
+
+class TestSliceCoord:
+    def test_manhattan(self):
+        a = SliceCoord(2, 3, 0)
+        b = SliceCoord(5, 1, 3)
+        assert a.manhattan(b) == 3 + 2
+        assert b.manhattan(a) == 5
+
+    def test_clb(self):
+        assert SliceCoord(4, 7, 2).clb == (4, 7)
+
+    def test_ordering(self):
+        assert SliceCoord(0, 0, 0) < SliceCoord(0, 0, 1) < SliceCoord(1, 0, 0)
+
+
+class TestRegion:
+    def test_dimensions(self):
+        r = Region(2, 3, 5, 10)
+        assert r.width == 4
+        assert r.height == 8
+        assert r.clb_count == 32
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            Region(5, 0, 2, 0)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            Region(-1, 0, 2, 2)
+
+    def test_contains(self):
+        r = Region(1, 1, 3, 3)
+        assert r.contains(SliceCoord(2, 2, 1))
+        assert not r.contains(SliceCoord(0, 2, 0))
+        assert not r.contains(SliceCoord(2, 4, 0))
+
+    def test_overlaps(self):
+        a = Region(0, 0, 3, 3)
+        assert a.overlaps(Region(3, 3, 5, 5))  # shares corner CLB
+        assert not a.overlaps(Region(4, 0, 6, 3))
+        assert not a.overlaps(Region(0, 4, 3, 6))
+
+    def test_column_alignment(self, dev):
+        full = Region(2, 0, 4, dev.clb_rows - 1)
+        assert full.is_column_aligned(dev)
+        assert not Region(2, 1, 4, dev.clb_rows - 1).is_column_aligned(dev)
+        assert not Region(2, 0, 4, dev.clb_rows - 2).is_column_aligned(dev)
+
+    def test_slice_capacity(self, dev):
+        assert Region(0, 0, 0, 0).slice_capacity(dev) == dev.slices_per_clb
+
+
+class TestGrid:
+    def test_full_region_capacity(self, dev):
+        grid = Grid(dev)
+        assert grid.full_region.slice_capacity(dev) == dev.slices
+
+    def test_all_slices_count(self, dev):
+        grid = Grid(dev)
+        assert sum(1 for _ in grid.all_slices()) == dev.slices
+
+    def test_slices_in_region(self, dev):
+        grid = Grid(dev)
+        coords = list(grid.slices_in(Region(0, 0, 1, 1)))
+        assert len(coords) == 4 * dev.slices_per_clb
+        assert all(c.x <= 1 and c.y <= 1 for c in coords)
+
+    def test_region_out_of_bounds(self, dev):
+        grid = Grid(dev)
+        with pytest.raises(ValueError, match="exceeds"):
+            list(grid.slices_in(Region(0, 0, dev.clb_columns, 0)))
+
+    def test_column_region(self, dev):
+        grid = Grid(dev)
+        r = grid.column_region(3, 5)
+        assert r.is_column_aligned(dev)
+        assert r.width == 3
+
+    def test_split_columns(self, dev):
+        grid = Grid(dev)
+        left, right = grid.split_columns(8)
+        assert left.width == 8
+        assert right.width == dev.clb_columns - 8
+        assert not left.overlaps(right)
+
+    def test_split_bad_boundary(self, dev):
+        grid = Grid(dev)
+        with pytest.raises(ValueError):
+            grid.split_columns(0)
+        with pytest.raises(ValueError):
+            grid.split_columns(dev.clb_columns)
+
+    def test_is_valid(self, dev):
+        grid = Grid(dev)
+        assert grid.is_valid(SliceCoord(0, 0, 0))
+        assert not grid.is_valid(SliceCoord(dev.clb_columns, 0, 0))
+        assert not grid.is_valid(SliceCoord(0, 0, dev.slices_per_clb))
+
+
+class TestBoundingRegion:
+    def test_basic(self):
+        coords = [SliceCoord(2, 5, 0), SliceCoord(7, 1, 2), SliceCoord(4, 4, 1)]
+        r = bounding_region(coords)
+        assert (r.x_min, r.y_min, r.x_max, r.y_max) == (2, 1, 7, 5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_region([])

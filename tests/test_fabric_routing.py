@@ -1,0 +1,124 @@
+"""Tests for the routing-resource graph and routed-net model."""
+
+import pytest
+
+from repro.fabric.device import get_device
+from repro.fabric.routing import RoutedNet, RouteSegment, RoutingGraph
+from repro.fabric.wires import DIRECT, DOUBLE, HEX, LONG, PIN_CAPACITANCE_PF
+
+
+@pytest.fixture
+def graph():
+    return RoutingGraph(get_device("XC3S200"))
+
+
+class TestGeometry:
+    def test_neighbours_inside(self, graph):
+        hops = list(graph.neighbours((10, 10)))
+        # 4 directions x (direct, double, hex); span-24 long lines do not
+        # fit from the centre of the 20x24 XC3S200 array.
+        assert len(hops) == 12
+
+    def test_long_lines_from_edge(self):
+        # XC3S400 (28x32): from the origin a long line reaches east
+        # (column 24) and north (row 24).
+        graph = RoutingGraph(get_device("XC3S400"))
+        hops = list(graph.neighbours((0, 0)))
+        longs = sorted(d for d, w in hops if w.span == 24)
+        assert longs == [(0, 24), (24, 0)]
+
+    def test_neighbours_at_corner(self, graph):
+        hops = list(graph.neighbours((0, 0)))
+        dests = [d for d, _w in hops]
+        assert all(graph.in_bounds(d) for d in dests)
+        # Only +x and +y directions available.
+        assert all(d[0] >= 0 and d[1] >= 0 for d in dests)
+
+    def test_in_bounds(self, graph):
+        dev = graph.device
+        assert graph.in_bounds((0, 0))
+        assert not graph.in_bounds((-1, 0))
+        assert not graph.in_bounds((dev.clb_columns, 0))
+
+
+class TestOccupancy:
+    def test_occupy_release_roundtrip(self, graph):
+        seg = RouteSegment(DOUBLE, (3, 3), (5, 3))
+        graph.occupy(seg)
+        assert graph.usage((3, 3), (5, 3), DOUBLE) == 1
+        # The channel is direction-normalised.
+        assert graph.usage((5, 3), (3, 3), DOUBLE) == 1
+        graph.release(seg)
+        assert graph.usage((3, 3), (5, 3), DOUBLE) == 0
+
+    def test_release_unoccupied_raises(self, graph):
+        with pytest.raises(ValueError, match="unoccupied"):
+            graph.release(RouteSegment(DIRECT, (0, 0), (1, 0)))
+
+    def test_overuse_detection(self, graph):
+        seg = RouteSegment(LONG, (0, 0), (0, 24))
+        cap = graph.capacity(LONG)
+        for _ in range(cap):
+            graph.occupy(seg)
+        assert graph.is_legal()
+        graph.occupy(seg)
+        assert not graph.is_legal()
+        [(key, overflow)] = graph.overused_channels()
+        assert overflow == 1
+
+    def test_congestion_cost_free_channel(self, graph):
+        assert graph.congestion_cost((0, 0), (1, 0), DIRECT) == 0.0
+
+    def test_congestion_cost_rises_with_history(self, graph):
+        seg = RouteSegment(LONG, (0, 0), (0, 24))
+        for _ in range(graph.capacity(LONG) + 1):
+            graph.occupy(seg)
+        before = graph.congestion_cost((0, 0), (0, 24), LONG)
+        graph.bump_history(0.5)
+        after = graph.congestion_cost((0, 0), (0, 24), LONG)
+        assert after == pytest.approx(before + 0.5)
+
+    def test_reset(self, graph):
+        graph.occupy(RouteSegment(DIRECT, (0, 0), (1, 0)))
+        graph.bump_history()
+        graph.reset()
+        assert graph.is_legal()
+        assert not graph.history
+
+
+class TestRoutedNet:
+    def test_capacitance(self):
+        net = RoutedNet("n", (0, 0), [(2, 0)])
+        net.segments = [RouteSegment(DOUBLE, (0, 0), (2, 0))]
+        expected = DOUBLE.capacitance_pf + 2 * PIN_CAPACITANCE_PF
+        assert net.capacitance_pf == pytest.approx(expected)
+
+    def test_wirelength(self):
+        net = RoutedNet("n", (0, 0), [(8, 0)])
+        net.segments = [
+            RouteSegment(HEX, (0, 0), (6, 0)),
+            RouteSegment(DOUBLE, (6, 0), (8, 0)),
+        ]
+        assert net.wirelength_clbs == 8
+
+    def test_delay_worst_sink(self):
+        net = RoutedNet("n", (0, 0), [(1, 0), (3, 0)])
+        net.segments = [
+            RouteSegment(DIRECT, (0, 0), (1, 0)),
+            RouteSegment(DOUBLE, (1, 0), (3, 0)),
+        ]
+        assert net.delay_ns((1, 0)) == pytest.approx(DIRECT.intrinsic_delay_ns)
+        assert net.delay_ns() == pytest.approx(
+            DIRECT.intrinsic_delay_ns + DOUBLE.intrinsic_delay_ns
+        )
+
+    def test_incomplete_routing_detected(self):
+        net = RoutedNet("n", (0, 0), [(5, 5)])
+        assert not net.is_complete()
+        with pytest.raises(ValueError, match="not reached"):
+            net.delay_ns()
+
+    def test_zero_sink_net(self):
+        net = RoutedNet("n", (0, 0), [])
+        assert net.is_complete()
+        assert net.delay_ns() == 0.0

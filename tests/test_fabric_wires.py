@@ -1,0 +1,51 @@
+"""Tests for routing wire types — the electrical ordering the paper's
+§4.3 methodology rests on."""
+
+import pytest
+
+from repro.fabric.wires import (
+    CHANNEL_CAPACITY,
+    DIRECT,
+    DOUBLE,
+    HEX,
+    LONG,
+    WIRE_TYPES,
+    wire_type_by_name,
+)
+
+
+class TestWireOrdering:
+    def test_spans(self):
+        assert [w.span for w in WIRE_TYPES] == [1, 2, 6, 24]
+
+    def test_longer_wires_have_more_capacitance(self):
+        caps = [w.capacitance_pf for w in WIRE_TYPES]
+        assert caps == sorted(caps)
+
+    def test_paper_premise_shorter_wires_cost_less_power_per_clb(self):
+        """Using multiple shorter lines instead of one long line reduces
+        switched capacitance (paper §4.3 / reference [12])."""
+        assert DIRECT.capacitance_per_clb_pf < LONG.capacitance_per_clb_pf
+        assert DOUBLE.capacitance_per_clb_pf < LONG.capacitance_per_clb_pf
+        # Covering one long line's span with direct segments switches less
+        # capacitance than the long line itself.
+        assert LONG.span * DIRECT.capacitance_pf < LONG.capacitance_pf
+
+    def test_performance_premise_longer_wires_are_faster_per_clb(self):
+        """Long lines give higher performance (fewer buffered hops)."""
+        assert LONG.delay_per_clb_ns < HEX.delay_per_clb_ns < DOUBLE.delay_per_clb_ns
+        assert DOUBLE.delay_per_clb_ns < DIRECT.delay_per_clb_ns
+
+    def test_channel_capacity_covers_all_types(self):
+        assert set(CHANNEL_CAPACITY) == {w.name for w in WIRE_TYPES}
+        assert all(c > 0 for c in CHANNEL_CAPACITY.values())
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert wire_type_by_name("direct") is DIRECT
+        assert wire_type_by_name("LONG") is LONG
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown wire type"):
+            wire_type_by_name("quad")

@@ -1,0 +1,168 @@
+"""Tests for DCM, FIFO, UART, FSL, OPB, Ethernet and Profibus cores."""
+
+import pytest
+
+from repro.ip.dcm import CLKDV_DIVIDERS, ClockPlan, Dcm, DcmError
+from repro.ip.ethernet import EthernetMac
+from repro.ip.fifo import Fifo, fifo_footprint
+from repro.ip.fsl import FslLink
+from repro.ip.opb import OpbBus, OpbPeripheral, _RegisterFile
+from repro.ip.profibus import ProfibusSlave
+from repro.ip.uart import Uart
+
+
+class TestDcm:
+    def test_paper_clock_plan(self):
+        """The system's clocks all derive from the 50 MHz oscillator:
+        16 MHz sinus clock, 64 MHz modulator clock, 25 MHz MicroBlaze."""
+        dcm = Dcm(50.0)
+        for target in (16.0, 64.0, 25.0, 75.0):
+            plan = dcm.synthesize(target)
+            assert plan.output_mhz == pytest.approx(target)
+
+    def test_clkdv_preferred_for_simple_division(self):
+        plan = Dcm(50.0).synthesize(25.0)
+        assert plan.source == "clkdv"
+
+    def test_unreachable_frequency(self):
+        with pytest.raises(DcmError):
+            Dcm(50.0).synthesize(417.123)
+
+    def test_bad_input(self):
+        with pytest.raises(ValueError):
+            Dcm(0.0)
+        with pytest.raises(DcmError):
+            Dcm(50.0).synthesize(-1.0)
+
+    def test_multi_clock_plan(self):
+        plans = Dcm(50.0).clock_plan([16.0, 64.0])
+        assert len(plans) == 2
+
+
+class TestFifo:
+    def test_order_preserved(self):
+        f = Fifo(4)
+        for v in (1, 2, 3):
+            assert f.push(v)
+        assert [f.pop(), f.pop(), f.pop()] == [1, 2, 3]
+
+    def test_overflow_underflow_counted(self):
+        f = Fifo(1)
+        f.push(1)
+        assert not f.push(2)
+        assert f.overflows == 1
+        f.pop()
+        assert f.pop() is None
+        assert f.underflows == 1
+
+    def test_width_masking(self):
+        f = Fifo(2, width=4)
+        f.push(0x1F)
+        assert f.pop() == 0xF
+
+    def test_flags(self):
+        f = Fifo(2)
+        assert f.empty and not f.full
+        f.push(1)
+        f.push(2)
+        assert f.full and not f.empty
+
+    def test_footprint_shallow_vs_deep(self):
+        shallow = fifo_footprint(16, 8)
+        deep = fifo_footprint(1024, 8)
+        assert shallow.brams == 0
+        assert deep.brams >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fifo(0)
+
+
+class TestUart:
+    def test_char_time(self):
+        u = Uart(baud_rate=115_200)
+        assert u.char_time_s == pytest.approx(10 / 115_200)
+
+    def test_send_line_timing(self):
+        u = Uart(baud_rate=9600)
+        end = u.send_line("LEVEL 42%")
+        assert end == pytest.approx((9 + 2) * 10 / 9600)
+        assert bytes(u.transmitted).endswith(b"\r\n")
+
+    def test_back_to_back_sends_queue(self):
+        u = Uart()
+        t1 = u.send(b"a")
+        t2 = u.send(b"b")
+        assert t2 == pytest.approx(2 * u.char_time_s)
+        assert t2 > t1
+
+
+class TestFsl:
+    def test_transfer(self):
+        link = FslLink("mb_to_hw")
+        assert link.write(0xDEAD)
+        assert link.read() == 0xDEAD
+        assert link.read() is None
+        assert link.words_transferred == 1
+
+    def test_backpressure(self):
+        link = FslLink("x", depth=2)
+        assert link.write(1) and link.write(2)
+        assert not link.write(3)
+
+    def test_transfer_cycles(self):
+        link = FslLink("x")
+        assert link.transfer_cycles(0) == 0
+        assert link.transfer_cycles(100) == 102
+        with pytest.raises(ValueError):
+            link.transfer_cycles(-1)
+
+
+class TestOpb:
+    def test_read_write(self):
+        bus = OpbBus()
+        bus.attach(_RegisterFile(), 0x8000_0000 >> 4, 64, "regs")
+        bus.write((0x8000_0000 >> 4) + 8, 77)
+        assert bus.read((0x8000_0000 >> 4) + 8) == 77
+        assert bus.transfers == 2
+
+    def test_overlap_rejected(self):
+        bus = OpbBus()
+        bus.attach(_RegisterFile(), 0, 64, "a")
+        with pytest.raises(ValueError, match="overlaps"):
+            bus.attach(_RegisterFile(), 32, 64, "b")
+
+    def test_unmapped_address(self):
+        bus = OpbBus()
+        with pytest.raises(ValueError, match="bus error"):
+            bus.read(0x1234)
+
+    def test_cycle_accounting(self):
+        bus = OpbBus()
+        bus.attach(_RegisterFile(), 0, 64, "a")
+        bus.read(0)
+        bus.read(4)
+        assert bus.total_cycles() == 6
+
+
+class TestInterfaces:
+    def test_ethernet_frame_timing(self):
+        mac = EthernetMac(mbps=100)
+        t = mac.send_frame(b"level=0.42")
+        # Padded to 46-byte payload + 38 overhead bytes at 100 Mbps.
+        assert t == pytest.approx((8 + 14 + 46 + 4 + 12) * 8 / 100e6)
+
+    def test_ethernet_oversize_rejected(self):
+        with pytest.raises(ValueError):
+            EthernetMac().send_frame(b"x" * 1501)
+
+    def test_profibus_exchange(self):
+        slave = ProfibusSlave()
+        t = slave.exchange(b"\x2a\x00")
+        assert t == pytest.approx((2 + 9) * 11 / 1_500_000)
+
+    def test_profibus_limits(self):
+        with pytest.raises(ValueError):
+            ProfibusSlave(address=127)
+        with pytest.raises(ValueError):
+            ProfibusSlave().exchange(b"x" * 245)

@@ -1,0 +1,146 @@
+"""Tests for the sinus generator and delta-sigma converters (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.ip.delta_sigma import (
+    ADC_FOOTPRINT,
+    DAC_FOOTPRINT,
+    DAC_FOOTPRINT_WITH_OPB,
+    DeltaSigmaAdc,
+    DeltaSigmaDac,
+    RcLowPass,
+)
+from repro.ip.sinus import LUT_DEPTH, SINUS_LUT_VALUES, SinusGenerator
+
+
+class TestSinusGenerator:
+    def test_paper_parameters(self):
+        """32 LUT entries at 16 MHz produce the 500 kHz tone."""
+        sg = SinusGenerator()
+        assert LUT_DEPTH == 32
+        assert sg.sample_rate_hz == 16_000_000
+        assert sg.tone_hz == pytest.approx(500_000.0)
+
+    def test_lut_values_are_8bit_sine(self):
+        assert len(SINUS_LUT_VALUES) == 32
+        assert all(0 <= v <= 255 for v in SINUS_LUT_VALUES)
+        assert max(SINUS_LUT_VALUES) >= 250
+        assert min(SINUS_LUT_VALUES) <= 5
+        # Quarter-wave symmetry of a sampled sine.
+        assert SINUS_LUT_VALUES[8] == max(SINUS_LUT_VALUES)
+
+    def test_periodicity(self):
+        sg = SinusGenerator()
+        x = sg.digital_samples(96)
+        assert np.array_equal(x[:32], x[32:64])
+
+    def test_normalized_range(self):
+        sg = SinusGenerator(amplitude=0.5)
+        x = sg.normalized_samples(64)
+        assert np.max(np.abs(x)) <= 0.5 + 1e-9
+
+    def test_fundamental_bin(self):
+        sg = SinusGenerator()
+        x = sg.normalized_samples(320)  # 10 periods
+        spec = np.abs(np.fft.rfft(x))
+        assert np.argmax(spec[1:]) + 1 == 10  # energy in the 10-period bin
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SinusGenerator().digital_samples(-1)
+
+    def test_footprint_matches_paper_scale(self):
+        """Sinus generator + internal DAC ~ paper's 'ca. 150 slices'."""
+        from repro.ip.sinus import SINUS_FOOTPRINT
+
+        total = SINUS_FOOTPRINT.slices + DAC_FOOTPRINT.slices
+        assert 100 <= total <= 200
+
+
+class TestRcLowPass:
+    def test_passes_dc(self):
+        f = RcLowPass(1000.0, 1_000_000.0, order=1)
+        out = f.filter(np.ones(5000))
+        assert out[-1] == pytest.approx(1.0, abs=0.01)
+
+    def test_attenuates_high_frequency(self):
+        fs = 10_000_000.0
+        f = RcLowPass(100_000.0, fs, order=2)
+        t = np.arange(4096) / fs
+        low = f.filter(np.sin(2 * np.pi * 50_000 * t))
+        high = f.filter(np.sin(2 * np.pi * 2_000_000 * t))
+        assert np.std(high[2000:]) < 0.15 * np.std(low[2000:])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RcLowPass(0.0, 1e6)
+        with pytest.raises(ValueError):
+            RcLowPass(1e3, 1e6, order=0)
+
+
+class TestDeltaSigmaDac:
+    def test_tone_survives(self):
+        """The paper's Fourier-analysis check: the DAC 'could run with a
+        frequency high enough to generate a 500 kHz sinus signal'."""
+        sg = SinusGenerator(amplitude=0.7)
+        dac = DeltaSigmaDac()
+        analog = dac.convert(sg.normalized_samples(1600))  # 50 periods
+        spec = np.abs(np.fft.rfft(analog * np.hanning(analog.size)))
+        freqs = np.fft.rfftfreq(analog.size, 1.0 / dac.modulator_hz)
+        peak = freqs[np.argmax(spec[1:]) + 1]
+        assert peak == pytest.approx(500_000.0, rel=0.02)
+
+    def test_modulator_output_is_one_bit(self):
+        dac = DeltaSigmaDac()
+        bits = dac.modulate(np.zeros(16))
+        assert set(np.unique(bits)) <= {-1.0, 1.0}
+
+    def test_oversampling_ratio(self):
+        dac = DeltaSigmaDac(modulator_hz=64e6, input_rate_hz=16e6)
+        assert dac.oversampling == 4
+        assert dac.modulate(np.zeros(10)).size == 40
+
+    def test_overrange_input_rejected(self):
+        dac = DeltaSigmaDac()
+        with pytest.raises(ValueError, match="0.9"):
+            dac.modulate(np.array([0.95]))
+
+    def test_slow_modulator_rejected(self):
+        with pytest.raises(ValueError, match="at least as fast"):
+            DeltaSigmaDac(modulator_hz=8e6, input_rate_hz=16e6)
+
+    def test_opb_interface_removal_saves_slices(self):
+        """'the interface was not required and was therefore removed to
+        save resources.'"""
+        assert DAC_FOOTPRINT.slices < DAC_FOOTPRINT_WITH_OPB.slices
+
+
+class TestDeltaSigmaAdc:
+    def test_dc_accuracy(self):
+        adc = DeltaSigmaAdc(decimation=64)
+        out = adc.convert(np.full(64 * 200, 0.4))
+        assert out[-1] == pytest.approx(0.4, abs=0.03)
+
+    def test_tone_recovery(self):
+        fs = 64e6
+        f = 500e3
+        t = np.arange(int(fs * 200e-6)) / fs
+        adc = DeltaSigmaAdc(decimation=16)
+        out = adc.convert(0.5 * np.sin(2 * np.pi * f * t))
+        out = out[len(out) // 2 :]
+        spec = np.abs(np.fft.rfft(out * np.hanning(out.size)))
+        freqs = np.fft.rfftfreq(out.size, 1.0 / adc.output_rate_hz)
+        peak = freqs[np.argmax(spec[1:]) + 1]
+        assert peak == pytest.approx(f, rel=0.05)
+
+    def test_output_rate(self):
+        adc = DeltaSigmaAdc(modulator_hz=64e6, decimation=16)
+        assert adc.output_rate_hz == pytest.approx(4e6)
+
+    def test_bad_decimation_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaSigmaAdc(decimation=1)
+
+    def test_footprint_positive(self):
+        assert ADC_FOOTPRINT.slices > 50

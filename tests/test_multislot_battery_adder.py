@@ -1,0 +1,159 @@
+"""Tests for multi-slot arrangements, battery-life estimation, and the
+gate-level adder/accumulator blocks."""
+
+import pytest
+
+from repro.app.modules import standard_modules
+from repro.app.system import FpgaReconfigSystem, MicrocontrollerSystem, static_side_slices
+from repro.core.battery import BatteryModel, estimate_lifetimes
+from repro.netlist.logic import FunctionalNetlist, build_accumulator, build_adder
+from repro.reconfig.multislot import (
+    compare_arrangements,
+    evaluate_resident_hot_module,
+    evaluate_single_slot,
+)
+from repro.reconfig.ports import Icap, Jcap
+from repro.sim.netlist_sim import NetlistSimulator
+
+
+@pytest.fixture(scope="module")
+def compiled_modules():
+    return [m.compiled for m in standard_modules().values()]
+
+
+class TestMultiSlot:
+    def test_single_slot_misses_cycle_over_jcap(self, compiled_modules):
+        report = evaluate_single_slot(static_side_slices(), compiled_modules, Jcap())
+        assert not report.fits_period
+        assert report.loads_per_cycle == 4
+
+    def test_resident_hot_module_fits_over_jcap(self, compiled_modules):
+        """The finding: keeping amp/phase resident makes the Spartan-3's
+        JCAP-only reconfiguration fit the 100 ms measurement cycle."""
+        report = evaluate_resident_hot_module(
+            static_side_slices(), compiled_modules, "amp_phase", Jcap()
+        )
+        assert report.fits_period
+        assert report.loads_per_cycle == 3
+
+    def test_area_time_tradeoff(self, compiled_modules):
+        """The two-slot arrangement pays with a larger device."""
+        from repro.fabric.device import get_device
+
+        one = evaluate_single_slot(static_side_slices(), compiled_modules, Jcap())
+        two = evaluate_resident_hot_module(
+            static_side_slices(), compiled_modules, "amp_phase", Jcap()
+        )
+        assert get_device(two.device).slices >= get_device(one.device).slices
+        assert two.static_power_w >= one.static_power_w
+        assert two.reconfig_time_per_cycle_s < one.reconfig_time_per_cycle_s
+
+    def test_compare_matrix(self, compiled_modules):
+        reports = compare_arrangements(
+            static_side_slices(),
+            compiled_modules,
+            "amp_phase",
+            {"jcap": Jcap(), "icap": Icap()},
+        )
+        assert len(reports) == 4
+        by_name = {r.name: r for r in reports}
+        assert by_name["single-slot/icap"].fits_period
+        assert not by_name["single-slot/jcap"].fits_period
+        assert by_name["resident-amp_phase/jcap"].fits_period
+
+    def test_validation(self, compiled_modules):
+        with pytest.raises(ValueError, match="no module named"):
+            evaluate_resident_hot_module(800, compiled_modules, "ghost", Jcap())
+        single = [compiled_modules[0]]
+        with pytest.raises(ValueError, match="no modules left"):
+            evaluate_resident_hot_module(800, single, single[0].name, Jcap())
+
+
+class TestBattery:
+    def test_usable_energy(self):
+        battery = BatteryModel(capacity_mah=1000, voltage_v=3.0,
+                               regulator_efficiency=1.0, usable_fraction=1.0)
+        assert battery.usable_energy_j == pytest.approx(1000 * 1e-3 * 3600 * 3.0)
+
+    def test_lifetime_scales_inversely_with_power(self):
+        battery = BatteryModel()
+        assert battery.lifetime_hours(0.001) == pytest.approx(
+            2 * battery.lifetime_hours(0.002)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatteryModel(capacity_mah=0)
+        with pytest.raises(ValueError):
+            BatteryModel(regulator_efficiency=1.5)
+        with pytest.raises(ValueError):
+            BatteryModel().lifetime_hours(0.0)
+
+    def test_variant_lifetimes(self):
+        """The paper's framing: the MCU dominates battery life; the
+        reconfigurable FPGA narrows the gap versus the flat FPGA."""
+        from repro.reconfig.ports import Icap
+
+        rows = estimate_lifetimes(
+            {
+                "mcu": MicrocontrollerSystem(),
+                "reconfig": FpgaReconfigSystem(port=Icap(), clock_gating=True),
+            }
+        )
+        by_label = {r.label: r for r in rows}
+        assert by_label["mcu"].lifetime_days > by_label["reconfig"].lifetime_days
+        assert all(r.lifetime_days > 0 for r in rows)
+        assert all(r.cycles_total > 1000 for r in rows)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_lifetimes({})
+
+
+class TestAdderBlocks:
+    def test_adder_truth(self):
+        fn = FunctionalNetlist("add")
+        a = [fn.input(f"a{i}") for i in range(4)]
+        b = [fn.input(f"b{i}") for i in range(4)]
+        sums, cout = build_adder(fn, "u", a, b)
+        sim = NetlistSimulator(fn)
+        for x, y in [(0, 0), (3, 5), (9, 9), (15, 15), (7, 8)]:
+            for i in range(4):
+                sim.drive(f"a{i}", lambda _c, v=x, k=i: (v >> k) & 1)
+                sim.drive(f"b{i}", lambda _c, v=y, k=i: (v >> k) & 1)
+            sim.step()
+            total = sim.value_of(sums) | (sim.values[cout] << 4)
+            assert total == x + y, f"{x}+{y}"
+
+    def test_adder_validation(self):
+        fn = FunctionalNetlist("add")
+        a = [fn.input("a0")]
+        with pytest.raises(ValueError, match="equal"):
+            build_adder(fn, "u", a, [])
+
+    def test_accumulator_integrates(self):
+        fn = FunctionalNetlist("acc")
+        d = [fn.input(f"d{i}") for i in range(3)]
+        state = build_accumulator(fn, "acc", d, width=8)
+        sim = NetlistSimulator(fn)
+        for i in range(3):
+            sim.drive(f"d{i}", lambda _c, k=i: (5 >> k) & 1)  # add 5 per cycle
+        for _ in range(10):
+            sim.step()
+        assert sim.value_of(state) == 50
+
+    def test_accumulator_wraps(self):
+        fn = FunctionalNetlist("acc")
+        d = [fn.input("d0")]
+        state = build_accumulator(fn, "acc", d, width=4)
+        sim = NetlistSimulator(fn)
+        sim.drive("d0", lambda _c: 1)
+        for _ in range(20):
+            sim.step()
+        assert sim.value_of(state) == 20 % 16
+
+    def test_accumulator_validation(self):
+        fn = FunctionalNetlist("acc")
+        d = [fn.input(f"d{i}") for i in range(9)]
+        with pytest.raises(ValueError, match="wider"):
+            build_accumulator(fn, "acc", d, width=8)

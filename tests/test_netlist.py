@@ -1,0 +1,148 @@
+"""Tests for the netlist layer."""
+
+import pytest
+
+from repro.netlist.cells import BRAM18, MULT18, SLICE_LOGIC, SLICE_REG, cell_type_by_name
+from repro.netlist.generate import chain_netlist, random_netlist
+from repro.netlist.netlist import Netlist
+
+
+class TestCellLibrary:
+    def test_lookup(self):
+        assert cell_type_by_name("slice_reg") is SLICE_REG
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            cell_type_by_name("LUT9")
+
+    def test_sequential_flags(self):
+        assert SLICE_REG.is_sequential
+        assert not SLICE_LOGIC.is_sequential
+        assert BRAM18.is_sequential
+
+
+class TestNetlistConstruction:
+    def test_add_cells_and_nets(self):
+        nl = Netlist("t")
+        a = nl.add_cell("a", SLICE_REG)
+        b = nl.add_cell("b", SLICE_LOGIC)
+        net = nl.add_net("n", a, [b], activity=0.1)
+        assert net.fanout == 1
+        assert nl.net("n").driver is a
+        assert nl.nets_of(b) == [net]
+
+    def test_duplicate_cell_raises(self):
+        nl = Netlist("t")
+        nl.add_cell("a", SLICE_REG)
+        with pytest.raises(ValueError, match="duplicate cell"):
+            nl.add_cell("a", SLICE_LOGIC)
+
+    def test_duplicate_net_raises(self):
+        nl = Netlist("t")
+        a = nl.add_cell("a", SLICE_REG)
+        b = nl.add_cell("b", SLICE_REG)
+        nl.add_net("n", a, [b])
+        with pytest.raises(ValueError, match="duplicate net"):
+            nl.add_net("n", b, [a])
+
+    def test_empty_sinks_raises(self):
+        nl = Netlist("t")
+        a = nl.add_cell("a", SLICE_REG)
+        with pytest.raises(ValueError, match="no sinks"):
+            nl.add_net("n", a, [])
+
+    def test_foreign_cell_raises(self):
+        nl1, nl2 = Netlist("a"), Netlist("b")
+        a = nl1.add_cell("a", SLICE_REG)
+        b = nl2.add_cell("b", SLICE_REG)
+        with pytest.raises(ValueError, match="not in netlist"):
+            nl1.add_net("n", a, [b])
+
+    def test_negative_activity_raises(self):
+        nl = Netlist("t")
+        a = nl.add_cell("a", SLICE_REG)
+        b = nl.add_cell("b", SLICE_REG)
+        with pytest.raises(ValueError, match="negative activity"):
+            nl.add_net("n", a, [b], activity=-0.1)
+
+
+class TestStats:
+    def test_site_counting(self):
+        nl = Netlist("t")
+        a = nl.add_cell("a", SLICE_REG)
+        b = nl.add_cell("b", SLICE_LOGIC)
+        m = nl.add_cell("m", MULT18)
+        r = nl.add_cell("r", BRAM18)
+        nl.add_net("n0", a, [b, m])
+        nl.add_net("n1", r, [a])
+        s = nl.stats()
+        assert s.slices == 2
+        assert s.multipliers == 1
+        assert s.brams == 1
+        assert s.nets == 2
+        assert s.cells == 4
+
+    def test_stats_add(self):
+        a = random_netlist("a", 20, seed=1).stats()
+        b = random_netlist("b", 30, seed=2).stats()
+        assert (a + b).slices == a.slices + b.slices
+
+
+class TestMergeAndValidate:
+    def test_merge_namespaces(self):
+        main = Netlist("main")
+        sub = chain_netlist("sub", 5)
+        main.merge(sub, prefix="u0")
+        assert main.has_cell("u0/s0")
+        assert main.net("u0/q0").driver.name == "u0/s0"
+
+    def test_merge_preserves_activity(self):
+        main = Netlist("main")
+        sub = chain_netlist("sub", 3, activity=0.33)
+        main.merge(sub)
+        assert main.net("q0").activity == pytest.approx(0.33)
+
+    def test_validate_catches_dangling(self):
+        nl = Netlist("t")
+        a = nl.add_cell("a", SLICE_REG)
+        b = nl.add_cell("b", SLICE_REG)
+        nl.add_cell("orphan", SLICE_REG)
+        nl.add_net("n", a, [b])
+        with pytest.raises(ValueError, match="disconnected"):
+            nl.validate()
+
+
+class TestGenerators:
+    def test_random_netlist_size(self):
+        nl = random_netlist("r", 100, seed=5)
+        assert len(nl) == 100
+        nl.validate()
+
+    def test_random_netlist_deterministic(self):
+        a = random_netlist("r", 50, seed=9)
+        b = random_netlist("r", 50, seed=9)
+        assert [n.activity for n in a.nets] == [n.activity for n in b.nets]
+
+    def test_random_netlist_has_clock(self):
+        nl = random_netlist("r", 60, seed=1)
+        clocks = [n for n in nl.nets if n.is_clock]
+        assert len(clocks) == 1
+        assert clocks[0].activity == 2.0
+
+    def test_heavy_tailed_activity(self):
+        """A few hot nets, many quiet — precondition of the §4.3 ordering
+        heuristic."""
+        nl = random_netlist("r", 400, seed=3)
+        acts = sorted((n.activity for n in nl.nets if not n.is_clock), reverse=True)
+        top_decile = sum(acts[: len(acts) // 10])
+        assert top_decile > 0.4 * sum(acts)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            random_netlist("r", 1)
+
+    def test_chain(self):
+        nl = chain_netlist("c", 10)
+        assert len(nl.nets) == 9
+        with pytest.raises(ValueError):
+            chain_netlist("c", 1)

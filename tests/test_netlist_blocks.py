@@ -1,0 +1,55 @@
+"""Tests for the structured block-netlist builder."""
+
+import pytest
+
+from repro.netlist.blocks import BlockFootprint, block_netlist
+from repro.netlist.cells import SiteKind
+
+
+class TestFootprint:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            BlockFootprint("x", slices=0)
+        with pytest.raises(ValueError, match="sum"):
+            BlockFootprint("x", slices=10, registered_fraction=0.7, carry_fraction=0.4)
+
+
+class TestBlockNetlist:
+    def test_exact_slice_count(self):
+        fp = BlockFootprint("blk", slices=120, brams=2, multipliers=1)
+        nl = block_netlist(fp)
+        s = nl.stats()
+        assert s.slices == 120
+        assert s.brams == 2
+        assert s.multipliers == 1
+
+    def test_interface_nets_named(self):
+        fp = BlockFootprint("blk", slices=40)
+        nl = block_netlist(fp, interface_nets=6)
+        io_nets = [n for n in nl.nets if n.name.startswith("blk_io")]
+        assert len(io_nets) == 6
+
+    def test_clock_reaches_all_sequential(self):
+        fp = BlockFootprint("blk", slices=80, registered_fraction=0.6)
+        nl = block_netlist(fp)
+        clock = nl.net("blk/clk")
+        seq = {c.name for c in nl.cells if c.ctype.is_sequential}
+        covered = {c.name for c in clock.cells}
+        assert seq <= covered
+
+    def test_deterministic(self):
+        fp = BlockFootprint("blk", slices=60)
+        a = block_netlist(fp, seed=4)
+        b = block_netlist(fp, seed=4)
+        assert [n.name for n in a.nets] == [n.name for n in b.nets]
+        assert [n.activity for n in a.nets] == [n.activity for n in b.nets]
+
+    def test_validates(self):
+        fp = BlockFootprint("blk", slices=100, brams=1)
+        block_netlist(fp).validate()
+
+    def test_activity_scales_with_footprint(self):
+        quiet = block_netlist(BlockFootprint("q", slices=100, mean_activity=0.02), seed=1)
+        busy = block_netlist(BlockFootprint("b", slices=100, mean_activity=0.4), seed=1)
+        mean = lambda nl: sum(n.activity for n in nl.nets if not n.is_clock) / len(nl.nets)
+        assert mean(busy) > 3 * mean(quiet)

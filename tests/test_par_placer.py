@@ -1,0 +1,119 @@
+"""Tests for the simulated-annealing placer."""
+
+import pytest
+
+from repro.fabric.device import get_device
+from repro.fabric.grid import Grid, Region
+from repro.netlist.cells import SiteKind
+from repro.netlist.generate import chain_netlist, random_netlist
+from repro.par.placer import Placement, PlacerOptions, net_hpwl, place, total_hpwl
+
+
+@pytest.fixture
+def dev():
+    return get_device("XC3S200")
+
+
+FAST = PlacerOptions(steps=15, moves_per_cell=2.0)
+
+
+class TestPlacement:
+    def test_assign_and_lookup(self, dev):
+        p = Placement(dev, Grid(dev).full_region)
+        from repro.fabric.grid import SliceCoord
+
+        p.assign("a", SliceCoord(1, 2, 3))
+        assert p.coord("a") == SliceCoord(1, 2, 3)
+        assert p.occupant(SliceCoord(1, 2, 3)) == "a"
+
+    def test_exclusive_site(self, dev):
+        from repro.fabric.grid import SliceCoord
+
+        p = Placement(dev, Grid(dev).full_region)
+        p.assign("a", SliceCoord(0, 0, 0))
+        with pytest.raises(ValueError, match="already holds"):
+            p.assign("b", SliceCoord(0, 0, 0))
+
+    def test_outside_region_rejected(self, dev):
+        from repro.fabric.grid import SliceCoord
+
+        p = Placement(dev, Region(0, 0, 1, 1))
+        with pytest.raises(ValueError, match="outside"):
+            p.assign("a", SliceCoord(5, 5, 0))
+
+    def test_swap(self, dev):
+        from repro.fabric.grid import SliceCoord
+
+        p = Placement(dev, Grid(dev).full_region)
+        ca, cb = SliceCoord(0, 0, 0), SliceCoord(3, 3, 1)
+        p.assign("a", ca)
+        p.assign("b", cb)
+        p.swap("a", "b")
+        assert p.coord("a") == cb
+        assert p.coord("b") == ca
+        assert p.occupant(ca) == "b"
+
+    def test_move_frees_old_site(self, dev):
+        from repro.fabric.grid import SliceCoord
+
+        p = Placement(dev, Grid(dev).full_region)
+        p.assign("a", SliceCoord(0, 0, 0))
+        p.assign("a", SliceCoord(1, 1, 1))
+        assert p.occupant(SliceCoord(0, 0, 0)) is None
+
+
+class TestPlace:
+    def test_all_cells_placed_legally(self, dev):
+        nl = random_netlist("r", 80, seed=1)
+        placement = place(nl, dev, options=FAST)
+        coords = [placement.coord(c.name) for c in nl.cells]
+        assert len(coords) == len(nl.cells)
+        grid = Grid(dev)
+        assert all(grid.is_valid(c) for c in coords)
+        # Slice cells occupy distinct sites.
+        slice_coords = [
+            placement.coord(c.name) for c in nl.cells if c.ctype.site == SiteKind.SLICE
+        ]
+        assert len(set(slice_coords)) == len(slice_coords)
+
+    def test_region_confinement(self, dev):
+        nl = random_netlist("r", 50, seed=2)
+        region = Region(0, 0, 4, dev.clb_rows - 1)
+        placement = place(nl, dev, region=region, options=FAST)
+        assert all(region.contains(placement.coord(c.name)) for c in nl.cells)
+
+    def test_overfull_region_rejected(self, dev):
+        nl = random_netlist("r", 100, seed=3)
+        with pytest.raises(ValueError, match="holds only"):
+            place(nl, dev, region=Region(0, 0, 1, 1), options=FAST)
+
+    def test_annealing_beats_random(self, dev):
+        """The annealer must improve substantially over the random start."""
+        nl = random_netlist("r", 150, seed=4)
+        random_pl = place(nl, dev, options=PlacerOptions(steps=0))
+        good_pl = place(nl, dev, options=PlacerOptions(steps=40))
+        assert total_hpwl(nl, good_pl) < 0.7 * total_hpwl(nl, random_pl)
+
+    def test_deterministic_per_seed(self, dev):
+        nl = random_netlist("r", 40, seed=5)
+        a = place(nl, dev, options=PlacerOptions(seed=7, steps=10))
+        b = place(nl, dev, options=PlacerOptions(seed=7, steps=10))
+        assert a.as_dict() == b.as_dict()
+
+    def test_power_mode_pulls_hot_nets_tighter(self, dev):
+        """Activity-weighted placement: hot nets end up shorter than they
+        do under plain wirelength placement."""
+        nl = random_netlist("r", 200, seed=6)
+        hot = sorted(
+            (n for n in nl.nets if not n.is_clock), key=lambda n: n.activity, reverse=True
+        )[:10]
+        wl = place(nl, dev, options=PlacerOptions(steps=40, mode="wirelength", seed=1))
+        pw = place(nl, dev, options=PlacerOptions(steps=40, mode="power", seed=1))
+        hot_wl = sum(net_hpwl(n, wl) for n in hot)
+        hot_pw = sum(net_hpwl(n, pw) for n in hot)
+        assert hot_pw <= hot_wl
+
+    def test_chain_placement_is_tight(self, dev):
+        nl = chain_netlist("c", 30)
+        placement = place(nl, dev, options=PlacerOptions(steps=50))
+        assert total_hpwl(nl, placement) < 3 * len(nl.nets)

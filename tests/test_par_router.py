@@ -1,0 +1,118 @@
+"""Tests for the congestion-negotiated router."""
+
+import pytest
+
+from repro.fabric.device import get_device
+from repro.netlist.generate import chain_netlist, random_netlist
+from repro.par.placer import PlacerOptions, place
+from repro.par.router import RouterOptions, base_cost, route, route_single_net
+from repro.fabric.routing import RoutingGraph
+from repro.fabric.wires import DIRECT, DOUBLE, HEX, LONG
+
+
+@pytest.fixture
+def dev():
+    return get_device("XC3S200")
+
+
+FAST_PLACE = PlacerOptions(steps=15)
+
+
+class TestBaseCost:
+    def test_modes_distinct(self):
+        # Performance mode: long lines cheap per CLB.
+        perf = [base_cost(w, "performance") / w.span for w in (DIRECT, LONG)]
+        assert perf[1] < perf[0]
+        # Power mode: long lines expensive per CLB.
+        power = [base_cost(w, "power") / w.span for w in (DIRECT, LONG)]
+        assert power[1] > power[0]
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown router mode"):
+            RouterOptions(mode="fastest")
+
+
+class TestRouteSingleNet:
+    def test_tree_reaches_all_sinks(self, dev):
+        nl = random_netlist("r", 60, seed=1)
+        placement = place(nl, dev, options=FAST_PLACE)
+        graph = RoutingGraph(dev)
+        for net in nl.nets:
+            if net.is_clock:
+                continue
+            routed = route_single_net(net, placement, graph, RouterOptions())
+            assert routed.is_complete(), f"net {net.name} incomplete"
+
+    def test_same_clb_net_needs_no_segments(self, dev):
+        nl = chain_netlist("c", 2)
+        placement = place(nl, dev, options=PlacerOptions(steps=30))
+        # Force both cells into the same CLB.
+        from repro.fabric.grid import SliceCoord
+
+        placement.assign("s0", SliceCoord(5, 5, 0))
+        placement.assign("s1", SliceCoord(5, 5, 1))
+        graph = RoutingGraph(dev)
+        routed = route_single_net(nl.net("q0"), placement, graph, RouterOptions())
+        assert routed.segments == []
+
+    def test_power_mode_prefers_short_wires(self, dev):
+        """Power routing covers distance with direct/double rather than
+        long lines (the Figure 6 re-routing)."""
+        nl = chain_netlist("c", 2, activity=0.4)
+        from repro.fabric.grid import SliceCoord
+
+        placement = place(nl, dev, options=PlacerOptions(steps=0))
+        placement.assign("s0", SliceCoord(0, 5, 0))
+        placement.assign("s1", SliceCoord(18, 5, 0))
+        net = nl.net("q0")
+        perf = route_single_net(net, placement, RoutingGraph(dev), RouterOptions(mode="performance"))
+        power = route_single_net(net, placement, RoutingGraph(dev), RouterOptions(mode="power"))
+        assert power.capacitance_pf < perf.capacitance_pf
+        assert perf.delay_ns() <= power.delay_ns()
+
+
+class TestFullRoute:
+    def test_route_legalises(self, dev):
+        nl = random_netlist("r", 120, seed=2)
+        placement = place(nl, dev, options=FAST_PLACE)
+        result = route(nl, placement, dev)
+        assert result.legal
+        assert all(rn.is_complete() for rn in result.nets.values())
+
+    def test_clock_nets_skipped(self, dev):
+        nl = random_netlist("r", 50, seed=3)
+        placement = place(nl, dev, options=FAST_PLACE)
+        result = route(nl, placement, dev)
+        clock_names = {n.name for n in nl.nets if n.is_clock}
+        assert not clock_names & set(result.nets)
+
+    def test_congestion_negotiation_on_dense_design(self, dev):
+        """Cram a dense design into a small region so channels contend."""
+        from repro.fabric.grid import Region
+
+        nl = random_netlist("r", 140, seed=4, avg_fanout=4.0)
+        region = Region(0, 0, 5, dev.clb_rows - 1)
+        placement = place(nl, dev, region=region, options=FAST_PLACE)
+        result = route(nl, placement, dev, options=RouterOptions(max_iterations=20))
+        assert result.legal
+
+    def test_route_into_occupied_graph(self, dev):
+        """Routing a module into fabric already holding the static side."""
+        static = random_netlist("s", 60, seed=5)
+        from repro.fabric.grid import Region
+
+        left = Region(0, 0, 7, dev.clb_rows - 1)
+        right = Region(8, 0, dev.clb_columns - 1, dev.clb_rows - 1)
+        p1 = place(static, dev, region=left, options=FAST_PLACE)
+        r1 = route(static, p1, dev)
+        module = random_netlist("m", 60, seed=6)
+        p2 = place(module, dev, region=right, options=FAST_PLACE)
+        r2 = route(module, p2, dev, graph=r1.graph)
+        assert r2.legal
+
+    def test_total_capacitance_positive(self, dev):
+        nl = random_netlist("r", 40, seed=7)
+        placement = place(nl, dev, options=FAST_PLACE)
+        result = route(nl, placement, dev)
+        assert result.total_capacitance_pf > 0
+        assert result.total_wirelength >= 0

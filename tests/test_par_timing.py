@@ -1,0 +1,88 @@
+"""Tests for static timing analysis."""
+
+import pytest
+
+from repro.fabric.device import get_device
+from repro.netlist.cells import SLICE_LOGIC, SLICE_REG
+from repro.netlist.generate import chain_netlist, random_netlist
+from repro.netlist.netlist import Netlist
+from repro.par.design import Design
+from repro.par.placer import PlacerOptions, place
+from repro.par.router import route
+from repro.par.timing import analyze_timing
+
+
+@pytest.fixture
+def dev():
+    return get_device("XC3S200")
+
+
+def _implemented(nl, dev, steps=15):
+    placement = place(nl, dev, options=PlacerOptions(steps=steps))
+    routing = route(nl, placement, dev)
+    return Design(nl, dev, placement=placement, routed_nets=routing.nets, graph=routing.graph)
+
+
+class TestTiming:
+    def test_chain_critical_path(self, dev):
+        design = _implemented(chain_netlist("c", 10), dev)
+        report = analyze_timing(design)
+        # Register chain: each reg-to-reg arc is one cell delay + one net
+        # delay; critical path is a single arc.
+        assert report.critical_path_ns > 0
+        assert len(report.critical_path) >= 2
+        assert report.fmax_mhz < float("inf")
+
+    def test_unplaced_design_rejected(self, dev):
+        design = Design(chain_netlist("c", 4), dev)
+        with pytest.raises(ValueError, match="not placed"):
+            analyze_timing(design)
+
+    def test_combinational_chain_accumulates(self, dev):
+        """A chain of combinational cells accumulates delay along its
+        whole length, unlike a registered chain."""
+        comb = Netlist("comb")
+        cells = [comb.add_cell(f"c{i}", SLICE_LOGIC) for i in range(8)]
+        head = comb.add_cell("head", SLICE_REG)
+        comb.add_net("n_head", head, [cells[0]], activity=0.1)
+        for i in range(7):
+            comb.add_net(f"n{i}", cells[i], [cells[i + 1]], activity=0.1)
+        tail = comb.add_cell("tail", SLICE_REG)
+        comb.add_net("n_tail", cells[-1], [tail], activity=0.1)
+
+        reg = chain_netlist("reg", 10)
+        d_comb = _implemented(comb, dev)
+        d_reg = _implemented(reg, dev)
+        t_comb = analyze_timing(d_comb).critical_path_ns
+        t_reg = analyze_timing(d_reg).critical_path_ns
+        assert t_comb > 3 * t_reg
+
+    def test_combinational_loop_does_not_hang(self, dev):
+        nl = Netlist("loop")
+        a = nl.add_cell("a", SLICE_LOGIC)
+        b = nl.add_cell("b", SLICE_LOGIC)
+        nl.add_net("ab", a, [b], activity=0.1)
+        nl.add_net("ba", b, [a], activity=0.1)
+        design = _implemented(nl, dev)
+        report = analyze_timing(design)  # must terminate
+        assert report.critical_path_ns >= 0
+
+    def test_meets(self, dev):
+        design = _implemented(chain_netlist("c", 6), dev)
+        report = analyze_timing(design)
+        assert report.meets(report.fmax_mhz * 0.9)
+        assert not report.meets(report.fmax_mhz * 1.1)
+
+    def test_estimated_vs_routed_delay(self, dev):
+        """Timing works pre-routing via the distance estimate."""
+        nl = chain_netlist("c", 8)
+        placement = place(nl, dev, options=PlacerOptions(steps=15))
+        unrouted = Design(nl, dev, placement=placement)
+        report = analyze_timing(unrouted)
+        assert report.critical_path_ns > 0
+
+    def test_random_netlist_timing(self, dev):
+        design = _implemented(random_netlist("r", 80, seed=3), dev)
+        report = analyze_timing(design)
+        assert report.arc_count > 0
+        assert 1.0 < report.critical_path_ns < 1000.0

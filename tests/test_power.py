@@ -1,0 +1,128 @@
+"""Tests for the power models and the design-level estimator."""
+
+import pytest
+
+from repro.fabric.device import get_device
+from repro.fabric.routing import RoutedNet, RouteSegment
+from repro.fabric.wires import DOUBLE
+from repro.netlist.generate import random_netlist
+from repro.par.design import Design
+from repro.par.placer import PlacerOptions, place
+from repro.par.router import route
+from repro.power.estimator import PowerEstimator
+from repro.power.model import (
+    PowerParams,
+    block_dynamic_power_w,
+    clock_tree_power_w,
+    net_dynamic_power_w,
+    static_power_w,
+    switching_power_w,
+)
+
+
+class TestSwitchingModel:
+    def test_formula(self):
+        # 0.5 * alpha * f * C * V^2 = 0.5 * 0.2 * 50e6 * 1e-12 * 1.44
+        p = switching_power_w(1.0, 0.2, 50.0, 1.2)
+        assert p == pytest.approx(0.5 * 0.2 * 50e6 * 1e-12 * 1.44)
+
+    def test_linear_in_each_factor(self):
+        base = switching_power_w(1.0, 0.1, 50.0)
+        assert switching_power_w(2.0, 0.1, 50.0) == pytest.approx(2 * base)
+        assert switching_power_w(1.0, 0.2, 50.0) == pytest.approx(2 * base)
+        assert switching_power_w(1.0, 0.1, 100.0) == pytest.approx(2 * base)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            switching_power_w(-1.0, 0.1, 50.0)
+
+    def test_net_dynamic_power(self):
+        net = RoutedNet("n", (0, 0), [(2, 0)])
+        net.segments = [RouteSegment(DOUBLE, (0, 0), (2, 0))]
+        p = net_dynamic_power_w(net, 0.3, 50.0)
+        assert p == pytest.approx(switching_power_w(net.capacitance_pf, 0.3, 50.0))
+
+
+class TestStaticModel:
+    def test_scales_with_device(self):
+        small = static_power_w(get_device("XC3S200"))
+        large = static_power_w(get_device("XC3S1000"))
+        assert large > 2 * small
+
+    def test_temperature_doubling(self):
+        dev = get_device("XC3S400")
+        cold = static_power_w(dev, PowerParams(temperature_c=25.0))
+        hot = static_power_w(dev, PowerParams(temperature_c=50.0))
+        assert hot == pytest.approx(2 * cold)
+
+    def test_voltage_scaling(self):
+        dev = get_device("XC3S400")
+        nominal = static_power_w(dev)
+        reduced = static_power_w(dev, PowerParams(vccint=1.08))
+        assert reduced == pytest.approx(nominal * 0.81)
+
+    def test_bad_voltage_rejected(self):
+        with pytest.raises(ValueError):
+            PowerParams(vccint=0.0)
+
+
+class TestBlockAndClock:
+    def test_block_power_scales_with_slices(self):
+        assert block_dynamic_power_w(200, 0.1, 50.0) == pytest.approx(
+            2 * block_dynamic_power_w(100, 0.1, 50.0)
+        )
+
+    def test_clock_tree_power_scales_with_load(self):
+        dev = get_device("XC3S400")
+        light = clock_tree_power_w(dev, 100, 50.0)
+        heavy = clock_tree_power_w(dev, 3000, 50.0)
+        assert heavy > light
+
+    def test_negative_slices_rejected(self):
+        with pytest.raises(ValueError):
+            block_dynamic_power_w(-1, 0.1, 50.0)
+
+
+class TestEstimator:
+    @pytest.fixture
+    def design(self):
+        dev = get_device("XC3S200")
+        nl = random_netlist("r", 60, seed=1)
+        placement = place(nl, dev, options=PlacerOptions(steps=15))
+        routing = route(nl, placement, dev)
+        return Design(nl, dev, placement=placement, routed_nets=routing.nets, graph=routing.graph)
+
+    def test_report_totals_consistent(self, design):
+        report = PowerEstimator(design, 50.0).report()
+        assert report.total_w == pytest.approx(report.static_w + report.dynamic_w)
+        assert report.dynamic_w == pytest.approx(
+            report.routing_w + report.logic_w + report.clock_w
+        )
+
+    def test_power_scales_with_clock(self, design):
+        slow = PowerEstimator(design, 25.0).report()
+        fast = PowerEstimator(design, 50.0).report()
+        assert fast.dynamic_w == pytest.approx(2 * slow.dynamic_w, rel=1e-6)
+        assert fast.static_w == pytest.approx(slow.static_w)
+
+    def test_hottest_nets_sorted(self, design):
+        report = PowerEstimator(design, 50.0).report()
+        hottest = report.hottest_nets(5)
+        powers = [n.total_w for n in hottest]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_unrouted_fallback(self):
+        dev = get_device("XC3S200")
+        nl = random_netlist("r", 30, seed=2)
+        placement = place(nl, dev, options=PlacerOptions(steps=5))
+        design = Design(nl, dev, placement=placement)
+        report = PowerEstimator(design, 50.0).report()
+        assert report.routing_w > 0
+
+    def test_bad_clock_rejected(self, design):
+        with pytest.raises(ValueError):
+            PowerEstimator(design, 0.0)
+
+    def test_summary_format(self, design):
+        text = PowerEstimator(design, 50.0).report().summary()
+        assert "static" in text and "dynamic" in text and "mW" in text

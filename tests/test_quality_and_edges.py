@@ -1,0 +1,149 @@
+"""Quality checks and edge cases across the stack: router optimality
+bounds, placer modes, scheduler arithmetic, softcore corner cases, CLI
+paths, power-report internals."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.fabric.device import get_device
+from repro.fabric.grid import SliceCoord
+from repro.netlist.cells import SLICE_REG
+from repro.netlist.generate import chain_netlist, random_netlist
+from repro.netlist.netlist import Netlist
+from repro.par.placer import Placement, PlacerOptions, net_hpwl, place
+from repro.par.router import RouterOptions, route, route_single_net
+from repro.fabric.routing import RoutingGraph
+from repro.reconfig.scheduler import CycleSchedule
+from repro.softcore.asm import assemble
+from repro.softcore.cpu import Cpu, CpuError, MemoryMap, MemoryRegion
+
+
+class TestRouterQuality:
+    def test_wirelength_close_to_hpwl_bound(self):
+        """Routed wirelength must stay near the HPWL lower bound on an
+        uncongested device (sanity check on router quality)."""
+        dev = get_device("XC3S400")
+        nl = random_netlist("q", 80, seed=17)
+        placement = place(nl, dev, options=PlacerOptions(steps=20, seed=2))
+        result = route(nl, placement, dev)
+        hpwl = sum(net_hpwl(n, placement) for n in nl.nets if not n.is_clock)
+        assert result.total_wirelength <= 2.2 * max(1, hpwl)
+
+    def test_two_terminal_straight_route_is_optimal(self):
+        from repro.fabric.grid import Grid
+
+        dev = get_device("XC3S400")
+        nl = Netlist("straight")
+        a = nl.add_cell("a", SLICE_REG)
+        b = nl.add_cell("b", SLICE_REG)
+        nl.add_net("n", a, [b], activity=0.1)
+        placement = Placement(dev, Grid(dev).full_region)
+        placement.assign("a", SliceCoord(2, 10, 0))
+        placement.assign("b", SliceCoord(14, 10, 0))
+        routed = route_single_net(nl.net("n"), placement, RoutingGraph(dev), RouterOptions(mode="performance"))
+        # Manhattan distance 12; performance route should cover it without
+        # detours (wirelength == 12 using hex/double mixes).
+        assert routed.wirelength_clbs == 12
+
+    def test_power_mode_no_detours_either(self):
+        dev = get_device("XC3S400")
+        nl = Netlist("straight")
+        a = nl.add_cell("a", SLICE_REG)
+        b = nl.add_cell("b", SLICE_REG)
+        nl.add_net("n", a, [b], activity=0.1)
+        from repro.fabric.grid import Grid
+
+        placement = Placement(dev, Grid(dev).full_region)
+        placement.assign("a", SliceCoord(0, 0, 0))
+        placement.assign("b", SliceCoord(9, 5, 0))
+        routed = route_single_net(nl.net("n"), placement, RoutingGraph(dev), RouterOptions(mode="power"))
+        assert routed.wirelength_clbs == 14
+
+
+class TestSchedulerEdges:
+    def test_zero_duration_tasks_allowed(self):
+        schedule = CycleSchedule(period_s=0.1)
+        schedule.append("instant", 0.0, "compute")
+        assert schedule.busy_time_s == 0.0
+        assert schedule.fits
+
+    def test_negative_duration_rejected(self):
+        schedule = CycleSchedule(period_s=0.1)
+        with pytest.raises(ValueError):
+            schedule.append("bad", -1.0, "compute")
+
+    def test_utilization_saturates_at_one(self):
+        schedule = CycleSchedule(period_s=0.1)
+        schedule.append("long", 0.5, "reconfig")
+        assert schedule.utilization == 1.0
+        assert schedule.idle_time_s == 0.0
+
+
+class TestSoftcoreEdges:
+    def test_readonly_region(self):
+        memory = MemoryMap(
+            [
+                MemoryRegion("ram", 0x0, 8192),
+                MemoryRegion("rom", 0x2000, 4096, readonly=True),
+            ]
+        )
+        cpu = Cpu(assemble("addi r1, r0, 0x2000\nsw r1, r1, 0\nhalt"), memory=memory)
+        with pytest.raises(CpuError, match="read-only"):
+            cpu.run()
+
+    def test_nested_subroutines_via_two_link_registers(self):
+        cpu = Cpu(
+            assemble(
+                """
+                addi r1, r0, 5
+                brl  r28, outer
+                halt
+            outer:
+                brl  r27, inner
+                add  r3, r2, r2
+                jr   r28
+            inner:
+                add  r2, r1, r1
+                jr   r27
+                """
+            )
+        )
+        cpu.run()
+        assert cpu.reg(3) == 20
+
+    def test_label_as_immediate_operand(self):
+        cpu = Cpu(assemble("addi r1, r0, buf\nhalt\n.data\nbuf: .space 16"))
+        cpu.run()
+        assert cpu.reg(1) == 0x1000
+
+    def test_shift_amount_masked(self):
+        cpu = Cpu(assemble("addi r1, r0, 1\naddi r2, r0, 33\nsll r3, r1, r2\nhalt"))
+        cpu.run()
+        assert cpu.reg(3) == 2  # 33 & 31 == 1
+
+    def test_fsl_index_out_of_range(self):
+        cpu = Cpu(assemble("put r1, fsl9\nhalt"), fsl_count=2)
+        with pytest.raises(CpuError, match="no FSL"):
+            cpu.run()
+
+
+class TestPlacerModes:
+    def test_power_weighting_applies_only_off_clock(self):
+        opts = PlacerOptions(mode="power", activity_weight=10.0)
+        nl = chain_netlist("w", 3, activity=0.5)
+        net = nl.nets[0]
+        assert opts.net_weight(net) == pytest.approx(1.0 + 5.0)
+        clockish = nl.add_net("clk", nl.cell("s0"), [nl.cell("s2")], activity=2.0, is_clock=True)
+        assert opts.net_weight(clockish) == 1.0
+
+    def test_wirelength_mode_ignores_activity(self):
+        opts = PlacerOptions(mode="wirelength")
+        nl = chain_netlist("w", 3, activity=0.9)
+        assert opts.net_weight(nl.nets[0]) == 1.0
+
+
+class TestCliTradeoff:
+    def test_tradeoff_runs(self, capsys):
+        assert cli_main(["tradeoff", "--levels", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "reconfig-icap" in out and "XC3S1000" in out

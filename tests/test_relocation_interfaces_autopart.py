@@ -1,0 +1,181 @@
+"""Tests for bitstream relocation, on-demand interfaces, and automatic
+partitioning (the extension features)."""
+
+import pytest
+
+from repro.app.interfaces import INTERFACE_FOOTPRINTS, InterfaceManager
+from repro.app.modules import build_processing_graph
+from repro.app.system import static_side_slices
+from repro.core.autopartition import auto_partition
+from repro.fabric.bitstream import Bitstream, BitstreamGenerator
+from repro.fabric.device import get_device
+from repro.fabric.grid import Grid, Region
+from repro.reconfig.ports import Icap, Jcap
+from repro.reconfig.relocation import RelocationError, check_compatible, relocate, store_savings
+
+
+@pytest.fixture
+def dev():
+    return get_device("XC3S1000")
+
+
+class TestRelocation:
+    def test_relocated_frames_shift_columns(self, dev):
+        gen = BitstreamGenerator(dev)
+        grid = Grid(dev)
+        source = grid.column_region(8, 12)
+        target = grid.column_region(20, 24)
+        bs = gen.partial_for_region(source, "amp_phase")
+        moved = relocate(bs, source, target, dev)
+        assert moved.frame_count == bs.frame_count
+        for old, new in zip(bs.frames, moved.frames):
+            assert (new.address >> 8) == (old.address >> 8) + 12
+            assert (new.address & 0xFF) == (old.address & 0xFF)
+            assert new.words == old.words
+
+    def test_roundtrip_is_identity(self, dev):
+        gen = BitstreamGenerator(dev)
+        grid = Grid(dev)
+        a = grid.column_region(4, 7)
+        b = grid.column_region(30, 33)
+        bs = gen.partial_for_region(a, "m")
+        back = relocate(relocate(bs, a, b, dev), b, a, dev)
+        assert [f.address for f in back.frames] == [f.address for f in bs.frames]
+
+    def test_relocated_bitstream_still_parses(self, dev):
+        gen = BitstreamGenerator(dev)
+        grid = Grid(dev)
+        bs = gen.partial_for_region(grid.column_region(0, 3), "m")
+        moved = relocate(bs, grid.column_region(0, 3), grid.column_region(10, 13), dev)
+        parsed = Bitstream.from_bytes(moved.to_bytes(), dev.name)
+        assert parsed.frame_count == moved.frame_count
+
+    def test_width_mismatch_rejected(self, dev):
+        grid = Grid(dev)
+        with pytest.raises(RelocationError, match="widths differ"):
+            check_compatible(grid.column_region(0, 3), grid.column_region(10, 14), dev)
+
+    def test_off_device_target_rejected(self, dev):
+        grid = Grid(dev)
+        source = grid.column_region(0, 3)
+        target = Region(dev.clb_columns - 2, 0, dev.clb_columns + 1, dev.clb_rows - 1)
+        with pytest.raises(RelocationError):
+            check_compatible(source, target, dev)
+
+    def test_non_aligned_rejected(self, dev):
+        source = Region(0, 1, 3, dev.clb_rows - 1)
+        target = Region(8, 1, 11, dev.clb_rows - 1)
+        with pytest.raises(RelocationError, match="column aligned"):
+            check_compatible(source, target, dev)
+
+    def test_frame_outside_source_rejected(self, dev):
+        gen = BitstreamGenerator(dev)
+        grid = Grid(dev)
+        bs = gen.partial_for_region(grid.column_region(0, 3), "m")
+        with pytest.raises(RelocationError, match="outside source"):
+            relocate(bs, grid.column_region(1, 4), grid.column_region(10, 13), dev)
+
+    def test_store_savings(self):
+        s = store_savings(modules=4, slots=3, per_image_bytes=100_000)
+        assert s.per_slot_bytes == 1_200_000
+        assert s.relocatable_bytes == 400_000
+        assert s.saved_bytes == 800_000
+        with pytest.raises(ValueError):
+            store_savings(0, 1, 1)
+
+
+class TestInterfaceManager:
+    @pytest.fixture(scope="class")
+    def manager(self):
+        return InterfaceManager(port=Icap())
+
+    def test_switching_loads_core(self, manager):
+        t = manager.switch_to("ethernet")
+        assert manager.active_interface == "ethernet"
+        assert t > 0
+
+    def test_resident_switch_is_free(self, manager):
+        manager.switch_to("profibus")
+        assert manager.switch_to("profibus") == 0.0
+
+    def test_report_over_each_interface(self):
+        manager = InterfaceManager(port=Icap())
+        for interface in ("uart", "ethernet", "profibus"):
+            record = manager.report_level(0.42, interface=interface)
+            assert record.interface == interface
+            assert record.wire_time_s > 0
+        assert len(manager.reports) == 3
+
+    def test_unknown_interface_rejected(self, manager):
+        with pytest.raises(KeyError, match="unknown interface"):
+            manager.switch_to("canbus")
+
+    def test_report_without_interface_rejected(self):
+        manager = InterfaceManager(port=Icap())
+        with pytest.raises(ValueError, match="no interface"):
+            manager.report_level(0.5)
+
+    def test_area_saving_vs_flat(self, manager):
+        """One slot instead of all interfaces resident — the 'flexibility
+        regarding communication interfaces' pay-off."""
+        assert manager.flat_area_slices() > sum(
+            fp.slices for name, fp in INTERFACE_FOOTPRINTS.items() if name == "ethernet"
+        )
+        # The slot is sized for the largest single interface only.
+        largest = max(fp.slices for fp in INTERFACE_FOOTPRINTS.values())
+        assert manager.resident_area_slices() < manager.flat_area_slices() + largest
+        assert manager.flat_area_slices() == sum(
+            fp.slices for fp in INTERFACE_FOOTPRINTS.values()
+        )
+
+
+class TestAutoPartition:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_processing_graph()
+
+    def test_finds_feasible_optimum(self, graph):
+        result = auto_partition(graph, static_side_slices(), counts=(1, 2, 3, 5))
+        assert result.best is not None
+        assert result.best.feasible
+        # Power objective picks the smallest feasible device.
+        powers = [c.static_power_w for c in result.candidates if c.feasible]
+        assert result.best.static_power_w == min(powers)
+
+    def test_jcap_budget_rules_out_designs(self, graph):
+        """Over the slow JCAP most partitionings miss the overhead budget —
+        the automated version of the paper's caveat."""
+        icap = auto_partition(graph, static_side_slices(), counts=(1, 3, 5), port=Icap())
+        jcap = auto_partition(
+            graph, static_side_slices(), counts=(1, 3, 5), port=Jcap(improved=True)
+        )
+        icap_ok = sum(c.feasible for c in icap.candidates)
+        jcap_ok = sum(c.feasible for c in jcap.candidates)
+        assert icap_ok > jcap_ok
+
+    def test_objectives(self, graph):
+        for objective in ("power", "cost", "speed"):
+            result = auto_partition(
+                graph, static_side_slices(), counts=(1, 3, 5), objective=objective
+            )
+            assert result.objective == objective
+            assert result.best is not None
+
+    def test_speed_objective_prefers_fewer_loads(self, graph):
+        result = auto_partition(graph, static_side_slices(), counts=(1, 3, 5), objective="speed")
+        times = [c.reconfig_time_per_cycle_s for c in result.candidates if c.feasible]
+        assert result.best.reconfig_time_per_cycle_s == min(times)
+
+    def test_pareto_front_nonempty(self, graph):
+        result = auto_partition(graph, static_side_slices(), counts=(1, 2, 3, 5, 7))
+        front = result.pareto_front()
+        assert front
+        # Every front member is feasible and non-dominated.
+        for c in front:
+            assert c.feasible
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            auto_partition(graph, 100, counts=())
+        with pytest.raises(ValueError):
+            auto_partition(graph, 100, counts=(1,), objective="area")

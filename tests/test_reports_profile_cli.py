@@ -1,0 +1,218 @@
+"""Tests for the implementation reports, power profiling, clock gating,
+runtime adaptation and the CLI."""
+
+import io
+
+import pytest
+
+from repro.activity.vcd import parse_vcd, vcd_from_simulator
+from repro.app.adaptation import AdaptiveProcessingManager, build_variants
+from repro.app.system import FpgaReconfigSystem
+from repro.cli import main as cli_main
+from repro.fabric.device import get_device
+from repro.netlist.generate import random_netlist
+from repro.par.design import Design
+from repro.par.placer import PlacerOptions, place
+from repro.par.report import floorplan_view, routing_report, utilization_report
+from repro.par.router import route
+from repro.power.profile import power_profile
+from repro.reconfig.ports import Icap
+from repro.sim.events import Simulator
+
+
+@pytest.fixture(scope="module")
+def design():
+    dev = get_device("XC3S200")
+    nl = random_netlist("rep", 60, seed=3)
+    placement = place(nl, dev, options=PlacerOptions(steps=10))
+    routing = route(nl, placement, dev)
+    return Design(nl, dev, placement=placement, routed_nets=routing.nets, graph=routing.graph)
+
+
+class TestReports:
+    def test_utilization(self, design):
+        report = utilization_report(design)
+        assert report.slices_used == design.netlist.stats().slices
+        assert 0 < report.slice_utilization < 1
+        text = report.render()
+        assert "Occupied slices" in text and "XC3S200" in text
+
+    def test_routing_report(self, design):
+        text = routing_report(design)
+        assert "direct" in text and "long" in text
+        assert "over-capacity channels: 0" in text
+
+    def test_routing_report_needs_routing(self):
+        dev = get_device("XC3S200")
+        nl = random_netlist("x", 10, seed=1)
+        placement = place(nl, dev, options=PlacerOptions(steps=2))
+        with pytest.raises(ValueError):
+            routing_report(Design(nl, dev, placement=placement))
+
+    def test_floorplan_view(self, design):
+        text = floorplan_view(design)
+        lines = text.splitlines()
+        assert len(lines) == design.device.clb_rows + 1
+        body = "".join(lines[1:])
+        # Occupied cells appear; the design does not fill the device.
+        assert any(c in "1234#" for c in body)
+        assert "." in body
+
+
+class TestPowerProfile:
+    def _trace(self):
+        sim = Simulator(trace=True)
+        clk = sim.clock("clk", period_ns=20)
+        burst = sim.signal("burst", width=8)
+        state = {"count": 0}
+
+        def tick():
+            state["count"] += 1
+            # Active only in the first half of the run.
+            if state["count"] < 250:
+                burst.set((burst.value + 1) & 0xFF)
+
+        clk.on_rising_edge(tick)
+        sim.run(us=10)
+        out = io.StringIO()
+        vcd_from_simulator(sim, out)
+        return parse_vcd(out.getvalue())
+
+    def test_profile_sees_the_burst(self):
+        data = self._trace()
+        profile = power_profile(
+            data,
+            capacitances_pf={"burst": 2.0},
+            clock_period_ps=20_000,
+            window_ps=1_000_000,
+        )
+        assert len(profile.samples) == 10
+        first_half = sum(s.power_w for s in profile.samples[:5])
+        second_half = sum(s.power_w for s in profile.samples[5:])
+        assert first_half > 5 * second_half
+        assert profile.peak_w > profile.average_w
+        assert profile.peak_to_average > 1.5
+
+    def test_render(self):
+        data = self._trace()
+        profile = power_profile(data, {"burst": 2.0}, 20_000, 2_000_000)
+        text = profile.render()
+        assert "uW" in text and "#" in text
+
+    def test_validation(self):
+        data = self._trace()
+        with pytest.raises(ValueError):
+            power_profile(data, {}, 20_000, 1_000_000)
+        with pytest.raises(ValueError):
+            power_profile(data, {"burst": 1.0}, 20_000, 0)
+
+
+class TestClockGating:
+    def test_gating_reduces_power(self):
+        plain = FpgaReconfigSystem(port=Icap())
+        gated = FpgaReconfigSystem(port=Icap(), clock_gating=True)
+        p_plain = plain.run_cycle(0.5).avg_power_w
+        p_gated = gated.run_cycle(0.5).avg_power_w
+        assert p_gated < p_plain
+        # Results identical — gating is transparent to function.
+        plain.reset(), gated.reset()
+        assert plain.run_cycle(0.5).level_measured == pytest.approx(
+            gated.run_cycle(0.5).level_measured
+        )
+
+
+class TestAdaptation:
+    @pytest.fixture(scope="class")
+    def manager(self):
+        return AdaptiveProcessingManager(seed=5)
+
+    def test_variant_catalogue(self):
+        variants = build_variants()
+        assert set(variants) == {"precise", "balanced", "fast"}
+        assert variants["precise"].compiled.slices > variants["fast"].compiled.slices
+        assert variants["precise"].processing_time_s(75.0) > variants["fast"].processing_time_s(75.0)
+        assert variants["precise"].processing_energy_j(75.0) > variants["fast"].processing_energy_j(75.0)
+
+    def test_policy_accuracy_dominates(self, manager):
+        assert manager.select(accuracy_target=0.01) == "precise"
+        assert manager.select(accuracy_target=0.08) == "fast"
+
+    def test_policy_power_budget(self, manager):
+        tiny = manager.variants["fast"].processing_energy_j(75.0) / 0.1
+        assert manager.select(power_budget_w=tiny * 0.5) == "fast"
+        assert manager.select(power_budget_w=1.0) == "precise"
+
+    def test_switching_costs_reconfiguration(self, manager):
+        t1 = manager.switch_to("precise")
+        t2 = manager.switch_to("precise")
+        assert t1 > 0 and t2 == 0.0
+        t3 = manager.switch_to("fast")
+        assert t3 > 0
+
+    def test_longer_frames_average_noise_better(self):
+        """The mechanism behind the precise variant: a 512-sample frame
+        averages measurement noise ~2x better than a 128-sample frame
+        (estimator std ~ 1/sqrt(N)).  Tested deterministically on
+        synthetic noisy tones."""
+        import numpy as np
+
+        from repro.app.dsp import amplitude_phase
+
+        rng = np.random.default_rng(0)
+        fs, f = 4e6, 500e3
+
+        def amp_std(n_frame, trials=40):
+            amps = []
+            for _ in range(trials):
+                t = np.arange(n_frame) / fs
+                x = 0.2 * np.sin(2 * np.pi * f * t) + rng.normal(0, 0.02, n_frame)
+                amps.append(amplitude_phase(x, f, fs)[0])
+            return np.std(amps)
+
+        assert amp_std(512) < 0.7 * amp_std(128)
+
+    def test_all_variants_measure_plausibly(self):
+        manager = AdaptiveProcessingManager(seed=6)
+        for name in ("precise", "balanced", "fast"):
+            for level in (0.3, 0.6, 0.8):
+                record = manager.measure(level, variant=name)
+                assert abs(record.level - level) < 0.08
+        # And the precise variant stays within the tight envelope.
+        errors = [
+            abs(manager.measure(level, variant="precise").level - level)
+            for level in (0.25, 0.5, 0.75)
+        ]
+        assert max(errors) < 0.05
+
+    def test_unknown_variant_rejected(self, manager):
+        with pytest.raises(KeyError):
+            manager.switch_to("turbo")
+
+
+class TestCli:
+    def test_sizing(self, capsys):
+        assert cli_main(["sizing"]) == 0
+        out = capsys.readouterr().out
+        assert "amp_phase" in out and "XC3S1000" in out
+
+    def test_cycle(self, capsys):
+        assert cli_main(["cycle", "--level", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "measured" in out and "sample signals" in out
+
+    def test_cycle_with_gating(self, capsys):
+        assert cli_main(["cycle", "--level", "0.4", "--clock-gating"]) == 0
+
+    def test_recover(self, capsys):
+        assert cli_main(["recover"]) == 0
+        out = capsys.readouterr().out
+        assert "injected" in out and "recovered" in out
+
+    def test_parflow(self, capsys):
+        assert cli_main(["parflow", "--slices", "60", "--nets", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out and "Reduction" in out
+
+    def test_bad_command(self):
+        with pytest.raises(SystemExit):
+            cli_main(["frobnicate"])

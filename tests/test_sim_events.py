@@ -1,0 +1,110 @@
+"""Tests for the event-driven simulation kernel."""
+
+import pytest
+
+from repro.sim.events import MS, NS, US, Simulator
+
+
+class TestSignals:
+    def test_signal_creation(self):
+        sim = Simulator()
+        s = sim.signal("s", width=8, init=3)
+        assert s.value == 3
+        assert s.mask == 0xFF
+
+    def test_duplicate_name_raises(self):
+        sim = Simulator()
+        sim.signal("s")
+        with pytest.raises(ValueError, match="duplicate"):
+            sim.signal("s")
+
+    def test_bad_width_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="width"):
+            sim.signal("s", width=0)
+
+    def test_masked_writes(self):
+        sim = Simulator()
+        s = sim.signal("s", width=4)
+        s.set(0x1F)
+        sim.run(ns=1)
+        assert s.value == 0xF
+
+    def test_toggle_counting_hamming(self):
+        sim = Simulator()
+        s = sim.signal("s", width=8)
+        s.set(0xFF, delay=1)
+        sim.run(ns=1)
+        assert s.toggles == 8
+        s.set(0xFE, delay=1)
+        sim.run(ns=1)
+        assert s.toggles == 9
+
+
+class TestClocks:
+    def test_clock_frequency(self):
+        sim = Simulator()
+        clk = sim.clock("clk", period_ns=20)
+        assert clk.frequency_mhz == pytest.approx(50.0)
+
+    def test_rising_edges_counted(self):
+        sim = Simulator()
+        clk = sim.clock("clk", period_ns=20)
+        edges = []
+        clk.on_rising_edge(lambda: edges.append(sim.now))
+        sim.run(ns=200)
+        assert len(edges) == 10
+
+    def test_counter_process(self):
+        sim = Simulator()
+        clk = sim.clock("clk", period_ns=10)
+        q = sim.signal("q", width=16)
+        clk.on_rising_edge(lambda: q.set(q.value + 1))
+        sim.run(us=1)
+        assert q.value == 100
+
+    def test_short_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="period"):
+            sim.clock("clk", period_ns=0.0005)
+
+
+class TestCombinational:
+    def test_on_change_fires(self):
+        sim = Simulator()
+        a = sim.signal("a", width=4)
+        b = sim.signal("b", width=4)
+        sim.on_change(lambda: b.set(a.value * 2), a)
+        a.set(5)
+        sim.run(ns=1)
+        assert b.value == 10
+
+    def test_chained_processes(self):
+        sim = Simulator()
+        a = sim.signal("a")
+        b = sim.signal("b")
+        c = sim.signal("c")
+        sim.on_change(lambda: b.set(a.value), a)
+        sim.on_change(lambda: c.set(b.value), b)
+        a.set(1)
+        sim.run(ns=1)
+        assert c.value == 1
+
+
+class TestTracing:
+    def test_changes_recorded(self):
+        sim = Simulator(trace=True)
+        clk = sim.clock("clk", period_ns=20)
+        sim.run(ns=100)
+        clk_changes = [c for c in sim.changes if c[1] == "clk"]
+        # initial record + ~10 half-period transitions
+        assert len(clk_changes) >= 10
+
+    def test_run_requires_positive_span(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_time_units(self):
+        assert US == 1000 * NS
+        assert MS == 1000 * US

@@ -1,0 +1,151 @@
+"""Tests for pinned placement, the slot implementation flow, and design
+checkpointing."""
+
+import pytest
+
+from repro.fabric.device import get_device
+from repro.fabric.grid import SliceCoord
+from repro.netlist.blocks import BlockFootprint, block_netlist
+from repro.netlist.generate import random_netlist
+from repro.par.checkpoint import design_from_dict, design_to_dict, load_design, save_design
+from repro.par.design import Design
+from repro.par.placer import PlacerOptions, place
+from repro.par.router import route
+from repro.par.slot_impl import ANCHOR_PREFIX, attach_busmacro_anchors, implement_module_in_slot
+from repro.power.estimator import PowerEstimator
+from repro.reconfig.slots import plan_floorplan
+
+
+@pytest.fixture
+def dev():
+    return get_device("XC3S400")
+
+
+class TestFixedPlacement:
+    def test_pinned_cells_stay(self, dev):
+        nl = random_netlist("p", 40, seed=2)
+        pins = {
+            "c0": SliceCoord(0, 0, 0),
+            "c1": SliceCoord(5, 5, 2),
+        }
+        placement = place(nl, dev, options=PlacerOptions(steps=20), fixed=pins)
+        for name, coord in pins.items():
+            assert placement.coord(name) == coord
+
+    def test_unknown_fixed_cell_rejected(self, dev):
+        nl = random_netlist("p", 10, seed=1)
+        with pytest.raises(ValueError, match="not in netlist"):
+            place(nl, dev, fixed={"ghost": SliceCoord(0, 0, 0)})
+
+    def test_movable_cells_avoid_pinned_sites(self, dev):
+        nl = random_netlist("p", 30, seed=3)
+        pin = SliceCoord(2, 2, 1)
+        placement = place(nl, dev, options=PlacerOptions(steps=10), fixed={"c5": pin})
+        others = [placement.coord(c.name) for c in nl.cells if c.name != "c5"]
+        assert pin not in others
+
+
+class TestSlotImplementation:
+    @pytest.fixture
+    def floorplan(self, dev):
+        from repro.app.system import static_side_slices
+
+        return plan_floorplan(dev, static_side_slices(), [600], [24])
+
+    @pytest.fixture
+    def module(self):
+        return block_netlist(
+            BlockFootprint("mod", slices=120, mean_activity=0.1), seed=8, interface_nets=10
+        )
+
+    def test_anchors_attached(self, floorplan, module):
+        anchored, pins = attach_busmacro_anchors(module, floorplan.slots[0])
+        assert len(pins) == 10
+        assert all(name.startswith(ANCHOR_PREFIX) for name in pins)
+        # Anchor positions sit on the slot boundary column.
+        boundary = floorplan.slots[0].region.x_min
+        assert all(coord.x == boundary for coord in pins.values())
+        # Interface nets gained the anchor as a sink.
+        net = anchored.net("mod_io0")
+        assert any(s.name.startswith(ANCHOR_PREFIX) for s in net.sinks)
+
+    def test_too_many_signals_rejected(self, dev, module):
+        from repro.app.system import static_side_slices
+
+        tiny = plan_floorplan(dev, static_side_slices(), [600], [8])  # 1 macro = 8 signals
+        with pytest.raises(ValueError, match="exceed"):
+            attach_busmacro_anchors(module, tiny.slots[0])
+
+    def test_full_slot_flow(self, floorplan, module):
+        impl = implement_module_in_slot(
+            module, floorplan, placer_options=PlacerOptions(steps=12)
+        )
+        assert impl.routing_legal
+        assert impl.anchor_count == 10
+        # Everything placed inside the slot region.
+        slot_region = floorplan.slots[0].region
+        for cell in impl.design.netlist.cells:
+            assert slot_region.contains(impl.design.placement.coord(cell.name))
+        assert impl.interface_wirelength > 0
+
+    def test_flow_around_occupied_static_side(self, floorplan, module, dev):
+        # First implement the static side on the left...
+        static = random_netlist("static", 80, seed=4)
+        static_placement = place(
+            static, dev, region=floorplan.static_region, options=PlacerOptions(steps=10)
+        )
+        static_routing = route(static, static_placement, dev)
+        # ...then the module negotiates the remaining resources.
+        impl = implement_module_in_slot(
+            module,
+            floorplan,
+            placer_options=PlacerOptions(steps=12),
+            occupied_graph=static_routing.graph,
+        )
+        assert impl.routing_legal
+
+
+class TestCheckpoint:
+    @pytest.fixture
+    def design(self, dev):
+        nl = random_netlist("ckpt", 50, seed=6)
+        placement = place(nl, dev, options=PlacerOptions(steps=10))
+        routing = route(nl, placement, dev)
+        return Design(nl, dev, placement=placement, routed_nets=routing.nets, graph=routing.graph)
+
+    def test_roundtrip_structure(self, design):
+        restored = design_from_dict(design_to_dict(design))
+        assert restored.device.name == design.device.name
+        assert len(restored.netlist.cells) == len(design.netlist.cells)
+        assert restored.placement.as_dict() == design.placement.as_dict()
+        assert set(restored.routed_nets) == set(design.routed_nets)
+        for name in design.routed_nets:
+            assert restored.routed_nets[name].segments == design.routed_nets[name].segments
+
+    def test_roundtrip_power_identical(self, design):
+        restored = design_from_dict(design_to_dict(design))
+        a = PowerEstimator(design, 50.0).report()
+        b = PowerEstimator(restored, 50.0).report()
+        assert b.total_w == pytest.approx(a.total_w, rel=1e-12)
+        assert b.routing_w == pytest.approx(a.routing_w, rel=1e-12)
+
+    def test_roundtrip_graph_occupancy(self, design):
+        restored = design_from_dict(design_to_dict(design))
+        assert restored.graph.is_legal() == design.graph.is_legal()
+
+    def test_file_roundtrip(self, design, tmp_path):
+        path = save_design(design, tmp_path / "mod.json")
+        restored = load_design(path)
+        assert restored.netlist.name == design.netlist.name
+        assert restored.is_routed
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="not a design checkpoint"):
+            design_from_dict({"format": "something-else"})
+        with pytest.raises(ValueError, match="version"):
+            design_from_dict({"format": "repro-design-checkpoint", "version": 99})
+
+    def test_activities_preserved(self, design):
+        restored = design_from_dict(design_to_dict(design))
+        for net in design.netlist.nets:
+            assert restored.netlist.net(net.name).activity == pytest.approx(net.activity)

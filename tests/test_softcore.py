@@ -1,0 +1,214 @@
+"""Tests for the soft-core ISA, assembler and CPU."""
+
+import pytest
+
+from repro.softcore.asm import AssemblyError, assemble
+from repro.softcore.cpu import Cpu, CpuError, MemoryMap, MemoryRegion
+from repro.softcore.isa import Instruction, bits_to_float, float_to_bits
+
+
+def run(src: str, **kwargs) -> Cpu:
+    cpu = Cpu(assemble(src), **kwargs)
+    cpu.run()
+    return cpu
+
+
+class TestAssembler:
+    def test_labels_and_data(self):
+        p = assemble(
+            """
+            start: addi r1, r0, 5
+                   br start
+            .data
+            tbl:   .word 1, 2, 3
+            buf:   .space 8
+            """
+        )
+        assert p.labels["start"] == 0
+        assert p.labels["tbl"] == p.data_base
+        assert p.labels["buf"] == p.data_base + 12
+        assert len(p.data_image) == 20
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblyError, match="unknown opcode"):
+            assemble("frobnicate r1, r2, r3")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble("br nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("a: nop\na: nop")
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2")
+
+    def test_register_range(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r32, r0, r0")
+
+    def test_comments_and_hex(self):
+        p = assemble("addi r1, r0, 0x10  # comment\n; full line comment\n")
+        assert p.instructions[0].imm == 16
+
+    def test_instruction_after_data_rejected(self):
+        with pytest.raises(AssemblyError, match="after .data"):
+            assemble(".data\nx: .word 1\naddi r1, r0, 1")
+
+    def test_image_bytes(self):
+        p = assemble("nop\nhalt\n.data\nb: .space 100")
+        assert p.code_bytes == 8
+        assert p.image_bytes == 108
+
+
+class TestCpuArithmetic:
+    def test_add_sub_mul(self):
+        cpu = run("addi r1, r0, 7\naddi r2, r0, 5\nadd r3, r1, r2\nsub r4, r1, r2\nmul r5, r1, r2\nhalt")
+        assert cpu.reg(3) == 12
+        assert cpu.reg(4) == 2
+        assert cpu.reg(5) == 35
+
+    def test_r0_hardwired_zero(self):
+        cpu = run("addi r0, r0, 99\nadd r1, r0, r0\nhalt")
+        assert cpu.reg(0) == 0
+        assert cpu.reg(1) == 0
+
+    def test_negative_arithmetic(self):
+        cpu = run("addi r1, r0, -5\naddi r2, r0, 3\nmul r3, r1, r2\nsrai r4, r3, 1\nhalt")
+        assert cpu.reg(3) == (-15) & 0xFFFFFFFF
+        assert cpu.reg(4) == (-8) & 0xFFFFFFFF  # arithmetic shift
+
+    def test_logic_and_shifts(self):
+        cpu = run(
+            "addi r1, r0, 0xF0\nandi r2, r1, 0x3C\nori r3, r1, 0x0F\n"
+            "xori r4, r1, 0xFF\nslli r5, r1, 4\nsrli r6, r1, 4\nhalt"
+        )
+        assert cpu.reg(2) == 0x30
+        assert cpu.reg(3) == 0xFF
+        assert cpu.reg(4) == 0x0F
+        assert cpu.reg(5) == 0xF00
+        assert cpu.reg(6) == 0x0F
+
+    def test_compare(self):
+        cpu = run("addi r1, r0, -1\naddi r2, r0, 1\ncmplt r3, r1, r2\ncmpltu r4, r1, r2\nhalt")
+        assert cpu.reg(3) == 1  # signed: -1 < 1
+        assert cpu.reg(4) == 0  # unsigned: 0xFFFFFFFF > 1
+
+
+class TestControlFlow:
+    def test_loop(self):
+        cpu = run(
+            "addi r1, r0, 0\naddi r2, r0, 10\n"
+            "loop: addi r1, r1, 3\naddi r2, r2, -1\nbne r2, r0, loop\nhalt"
+        )
+        assert cpu.reg(1) == 30
+
+    def test_subroutine_call(self):
+        cpu = run(
+            "addi r1, r0, 4\nbrl r28, double\nadd r3, r2, r0\nhalt\n"
+            "double: add r2, r1, r1\njr r28"
+        )
+        assert cpu.reg(3) == 8
+
+    def test_branch_taken_costs_more(self):
+        taken = run("addi r1, r0, 1\nbeq r1, r1, skip\nskip: halt").cycles
+        not_taken = run("addi r1, r0, 1\nbne r1, r1, skip\nskip: halt").cycles
+        assert taken == not_taken + 2
+
+    def test_runaway_detected(self):
+        cpu = Cpu(assemble("loop: br loop"))
+        with pytest.raises(CpuError, match="budget"):
+            cpu.run(max_cycles=1000)
+
+
+class TestMemory:
+    def test_load_store(self):
+        cpu = run(
+            "addi r1, r0, 0x2000\naddi r2, r0, 1234\nsw r2, r1, 0\nlw r3, r1, 0\nhalt"
+        )
+        assert cpu.reg(3) == 1234
+
+    def test_data_image_loaded(self):
+        cpu = run("lw r1, r0, tbl\nlw r2, r0, tbl2\nhalt\n.data\ntbl: .word 42\ntbl2: .word 0x55")
+        assert cpu.reg(1) == 42
+        assert cpu.reg(2) == 0x55
+
+    def test_unaligned_access_rejected(self):
+        with pytest.raises(CpuError, match="unaligned"):
+            run("addi r1, r0, 2\nlw r2, r1, 0\nhalt")
+
+    def test_bus_error(self):
+        with pytest.raises(CpuError, match="bus error"):
+            run("addi r1, r0, 0x7000000\nlw r2, r1, 0\nhalt")
+
+    def test_wait_states_charged(self):
+        src = "lw r1, r0, v\nhalt\n.data\nv: .word 1"
+        fast = Cpu(assemble(src), memory=MemoryMap([MemoryRegion("m", 0, 65536, 0)]))
+        slow = Cpu(assemble(src), memory=MemoryMap([MemoryRegion("m", 0, 65536, 6)]))
+        fast.run()
+        slow.run()
+        # 6 extra cycles per instruction fetch (2 insns) and per data access.
+        assert slow.cycles == fast.cycles + 6 * 2 + 6
+
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            MemoryMap([MemoryRegion("a", 0, 1024), MemoryRegion("b", 512, 1024)])
+
+
+class TestFsl:
+    def test_put_get(self):
+        cpu = Cpu(assemble("get r1, fsl0\naddi r2, r1, 1\nput r2, fsl1\nhalt"))
+        cpu.fsl[0].rx.append(41)
+        cpu.run()
+        assert list(cpu.fsl[1].tx) == [42]
+
+    def test_get_empty_raises(self):
+        cpu = Cpu(assemble("get r1, fsl0\nhalt"))
+        with pytest.raises(CpuError, match="empty"):
+            cpu.run()
+
+
+class TestSoftFloat:
+    def test_float_roundtrip(self):
+        for v in (0.0, 1.0, -3.25, 1e10, 2.5e-7):
+            assert bits_to_float(float_to_bits(v)) == pytest.approx(v, rel=1e-6)
+
+    def test_fadd_fmul(self):
+        cpu = run(
+            "lw r1, r0, a\nlw r2, r0, b\nfadd r3, r1, r2\nfmul r4, r1, r2\nhalt\n"
+            f".data\na: .word 0x{float_to_bits(1.5):08X}\nb: .word 0x{float_to_bits(2.0):08X}"
+        )
+        assert cpu.reg_float(3) == pytest.approx(3.5)
+        assert cpu.reg_float(4) == pytest.approx(3.0)
+
+    def test_fsqrt_fatan2(self):
+        import math
+
+        cpu = run(
+            "lw r1, r0, a\nfsqrt r2, r1, r1\nlw r3, r0, b\nfatan2 r4, r3, r1\nhalt\n"
+            f".data\na: .word 0x{float_to_bits(9.0):08X}\nb: .word 0x{float_to_bits(9.0):08X}"
+        )
+        assert cpu.reg_float(2) == pytest.approx(3.0)
+        assert cpu.reg_float(4) == pytest.approx(math.atan2(9.0, 9.0))
+
+    def test_fdiv_by_zero_raises(self):
+        with pytest.raises(CpuError, match="divide by zero"):
+            run("fdiv r1, r0, r0\nhalt")
+
+    def test_fsqrt_negative_raises(self):
+        with pytest.raises(CpuError, match="negative"):
+            run(f"lw r1, r0, a\nfsqrt r2, r1, r1\nhalt\n.data\na: .word 0x{float_to_bits(-1.0):08X}")
+
+    def test_soft_float_is_expensive(self):
+        """The soft-float cycle costs are what make the software baseline
+        slow — an fmul must cost tens of integer-op times."""
+        fmul = Instruction("fmul").base_cycles
+        add = Instruction("add").base_cycles
+        assert fmul > 30 * add
+
+    def test_i2f_f2i(self):
+        cpu = run("addi r1, r0, -7\ni2f r2, r1, 0\nf2i r3, r2, 0\nhalt")
+        assert cpu.reg_float(2) == pytest.approx(-7.0)
+        assert cpu.reg(3) == (-7) & 0xFFFFFFFF

@@ -1,0 +1,105 @@
+"""Tests for dataflow-structured module netlists and the supply-rail
+power breakdown."""
+
+import pytest
+
+from repro.app.modules import build_filter_graph
+from repro.fabric.device import get_device
+from repro.netlist.cells import IOB, SLICE_REG
+from repro.netlist.netlist import Netlist
+from repro.par.design import Design
+from repro.par.placer import PlacerOptions, place
+from repro.par.router import route
+from repro.power.estimator import VCCAUX_STANDBY_W, PowerEstimator
+from repro.sysgen.compile import compile_graph
+from repro.sysgen.graph import DataflowGraph
+
+
+class TestStructuredNetlist:
+    @pytest.fixture(scope="class")
+    def module(self):
+        g = DataflowGraph("small")
+        g.node("in", "input", 16)
+        g.node("m", "mac", 16)
+        g.node("a", "add", 16)
+        g.node("out", "output", 16)
+        g.chain("in", "m", "a", "out")
+        return compile_graph(g)
+
+    def test_slice_total_matches_compiled(self, module):
+        structured = module.structured_netlist(seed=3)
+        assert structured.stats().slices == module.slices
+        assert structured.stats().multipliers == module.multipliers
+
+    def test_edges_become_nets(self, module):
+        structured = module.structured_netlist(seed=3)
+        edge_nets = [n for n in structured.nets if n.name.startswith("edge")]
+        assert len(edge_nets) == len(module.graph.edges)
+        # Edge nets connect cells of the two operators they join.
+        net = structured.net("edge0/in->m")
+        assert net.driver.name.startswith("in/")
+        assert net.sinks[0].name.startswith("m/")
+
+    def test_structured_netlist_validates(self, module):
+        module.structured_netlist(seed=1).validate()
+
+    def test_places_and_routes(self, module):
+        structured = module.structured_netlist(seed=2)
+        dev = get_device("XC3S200")
+        placement = place(structured, dev, options=PlacerOptions(steps=8))
+        result = route(structured, placement, dev)
+        assert result.legal
+
+    def test_graphless_module_rejected(self, module):
+        import dataclasses
+
+        stripped = dataclasses.replace(module, graph=None)
+        with pytest.raises(ValueError, match="no dataflow graph"):
+            stripped.structured_netlist()
+
+    def test_real_filter_module(self):
+        module = compile_graph(build_filter_graph())
+        structured = module.structured_netlist(seed=4)
+        assert structured.stats().slices == module.slices
+        structured.validate()
+
+
+class TestSupplyRails:
+    @pytest.fixture
+    def design_with_io(self):
+        dev = get_device("XC3S200")
+        nl = Netlist("io")
+        pad = nl.add_cell("pad", IOB)
+        core = [nl.add_cell(f"c{i}", SLICE_REG) for i in range(4)]
+        nl.add_net("pad_in", pad, [core[0]], activity=0.3)
+        nl.add_net("n0", core[0], [core[1]], activity=0.1)
+        nl.add_net("n1", core[1], [core[2], core[3]], activity=0.1)
+        nl.add_net("n2", core[2], [core[3]], activity=0.05)
+        placement = place(nl, dev, options=PlacerOptions(steps=5))
+        routing = route(nl, placement, dev)
+        return Design(nl, dev, placement=placement, routed_nets=routing.nets, graph=routing.graph)
+
+    def test_rails_sum_to_total(self, design_with_io):
+        report = PowerEstimator(design_with_io, 50.0).report()
+        rails = report.rails()
+        assert set(rails) == {"VCCINT", "VCCAUX", "VCCO"}
+        assert rails["VCCINT"] + rails["VCCO"] == pytest.approx(report.total_w)
+        assert rails["VCCAUX"] == VCCAUX_STANDBY_W
+
+    def test_io_rail_positive_with_iob_driver(self, design_with_io):
+        report = PowerEstimator(design_with_io, 50.0).report()
+        assert report.io_w > 0
+        # A 12 pF board load at 3.3 V dwarfs the internal nets' power.
+        assert report.io_w > report.routing_w
+
+    def test_no_iob_no_vcco(self):
+        from repro.netlist.generate import chain_netlist
+
+        dev = get_device("XC3S200")
+        nl = chain_netlist("core_only", 6)
+        placement = place(nl, dev, options=PlacerOptions(steps=5))
+        routing = route(nl, placement, dev)
+        design = Design(nl, dev, placement=placement, routed_nets=routing.nets, graph=routing.graph)
+        report = PowerEstimator(design, 50.0).report()
+        assert report.io_w == 0.0
+        assert report.rails()["VCCO"] == 0.0

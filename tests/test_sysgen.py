@@ -1,0 +1,174 @@
+"""Tests for the System-Generator substitute (dataflow compiler)."""
+
+import pytest
+
+from repro.sysgen.compile import compile_graph, split_into_modules
+from repro.sysgen.graph import DataflowGraph
+from repro.sysgen.ops import OP_KINDS, op_cost
+
+
+class TestOpCosts:
+    def test_all_kinds_computable(self):
+        for kind in OP_KINDS:
+            spec = op_cost(kind, 16)
+            assert spec.slices >= 0
+            assert spec.fmax_mhz > 0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown operator"):
+            op_cost("fft", 16)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            op_cost("add", 0)
+        with pytest.raises(ValueError):
+            op_cost("add", 100)
+
+    def test_mult18_vs_lut_multiplier(self):
+        hard = op_cost("mul", 18)
+        soft = op_cost("mul", 18, use_mult18=False)
+        assert hard.multipliers == 1 and hard.slices < 10
+        assert soft.multipliers == 0 and soft.slices > 50
+
+    def test_cordic_scales_with_width(self):
+        assert op_cost("cordic_magphase", 24).slices > op_cost("cordic_magphase", 16).slices
+
+    def test_rom_distributed_vs_bram(self):
+        small = op_cost("rom", 8, depth=64)
+        big = op_cost("rom", 16, depth=2048)
+        assert small.brams == 0
+        assert big.brams >= 1
+        assert big.slices < small.slices + 80
+
+    def test_divider_latency(self):
+        assert op_cost("div", 24).latency_cycles == 26
+
+
+class TestGraph:
+    def _simple(self):
+        g = DataflowGraph("g")
+        g.node("in", "input", 16)
+        g.node("m", "mul", 16)
+        g.node("a", "add", 16)
+        g.node("out", "output", 16)
+        g.chain("in", "m", "a", "out")
+        return g
+
+    def test_topological_order(self):
+        g = self._simple()
+        order = g.topological_order()
+        assert order.index("in") < order.index("m") < order.index("out")
+
+    def test_cycle_rejected(self):
+        g = self._simple()
+        with pytest.raises(ValueError, match="cycle"):
+            g.connect("out", "in")
+
+    def test_duplicate_node_rejected(self):
+        g = self._simple()
+        with pytest.raises(ValueError, match="duplicate"):
+            g.node("m", "add", 16)
+
+    def test_unknown_endpoint_rejected(self):
+        g = self._simple()
+        with pytest.raises(ValueError, match="unknown"):
+            g.connect("in", "ghost")
+
+    def test_critical_latency(self):
+        g = self._simple()
+        # mul(3) + add(1); input/output are latency 0.
+        assert g.critical_latency_cycles() == 4
+
+
+class TestCompile:
+    def test_aggregation(self):
+        g = DataflowGraph("g")
+        g.node("in", "input", 16)
+        g.node("m1", "mul", 16)
+        g.node("m2", "mul", 16)
+        g.node("out", "output", 16)
+        g.chain("in", "m1", "m2", "out")
+        m = compile_graph(g)
+        assert m.multipliers == 2
+        assert m.slices == op_cost("input", 16).slices + 8 + op_cost("output", 16).slices
+        assert m.fmax_mhz == 90.0  # the MULT18 path limits
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            compile_graph(DataflowGraph("empty"))
+
+    def test_processing_time(self):
+        g = DataflowGraph("g")
+        g.node("in", "input", 16)
+        g.node("m", "mac", 16)
+        g.node("out", "output", 16)
+        g.chain("in", "m", "out")
+        module = compile_graph(g)
+        t = module.processing_time_us(512, 50.0)
+        assert t == pytest.approx((512 + module.latency_cycles) / 50.0)
+
+    def test_overclock_rejected(self):
+        g = DataflowGraph("g")
+        g.node("d", "div", 24)
+        module = compile_graph(g)
+        with pytest.raises(ValueError, match="exceeds"):
+            module.processing_time_us(512, module.fmax_mhz + 10)
+
+    def test_netlist_sized_to_footprint(self):
+        g = DataflowGraph("g")
+        g.node("in", "input", 16)
+        g.node("c", "cordic_magphase", 16)
+        g.node("out", "output", 16)
+        g.chain("in", "c", "out")
+        module = compile_graph(g)
+        assert module.netlist().stats().slices == module.slices
+
+
+class TestSplit:
+    def _big(self):
+        g = DataflowGraph("big")
+        prev = None
+        for i in range(12):
+            kind = "cordic_magphase" if i % 4 == 2 else "add"
+            g.node(f"n{i}", kind, 16)
+            if prev:
+                g.connect(prev, f"n{i}")
+            prev = f"n{i}"
+        return g
+
+    def test_split_preserves_total_slices(self):
+        g = self._big()
+        whole = compile_graph(g)
+        parts = split_into_modules(g, 3)
+        assert sum(p.slices for p in parts) == whole.slices
+        assert len(parts) == 3
+
+    def test_split_balances(self):
+        g = self._big()
+        parts = split_into_modules(g, 3)
+        sizes = [p.slices for p in parts]
+        # No part more than ~1.7x the ideal share.
+        ideal = sum(sizes) / 3
+        assert max(sizes) < 1.7 * ideal
+
+    def test_more_parts_smaller_max(self):
+        g = self._big()
+        max2 = max(p.slices for p in split_into_modules(g, 2))
+        max4 = max(p.slices for p in split_into_modules(g, 4))
+        assert max4 <= max2
+
+    def test_cut_edges_become_interface(self):
+        g = DataflowGraph("g")
+        g.node("a", "add", 16)
+        g.node("b", "add", 16)
+        g.connect("a", "b")
+        parts = split_into_modules(g, 2)
+        # The a->b edge is cut: both parts carry it as interface signals.
+        assert all(p.interface_nets >= 4 for p in parts)
+
+    def test_bad_count(self):
+        g = self._big()
+        with pytest.raises(ValueError):
+            split_into_modules(g, 0)
+        with pytest.raises(ValueError):
+            split_into_modules(g, 13)
