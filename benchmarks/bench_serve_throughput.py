@@ -1,0 +1,97 @@
+"""Fleet serving throughput: batched vs per-request slot reconfiguration.
+
+The paper's system reconfigures its single slot for every pipeline stage
+of every measurement.  ``repro.serve`` amortizes that: a batch of N
+same-pipeline requests pays ``len(pipeline)`` slot loads instead of
+``N * len(pipeline)``.  This bench serves the same synthetic fleet
+workload through both modes at three load levels and regenerates the
+requests/s, reconfiguration and energy comparison.
+"""
+
+from _util import show
+
+from repro.serve import FleetService, synthetic_load
+
+#: (label, n_requests, n_tanks, max_batch)
+LOADS = [
+    ("light", 8, 2, 8),
+    ("medium", 24, 6, 8),
+    ("heavy", 48, 8, 16),
+]
+
+
+def serve(n_requests: int, n_tanks: int, max_batch: int, batched: bool) -> dict:
+    service = FleetService(
+        workers=2,
+        max_batch=max_batch,
+        queue_capacity=n_requests + 16,
+        batched=batched,
+        seed=0,
+    ).start()
+    accepted, rejected = service.submit_many(synthetic_load(n_requests, n_tanks=n_tanks))
+    assert not rejected
+    assert service.await_responses(accepted, timeout_s=300)
+    assert service.shutdown()
+    assert all(r.ok for r in service.responses())
+    return service.metrics_snapshot()
+
+
+def run_all() -> dict:
+    return {
+        label: {
+            "batched": serve(n, tanks, batch, batched=True),
+            "per-request": serve(n, tanks, batch, batched=False),
+        }
+        for label, n, tanks, batch in LOADS
+    }
+
+
+def test_serve_throughput(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    header = (
+        f"{'load':<8}{'mode':<13}{'req/s':>8}{'p95 ms':>8}"
+        f"{'reconfigs':>11}{'avoided':>9}{'mJ/req':>9}{'cache':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for label, modes in results.items():
+        for mode, snap in modes.items():
+            svc = snap["service"]
+            lines.append(
+                f"{label:<8}{mode:<13}"
+                f"{svc['requests_per_s']:>8.1f}"
+                f"{snap['histograms']['latency_s']['p95'] * 1e3:>8.0f}"
+                f"{svc['reconfigurations']:>11}"
+                f"{svc['reconfigurations_avoided']:>9}"
+                f"{svc['joules_per_request'] * 1e3:>9.3f}"
+                f"{snap['cache']['hit_rate'] * 100:>6.0f}%"
+            )
+    show("Fleet serving: batched vs per-request reconfiguration", "\n".join(lines))
+
+    for label, modes in results.items():
+        b, u = modes["batched"]["service"], modes["per-request"]["service"]
+        # The headline claim: batching cuts slot reconfigurations >= 5x
+        # and raises throughput, at every load level.
+        assert u["reconfigurations"] >= 5 * b["reconfigurations"], label
+        assert b["requests_per_s"] > u["requests_per_s"], label
+        assert b["reconfigurations_avoided"] > 0, label
+        # The shared artifact cache serves every repeated module load.
+        assert modes["batched"]["cache"]["hit_rate"] > 0, label
+        # Fewer reconfigurations -> less energy per measurement.
+        assert b["joules_per_request"] < u["joules_per_request"], label
+
+    medium = results["medium"]
+    benchmark.extra_info.update(
+        {
+            "batched_rps": round(medium["batched"]["service"]["requests_per_s"], 1),
+            "per_request_rps": round(
+                medium["per-request"]["service"]["requests_per_s"], 1
+            ),
+            "reconfig_ratio": round(
+                medium["per-request"]["service"]["reconfigurations"]
+                / max(1, medium["batched"]["service"]["reconfigurations"]),
+                1,
+            ),
+            "cache_hit_rate": round(medium["batched"]["cache"]["hit_rate"], 2),
+        }
+    )

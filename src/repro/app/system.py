@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.app.dsp import LevelFilter, MeasurementOutcome, process_measurement
 from repro.app.frontend import AnalogFrontEnd
@@ -461,6 +461,7 @@ class FpgaReconfigSystem(_BaseSystem, _HardwareProcessingMixin):
         port: Optional[ConfigPort] = None,
         hw_clock_mhz: Optional[float] = None,
         clock_gating: bool = False,
+        controller_factory: Optional[Callable[[Floorplan, ConfigPort], ReconfigController]] = None,
     ):
         _BaseSystem.__init__(self, config)
         self._init_modules()
@@ -487,7 +488,14 @@ class FpgaReconfigSystem(_BaseSystem, _HardwareProcessingMixin):
             self.floorplan = plan_floorplan(
                 device, static_side_slices(), [slot_slices], [slot_signals]
             )
-        self.controller = ReconfigController(self.floorplan, port or Jcap())
+        # ``controller_factory`` is the seam the fleet-serving layer uses
+        # to inject a controller with a shared bitstream cache and a live
+        # configuration-memory mirror (see ``repro.serve``).
+        resolved_port = port or Jcap()
+        if controller_factory is None:
+            self.controller = ReconfigController(self.floorplan, resolved_port)
+        else:
+            self.controller = controller_factory(self.floorplan, resolved_port)
         for name in self.modules:
             self.controller.prepare_module(name, 0)
 

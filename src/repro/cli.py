@@ -7,6 +7,7 @@ Exposes the headline analyses as subcommands::
     repro sizing                # Table-1 style resources + device chain
     repro parflow               # the Section-4.3 power-aware PAR flow
     repro recover               # fault injection / recovery demo
+    repro serve-bench           # fleet serving: batched vs per-request
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -129,6 +130,63 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_mode(args: argparse.Namespace, batched: bool) -> dict:
+    from repro.serve import FleetService, synthetic_load
+
+    service = FleetService(
+        workers=args.workers,
+        max_batch=args.max_batch,
+        queue_capacity=max(args.requests + 16, 64),
+        batched=batched,
+        fault_rate=args.fault_rate,
+        seed=args.seed,
+    ).start()
+    requests = synthetic_load(args.requests, n_tanks=args.tanks)
+    accepted, rejected = service.submit_many(requests)
+    service.await_responses(accepted, timeout_s=args.timeout)
+    service.shutdown()
+    snapshot = service.metrics_snapshot()
+    snapshot["service"]["rejected"] = len(rejected)
+    return snapshot
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    print(
+        f"fleet: {args.tanks} tanks, {args.requests} requests, "
+        f"{args.workers} workers, max batch {args.max_batch}, "
+        f"fault rate {args.fault_rate}"
+    )
+    snapshots = {}
+    modes = ["per-request", "batched"] if not args.batched_only else ["batched"]
+    for mode in modes:
+        snapshots[mode] = _run_serve_mode(args, batched=(mode == "batched"))
+
+    fields = [
+        ("requests/s", lambda s: f"{s['service']['requests_per_s']:.1f}"),
+        ("p50 latency", lambda s: f"{s['histograms']['latency_s']['p50'] * 1e3:.0f} ms"),
+        ("p95 latency", lambda s: f"{s['histograms']['latency_s']['p95'] * 1e3:.0f} ms"),
+        ("reconfigurations", lambda s: str(s["service"]["reconfigurations"])),
+        ("reconfigs avoided", lambda s: str(s["service"]["reconfigurations_avoided"])),
+        ("mJ / request", lambda s: f"{s['service']['joules_per_request'] * 1e3:.3f}"),
+        ("cache hit rate", lambda s: f"{s['cache']['hit_rate'] * 100:.0f}%"),
+        ("retries", lambda s: str(s["counters"].get("requests_retried", 0))),
+    ]
+    header = f"{'metric':<20}" + "".join(f"{m:>14}" for m in modes)
+    print(header)
+    print("-" * len(header))
+    for label, render in fields:
+        print(f"{label:<20}" + "".join(f"{render(snapshots[m]):>14}" for m in modes))
+    if len(modes) == 2:
+        b, u = snapshots["batched"]["service"], snapshots["per-request"]["service"]
+        ratio = u["reconfigurations"] / max(1, b["reconfigurations"])
+        speedup = b["requests_per_s"] / max(1e-9, u["requests_per_s"])
+        print(
+            f"\nbatching: {ratio:.1f}x fewer slot reconfigurations, "
+            f"{speedup:.2f}x requests/s"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -162,6 +220,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--level", type=float, default=0.6)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser(
+        "serve-bench", help="fleet serving throughput: batched vs per-request"
+    )
+    p.add_argument("--requests", type=int, default=32)
+    p.add_argument("--tanks", type=int, default=8)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--fault-rate", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=300.0)
+    p.add_argument("--batched-only", action="store_true")
+    p.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.fabric.bitstream import Bitstream, BitstreamGenerator
 from repro.fabric.device import DeviceSpec
+from repro.fabric.faults import ConfigurationMemory
 from repro.reconfig.ports import ConfigPort, ConfigurationEvent
 from repro.reconfig.slots import Floorplan, Slot
 
@@ -90,11 +91,24 @@ class LoadRecord:
 class ReconfigController:
     """Manages module loads into the slots of a floorplan."""
 
-    def __init__(self, floorplan: Floorplan, port: ConfigPort, store: Optional[BitstreamStore] = None):
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        port: ConfigPort,
+        store: Optional[BitstreamStore] = None,
+        generator: Optional[BitstreamGenerator] = None,
+        config_memory: Optional[ConfigurationMemory] = None,
+    ):
         self.floorplan = floorplan
         self.port = port
         self.store = store or BitstreamStore()
-        self.generator = BitstreamGenerator(floorplan.device)
+        #: Injectable so a fleet can share memoized bitstreams across
+        #: controllers (see ``repro.serve.cache.CachingBitstreamGenerator``).
+        self.generator = generator or BitstreamGenerator(floorplan.device)
+        #: Optional live configuration-SRAM mirror: every load also writes
+        #: its frames here, giving fault injection and readback scrubbing
+        #: (:mod:`repro.fabric.faults`) ground truth to work against.
+        self.config_memory = config_memory
         self.resident: Dict[int, Optional[str]] = {s.index: None for s in floorplan.slots}
         self.loads: List[LoadRecord] = []
 
@@ -128,14 +142,48 @@ class ReconfigController:
         bitstream = Bitstream.from_bytes(raw, self.floorplan.device.name)
         bitstream.description = f"partial:{name}"
         event = self.port.configure(bitstream)
+        if self.config_memory is not None:
+            self.config_memory.load(bitstream)
         self.resident[slot_index] = name
         record = LoadRecord(name, slot_index, fetch_time, event)
         self.loads.append(record)
         return record
 
+    def evict(self, slot_index: int) -> None:
+        """Forget what is resident in a slot, forcing the next load to
+        reconfigure (e.g. after configuration memory was found corrupted).
+
+        Raises
+        ------
+        KeyError
+            On an unknown slot index.
+        """
+        if slot_index not in self.resident:
+            raise KeyError(f"no slot {slot_index} in floorplan")
+        self.resident[slot_index] = None
+
+    def golden_bitstream(self, slot_index: int) -> Optional[Bitstream]:
+        """The stored (uncorrupted) bitstream of the module currently
+        resident in a slot — the scrubber's reference; None when empty."""
+        name = self.resident.get(slot_index)
+        if name is None:
+            return None
+        raw = self.store.fetch(self._key(name, slot_index))
+        return Bitstream.from_bytes(raw, self.floorplan.device.name)
+
     @staticmethod
     def _key(name: str, slot_index: int) -> str:
         return f"{name}@slot{slot_index}"
+
+    @property
+    def configured_load_count(self) -> int:
+        """Loads that actually pushed a bitstream through the port."""
+        return sum(1 for r in self.loads if r.config.bitstream_bytes > 0)
+
+    @property
+    def cached_load_count(self) -> int:
+        """Loads satisfied by the module already being resident."""
+        return sum(1 for r in self.loads if r.config.bitstream_bytes == 0)
 
     @property
     def total_reconfig_time_s(self) -> float:

@@ -1,0 +1,61 @@
+"""Measurement-as-a-service runtime (the fleet-serving subsystem).
+
+The paper builds *one* capacity-based level-measurement device: one tank,
+one Spartan-3, one reconfigurable slot.  This package scales that design
+point out: many simulated tanks are multiplexed onto a pool of simulated
+:class:`repro.app.system.FpgaReconfigSystem` instances behind a bounded
+request broker.  The two levers that make that economical are exactly the
+ones the reconfiguration literature points at:
+
+* **Batching** (:mod:`repro.serve.batching`) — slot reconfiguration
+  overhead dominates per-request serving (Nafkha & Louet), so the
+  scheduler groups requests that need the same module pipeline and walks
+  the pipeline *stage-major*: the slot is reconfigured once per batch and
+  stage instead of once per request and stage.
+* **Caching** (:mod:`repro.serve.cache`) — partial bitstreams and
+  placed-and-routed slot implementations are pure functions of
+  (module, device, slot); an LRU artifact cache shares them across the
+  worker pool instead of regenerating them per worker.
+
+The remaining pieces: :mod:`repro.serve.requests` (request/response model,
+bounded FIFO broker with deadlines, backpressure and exponential-backoff
+retry on transient device faults), :mod:`repro.serve.pool` (thread-based
+worker pool with per-worker energy accounting and graceful shutdown),
+:mod:`repro.serve.metrics` (cheap counters and histograms), and
+:mod:`repro.serve.loadgen` (synthetic fleet workloads).
+"""
+
+from repro.serve.batching import STANDARD_PIPELINE, Batch, BatchExecutor, BatchScheduler
+from repro.serve.cache import ArtifactCache, CachingBitstreamGenerator
+from repro.serve.loadgen import synthetic_load
+from repro.serve.metrics import Counter, Histogram, Metrics
+from repro.serve.pool import FleetService, FleetWorker
+from repro.serve.requests import (
+    BrokerFullError,
+    MeasurementRequest,
+    MeasurementResponse,
+    RequestBroker,
+    RetryPolicy,
+    TransientDeviceFault,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "Batch",
+    "BatchExecutor",
+    "BatchScheduler",
+    "BrokerFullError",
+    "CachingBitstreamGenerator",
+    "Counter",
+    "FleetService",
+    "FleetWorker",
+    "Histogram",
+    "MeasurementRequest",
+    "MeasurementResponse",
+    "Metrics",
+    "RequestBroker",
+    "RetryPolicy",
+    "STANDARD_PIPELINE",
+    "TransientDeviceFault",
+    "synthetic_load",
+]

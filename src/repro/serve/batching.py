@@ -1,0 +1,472 @@
+"""Same-module batching: amortize slot reconfiguration across requests.
+
+Nafkha & Louet measure that the power/time overhead of dynamic partial
+reconfiguration dominates when slots are swapped per request.  On the
+paper's single-slot system a naive server pays ``len(pipeline)`` JCAP
+loads *per request*; the :class:`BatchScheduler` therefore groups
+requests that need the same module pipeline, and the
+:class:`BatchExecutor` walks that pipeline **stage-major**: reconfigure
+the slot with ``amp_phase`` once, run every request's amp/phase step,
+reconfigure with ``capacity`` once, and so on.  A batch of N requests
+costs ``len(pipeline)`` reconfigurations instead of ``N *
+len(pipeline)``.
+
+Per-tank measurement state (the analog front end's noise process and the
+level filter) lives in :class:`TankStateStore` sessions, so interleaving
+many tanks through one device does not bleed filter state between tanks
+— the bug the single-tank ``FpgaReconfigSystem`` cannot have.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.app.frontend import AnalogFrontEnd
+from repro.app.modules import FRAME_SAMPLES
+from repro.app.system import MICROBLAZE_CLOCK_MHZ, FpgaReconfigSystem, frontend_slices
+from repro.power.model import block_dynamic_power_w, clock_tree_power_w, static_power_w
+from repro.serve.metrics import Metrics
+from repro.serve.requests import (
+    STATUS_EXPIRED,
+    STATUS_FAILED,
+    STATUS_OK,
+    MeasurementRequest,
+    MeasurementResponse,
+    RequestBroker,
+)
+from repro.softcore.footprint import MICROBLAZE_FOOTPRINT
+
+#: The full measurement pipeline, in data-flow order (paper Figure 4).
+STANDARD_PIPELINE: Tuple[str, ...] = ("frontend", "amp_phase", "capacity", "filter")
+
+
+@dataclass
+class Batch:
+    """A group of same-pipeline requests scheduled onto one device."""
+
+    batch_id: int
+    pipeline: Tuple[str, ...]
+    requests: List[MeasurementRequest]
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+
+class BatchScheduler:
+    """Forms batches from the broker by grouping same-pipeline requests.
+
+    ``window_s`` trades latency for batch size: when the queue holds
+    fewer than ``max_batch`` requests the scheduler waits up to the
+    window for more to arrive before dispatching a partial batch.
+    """
+
+    def __init__(
+        self,
+        broker: RequestBroker,
+        max_batch: int = 16,
+        window_s: float = 0.0,
+        metrics: Optional[Metrics] = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if window_s < 0:
+            raise ValueError(f"window must be non-negative, got {window_s}")
+        self.broker = broker
+        self.max_batch = max_batch
+        self.window_s = window_s
+        self.metrics = metrics or Metrics()
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+
+    def _allocate_id(self) -> int:
+        with self._id_lock:
+            self._next_id += 1
+            return self._next_id
+
+    def next_batch(self, timeout_s: Optional[float] = None) -> Optional[Batch]:
+        """Take the next batch, blocking up to ``timeout_s`` for the first
+        request; None when nothing arrived (timeout or broker closed)."""
+        if self.window_s > 0:
+            deadline = self.broker.clock() + self.window_s
+            while (
+                self.broker.depth < self.max_batch
+                and not self.broker.closed
+                and self.broker.clock() < deadline
+            ):
+                time.sleep(min(0.001, self.window_s))
+        taken = self.broker.take(
+            self.max_batch,
+            timeout_s=timeout_s,
+            match=lambda head, req: req.pipeline == head.pipeline,
+        )
+        if not taken:
+            return None
+        batch = Batch(self._allocate_id(), taken[0].pipeline, taken)
+        self.metrics.inc("batches_formed")
+        self.metrics.observe("batch_size", batch.size)
+        return batch
+
+
+class TankSession:
+    """Per-tank measurement state: one analog front end (its own noise
+    process) and the smoothed-level filter state."""
+
+    def __init__(self, tank_id: str, circuit, seed: int):
+        self.tank_id = tank_id
+        self.frontend = AnalogFrontEnd(circuit, seed=seed)
+        self.filter_state: Optional[float] = None
+        self.lock = threading.Lock()
+
+
+class TankStateStore:
+    """Sessions for every tank of the fleet, created on first use.
+
+    Seeds derive deterministically from (base seed, tank id), so two
+    services configured identically — e.g. a batched and an unbatched
+    run being compared — observe identical noise per tank.
+    """
+
+    def __init__(self, circuit=None, seed: int = 0):
+        self.circuit = circuit
+        self.seed = seed
+        self._sessions: Dict[str, TankSession] = {}
+        self._lock = threading.Lock()
+
+    def session(self, tank_id: str) -> TankSession:
+        with self._lock:
+            if tank_id not in self._sessions:
+                tank_seed = (self.seed << 16) ^ zlib.crc32(tank_id.encode())
+                self._sessions[tank_id] = TankSession(tank_id, self.circuit, tank_seed)
+            return self._sessions[tank_id]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+
+class FaultInjector:
+    """Deterministic schedule of transient configuration upsets.
+
+    Each request's *first* attempt faults with probability ``rate`` (the
+    upset is scrubbed before the retry, hence transient); the stage hit
+    is drawn uniformly from the request's pipeline.
+    """
+
+    def __init__(self, rate: float = 0.0, seed: int = 0, max_faults: Optional[int] = None):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.max_faults = max_faults
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.fired = 0
+
+    def fault_stage(self, request: MeasurementRequest) -> Optional[int]:
+        """Pipeline index at which this attempt faults, or None."""
+        with self._lock:
+            if request.attempts > 1 or self.rate == 0.0:
+                return None
+            if self.max_faults is not None and self.fired >= self.max_faults:
+                return None
+            if self._rng.random() >= self.rate:
+                return None
+            self.fired += 1
+            return self._rng.randrange(len(request.pipeline))
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+
+@dataclass
+class BatchOutcome:
+    """Everything one executed batch produced."""
+
+    batch: Batch
+    responses: List[MeasurementResponse]
+    #: Requests that hit a transient fault and still have attempt budget.
+    retries: List[MeasurementRequest] = field(default_factory=list)
+    device_time_s: float = 0.0
+    energy_j: float = 0.0
+    reconfigurations: int = 0
+    reconfigurations_avoided: int = 0
+    faults: int = 0
+
+
+class BatchExecutor:
+    """Runs batches on one :class:`repro.app.system.FpgaReconfigSystem`.
+
+    ``stage_major=True`` is the batched mode (one slot load per pipeline
+    stage per batch); ``stage_major=False`` is the naive per-request
+    baseline the benchmarks compare against.
+    """
+
+    def __init__(
+        self,
+        system: FpgaReconfigSystem,
+        tanks: TankStateStore,
+        stage_major: bool = True,
+        fault_injector: Optional[FaultInjector] = None,
+        metrics: Optional[Metrics] = None,
+        slot_index: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.system = system
+        self.tanks = tanks
+        self.stage_major = stage_major
+        self.fault_injector = fault_injector
+        self.metrics = metrics or Metrics()
+        self.slot_index = slot_index
+        self.clock = clock
+        steps = system._processing_steps()
+        #: Simulated duration of each stage's device work, per request
+        #: (``_processing_steps`` order: amp_phase, capacity, filter).
+        self._stage_time_s: Dict[str, float] = {
+            "frontend": system.sample_time_s,
+            "amp_phase": steps[0][1],
+            "capacity": steps[1][1],
+            "filter": steps[2][1],
+        }
+
+    # ---------------------------------------------------------------- stages
+
+    def _run_stage(self, stage: str, request: MeasurementRequest, ctx: dict) -> None:
+        """Run one request's share of one pipeline stage.
+
+        Raises
+        ------
+        ValueError
+            On a pipeline stage the executor does not know.
+        """
+        modules = self.system.modules
+        session: TankSession = ctx["session"]
+        if stage == "frontend":
+            with session.lock:
+                ctx["cycle"] = session.frontend.sample_cycle(
+                    request.level, self.system.config.frame_samples
+                )
+        elif stage == "amp_phase":
+            cycle = ctx["cycle"]
+            ctx["phasors"] = modules["amp_phase"].behavior(
+                cycle.meas, cycle.ref, cycle.sample_rate_hz, cycle.tone_hz
+            )
+        elif stage == "capacity":
+            ctx["c_pf"] = modules["capacity"].behavior(*ctx["phasors"])
+        elif stage == "filter":
+            with session.lock:
+                level, session.filter_state = modules["filter"].behavior(
+                    ctx["c_pf"], session.filter_state
+                )
+            ctx["level"] = level
+        else:
+            raise ValueError(f"unknown pipeline stage {stage!r}")
+
+    def _inject_and_scrub(self, request: MeasurementRequest) -> str:
+        """Flip a configuration bit, detect it by readback compare, scrub
+        the slot, and report the fault description (fabric.faults reuse)."""
+        controller = self.system.controller
+        memory = controller.config_memory
+        description = "transient device fault"
+        if memory is not None and memory.frame_count:
+            injector = self.fault_injector
+            fault = memory.inject_seu(injector.rng if injector else None)
+            golden = controller.golden_bitstream(self.slot_index)
+            corrupted = memory.corrupted_frames(golden) if golden else []
+            if corrupted:
+                # Scrub: restore the golden frames and force the next load
+                # of this slot to reconfigure through the port.
+                memory.load(golden)
+                controller.evict(self.slot_index)
+                self.metrics.inc("faults_scrubbed")
+            description = f"{fault} in slot {self.slot_index} (scrubbed)"
+        self.metrics.inc("faults_injected")
+        return description
+
+    # ---------------------------------------------------------------- execute
+
+    def execute(self, batch: Batch, worker: Optional[int] = None) -> BatchOutcome:
+        """Run a batch; returns responses, retry list and device accounting.
+
+        Raises
+        ------
+        ValueError
+            If the batch pipeline names an unknown stage.
+        """
+        unknown = [s for s in batch.pipeline if s not in self._stage_time_s]
+        if unknown:
+            raise ValueError(f"unknown pipeline stage(s) {unknown} in batch {batch.batch_id}")
+        now = self.clock()
+        responses: List[MeasurementResponse] = []
+        live: List[MeasurementRequest] = []
+        for request in batch.requests:
+            if request.expired(now):
+                self.metrics.inc("requests_expired")
+                responses.append(
+                    MeasurementResponse(
+                        request_id=request.request_id,
+                        tank_id=request.tank_id,
+                        status=STATUS_EXPIRED,
+                        latency_s=now - request.submitted_at,
+                        attempts=request.attempts,
+                        worker=worker,
+                        batch_id=batch.batch_id,
+                        batch_size=batch.size,
+                        error="deadline exceeded before execution",
+                    )
+                )
+            else:
+                request.attempts += 1
+                live.append(request)
+
+        if not live:  # every request expired — skip all device work
+            return BatchOutcome(batch=batch, responses=responses)
+
+        loads_before = self.system.controller.configured_load_count
+        records_before = len(self.system.controller.loads)
+        contexts: Dict[int, dict] = {
+            r.request_id: {"session": self.tanks.session(r.tank_id)} for r in live
+        }
+        fault_at: Dict[int, int] = {}
+        if self.fault_injector is not None:
+            for request in live:
+                stage_index = self.fault_injector.fault_stage(request)
+                if stage_index is not None:
+                    fault_at[request.request_id] = stage_index
+        failed: Dict[int, str] = {}
+
+        def run_request_stage(stage_index: int, stage: str, request: MeasurementRequest) -> None:
+            if request.request_id in failed:
+                return
+            if fault_at.get(request.request_id) == stage_index:
+                failed[request.request_id] = self._inject_and_scrub(request)
+                return
+            self._run_stage(stage, request, contexts[request.request_id])
+
+        if self.stage_major:
+            for stage_index, stage in enumerate(batch.pipeline):
+                self.system.controller.load(stage, self.slot_index)
+                for request in live:
+                    run_request_stage(stage_index, stage, request)
+        else:
+            for request in live:
+                for stage_index, stage in enumerate(batch.pipeline):
+                    self.system.controller.load(stage, self.slot_index)
+                    run_request_stage(stage_index, stage, request)
+
+        reconfigs = self.system.controller.configured_load_count - loads_before
+        would_be = len(batch.pipeline) * len(live)
+        avoided = max(0, would_be - reconfigs)
+        batch_loads = self.system.controller.loads[records_before:]
+        device_time, energy = self._account(batch, live, batch_loads)
+        share = energy / len(live) if live else 0.0
+
+        retries: List[MeasurementRequest] = []
+        faults = len(failed)
+        end = self.clock()
+        for request in live:
+            if request.request_id in failed:
+                if request.attempts < request.max_attempts:
+                    retries.append(request)
+                else:
+                    self.metrics.inc("requests_failed")
+                    responses.append(
+                        MeasurementResponse(
+                            request_id=request.request_id,
+                            tank_id=request.tank_id,
+                            status=STATUS_FAILED,
+                            energy_j=share,
+                            device_time_s=device_time,
+                            latency_s=end - request.submitted_at,
+                            attempts=request.attempts,
+                            worker=worker,
+                            batch_id=batch.batch_id,
+                            batch_size=batch.size,
+                            error=failed[request.request_id],
+                        )
+                    )
+                continue
+            ctx = contexts[request.request_id]
+            self.metrics.inc("requests_served")
+            responses.append(
+                MeasurementResponse(
+                    request_id=request.request_id,
+                    tank_id=request.tank_id,
+                    status=STATUS_OK,
+                    level_measured=ctx.get("level"),
+                    capacitance_pf=ctx.get("c_pf"),
+                    energy_j=share,
+                    device_time_s=device_time,
+                    latency_s=end - request.submitted_at,
+                    attempts=request.attempts,
+                    worker=worker,
+                    batch_id=batch.batch_id,
+                    batch_size=batch.size,
+                )
+            )
+
+        self.metrics.inc("reconfigurations", reconfigs)
+        self.metrics.inc("reconfigurations_avoided", avoided)
+        self.metrics.add("device_time_s", device_time)
+        self.metrics.add("energy_j", energy)
+        return BatchOutcome(
+            batch=batch,
+            responses=responses,
+            retries=retries,
+            device_time_s=device_time,
+            energy_j=energy,
+            reconfigurations=reconfigs,
+            reconfigurations_avoided=avoided,
+            faults=faults,
+        )
+
+    # ------------------------------------------------------------- accounting
+
+    def _account(self, batch: Batch, live: List[MeasurementRequest], batch_loads) -> Tuple[float, float]:
+        """Simulated device time and energy of one batch, mirroring the
+        per-cycle model of ``FpgaReconfigSystem.run_cycle``."""
+        system = self.system
+        n = len(live)
+        if n == 0:
+            return 0.0, 0.0
+        per_request_compute = sum(
+            self._stage_time_s[s] for s in batch.pipeline if s != "frontend"
+        )
+        sample_total = system.sample_time_s * n if "frontend" in batch.pipeline else 0.0
+        reconfig_time = sum(r.total_time_s for r in batch_loads)
+        reconfig_energy = sum(r.energy_j for r in batch_loads)
+        io_time = (system.fsl_transfer_s + system._io_time_s()) * n
+        device_time = reconfig_time + sample_total + per_request_compute * n + io_time
+
+        params = system.params
+        clock_power = clock_tree_power_w(system.device, 1400, system.hw_clock_mhz, params)
+        clock_span = (
+            (per_request_compute + system.fsl_transfer_s) * n
+            if system.clock_gating
+            else device_time
+        )
+        energy = static_power_w(system.device, params) * device_time
+        energy += clock_power * clock_span
+        for stage in batch.pipeline:
+            if stage == "frontend":
+                continue
+            module = system.modules[stage].compiled
+            stage_power = block_dynamic_power_w(module.slices, 0.15, system.hw_clock_mhz)
+            energy += stage_power * self._stage_time_s[stage] * n
+        if "frontend" in batch.pipeline:
+            energy += block_dynamic_power_w(frontend_slices(), 0.45, 16.0) * sample_total
+        energy += (
+            block_dynamic_power_w(
+                MICROBLAZE_FOOTPRINT.slices,
+                MICROBLAZE_FOOTPRINT.mean_activity,
+                MICROBLAZE_CLOCK_MHZ,
+            )
+            * device_time
+        )
+        energy += reconfig_energy
+        return device_time, energy

@@ -1,0 +1,67 @@
+"""Synthetic fleet workloads for the serving benchmarks and examples.
+
+Each tank follows its own deterministic fill trajectory (a phase-shifted
+fill/drain ramp like the one in ``examples/level_measurement.py``), and
+requests arrive round-robin across the fleet — the repeated-module
+pattern that batching and artifact caching exploit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.serve.requests import MeasurementRequest
+
+#: Default pipeline of generated requests (import kept local to avoid a
+#: cycle with repro.serve.batching).
+_DEFAULT_PIPELINE: Tuple[str, ...] = ("frontend", "amp_phase", "capacity", "filter")
+
+
+def tank_level(tank_index: int, step: int, period: int = 32) -> float:
+    """True fill level of one tank at one request step: a fill/drain
+    triangle wave, phase-shifted per tank, kept inside [0.05, 0.95]."""
+    if period < 2:
+        raise ValueError(f"period must be >= 2, got {period}")
+    phase = (step + tank_index * 7) % period
+    t = phase / period
+    level = 0.1 + 1.6 * t if t < 0.5 else 0.9 - 1.6 * (t - 0.5)
+    return min(0.95, max(0.05, level))
+
+
+def synthetic_load(
+    n_requests: int,
+    n_tanks: int = 4,
+    deadline_s: Optional[float] = None,
+    now_s: float = 0.0,
+    max_attempts: int = 3,
+    pipeline: Sequence[str] = _DEFAULT_PIPELINE,
+    start_id: int = 0,
+) -> List[MeasurementRequest]:
+    """A deterministic request list: ``n_requests`` measurements spread
+    round-robin over ``n_tanks`` tanks.
+
+    ``deadline_s`` is a *relative* budget added to ``now_s`` (pass the
+    service clock's current value) — None disables deadlines.
+
+    Raises
+    ------
+    ValueError
+        On non-positive sizes.
+    """
+    if n_requests < 1 or n_tanks < 1:
+        raise ValueError(f"need positive sizes, got {n_requests} requests / {n_tanks} tanks")
+    requests = []
+    for i in range(n_requests):
+        tank = i % n_tanks
+        step = i // n_tanks
+        requests.append(
+            MeasurementRequest(
+                request_id=start_id + i,
+                tank_id=f"tank-{tank:03d}",
+                level=tank_level(tank, step),
+                pipeline=tuple(pipeline),
+                deadline_s=None if deadline_s is None else now_s + deadline_s,
+                max_attempts=max_attempts,
+            )
+        )
+    return requests

@@ -1,0 +1,173 @@
+"""Cheap service metrics: counters and reservoir histograms.
+
+Deliberately minimal — no external dependencies, one lock per registry,
+and a ``snapshot()`` that returns plain dicts so the CLI, benchmarks and
+tests can assert on it directly.  The histogram keeps a bounded reservoir
+(uniform Vitter's-R sampling once full), which is plenty for p50/p95 over
+the workloads the benchmarks drive.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be non-negative, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that can move both ways (queue depth, joules, ...)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def add(self, amount: float) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Bounded-reservoir histogram with percentile queries.
+
+    Keeps the first ``reservoir`` observations verbatim; afterwards each
+    new observation replaces a uniformly random slot, so the reservoir
+    stays an unbiased sample of everything observed.
+    """
+
+    def __init__(self, reservoir: int = 2048, seed: int = 0):
+        if reservoir <= 0:
+            raise ValueError(f"reservoir size must be positive, got {reservoir}")
+        self._samples: List[float] = []
+        self._reservoir = reservoir
+        self._rng = random.Random(seed)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self._samples) < self._reservoir:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._reservoir:
+                self._samples[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile ``p`` in [0, 100] of the sample.
+
+        Raises
+        ------
+        ValueError
+            If ``p`` is out of range or nothing was observed.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            raise ValueError("percentile of an empty histogram")
+        ordered = sorted(self._samples)
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+        }
+
+
+class Metrics:
+    """A named registry of counters, gauges and histograms.
+
+    All mutation goes through the registry lock so worker threads can
+    share one instance.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters.setdefault(name, Counter()).inc(amount)
+
+    def add(self, name: str, amount: float) -> None:
+        with self._lock:
+            self._gauges.setdefault(name, Gauge()).add(amount)
+
+    def set(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges.setdefault(name, Gauge()).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            self._histograms.setdefault(name, Histogram()).observe(value)
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        with self._lock:
+            c = self._counters.get(name)
+            return c.value if c else 0
+
+    def gauge(self, name: str) -> float:
+        with self._lock:
+            g = self._gauges.get(name)
+            return g.value if g else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of everything recorded so far."""
+        with self._lock:
+            return {
+                "counters": {name: c.value for name, c in sorted(self._counters.items())},
+                "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+                "histograms": {
+                    name: h.summary() for name, h in sorted(self._histograms.items())
+                },
+            }

@@ -1,0 +1,320 @@
+"""Thread-based worker pool of reconfigurable measurement systems.
+
+Each :class:`FleetWorker` owns one simulated
+:class:`repro.app.system.FpgaReconfigSystem` (its own configuration port,
+controller and configuration-memory mirror) and pulls batches from the
+shared :class:`repro.serve.batching.BatchScheduler`.  The pool shares one
+:class:`repro.serve.cache.ArtifactCache`, so partial bitstreams are
+generated once for the whole fleet, and one
+:class:`repro.serve.batching.TankStateStore`, so a tank's filter state
+follows it whichever worker serves it.
+
+:class:`FleetService` is the facade: submit requests (bounded, with
+backpressure), await responses, read a metrics snapshot, shut down
+gracefully (drain) or immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.app.system import FpgaReconfigSystem, SystemConfig
+from repro.fabric.faults import ConfigurationMemory
+from repro.reconfig.controller import ReconfigController
+from repro.reconfig.ports import ConfigPort, Icap
+from repro.serve.batching import (
+    BatchExecutor,
+    BatchScheduler,
+    FaultInjector,
+    TankStateStore,
+)
+from repro.serve.cache import ArtifactCache, CachingBitstreamGenerator
+from repro.serve.metrics import Metrics
+from repro.serve.requests import (
+    STATUS_FAILED,
+    BrokerFullError,
+    MeasurementRequest,
+    MeasurementResponse,
+    RequestBroker,
+    RetryPolicy,
+)
+
+
+class FleetWorker(threading.Thread):
+    """One serving thread around one simulated FPGA system."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        scheduler: BatchScheduler,
+        broker: RequestBroker,
+        executor: BatchExecutor,
+        deliver: Callable[[List[MeasurementResponse]], None],
+        metrics: Metrics,
+        poll_s: float = 0.02,
+    ):
+        super().__init__(name=f"fleet-worker-{worker_id}", daemon=True)
+        self.worker_id = worker_id
+        self.scheduler = scheduler
+        self.broker = broker
+        self.executor = executor
+        self.deliver = deliver
+        self.metrics = metrics
+        self.poll_s = poll_s
+        self.energy_j = 0.0
+        self.device_time_s = 0.0
+        self.requests_served = 0
+        self.batches_executed = 0
+        self._halt = threading.Event()
+
+    @property
+    def system(self) -> FpgaReconfigSystem:
+        return self.executor.system
+
+    def stop(self) -> None:
+        """Ask the worker to exit after its current batch."""
+        self._halt.set()
+
+    def run(self) -> None:  # pragma: no cover - exercised via FleetService
+        while not self._halt.is_set():
+            batch = self.scheduler.next_batch(timeout_s=self.poll_s)
+            if batch is None:
+                if self.broker.closed and self.broker.depth == 0:
+                    break
+                continue
+            try:
+                outcome = self.executor.execute(batch, worker=self.worker_id)
+            except Exception as exc:  # defensive: never strand a batch
+                self.metrics.inc("worker_errors")
+                self.deliver(
+                    [
+                        MeasurementResponse(
+                            request_id=r.request_id,
+                            tank_id=r.tank_id,
+                            status=STATUS_FAILED,
+                            attempts=r.attempts,
+                            worker=self.worker_id,
+                            batch_id=batch.batch_id,
+                            batch_size=batch.size,
+                            error=f"worker error: {exc}",
+                        )
+                        for r in batch.requests
+                    ]
+                )
+                continue
+            for request in outcome.retries:
+                delay = self.broker.requeue(request)
+                self.metrics.inc("requests_retried")
+                self.metrics.observe("retry_backoff_s", delay)
+            self.energy_j += outcome.energy_j
+            self.device_time_s += outcome.device_time_s
+            self.requests_served += sum(1 for r in outcome.responses if r.ok)
+            self.batches_executed += 1
+            self.deliver(outcome.responses)
+
+    def accounting(self) -> Dict[str, float]:
+        """Per-worker power/energy bookkeeping."""
+        avg_power = self.energy_j / self.device_time_s if self.device_time_s else 0.0
+        return {
+            "device": self.system.device.name,
+            "batches": self.batches_executed,
+            "requests_served": self.requests_served,
+            "energy_j": self.energy_j,
+            "device_time_s": self.device_time_s,
+            "avg_power_w": avg_power,
+        }
+
+
+class FleetService:
+    """Measurement-as-a-service: broker + scheduler + worker pool.
+
+    ``batched=False`` turns the service into the naive per-request
+    baseline (batch size 1, one slot load per stage per request) that the
+    throughput benchmark compares against.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_batch: int = 16,
+        queue_capacity: int = 256,
+        batched: bool = True,
+        window_s: float = 0.0,
+        fault_rate: float = 0.0,
+        seed: int = 0,
+        config: Optional[SystemConfig] = None,
+        port_factory: Callable[[], ConfigPort] = Icap,
+        cache: Optional[ArtifactCache] = None,
+        retry: Optional[RetryPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.clock = clock
+        self.metrics = Metrics()
+        self.cache = cache or ArtifactCache()
+        self.batched = batched
+        self.broker = RequestBroker(queue_capacity, retry=retry, clock=clock)
+        self.scheduler = BatchScheduler(
+            self.broker,
+            max_batch=max_batch if batched else 1,
+            window_s=window_s,
+            metrics=self.metrics,
+        )
+        self.config = config or SystemConfig()
+        self.tanks = TankStateStore(circuit=self.config.circuit, seed=seed)
+        self.fault_injector = (
+            FaultInjector(fault_rate, seed=seed) if fault_rate > 0 else None
+        )
+        self.workers: List[FleetWorker] = []
+        for worker_id in range(workers):
+            config_memory = ConfigurationMemory()
+            system = FpgaReconfigSystem(
+                config=self.config,
+                port=port_factory(),
+                controller_factory=lambda floorplan, port, mem=config_memory: ReconfigController(
+                    floorplan,
+                    port,
+                    generator=CachingBitstreamGenerator(floorplan.device, self.cache),
+                    config_memory=mem,
+                ),
+            )
+            executor = BatchExecutor(
+                system,
+                self.tanks,
+                stage_major=batched,
+                fault_injector=self.fault_injector,
+                metrics=self.metrics,
+                clock=clock,
+            )
+            self.workers.append(
+                FleetWorker(
+                    worker_id,
+                    self.scheduler,
+                    self.broker,
+                    executor,
+                    self._deliver,
+                    self.metrics,
+                )
+            )
+        self._responses: List[MeasurementResponse] = []
+        self._done = threading.Condition()
+        self._started = False
+        self._start_time: Optional[float] = None
+        self._stop_time: Optional[float] = None
+
+    # ----------------------------------------------------------- lifecycle
+
+    def start(self) -> "FleetService":
+        """Start the worker threads (idempotent); returns self."""
+        if not self._started:
+            self._started = True
+            self._start_time = self.clock()
+            for worker in self.workers:
+                worker.start()
+        return self
+
+    def shutdown(self, drain: bool = True, timeout_s: float = 30.0) -> bool:
+        """Stop the pool; with ``drain`` the queue is served to empty
+        first, otherwise queued requests are abandoned.  Returns True when
+        every worker exited within the timeout."""
+        self.broker.close()
+        if not drain:
+            for worker in self.workers:
+                worker.stop()
+        deadline = time.monotonic() + timeout_s
+        clean = True
+        for worker in self.workers:
+            if not worker.is_alive():
+                continue
+            worker.join(max(0.0, deadline - time.monotonic()))
+            clean = clean and not worker.is_alive()
+        self._stop_time = self.clock()
+        return clean
+
+    # ------------------------------------------------------------- requests
+
+    def submit(self, request: MeasurementRequest) -> None:
+        """Submit one request.
+
+        Raises
+        ------
+        BrokerFullError
+            Backpressure: the queue is full; retry after the hinted delay.
+        """
+        if self._start_time is None:
+            self._start_time = self.clock()
+        self.broker.submit(request)
+
+    def submit_many(
+        self, requests: Iterable[MeasurementRequest]
+    ) -> Tuple[int, List[MeasurementRequest]]:
+        """Submit a stream; returns (accepted count, rejected requests)."""
+        accepted = 0
+        rejected: List[MeasurementRequest] = []
+        for request in requests:
+            try:
+                self.submit(request)
+                accepted += 1
+            except BrokerFullError:
+                rejected.append(request)
+        return accepted, rejected
+
+    def _deliver(self, responses: List[MeasurementResponse]) -> None:
+        with self._done:
+            for response in responses:
+                self._responses.append(response)
+                self.metrics.observe("latency_s", response.latency_s)
+            self._done.notify_all()
+
+    def responses(self) -> List[MeasurementResponse]:
+        with self._done:
+            return list(self._responses)
+
+    def await_responses(self, count: int, timeout_s: float = 30.0) -> bool:
+        """Block until ``count`` terminal responses exist (True) or the
+        timeout elapses (False)."""
+        deadline = time.monotonic() + timeout_s
+        with self._done:
+            while len(self._responses) < count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._done.wait(remaining)
+            return True
+
+    # -------------------------------------------------------------- metrics
+
+    def metrics_snapshot(self) -> dict:
+        """One dict with everything: service counters, latency/batch-size
+        histograms, broker stats, cache stats, per-worker accounting and
+        the headline derived rates."""
+        snap = self.metrics.snapshot()
+        served = snap["counters"].get("requests_served", 0)
+        energy = snap["gauges"].get("energy_j", 0.0)
+        end = self._stop_time if self._stop_time is not None else self.clock()
+        elapsed = max(1e-9, (end - self._start_time) if self._start_time else 0.0)
+        reconfigs = snap["counters"].get("reconfigurations", 0)
+        avoided = snap["counters"].get("reconfigurations_avoided", 0)
+        snap["service"] = {
+            "mode": "batched" if self.batched else "per-request",
+            "workers": len(self.workers),
+            "elapsed_s": elapsed,
+            "requests_per_s": served / elapsed,
+            "joules_per_request": energy / served if served else 0.0,
+            "reconfigurations": reconfigs,
+            "reconfigurations_avoided": avoided,
+            "tanks": len(self.tanks),
+        }
+        snap["broker"] = {
+            "depth": self.broker.depth,
+            "capacity": self.broker.capacity,
+            "submitted": self.broker.submitted,
+            "rejected": self.broker.rejected,
+            "requeued": self.broker.requeued,
+        }
+        snap["cache"] = self.cache.snapshot()
+        snap["workers"] = {w.worker_id: w.accounting() for w in self.workers}
+        return snap

@@ -1,0 +1,270 @@
+"""Request/response model and the bounded FIFO broker.
+
+Device sessions on an intermittently powered, dynamically reconfigured
+FPGA are interruptible jobs (Zhang et al.), so every request carries a
+deadline and a bounded retry budget, and the broker implements the three
+service-protection behaviours a fleet front door needs:
+
+* **Backpressure** — the queue is bounded; a submit against a full queue
+  is rejected immediately with a ``retry_after_s`` hint instead of
+  building unbounded latency.
+* **Deadlines** — per-request absolute deadlines; expired requests are
+  answered with status ``"expired"`` without occupying a device.
+* **Retry with exponential backoff** — transient device faults (SEUs in
+  configuration memory, see :mod:`repro.fabric.faults`) re-enqueue the
+  request with a ``base * 2**attempt`` delay until its attempt budget is
+  exhausted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Tuple
+
+#: Response statuses.
+STATUS_OK = "ok"
+STATUS_EXPIRED = "expired"
+STATUS_FAILED = "failed"
+
+
+class TransientDeviceFault(RuntimeError):
+    """A device-side fault (configuration upset) that a retry on a clean
+    or scrubbed device is expected to clear."""
+
+
+class BrokerFullError(RuntimeError):
+    """Submit rejected because the broker queue is at capacity."""
+
+    def __init__(self, capacity: int, retry_after_s: float):
+        super().__init__(
+            f"broker queue full ({capacity} requests); retry after {retry_after_s:.3f} s"
+        )
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class MeasurementRequest:
+    """One level-measurement job for one tank of the fleet."""
+
+    request_id: int
+    tank_id: str
+    level: float
+    #: Module pipeline this request needs, in data-flow order.  Requests
+    #: sharing a pipeline are batchable onto the same slot schedule.
+    pipeline: Tuple[str, ...] = ("frontend", "amp_phase", "capacity", "filter")
+    #: Absolute deadline on the broker clock; None = no deadline.
+    deadline_s: Optional[float] = None
+    #: Total attempts allowed (first try + retries).
+    max_attempts: int = 3
+    attempts: int = 0
+    #: Set by the broker at submit time.
+    submitted_at: float = 0.0
+    #: Earliest time the broker may hand the request out (retry backoff).
+    not_before_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.level <= 1.0:
+            raise ValueError(f"level must be in [0, 1], got {self.level}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not self.pipeline:
+            raise ValueError("request needs a non-empty module pipeline")
+
+    def expired(self, now: float) -> bool:
+        return self.deadline_s is not None and now > self.deadline_s
+
+
+@dataclass(frozen=True)
+class MeasurementResponse:
+    """The terminal answer to one request."""
+
+    request_id: int
+    tank_id: str
+    status: str
+    level_measured: Optional[float] = None
+    capacitance_pf: Optional[float] = None
+    #: Device energy attributed to this request (its share of the batch).
+    energy_j: float = 0.0
+    #: Simulated device time the serving batch occupied.
+    device_time_s: float = 0.0
+    #: Wall-clock submit -> response latency.
+    latency_s: float = 0.0
+    attempts: int = 0
+    worker: Optional[int] = None
+    batch_id: Optional[int] = None
+    batch_size: int = 0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient-fault retries."""
+
+    base_delay_s: float = 0.005
+    factor: float = 2.0
+    max_delay_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s < 0 or self.max_delay_s < 0 or self.factor < 1.0:
+            raise ValueError(f"invalid retry policy {self}")
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(self.max_delay_s, self.base_delay_s * self.factor ** (attempt - 1))
+
+
+class RequestBroker:
+    """Bounded FIFO request queue with backpressure and retry holds.
+
+    Thread-safe: producers call :meth:`submit`, the scheduler calls
+    :meth:`take`, workers call :meth:`requeue` on transient faults.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        retry: Optional[RetryPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+        retry_after_hint_s: float = 0.05,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.retry = retry or RetryPolicy()
+        self.clock = clock
+        self.retry_after_hint_s = retry_after_hint_s
+        self._queue: Deque[MeasurementRequest] = deque()
+        #: Requests sitting out a retry backoff, released by ``not_before_s``.
+        self._delayed: List[MeasurementRequest] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self.submitted = 0
+        self.rejected = 0
+        self.requeued = 0
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._queue) + len(self._delayed)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(self, request: MeasurementRequest) -> None:
+        """Enqueue a new request.
+
+        Raises
+        ------
+        BrokerFullError
+            When the queue is at capacity (backpressure).
+        RuntimeError
+            When the broker is closed.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("broker is closed")
+            if len(self._queue) + len(self._delayed) >= self.capacity:
+                self.rejected += 1
+                raise BrokerFullError(self.capacity, self.retry_after_hint_s)
+            request.submitted_at = self.clock()
+            self._queue.append(request)
+            self.submitted += 1
+            self._cond.notify()
+
+    def requeue(self, request: MeasurementRequest) -> float:
+        """Re-enqueue a request after a transient fault, with backoff.
+
+        Retries bypass the capacity bound — rejecting already-admitted
+        work would turn one bit flip into a dropped request.  Returns the
+        applied backoff delay.
+        """
+        delay = self.retry.delay_s(max(1, request.attempts))
+        with self._cond:
+            request.not_before_s = self.clock() + delay
+            self._delayed.append(request)
+            self.requeued += 1
+            self._cond.notify()
+        return delay
+
+    def _release_delayed(self, now: float) -> None:
+        ready = [r for r in self._delayed if r.not_before_s <= now]
+        if ready:
+            self._delayed = [r for r in self._delayed if r.not_before_s > now]
+            # Backoff releases jump the FIFO so a retried request is not
+            # penalised twice (once by the fault, once by requeue position).
+            self._queue.extendleft(reversed(ready))
+
+    def take(
+        self,
+        max_n: int,
+        timeout_s: Optional[float] = None,
+        match: Optional[Callable[[MeasurementRequest, MeasurementRequest], bool]] = None,
+    ) -> List[MeasurementRequest]:
+        """Pop up to ``max_n`` requests, blocking up to ``timeout_s``.
+
+        The head of the queue is always taken; with ``match`` given, the
+        rest of the queue is scanned and only requests for which
+        ``match(head, candidate)`` holds ride along (FIFO order among the
+        matches is preserved — this is how the batching scheduler groups
+        same-pipeline requests).  Returns ``[]`` on timeout or close.
+        """
+        if max_n < 1:
+            raise ValueError(f"max_n must be >= 1, got {max_n}")
+        deadline = None if timeout_s is None else self.clock() + timeout_s
+        with self._cond:
+            while True:
+                self._release_delayed(self.clock())
+                if self._queue:
+                    break
+                if self._closed:
+                    return []
+                if self._delayed:
+                    # Sleep at most until the earliest backoff release.
+                    release = min(r.not_before_s for r in self._delayed)
+                    wait = release - self.clock()
+                    if deadline is not None:
+                        wait = min(wait, deadline - self.clock())
+                    if wait <= 0:
+                        continue
+                    self._cond.wait(wait)
+                    continue
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - self.clock()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        if not self._queue:
+                            return []
+            head = self._queue.popleft()
+            taken = [head]
+            if match is None:
+                while self._queue and len(taken) < max_n:
+                    taken.append(self._queue.popleft())
+            else:
+                kept: Deque[MeasurementRequest] = deque()
+                while self._queue and len(taken) < max_n:
+                    candidate = self._queue.popleft()
+                    if match(head, candidate):
+                        taken.append(candidate)
+                    else:
+                        kept.append(candidate)
+                kept.extend(self._queue)
+                self._queue = kept
+            return taken
+
+    def close(self) -> None:
+        """Stop accepting submits and wake every blocked ``take``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,295 @@
+"""Tests of the fleet-serving runtime (repro.serve)."""
+
+import pytest
+
+from repro.app.dsp import LevelFilter, process_measurement
+from repro.app.modules import standard_modules
+from repro.serve import (
+    ArtifactCache,
+    BrokerFullError,
+    FleetService,
+    MeasurementRequest,
+    RequestBroker,
+    RetryPolicy,
+    synthetic_load,
+)
+from repro.serve.batching import STANDARD_PIPELINE, TankStateStore
+from repro.serve.metrics import Histogram, Metrics
+
+
+def run_service(requests, **kwargs):
+    """Start a service, serve a request list to completion, shut down."""
+    kwargs.setdefault("queue_capacity", len(requests) + 8)
+    service = FleetService(**kwargs).start()
+    accepted, rejected = service.submit_many(requests)
+    assert not rejected
+    assert service.await_responses(accepted, timeout_s=120)
+    assert service.shutdown()
+    return service
+
+
+def by_id(service):
+    return {r.request_id: r for r in service.responses()}
+
+
+# --------------------------------------------------------------- correctness
+
+
+def test_batched_responses_match_reference_pipeline():
+    """Stage-major batching must not change any request's answer: each
+    response equals the per-request reference pipeline result."""
+    requests = synthetic_load(8, n_tanks=2)
+    service = run_service(requests, workers=1, max_batch=4, batched=True, seed=5)
+    responses = by_id(service)
+    assert all(r.ok for r in responses.values())
+    assert service.metrics.counter("reconfigurations_avoided") > 0
+
+    # Reference: same per-tank sessions (same seeds), same module
+    # behaviours, executed strictly per request.
+    circuit = service.config.circuit
+    tanks = TankStateStore(circuit=circuit, seed=5)
+    reference_filters = {}
+    for request in synthetic_load(8, n_tanks=2):
+        session = tanks.session(request.tank_id)
+        modules = standard_modules(circuit, session.frontend.tone_hz)
+        cycle = session.frontend.sample_cycle(request.level, 512)
+        phasors = modules["amp_phase"].behavior(
+            cycle.meas, cycle.ref, cycle.sample_rate_hz, cycle.tone_hz
+        )
+        c_pf = modules["capacity"].behavior(*phasors)
+        level, session.filter_state = modules["filter"].behavior(
+            c_pf, session.filter_state
+        )
+        response = responses[request.request_id]
+        assert response.capacitance_pf == pytest.approx(c_pf, abs=1e-9)
+        assert response.level_measured == pytest.approx(level, abs=1e-9)
+
+        # And both agree with the unquantised numpy reference pipeline
+        # within the modules' fixed-point precision.
+        reference = process_measurement(
+            cycle.meas,
+            cycle.ref,
+            cycle.sample_rate_hz,
+            cycle.tone_hz,
+            circuit,
+            reference_filters.setdefault(request.tank_id, LevelFilter()),
+        )
+        assert response.level_measured == pytest.approx(reference.level, abs=0.02)
+
+
+def test_batched_equals_per_request_serving():
+    """Batched and naive serving produce identical measurements."""
+    batched = run_service(
+        synthetic_load(6, n_tanks=3), workers=1, max_batch=6, batched=True, seed=2
+    )
+    naive = run_service(
+        synthetic_load(6, n_tanks=3), workers=1, max_batch=6, batched=False, seed=2
+    )
+    b, n = by_id(batched), by_id(naive)
+    assert set(b) == set(n)
+    for request_id in b:
+        assert b[request_id].level_measured == n[request_id].level_measured
+        assert b[request_id].capacitance_pf == n[request_id].capacitance_pf
+    # Same answers, far fewer reconfigurations.
+    assert (
+        batched.metrics.counter("reconfigurations")
+        < naive.metrics.counter("reconfigurations")
+    )
+
+
+# --------------------------------------------------------------------- cache
+
+
+def test_artifact_cache_lru_and_counters():
+    cache = ArtifactCache(capacity=2)
+    assert cache.get_or_build("a", lambda: 1) == 1
+    assert cache.get_or_build("a", lambda: 2) == 1  # hit keeps first value
+    cache.put("b", 2)
+    cache.put("c", 3)  # evicts "a" (capacity 2)
+    assert cache.get("a") is None
+    snap = cache.snapshot()
+    assert snap["hits"] == 1
+    assert snap["evictions"] == 1
+    assert 0.0 < snap["hit_rate"] < 1.0
+
+
+def test_bitstream_cache_shared_across_workers():
+    """Worker 2+ must reuse worker 1's partial bitstreams: hit rate > 0
+    without serving a single request."""
+    service = FleetService(workers=3, batched=True)
+    snap = service.metrics_snapshot()
+    assert snap["cache"]["misses"] == len(STANDARD_PIPELINE)
+    assert snap["cache"]["hits"] == 2 * len(STANDARD_PIPELINE)
+    assert snap["cache"]["hit_rate"] > 0.5
+    service.broker.close()
+
+
+def test_cached_slot_implementation_roundtrip():
+    from repro.app.system import static_side_slices
+    from repro.fabric.device import get_device
+    from repro.netlist.blocks import BlockFootprint, block_netlist
+    from repro.par.placer import PlacerOptions
+    from repro.reconfig.slots import plan_floorplan
+    from repro.serve.cache import cached_slot_implementation
+
+    device = get_device("XC3S400")
+    floorplan = plan_floorplan(device, static_side_slices(), [600], [24])
+    netlist = block_netlist(
+        BlockFootprint("mod", slices=120, mean_activity=0.1), seed=8, interface_nets=10
+    )
+    cache = ArtifactCache(capacity=4)
+    first = cached_slot_implementation(
+        cache, netlist, floorplan, placer_options=PlacerOptions(steps=5)
+    )
+    second = cached_slot_implementation(
+        cache, netlist, floorplan, placer_options=PlacerOptions(steps=5)
+    )
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    # The hit rehydrates a bit-exact copy, not the same object graph.
+    assert second.design is not first.design
+    assert second.anchor_count == first.anchor_count
+    assert second.design.placement.as_dict() == first.design.placement.as_dict()
+
+
+# ---------------------------------------------------- deadlines and failures
+
+
+def test_deadline_expiry_skips_device_work():
+    service = FleetService(workers=1, batched=True)
+    expired = MeasurementRequest(
+        request_id=1,
+        tank_id="tank-x",
+        level=0.5,
+        deadline_s=service.clock() - 1.0,
+    )
+    service.submit(expired)
+    service.start()
+    assert service.await_responses(1, timeout_s=30)
+    assert service.shutdown()
+    (response,) = service.responses()
+    assert response.status == "expired"
+    assert response.level_measured is None
+    assert service.metrics.counter("requests_expired") == 1
+    assert service.metrics.counter("reconfigurations") == 0
+
+
+def test_transient_fault_is_retried_with_backoff():
+    requests = synthetic_load(4, n_tanks=2, max_attempts=3)
+    service = run_service(
+        requests, workers=1, max_batch=4, batched=True, fault_rate=1.0, seed=7
+    )
+    responses = by_id(service)
+    assert len(responses) == 4
+    for response in responses.values():
+        assert response.ok
+        assert response.attempts == 2  # first attempt faulted, retry served
+    snap = service.metrics_snapshot()
+    assert snap["counters"]["faults_injected"] == 4
+    assert snap["counters"]["faults_scrubbed"] >= 1
+    assert snap["counters"]["requests_retried"] == 4
+    assert snap["broker"]["requeued"] == 4
+    assert snap["histograms"]["retry_backoff_s"]["count"] == 4
+
+
+def test_exhausted_retries_fail():
+    requests = synthetic_load(2, n_tanks=1, max_attempts=1)
+    service = run_service(
+        requests, workers=1, batched=True, fault_rate=1.0, seed=3
+    )
+    for response in service.responses():
+        assert response.status == "failed"
+        assert "scrubbed" in response.error or "fault" in response.error
+    assert service.metrics.counter("requests_failed") == 2
+
+
+# -------------------------------------------------- backpressure and shutdown
+
+
+def test_backpressure_rejects_when_full():
+    service = FleetService(workers=1, queue_capacity=2)
+    service.submit(MeasurementRequest(request_id=1, tank_id="a", level=0.5))
+    service.submit(MeasurementRequest(request_id=2, tank_id="a", level=0.5))
+    with pytest.raises(BrokerFullError) as err:
+        service.submit(MeasurementRequest(request_id=3, tank_id="a", level=0.5))
+    assert err.value.retry_after_s > 0
+    assert service.broker.rejected == 1
+    assert service.broker.depth == 2
+    service.broker.close()
+
+
+def test_clean_pool_shutdown_drains_queue():
+    service = FleetService(workers=2, max_batch=4, batched=True)
+    requests = synthetic_load(6, n_tanks=3)
+    accepted, _ = service.submit_many(requests)
+    service.start()
+    assert service.shutdown(drain=True, timeout_s=120)
+    assert all(not w.is_alive() for w in service.workers)
+    assert len(service.responses()) == accepted
+    with pytest.raises(RuntimeError):
+        service.submit(MeasurementRequest(request_id=99, tank_id="a", level=0.5))
+
+
+def test_immediate_shutdown_stops_workers():
+    service = FleetService(workers=1).start()
+    assert service.shutdown(drain=False, timeout_s=30)
+    assert all(not w.is_alive() for w in service.workers)
+
+
+# ----------------------------------------------------------- building blocks
+
+
+def test_retry_policy_backoff_is_exponential_and_capped():
+    policy = RetryPolicy(base_delay_s=0.01, factor=2.0, max_delay_s=0.05)
+    assert policy.delay_s(1) == pytest.approx(0.01)
+    assert policy.delay_s(2) == pytest.approx(0.02)
+    assert policy.delay_s(3) == pytest.approx(0.04)
+    assert policy.delay_s(4) == pytest.approx(0.05)  # capped
+    with pytest.raises(ValueError):
+        policy.delay_s(0)
+
+
+def test_broker_groups_same_pipeline_requests():
+    broker = RequestBroker(capacity=8)
+    short = ("frontend", "amp_phase")
+    for i, pipeline in enumerate(
+        [STANDARD_PIPELINE, short, STANDARD_PIPELINE, STANDARD_PIPELINE]
+    ):
+        broker.submit(
+            MeasurementRequest(request_id=i, tank_id="t", level=0.5, pipeline=pipeline)
+        )
+    same = lambda head, req: req.pipeline == head.pipeline
+    first = broker.take(4, timeout_s=0.1, match=same)
+    assert [r.request_id for r in first] == [0, 2, 3]
+    second = broker.take(4, timeout_s=0.1, match=same)
+    assert [r.request_id for r in second] == [1]
+
+
+def test_histogram_percentiles():
+    hist = Histogram()
+    for value in range(1, 101):
+        hist.observe(float(value))
+    assert hist.percentile(50) == pytest.approx(50.5)
+    assert hist.percentile(95) == pytest.approx(95.05)
+    assert hist.count == 100
+    with pytest.raises(ValueError):
+        Histogram().percentile(50)
+
+
+def test_metrics_snapshot_shape():
+    metrics = Metrics()
+    metrics.inc("requests_served", 3)
+    metrics.add("energy_j", 0.5)
+    metrics.observe("latency_s", 0.1)
+    snap = metrics.snapshot()
+    assert snap["counters"]["requests_served"] == 3
+    assert snap["gauges"]["energy_j"] == pytest.approx(0.5)
+    assert snap["histograms"]["latency_s"]["count"] == 1
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        MeasurementRequest(request_id=1, tank_id="t", level=1.5)
+    with pytest.raises(ValueError):
+        MeasurementRequest(request_id=1, tank_id="t", level=0.5, max_attempts=0)
+    with pytest.raises(ValueError):
+        MeasurementRequest(request_id=1, tank_id="t", level=0.5, pipeline=())
