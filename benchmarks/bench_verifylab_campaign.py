@@ -1,0 +1,65 @@
+"""SEU fault-campaign sweep: recovery rate and result integrity.
+
+The serving runtime promises that scrub-and-retry turns configuration
+upsets into latency, not wrong answers.  This bench runs the verifylab
+fault campaign at three swept intensities (strike rate, burst size,
+retry re-strike probability) over one 40-request fleet workload and
+regenerates the recovery/integrity table.  The floor asserted here — at
+the low intensity at least 90% of faulted requests recover, and *every*
+served answer at *every* intensity matches the differential oracle's
+reference — is the claim the CI campaign artifact documents.
+"""
+
+from _util import show
+
+from repro.verifylab import run_campaign
+
+#: Minimum fraction of faulted requests that must recover at the lowest
+#: (ordinary space-weather) intensity.
+RECOVERY_FLOOR = 0.90
+
+
+def test_verifylab_fault_campaign(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_campaign(requests=40, seed=0, max_attempts=3),
+        rounds=1,
+        iterations=1,
+    )
+
+    header = (
+        f"{'intensity':<10}{'rate':>6}{'burst':>7}{'retry':>7}"
+        f"{'faulted':>9}{'recov':>7}{'rate':>7}{'retries':>9}{'integrity':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in report["intensities"]:
+        spec = result["intensity"]
+        integrity = result["integrity"]
+        lines.append(
+            f"{spec['name']:<10}{spec['rate']:>6.2f}{spec['burst']:>7}"
+            f"{spec['retry_rate']:>7.2f}{result['faulted']:>9}"
+            f"{result['recovered']:>7}{result['recovery_rate'] * 100:>6.0f}%"
+            f"{result['retries_consumed']:>9}"
+            f"{integrity['matching']:>6}/{integrity['checked']:<4}"
+        )
+    show("Fault campaign: SEU recovery and post-scrub integrity", "\n".join(lines))
+
+    results = report["intensities"]
+    assert len(results) == 3
+    # Every intensity actually exercised the fault path.
+    assert all(r["faulted"] > 0 for r in results)
+    # The headline floor: ordinary upset rates recover >= 90% of faulted
+    # requests, and hostility only ever degrades recovery.
+    assert results[0]["recovery_rate"] >= RECOVERY_FLOOR
+    assert results[0]["recovery_rate"] >= results[-1]["recovery_rate"]
+    # The part a recovery counter cannot show: nothing served is wrong.
+    for result in results:
+        integrity = result["integrity"]
+        assert integrity["matching"] == integrity["checked"], result["intensity"]
+    assert report["ok"]
+
+    benchmark.extra_info.update(
+        {
+            f"recovery_{r['intensity']['name']}": round(r["recovery_rate"], 2)
+            for r in results
+        }
+    )

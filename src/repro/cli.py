@@ -8,6 +8,10 @@ Exposes the headline analyses as subcommands::
     repro parflow               # the Section-4.3 power-aware PAR flow
     repro recover               # fault injection / recovery demo
     repro serve-bench           # fleet serving: batched vs per-request
+    repro verifylab oracle      # differential oracle over seeded scenarios
+    repro verifylab fuzz        # scenario fuzzing with shrinking
+    repro verifylab campaign    # SEU fault campaign with JSON report
+    repro verifylab golden      # golden-trace check / refresh
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -16,6 +20,7 @@ Installed as the ``repro`` console script; also runnable as
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -151,6 +156,11 @@ def _run_serve_mode(args: argparse.Namespace, batched: bool) -> dict:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    if args.json:
+        modes = ["batched"] if args.batched_only else ["per-request", "batched"]
+        snapshots = {m: _run_serve_mode(args, batched=(m == "batched")) for m in modes}
+        print(json.dumps({"modes": snapshots}, indent=2, sort_keys=True))
+        return 0
     print(
         f"fleet: {args.tanks} tanks, {args.requests} requests, "
         f"{args.workers} workers, max batch {args.max_batch}, "
@@ -185,6 +195,63 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             f"{speedup:.2f}x requests/s"
         )
     return 0
+
+
+def _cmd_verifylab_oracle(args: argparse.Namespace) -> int:
+    from repro.verifylab import run_oracle
+
+    report = run_oracle(range(args.start_seed, args.start_seed + args.seeds))
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return 0 if report.ok else 1
+
+
+def _cmd_verifylab_fuzz(args: argparse.Namespace) -> int:
+    from repro.verifylab import run_fuzz
+
+    report = run_fuzz(
+        range(args.start_seed, args.start_seed + args.seeds),
+        max_requests=args.max_requests,
+    )
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return 0 if report.ok else 1
+
+
+def _cmd_verifylab_campaign(args: argparse.Namespace) -> int:
+    from repro.verifylab import run_campaign, write_report
+
+    report = run_campaign(
+        requests=args.requests, seed=args.seed, max_attempts=args.max_attempts
+    )
+    if args.out:
+        write_report(report, args.out)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    # The floor applies to the first (least hostile) intensity; harsher
+    # sweeps are reported but only integrity-gated.
+    lowest = report["intensities"][0]
+    if lowest["recovery_rate"] < args.min_recovery:
+        return 1
+    return 0 if report["ok"] else 1
+
+
+def _cmd_verifylab_golden(args: argparse.Namespace) -> int:
+    from repro.verifylab import CANONICAL_SEEDS, check_golden, write_golden
+
+    if args.update:
+        written = write_golden(args.dir)
+        print(
+            json.dumps(
+                {"updated": [str(p) for p in written], "seeds": list(CANONICAL_SEEDS)},
+                indent=2,
+            )
+        )
+        return 0
+    drift = check_golden(args.dir)
+    print(
+        json.dumps(
+            {"ok": not drift, "seeds": list(CANONICAL_SEEDS), "drift": drift}, indent=2
+        )
+    )
+    return 0 if not drift else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -232,7 +299,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--timeout", type=float, default=300.0)
     p.add_argument("--batched-only", action="store_true")
+    p.add_argument("--json", action="store_true", help="emit metric snapshots as JSON")
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser(
+        "verifylab", help="correctness harness: oracle / fuzz / campaign / golden"
+    )
+    vsub = p.add_subparsers(dest="mode", required=True)
+
+    v = vsub.add_parser("oracle", help="differential oracle over seeded scenarios")
+    v.add_argument("--seeds", type=int, default=25, help="number of scenario seeds")
+    v.add_argument("--start-seed", type=int, default=0)
+    v.set_defaults(func=_cmd_verifylab_oracle)
+
+    v = vsub.add_parser("fuzz", help="scenario fuzzer with shrinking")
+    v.add_argument("--seeds", type=int, default=50)
+    v.add_argument("--start-seed", type=int, default=0)
+    v.add_argument("--max-requests", type=int, default=12)
+    v.set_defaults(func=_cmd_verifylab_fuzz)
+
+    v = vsub.add_parser("campaign", help="SEU fault campaign across intensities")
+    v.add_argument("--requests", type=int, default=40, help="requests per intensity")
+    v.add_argument("--seed", type=int, default=0)
+    v.add_argument("--max-attempts", type=int, default=3)
+    v.add_argument("--min-recovery", type=float, default=0.9,
+                   help="recovery-rate floor at the lowest intensity")
+    v.add_argument("--out", help="also write the JSON report to this path")
+    v.set_defaults(func=_cmd_verifylab_campaign)
+
+    v = vsub.add_parser("golden", help="golden-trace regression check / refresh")
+    v.add_argument("--update", action="store_true", help="re-freeze the traces")
+    v.add_argument("--dir", default=None, help="trace directory (default tests/golden)")
+    v.set_defaults(func=_cmd_verifylab_golden)
     return parser
 
 

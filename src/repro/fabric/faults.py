@@ -89,6 +89,24 @@ class ConfigurationMemory:
         self.injected.append(fault)
         return fault
 
+    def inject_burst(self, size: int, rng: Optional[random.Random] = None) -> List[InjectedFault]:
+        """Flip ``size`` random configuration bits (a multi-bit upset).
+
+        Heavy-ion strikes and accumulating radiation dose upset several
+        bits per event; the fault campaigns sweep this burst size as their
+        intensity axis.  Bits are drawn independently, so a burst may
+        revisit (and thereby revert) an earlier flip — exactly like real
+        back-to-back upsets.
+
+        Raises
+        ------
+        ValueError
+            On a non-positive size or empty configuration memory.
+        """
+        if size < 1:
+            raise ValueError(f"burst size must be >= 1, got {size}")
+        return [self.inject_seu(rng) for _ in range(size)]
+
     def inject_at(self, address: int, word_index: int, bit_index: int) -> InjectedFault:
         """Flip a specific configuration bit (deterministic tests).
 

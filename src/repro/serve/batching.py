@@ -117,9 +117,9 @@ class TankSession:
     """Per-tank measurement state: one analog front end (its own noise
     process) and the smoothed-level filter state."""
 
-    def __init__(self, tank_id: str, circuit, seed: int):
+    def __init__(self, tank_id: str, circuit, seed: int, noise_rms: float = 0.002):
         self.tank_id = tank_id
-        self.frontend = AnalogFrontEnd(circuit, seed=seed)
+        self.frontend = AnalogFrontEnd(circuit, seed=seed, noise_rms=noise_rms)
         self.filter_state: Optional[float] = None
         self.lock = threading.Lock()
 
@@ -132,9 +132,10 @@ class TankStateStore:
     run being compared — observe identical noise per tank.
     """
 
-    def __init__(self, circuit=None, seed: int = 0):
+    def __init__(self, circuit=None, seed: int = 0, noise_rms: float = 0.002):
         self.circuit = circuit
         self.seed = seed
+        self.noise_rms = noise_rms
         self._sessions: Dict[str, TankSession] = {}
         self._lock = threading.Lock()
 
@@ -142,7 +143,9 @@ class TankStateStore:
         with self._lock:
             if tank_id not in self._sessions:
                 tank_seed = (self.seed << 16) ^ zlib.crc32(tank_id.encode())
-                self._sessions[tank_id] = TankSession(tank_id, self.circuit, tank_seed)
+                self._sessions[tank_id] = TankSession(
+                    tank_id, self.circuit, tank_seed, noise_rms=self.noise_rms
+                )
             return self._sessions[tank_id]
 
     def __len__(self) -> int:
@@ -153,15 +156,31 @@ class TankStateStore:
 class FaultInjector:
     """Deterministic schedule of transient configuration upsets.
 
-    Each request's *first* attempt faults with probability ``rate`` (the
-    upset is scrubbed before the retry, hence transient); the stage hit
-    is drawn uniformly from the request's pipeline.
+    Each request's *first* attempt faults with probability ``rate``; a
+    retry attempt faults again with probability ``retry_rate`` (the upset
+    is scrubbed between attempts, but a harsh environment keeps striking).
+    The stage hit is drawn uniformly from the request's pipeline, and each
+    fault event flips ``burst`` configuration bits — the two axes the
+    verifylab campaigns sweep as fault intensity.
     """
 
-    def __init__(self, rate: float = 0.0, seed: int = 0, max_faults: Optional[int] = None):
+    def __init__(
+        self,
+        rate: float = 0.0,
+        seed: int = 0,
+        max_faults: Optional[int] = None,
+        burst: int = 1,
+        retry_rate: float = 0.0,
+    ):
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+        if not 0.0 <= retry_rate <= 1.0:
+            raise ValueError(f"retry fault rate must be in [0, 1], got {retry_rate}")
+        if burst < 1:
+            raise ValueError(f"burst size must be >= 1, got {burst}")
         self.rate = rate
+        self.retry_rate = retry_rate
+        self.burst = burst
         self.max_faults = max_faults
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
@@ -170,11 +189,12 @@ class FaultInjector:
     def fault_stage(self, request: MeasurementRequest) -> Optional[int]:
         """Pipeline index at which this attempt faults, or None."""
         with self._lock:
-            if request.attempts > 1 or self.rate == 0.0:
+            rate = self.rate if request.attempts <= 1 else self.retry_rate
+            if rate == 0.0:
                 return None
             if self.max_faults is not None and self.fired >= self.max_faults:
                 return None
-            if self._rng.random() >= self.rate:
+            if self._rng.random() >= rate:
                 return None
             self.fired += 1
             return self._rng.randrange(len(request.pipeline))
@@ -268,14 +288,16 @@ class BatchExecutor:
             raise ValueError(f"unknown pipeline stage {stage!r}")
 
     def _inject_and_scrub(self, request: MeasurementRequest) -> str:
-        """Flip a configuration bit, detect it by readback compare, scrub
+        """Flip configuration bits, detect them by readback compare, scrub
         the slot, and report the fault description (fabric.faults reuse)."""
         controller = self.system.controller
         memory = controller.config_memory
         description = "transient device fault"
         if memory is not None and memory.frame_count:
             injector = self.fault_injector
-            fault = memory.inject_seu(injector.rng if injector else None)
+            burst = injector.burst if injector else 1
+            faults = memory.inject_burst(burst, injector.rng if injector else None)
+            self.metrics.inc("seu_bits_flipped", len(faults))
             golden = controller.golden_bitstream(self.slot_index)
             corrupted = memory.corrupted_frames(golden) if golden else []
             if corrupted:
@@ -284,7 +306,12 @@ class BatchExecutor:
                 memory.load(golden)
                 controller.evict(self.slot_index)
                 self.metrics.inc("faults_scrubbed")
-            description = f"{fault} in slot {self.slot_index} (scrubbed)"
+            if burst == 1:
+                description = f"{faults[0]} in slot {self.slot_index} (scrubbed)"
+            else:
+                description = (
+                    f"burst of {len(faults)} SEUs in slot {self.slot_index} (scrubbed)"
+                )
         self.metrics.inc("faults_injected")
         return description
 

@@ -109,8 +109,17 @@ class Histogram:
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
     def summary(self) -> Dict[str, float]:
+        """Plain-dict digest; one fixed shape whether or not anything was
+        observed, so snapshot consumers can index p50/p95 unconditionally."""
         if not self.count:
-            return {"count": 0}
+            return {
+                "count": 0,
+                "mean": 0.0,
+                "min": None,
+                "max": None,
+                "p50": None,
+                "p95": None,
+            }
         return {
             "count": self.count,
             "mean": self.mean,

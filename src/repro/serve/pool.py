@@ -149,6 +149,8 @@ class FleetService:
         cache: Optional[ArtifactCache] = None,
         retry: Optional[RetryPolicy] = None,
         clock: Callable[[], float] = time.monotonic,
+        noise_rms: float = 0.002,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -164,10 +166,17 @@ class FleetService:
             metrics=self.metrics,
         )
         self.config = config or SystemConfig()
-        self.tanks = TankStateStore(circuit=self.config.circuit, seed=seed)
-        self.fault_injector = (
-            FaultInjector(fault_rate, seed=seed) if fault_rate > 0 else None
+        self.tanks = TankStateStore(
+            circuit=self.config.circuit, seed=seed, noise_rms=noise_rms
         )
+        # An explicit injector (burst sizes, retry-attempt strikes — see the
+        # verifylab fault campaigns) wins over the simple ``fault_rate`` knob.
+        if fault_injector is not None:
+            self.fault_injector: Optional[FaultInjector] = fault_injector
+        else:
+            self.fault_injector = (
+                FaultInjector(fault_rate, seed=seed) if fault_rate > 0 else None
+            )
         self.workers: List[FleetWorker] = []
         for worker_id in range(workers):
             config_memory = ConfigurationMemory()

@@ -1,0 +1,77 @@
+"""Correctness tooling for the fleet runtime (the verification backstop).
+
+The paper's central §4.2 claim is an *equivalence* claim — moving the
+measurement software into time-multiplexed hardware modules preserves
+results — and the serving layer (:mod:`repro.serve`) stacks a second one
+on top: batching, caching and fault-retry must not change any answer.
+This package checks both, four ways:
+
+* :mod:`repro.verifylab.oracle` — differential oracle: seeded scenarios
+  served through the batched fleet path and replayed on the single-system
+  reference path must agree within declared per-field tolerances.
+* :mod:`repro.verifylab.fuzz` — deterministic scenario fuzzer (geometry,
+  trajectories, noise, interleaving, batch size) with greedy shrinking to
+  a minimal failing reproducer.
+* :mod:`repro.verifylab.campaign` — SEU fault campaigns: burst-size and
+  strike-rate sweeps over the reconfigure/scrub/retry path, reporting
+  recovery rate, retries consumed and post-recovery result integrity.
+* :mod:`repro.verifylab.golden` — golden-trace regression: canonical
+  seeds frozen to committed JSON snapshots with a loud diff on drift.
+
+Run from the CLI as ``repro verifylab {oracle,fuzz,campaign,golden}``.
+"""
+
+from repro.verifylab.campaign import (
+    DEFAULT_INTENSITIES,
+    FaultIntensity,
+    campaign_scenario,
+    run_campaign,
+    write_report,
+)
+from repro.verifylab.fuzz import FuzzFailure, FuzzReport, run_fuzz, shrink
+from repro.verifylab.golden import (
+    CANONICAL_SEEDS,
+    build_trace,
+    check_golden,
+    default_golden_dir,
+    write_golden,
+)
+from repro.verifylab.oracle import (
+    OracleReport,
+    ReferenceExecutor,
+    ReferenceResult,
+    ScenarioCheck,
+    ToleranceSpec,
+    check_scenario,
+    run_oracle,
+    serve_scenario,
+)
+from repro.verifylab.scenarios import Scenario, generate_scenario, retarget_single_tank
+
+__all__ = [
+    "CANONICAL_SEEDS",
+    "DEFAULT_INTENSITIES",
+    "FaultIntensity",
+    "FuzzFailure",
+    "FuzzReport",
+    "OracleReport",
+    "ReferenceExecutor",
+    "ReferenceResult",
+    "Scenario",
+    "ScenarioCheck",
+    "ToleranceSpec",
+    "build_trace",
+    "campaign_scenario",
+    "check_golden",
+    "check_scenario",
+    "default_golden_dir",
+    "generate_scenario",
+    "retarget_single_tank",
+    "run_campaign",
+    "run_fuzz",
+    "run_oracle",
+    "serve_scenario",
+    "shrink",
+    "write_golden",
+    "write_report",
+]

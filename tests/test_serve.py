@@ -1,5 +1,7 @@
 """Tests of the fleet-serving runtime (repro.serve)."""
 
+import threading
+
 import pytest
 
 from repro.app.dsp import LevelFilter, process_measurement
@@ -293,3 +295,173 @@ def test_request_validation():
         MeasurementRequest(request_id=1, tank_id="t", level=0.5, max_attempts=0)
     with pytest.raises(ValueError):
         MeasurementRequest(request_id=1, tank_id="t", level=0.5, pipeline=())
+
+
+# -------------------------------------------------------- concurrency stress
+
+
+def _start_threads(n, target):
+    threads = [threading.Thread(target=target, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    return threads
+
+
+def _join_all(threads, timeout_s=30.0):
+    for t in threads:
+        t.join(timeout=timeout_s)
+    assert not any(t.is_alive() for t in threads), "thread failed to finish"
+
+
+def test_artifact_cache_survives_thread_hammering():
+    """8 threads x 250 lookups over 16 keys: correct values, coherent
+    counters, no eviction churn, no deadlock."""
+    n_threads, ops, n_keys = 8, 250, 16
+    cache = ArtifactCache(capacity=n_keys)
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def hammer(worker):
+        barrier.wait()
+        try:
+            for op in range(ops):
+                key = ("artifact", (worker + op) % n_keys)
+                value = cache.get_or_build(key, lambda k=key: ("built", k))
+                assert value == ("built", key)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    _join_all(_start_threads(n_threads, hammer))
+    assert not errors
+    # Every get_or_build performs exactly one lookup; concurrent misses on
+    # one key may build twice (documented stampede trade) but never lose
+    # the entry or corrupt the counters.
+    assert cache.stats.lookups == n_threads * ops
+    assert cache.stats.hits + cache.stats.misses == cache.stats.lookups
+    assert n_keys <= cache.stats.misses < n_threads * n_keys
+    assert len(cache) == n_keys
+    assert cache.stats.evictions == 0
+
+
+def test_broker_concurrent_producers_and_consumers_lose_nothing():
+    n_producers = n_consumers = 8
+    per_producer = 32
+    broker = RequestBroker(capacity=n_producers * per_producer)
+    barrier = threading.Barrier(n_producers + n_consumers)
+    taken_lock = threading.Lock()
+    taken = []
+
+    def produce(worker):
+        barrier.wait()
+        for i in range(per_producer):
+            broker.submit(
+                MeasurementRequest(
+                    request_id=worker * per_producer + i, tank_id="t", level=0.5
+                )
+            )
+
+    def consume(_worker):
+        barrier.wait()
+        while True:
+            batch = broker.take(7, timeout_s=0.2)
+            if batch:
+                with taken_lock:
+                    taken.extend(batch)
+            elif broker.closed:
+                return  # closed and drained
+
+    producers = _start_threads(n_producers, produce)
+    consumers = _start_threads(n_consumers, consume)
+    _join_all(producers)
+    broker.close()
+    _join_all(consumers)
+
+    ids = sorted(r.request_id for r in taken)
+    assert ids == list(range(n_producers * per_producer))  # no loss, no dups
+    assert broker.depth == 0
+    assert broker.submitted == n_producers * per_producer
+    assert broker.rejected == 0
+
+
+def test_broker_shutdown_while_enqueueing_does_not_deadlock():
+    """close() racing a herd of submitters: every thread exits, every
+    accepted request is still drainable, late submits fail loudly."""
+    broker = RequestBroker(capacity=64)
+    n_threads = 8
+    barrier = threading.Barrier(n_threads + 1)
+    accepted = []
+    refused = []
+    lock = threading.Lock()
+
+    def produce(worker):
+        barrier.wait()
+        for i in range(100):
+            request = MeasurementRequest(
+                request_id=worker * 100 + i, tank_id="t", level=0.5
+            )
+            try:
+                broker.submit(request)
+                with lock:
+                    accepted.append(request.request_id)
+            except (RuntimeError, BrokerFullError):
+                with lock:
+                    refused.append(request.request_id)
+
+    producers = _start_threads(n_threads, produce)
+    barrier.wait()  # release the herd, then close mid-flight
+    broker.close()
+    _join_all(producers)
+
+    assert broker.closed
+    drained = []
+    while True:
+        batch = broker.take(16, timeout_s=0.1)
+        if not batch:
+            break
+        drained.extend(r.request_id for r in batch)
+    assert sorted(drained) == sorted(accepted)  # accepted work survives close
+    assert len(accepted) + len(refused) == n_threads * 100
+    assert broker.depth == 0
+    with pytest.raises(RuntimeError):
+        broker.submit(MeasurementRequest(request_id=10**6, tank_id="t", level=0.5))
+
+
+# ------------------------------------------------------- metrics edge cases
+
+
+def test_histogram_percentile_edges():
+    hist = Histogram()
+    for value in (5.0, 1.0, 9.0, 3.0):
+        hist.observe(value)
+    assert hist.percentile(0) == hist.min == 1.0
+    assert hist.percentile(100) == hist.max == 9.0
+    with pytest.raises(ValueError):
+        hist.percentile(-0.1)
+    with pytest.raises(ValueError):
+        hist.percentile(100.1)
+
+    single = Histogram()
+    single.observe(2.5)
+    assert single.percentile(0) == single.percentile(50) == single.percentile(100) == 2.5
+
+    with pytest.raises(ValueError):
+        Histogram().percentile(50)  # empty reservoir
+
+
+def test_empty_histogram_summary_has_fixed_shape():
+    summary = Histogram().summary()
+    assert summary == {
+        "count": 0,
+        "mean": 0.0,
+        "min": None,
+        "max": None,
+        "p50": None,
+        "p95": None,
+    }
+
+
+def test_metrics_snapshot_with_no_observations():
+    assert Metrics().snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    metrics = Metrics()
+    assert metrics.counter("never_incremented") == 0
+    assert metrics.gauge("never_set") == 0.0
