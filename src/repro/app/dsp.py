@@ -24,12 +24,60 @@ import numpy as np
 from repro.app.tank import MeasurementCircuit
 
 
+def goertzel_basis(n: int, frequency_hz: float, sample_rate_hz: float) -> np.ndarray:
+    """Complex-exponential analysis basis ``exp(-j*2*pi*f*n/fs)`` of
+    length ``n`` — the single DFT bin :func:`goertzel` projects onto.
+
+    Kept as a standalone function so the batch kernels
+    (:mod:`repro.kernels`) and the scalar reference build *identical*
+    basis arrays (same ops, same values) when caching them per
+    ``(n, f, fs)``.
+
+    Raises
+    ------
+    ValueError
+        On a non-positive length or sample rate.
+    """
+    if n <= 0:
+        raise ValueError(f"basis length must be positive, got {n}")
+    if sample_rate_hz <= 0:
+        raise ValueError(f"sample rate must be positive, got {sample_rate_hz}")
+    w = 2.0 * math.pi * frequency_hz / sample_rate_hz
+    return np.exp(-1j * w * np.arange(n))
+
+
 def goertzel(samples: np.ndarray, frequency_hz: float, sample_rate_hz: float) -> complex:
-    """Single-bin DFT at ``frequency_hz`` via the Goertzel recursion.
+    """Single-bin DFT at ``frequency_hz``, evaluated in closed form as a
+    dot product against the :func:`goertzel_basis` exponentials.
 
     Returns the complex phasor ``sum x[n] * exp(-j*2*pi*f*n/fs)``,
     normalised by ``N/2`` so a full-scale sine of amplitude A yields
-    magnitude ~A.
+    magnitude ~A.  Mathematically identical to the classic
+    :func:`goertzel_recursive` formulation (they agree to ~1e-13
+    relative); the dot-product form is what the hardware amp_phase
+    module's MAC-against-ROM datapath actually computes, and it
+    vectorizes.
+
+    Raises
+    ------
+    ValueError
+        On an empty input or a non-positive sample rate.
+    """
+    x = np.asarray(samples, dtype=np.float64)
+    if x.size == 0:
+        raise ValueError("goertzel of empty input")
+    if sample_rate_hz <= 0:
+        raise ValueError(f"sample rate must be positive, got {sample_rate_hz}")
+    basis = goertzel_basis(x.size, frequency_hz, sample_rate_hz)
+    return complex(np.dot(x, basis)) / (x.size / 2.0)
+
+
+def goertzel_recursive(
+    samples: np.ndarray, frequency_hz: float, sample_rate_hz: float
+) -> complex:
+    """Single-bin DFT via the per-sample Goertzel recursion — the form the
+    soft-core assembly program implements, kept as an independent
+    cross-check of :func:`goertzel`.
 
     Raises
     ------
@@ -158,4 +206,33 @@ def quantize(value: float, fractional_bits: int, total_bits: int = 32) -> float:
     limit = 1 << (total_bits - 1)
     if not -limit <= raw < limit:
         raise ValueError(f"{value} overflows Q{total_bits - fractional_bits}.{fractional_bits}")
+    return raw / scale
+
+
+def quantize_array(
+    values: np.ndarray, fractional_bits: int, total_bits: int = 32
+) -> np.ndarray:
+    """Vectorized :func:`quantize`: element-for-element the same grid.
+
+    ``np.rint`` rounds half-to-even exactly like Python's ``round``, and
+    the integer codes stay below 2**31, so dividing back by the
+    power-of-two scale is exact — every element equals what the scalar
+    :func:`quantize` would return.
+
+    Raises
+    ------
+    ValueError
+        If any element is non-finite or overflows the representable
+        range (matching the scalar function's overflow behaviour).
+    """
+    x = np.asarray(values, dtype=np.float64)
+    scale = 1 << fractional_bits
+    with np.errstate(invalid="ignore"):
+        raw = np.rint(x * scale)
+    limit = float(1 << (total_bits - 1))
+    if not np.all(np.isfinite(raw)):
+        raise ValueError("quantize_array of non-finite input")
+    if np.any(raw < -limit) or np.any(raw >= limit):
+        q = f"Q{total_bits - fractional_bits}.{fractional_bits}"
+        raise ValueError(f"input overflows {q}")
     return raw / scale

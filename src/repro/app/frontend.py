@@ -91,6 +91,32 @@ class AnalogFrontEnd:
             shaped = shaped + self._rng.normal(0.0, self.noise_rms, analog.size)
         return shaped
 
+    def input_sample_count(self, frame_samples: int) -> int:
+        """Sinus-generator samples needed for one acquisition of
+        ``frame_samples`` ADC outputs: the ADC frame duration at the DAC's
+        input rate, plus settling margin for the converters' filters,
+        rounded up to whole LUT sweeps.
+
+        Shared by :meth:`sample_cycle` and the batched sampling kernel
+        (:mod:`repro.kernels.frontend`) so both paths excite the channel
+        with the identical waveform.
+
+        Raises
+        ------
+        ValueError
+            If the frame is too short to hold at least one tone period.
+        """
+        adc_rate = self.adc_meas.output_rate_hz
+        if frame_samples < adc_rate / self.tone_hz:
+            raise ValueError(
+                f"frame of {frame_samples} samples at {adc_rate:.0f} Hz holds "
+                f"less than one {self.tone_hz:.0f} Hz period"
+            )
+        duration_s = frame_samples / adc_rate
+        settle_s = 4.0 / self.tone_hz
+        n_in = int(np.ceil((duration_s + settle_s) * self.sinus.sample_rate_hz))
+        return ((n_in + LUT_DEPTH - 1) // LUT_DEPTH) * LUT_DEPTH
+
     def sample_cycle(self, level: float, frame_samples: int = 512) -> SampledCycle:
         """Acquire one cycle's data at a given tank fill level.
 
@@ -107,19 +133,7 @@ class AnalogFrontEnd:
             If the level is out of range or the frame is too short to hold
             at least one tone period.
         """
-        adc_rate = self.adc_meas.output_rate_hz
-        if frame_samples < adc_rate / self.tone_hz:
-            raise ValueError(
-                f"frame of {frame_samples} samples at {adc_rate:.0f} Hz holds "
-                f"less than one {self.tone_hz:.0f} Hz period"
-            )
-        # Input samples needed: ADC frame duration at the DAC's input rate,
-        # plus settling margin for the converters' filters.
-        duration_s = frame_samples / adc_rate
-        settle_s = 4.0 / self.tone_hz
-        n_in = int(np.ceil((duration_s + settle_s) * self.sinus.sample_rate_hz))
-        n_in = ((n_in + LUT_DEPTH - 1) // LUT_DEPTH) * LUT_DEPTH
-
+        n_in = self.input_sample_count(frame_samples)
         excitation = self.dac.convert(self.sinus.normalized_samples(n_in))
         meas_analog = self.meas_gain * self._apply_channel(
             excitation, lambda f: self.circuit.tank_transfer(level, f)
@@ -136,6 +150,6 @@ class AnalogFrontEnd:
         return SampledCycle(
             meas=meas[-frame_samples:],
             ref=ref[-frame_samples:],
-            sample_rate_hz=adc_rate,
+            sample_rate_hz=self.adc_meas.output_rate_hz,
             tone_hz=self.tone_hz,
         )

@@ -42,6 +42,8 @@ PHASOR_FRAC_BITS = 20
 CAP_FRAC_BITS = 10
 #: Fractional bits of the level output (Q2.22).
 LEVEL_FRAC_BITS = 22
+#: IIR smoothing coefficient of the filter module's level stage.
+DEFAULT_FILTER_ALPHA = 0.25
 
 
 def build_amp_phase_graph(
@@ -309,7 +311,9 @@ def make_capacity_behavior(circuit: MeasurementCircuit, tone_hz: float) -> Calla
     return capacity_behavior
 
 
-def make_filter_behavior(circuit: MeasurementCircuit, alpha: float = 0.25) -> Callable:
+def make_filter_behavior(
+    circuit: MeasurementCircuit, alpha: float = DEFAULT_FILTER_ALPHA
+) -> Callable:
     """Filter module behaviour: linearisation plus IIR smoothing with
     quantised state."""
 

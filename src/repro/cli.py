@@ -145,6 +145,9 @@ def _run_serve_mode(args: argparse.Namespace, batched: bool) -> dict:
         batched=batched,
         fault_rate=args.fault_rate,
         seed=args.seed,
+        # The vector engine batches per stage; the per-request baseline
+        # mode therefore always runs the scalar engine.
+        engine=args.engine if batched else "scalar",
     ).start()
     requests = synthetic_load(args.requests, n_tanks=args.tanks)
     accepted, rejected = service.submit_many(requests)
@@ -164,7 +167,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(
         f"fleet: {args.tanks} tanks, {args.requests} requests, "
         f"{args.workers} workers, max batch {args.max_batch}, "
-        f"fault rate {args.fault_rate}"
+        f"fault rate {args.fault_rate}, engine {args.engine}"
     )
     snapshots = {}
     modes = ["per-request", "batched"] if not args.batched_only else ["batched"]
@@ -200,7 +203,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 def _cmd_verifylab_oracle(args: argparse.Namespace) -> int:
     from repro.verifylab import run_oracle
 
-    report = run_oracle(range(args.start_seed, args.start_seed + args.seeds))
+    report = run_oracle(
+        range(args.start_seed, args.start_seed + args.seeds), engine=args.engine
+    )
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     return 0 if report.ok else 1
 
@@ -211,6 +216,7 @@ def _cmd_verifylab_fuzz(args: argparse.Namespace) -> int:
     report = run_fuzz(
         range(args.start_seed, args.start_seed + args.seeds),
         max_requests=args.max_requests,
+        engine=args.engine,
     )
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     return 0 if report.ok else 1
@@ -299,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--timeout", type=float, default=300.0)
     p.add_argument("--batched-only", action="store_true")
+    p.add_argument(
+        "--engine",
+        choices=["scalar", "vector"],
+        default="scalar",
+        help="execution engine for the batched mode (vector = fused numpy kernels)",
+    )
     p.add_argument("--json", action="store_true", help="emit metric snapshots as JSON")
     p.set_defaults(func=_cmd_serve_bench)
 
@@ -310,12 +322,14 @@ def build_parser() -> argparse.ArgumentParser:
     v = vsub.add_parser("oracle", help="differential oracle over seeded scenarios")
     v.add_argument("--seeds", type=int, default=25, help="number of scenario seeds")
     v.add_argument("--start-seed", type=int, default=0)
+    v.add_argument("--engine", choices=["scalar", "vector"], default="scalar")
     v.set_defaults(func=_cmd_verifylab_oracle)
 
     v = vsub.add_parser("fuzz", help="scenario fuzzer with shrinking")
     v.add_argument("--seeds", type=int, default=50)
     v.add_argument("--start-seed", type=int, default=0)
     v.add_argument("--max-requests", type=int, default=12)
+    v.add_argument("--engine", choices=["scalar", "vector"], default="scalar")
     v.set_defaults(func=_cmd_verifylab_fuzz)
 
     v = vsub.add_parser("campaign", help="SEU fault campaign across intensities")

@@ -1,0 +1,58 @@
+"""Vectorized batch execution kernels for the measurement fleet.
+
+The scalar serving path (``engine="scalar"``) runs every request's DSP as
+per-request Python — the software baseline of the paper's 7 ms → 7 µs
+narrative.  This package is the "hardware" side of that analogy for the
+fleet runtime: per pipeline stage, all live requests of a batch are
+processed as arrays through fused kernels, bit-identical to the scalar
+reference so the verifylab oracle gates the speedup at unchanged
+tolerances.
+
+Modules
+-------
+``native``
+    The fused delta-sigma converter chain, compiled to C on first use
+    (pure-Python fused fallback when no compiler is present).
+``cache``
+    The kernel-side :class:`~repro.serve.cache.ArtifactCache` holding
+    request-invariant arrays (excitation, spectra, Goertzel bases).
+``frontend``
+    Batched analog front-end sampling (``batch_sample_cycles``).
+``dsp_kernels``
+    Batched Goertzel / phasor / capacitance / IIR-filter stages.
+``engine``
+    :class:`~repro.kernels.engine.VectorEngine`, the per-stage dispatch
+    the :class:`~repro.serve.batching.BatchExecutor` drives.
+"""
+
+from repro.kernels.cache import KERNEL_CACHE, cached_goertzel_basis, goertzel_basis_key
+from repro.kernels.dsp_kernels import (
+    batch_amp_phase,
+    batch_capacity,
+    batch_filter_update,
+    batch_goertzel,
+)
+from repro.kernels.engine import VectorEngine
+from repro.kernels.frontend import batch_sample_cycles
+from repro.kernels.native import (
+    DISABLE_ENV,
+    adc_chain_batch,
+    native_available,
+    native_status,
+)
+
+__all__ = [
+    "KERNEL_CACHE",
+    "DISABLE_ENV",
+    "VectorEngine",
+    "adc_chain_batch",
+    "batch_amp_phase",
+    "batch_capacity",
+    "batch_filter_update",
+    "batch_goertzel",
+    "batch_sample_cycles",
+    "cached_goertzel_basis",
+    "goertzel_basis_key",
+    "native_available",
+    "native_status",
+]

@@ -1,0 +1,49 @@
+"""Kernel-side artifact cache: request-invariant arrays of the batch engine.
+
+The vectorized engine wins by hoisting everything that does not depend on
+the individual request out of the per-request loop: the DAC excitation
+waveform (identical for every request of a service), its spectrum, the
+FFT bin frequencies, the reference channel's noise-free shaped waveform
+(circuit-dependent), and the Goertzel analysis bases (per ``(N, f, fs)``).
+They are held in a :class:`repro.serve.cache.ArtifactCache` — the same
+LRU machinery that shares partial bitstreams across the fleet — keyed by
+tuples that spell out every parameter the cached array depends on, so a
+heterogeneous fleet (different circuits, excitation scales, frame sizes)
+never aliases entries.
+
+Cached arrays are shared across workers and must be treated as immutable
+by all callers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.app import dsp
+from repro.serve.cache import ArtifactCache
+
+#: Shared default cache of the batch kernels.  Sized for steady state —
+#: a handful of invariant arrays plus an LRU window of per-level shaped
+#: waveforms — not for the full level continuum a fuzz run sweeps.
+KERNEL_CACHE = ArtifactCache(capacity=256)
+
+
+def goertzel_basis_key(n: int, frequency_hz: float, sample_rate_hz: float) -> Tuple:
+    return ("goertzel-basis", n, frequency_hz, sample_rate_hz)
+
+
+def cached_goertzel_basis(
+    n: int,
+    frequency_hz: float,
+    sample_rate_hz: float,
+    cache: Optional[ArtifactCache] = None,
+) -> np.ndarray:
+    """The :func:`repro.app.dsp.goertzel_basis` array, cached per
+    ``(n, f, fs)`` — the bin every request of a batch projects onto."""
+    cache = cache if cache is not None else KERNEL_CACHE
+    return cache.get_or_build(
+        goertzel_basis_key(n, frequency_hz, sample_rate_hz),
+        lambda: dsp.goertzel_basis(n, frequency_hz, sample_rate_hz),
+    )

@@ -1,0 +1,234 @@
+"""Compiled fast path for the delta-sigma acquisition chain.
+
+The one truly sequential part of the measurement pipeline is the analog
+front end's converter chain: two RC low-pass stages feeding a chaotic
+second-order one-bit modulator.  A one-ulp input difference flips a bit
+within a few samples and the streams diverge, so the batch engine cannot
+reassociate or approximate — it must replay the scalar recursion exactly,
+sample by sample.  NumPy lockstep across lanes is bit-exact but barely
+faster (~1.5 us of dispatch per elementwise op, ~9000 sequential steps);
+a tiny C kernel running the identical operation sequence is ~75x faster
+and still bit-exact, because IEEE-754 double ops are deterministic and
+``-ffp-contract=off`` forbids the only transformation (FMA contraction)
+that could change a rounding.
+
+The kernel is compiled on first use with whatever ``cc``/``gcc``/``clang``
+the host provides — no new Python dependency.  When no compiler is
+available (or ``REPRO_NO_NATIVE_KERNELS`` is set) the loader reports
+unavailable and callers fall back to a fused pure-Python loop
+(:func:`adc_chain_batch` handles the dispatch), which produces identical
+bits, just slower.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from typing import List, Optional
+
+import numpy as np
+
+#: Environment variable that forces the pure-Python fallback.
+DISABLE_ENV = "REPRO_NO_NATIVE_KERNELS"
+
+#: The fused acquisition chain: per lane, ``order`` RC low-pass stages
+#: (state += alpha * (x - state)), the ADC's +-clip, the second-order
+#: one-bit modulator, and boxcar decimation folded into one pass.  The
+#: operation sequence per sample per lane is exactly the one
+#: ``RcLowPass.filter`` + ``DeltaSigmaAdc.modulate`` + ``mean`` perform;
+#: the +-1 bit sums are small exact integers, so accumulating the
+#: decimator inline is order-independent and exact.
+_C_SOURCE = r"""
+void ds_adc_chain_batch(const double* x, long lanes, long n, double alpha,
+                        int order, long dec, double clip, double* out) {
+    long m_per_lane = n / dec;
+    for (long lane = 0; lane < lanes; lane++) {
+        const double* xi = x + lane * n;
+        double* oi = out + lane * m_per_lane;
+        double s[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+        double v1 = 0.0, v2 = 0.0, y = 1.0, acc = 0.0;
+        long m = 0, k = 0;
+        for (long i = 0; i < n; i++) {
+            double u = xi[i];
+            for (int j = 0; j < order; j++) {
+                s[j] += alpha * (u - s[j]);
+                u = s[j];
+            }
+            u = u < -clip ? -clip : (u > clip ? clip : u);
+            v1 += u - y;
+            v2 += v1 - y;
+            y = v2 >= 0.0 ? 1.0 : -1.0;
+            acc += y;
+            if (++k == dec) {
+                oi[m++] = acc / (double)dec;
+                acc = 0.0;
+                k = 0;
+            }
+        }
+    }
+}
+"""
+
+_lock = threading.Lock()
+_lib: Optional[ctypes.CDLL] = None
+_load_attempted = False
+_load_error: Optional[str] = None
+
+
+def _compile_and_load() -> ctypes.CDLL:
+    compiler = next(
+        (c for c in ("cc", "gcc", "clang") if shutil.which(c)), None
+    )
+    if compiler is None:
+        raise RuntimeError("no C compiler (cc/gcc/clang) on PATH")
+    with tempfile.TemporaryDirectory(prefix="repro-kernels-") as tmp:
+        src = os.path.join(tmp, "ds_chain.c")
+        lib_path = os.path.join(tmp, "ds_chain.so")
+        with open(src, "w", encoding="utf-8") as handle:
+            handle.write(_C_SOURCE)
+        result = subprocess.run(
+            # -ffp-contract=off: no FMA contraction, so every double op
+            # rounds exactly where the Python reference rounds.
+            [compiler, "-O2", "-fPIC", "-shared", "-ffp-contract=off",
+             src, "-o", lib_path],
+            capture_output=True,
+            timeout=120,
+        )
+        if result.returncode != 0:
+            raise RuntimeError(
+                f"{compiler} failed: {result.stderr.decode(errors='replace')[:500]}"
+            )
+        # dlopen keeps the mapping alive after the tempdir is removed.
+        lib = ctypes.CDLL(lib_path)
+    lib.ds_adc_chain_batch.argtypes = [
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.c_long,
+        ctypes.c_long,
+        ctypes.c_double,
+        ctypes.c_int,
+        ctypes.c_long,
+        ctypes.c_double,
+        ctypes.POINTER(ctypes.c_double),
+    ]
+    lib.ds_adc_chain_batch.restype = None
+    return lib
+
+
+def load_native() -> Optional[ctypes.CDLL]:
+    """The compiled kernel library, building it on first call; None when
+    disabled or unavailable (the failure reason is kept for
+    :func:`native_status`)."""
+    global _lib, _load_attempted, _load_error
+    if os.environ.get(DISABLE_ENV):
+        return None
+    with _lock:
+        if not _load_attempted:
+            _load_attempted = True
+            try:
+                _lib = _compile_and_load()
+            except Exception as exc:  # missing compiler, sandboxed tmp, ...
+                _load_error = str(exc)
+                _lib = None
+        return _lib
+
+
+def native_available() -> bool:
+    return load_native() is not None
+
+
+def native_status() -> str:
+    """Human-readable availability line for benchmarks and reports."""
+    if os.environ.get(DISABLE_ENV):
+        return f"disabled via {DISABLE_ENV}"
+    if load_native() is not None:
+        return "compiled"
+    return f"unavailable ({_load_error})"
+
+
+def _adc_chain_python(
+    x: np.ndarray, alpha: float, order: int, decimation: int, clip: float
+) -> List[float]:
+    """Fused pure-Python lane: same operation sequence as the C kernel
+    (and as the scalar RcLowPass/DeltaSigmaAdc path), on Python floats."""
+    s = [0.0] * order
+    v1 = 0.0
+    v2 = 0.0
+    y = 1.0
+    acc = 0.0
+    k = 0
+    out: List[float] = []
+    append = out.append
+    neg_clip = -clip
+    for u in x.tolist():
+        for j in range(order):
+            sj = s[j]
+            sj += alpha * (u - sj)
+            s[j] = sj
+            u = sj
+        if u < neg_clip:
+            u = neg_clip
+        elif u > clip:
+            u = clip
+        v1 += u - y
+        v2 += v1 - y
+        y = 1.0 if v2 >= 0.0 else -1.0
+        acc += y
+        k += 1
+        if k == decimation:
+            append(acc / decimation)
+            acc = 0.0
+            k = 0
+    return out
+
+
+def adc_chain_batch(
+    lanes: np.ndarray,
+    alpha: float,
+    order: int,
+    decimation: int,
+    clip: float = 0.9,
+) -> np.ndarray:
+    """Run the fused RC/modulator/decimator chain over a ``(L, N)`` array
+    of analog lanes; returns the ``(L, N // decimation)`` decimated
+    samples, bit-exact with ``DeltaSigmaAdc.convert`` per lane.
+
+    Dispatches to the compiled kernel when available, else to the fused
+    pure-Python loop (identical bits either way).
+
+    Raises
+    ------
+    ValueError
+        On a non-2D input, an unsupported filter order, or a degenerate
+        decimation factor.
+    """
+    x = np.ascontiguousarray(lanes, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"lanes must be 2-D (L, N), got shape {x.shape}")
+    if not 1 <= order <= 8:
+        raise ValueError(f"filter order must be 1..8, got {order}")
+    if decimation < 2:
+        raise ValueError(f"decimation must be >= 2, got {decimation}")
+    n_lanes, n = x.shape
+    out = np.empty((n_lanes, n // decimation), dtype=np.float64)
+    if n_lanes == 0 or out.shape[1] == 0:
+        return out
+    lib = load_native()
+    if lib is not None:
+        lib.ds_adc_chain_batch(
+            x.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+            n_lanes,
+            n,
+            alpha,
+            order,
+            decimation,
+            clip,
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+        )
+        return out
+    for i in range(n_lanes):
+        out[i, :] = _adc_chain_python(x[i], alpha, order, decimation, clip)
+    return out

@@ -16,6 +16,10 @@ ones the reconfiguration literature points at:
   placed-and-routed slot implementations are pure functions of
   (module, device, slot); an LRU artifact cache shares them across the
   worker pool instead of regenerating them per worker.
+* **Vectorization** (:mod:`repro.kernels`) — with ``engine="vector"``
+  the stage-major executor hands each whole-batch stage to fused numpy
+  batch kernels instead of looping per request; results are
+  bit-identical to the scalar engine.
 
 The remaining pieces: :mod:`repro.serve.requests` (request/response model,
 bounded FIFO broker with deadlines, backpressure and exponential-backoff
@@ -25,7 +29,13 @@ worker pool with per-worker energy accounting and graceful shutdown),
 :mod:`repro.serve.loadgen` (synthetic fleet workloads).
 """
 
-from repro.serve.batching import STANDARD_PIPELINE, Batch, BatchExecutor, BatchScheduler
+from repro.serve.batching import (
+    ENGINES,
+    STANDARD_PIPELINE,
+    Batch,
+    BatchExecutor,
+    BatchScheduler,
+)
 from repro.serve.cache import ArtifactCache, CachingBitstreamGenerator
 from repro.serve.loadgen import synthetic_load
 from repro.serve.metrics import Counter, Histogram, Metrics
@@ -47,6 +57,7 @@ __all__ = [
     "BrokerFullError",
     "CachingBitstreamGenerator",
     "Counter",
+    "ENGINES",
     "FleetService",
     "FleetWorker",
     "Histogram",

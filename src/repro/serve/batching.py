@@ -94,12 +94,7 @@ class BatchScheduler:
         request; None when nothing arrived (timeout or broker closed)."""
         if self.window_s > 0:
             deadline = self.broker.clock() + self.window_s
-            while (
-                self.broker.depth < self.max_batch
-                and not self.broker.closed
-                and self.broker.clock() < deadline
-            ):
-                time.sleep(min(0.001, self.window_s))
+            self.broker.wait_for_depth(self.max_batch, deadline)
         taken = self.broker.take(
             self.max_batch,
             timeout_s=timeout_s,
@@ -219,12 +214,25 @@ class BatchOutcome:
     faults: int = 0
 
 
+#: Engines a :class:`BatchExecutor` can run a batch through.
+ENGINES: Tuple[str, ...] = ("scalar", "vector")
+
+
 class BatchExecutor:
     """Runs batches on one :class:`repro.app.system.FpgaReconfigSystem`.
 
     ``stage_major=True`` is the batched mode (one slot load per pipeline
     stage per batch); ``stage_major=False`` is the naive per-request
     baseline the benchmarks compare against.
+
+    ``engine`` selects how a stage's work is computed: ``"scalar"`` runs
+    each request through the module behaviours one by one (the ground
+    truth), ``"vector"`` runs all runnable requests of the stage through
+    the batched kernels of :mod:`repro.kernels` (bit-identical results).
+    Fault handling stays on the scalar path either way: a request whose
+    attempt faults at a stage is injected/scrubbed before the vector
+    kernel runs the rest, so injector RNG order, scrub/evict and retry
+    semantics are byte-for-byte unchanged between engines.
     """
 
     def __init__(
@@ -236,7 +244,14 @@ class BatchExecutor:
         metrics: Optional[Metrics] = None,
         slot_index: int = 0,
         clock: Callable[[], float] = time.monotonic,
+        engine: str = "scalar",
     ):
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if engine == "vector" and not stage_major:
+            raise ValueError(
+                "the vector engine batches per stage and requires stage_major=True"
+            )
         self.system = system
         self.tanks = tanks
         self.stage_major = stage_major
@@ -244,6 +259,15 @@ class BatchExecutor:
         self.metrics = metrics or Metrics()
         self.slot_index = slot_index
         self.clock = clock
+        self.engine = engine
+        if engine == "vector":
+            # Imported here so the scalar path never touches the kernels
+            # package (and its optional native compile).
+            from repro.kernels.engine import VectorEngine
+
+            self._vector: Optional["VectorEngine"] = VectorEngine(system)
+        else:
+            self._vector = None
         steps = system._processing_steps()
         #: Simulated duration of each stage's device work, per request
         #: (``_processing_steps`` order: amp_phase, capacity, filter).
@@ -378,13 +402,34 @@ class BatchExecutor:
         if self.stage_major:
             for stage_index, stage in enumerate(batch.pipeline):
                 self.system.controller.load(stage, self.slot_index)
-                for request in live:
-                    run_request_stage(stage_index, stage, request)
+                started = time.perf_counter()
+                if self._vector is not None:
+                    # Faulting requests first, in batch order (preserving
+                    # the injector's RNG stream), then one kernel call for
+                    # the runnable rest.
+                    runnable: List[MeasurementRequest] = []
+                    for request in live:
+                        if request.request_id in failed:
+                            continue
+                        if fault_at.get(request.request_id) == stage_index:
+                            failed[request.request_id] = self._inject_and_scrub(request)
+                            continue
+                        runnable.append(request)
+                    self._vector.run_stage(stage, runnable, contexts)
+                else:
+                    for request in live:
+                        run_request_stage(stage_index, stage, request)
+                self.metrics.observe(f"stage_{stage}_s", time.perf_counter() - started)
         else:
+            stage_elapsed = [0.0] * len(batch.pipeline)
             for request in live:
                 for stage_index, stage in enumerate(batch.pipeline):
                     self.system.controller.load(stage, self.slot_index)
+                    started = time.perf_counter()
                     run_request_stage(stage_index, stage, request)
+                    stage_elapsed[stage_index] += time.perf_counter() - started
+            for stage, elapsed in zip(batch.pipeline, stage_elapsed):
+                self.metrics.observe(f"stage_{stage}_s", elapsed)
 
         reconfigs = self.system.controller.configured_load_count - loads_before
         would_be = len(batch.pipeline) * len(live)

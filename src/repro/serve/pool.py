@@ -43,7 +43,15 @@ from repro.serve.requests import (
 
 
 class FleetWorker(threading.Thread):
-    """One serving thread around one simulated FPGA system."""
+    """One serving thread around one simulated FPGA system.
+
+    With ``poll_s=None`` (the default) an idle worker blocks inside the
+    broker's condition variable and wakes only when a request arrives or
+    the broker closes — no spinning.  A positive ``poll_s`` restores the
+    legacy timeout-polling behaviour; every empty poll is counted in the
+    ``worker_idle_wakeups`` metric either way, so the two modes are
+    directly comparable.
+    """
 
     def __init__(
         self,
@@ -53,7 +61,7 @@ class FleetWorker(threading.Thread):
         executor: BatchExecutor,
         deliver: Callable[[List[MeasurementResponse]], None],
         metrics: Metrics,
-        poll_s: float = 0.02,
+        poll_s: Optional[float] = None,
     ):
         super().__init__(name=f"fleet-worker-{worker_id}", daemon=True)
         self.worker_id = worker_id
@@ -81,6 +89,7 @@ class FleetWorker(threading.Thread):
         while not self._halt.is_set():
             batch = self.scheduler.next_batch(timeout_s=self.poll_s)
             if batch is None:
+                self.metrics.inc("worker_idle_wakeups")
                 if self.broker.closed and self.broker.depth == 0:
                     break
                 continue
@@ -151,9 +160,11 @@ class FleetService:
         clock: Callable[[], float] = time.monotonic,
         noise_rms: float = 0.002,
         fault_injector: Optional[FaultInjector] = None,
+        engine: str = "scalar",
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        self.engine = engine
         self.clock = clock
         self.metrics = Metrics()
         self.cache = cache or ArtifactCache()
@@ -197,6 +208,7 @@ class FleetService:
                 fault_injector=self.fault_injector,
                 metrics=self.metrics,
                 clock=clock,
+                engine=engine,
             )
             self.workers.append(
                 FleetWorker(
@@ -309,6 +321,7 @@ class FleetService:
         avoided = snap["counters"].get("reconfigurations_avoided", 0)
         snap["service"] = {
             "mode": "batched" if self.batched else "per-request",
+            "engine": self.engine,
             "workers": len(self.workers),
             "elapsed_s": elapsed,
             "requests_per_s": served / elapsed,
@@ -325,5 +338,9 @@ class FleetService:
             "requeued": self.broker.requeued,
         }
         snap["cache"] = self.cache.snapshot()
+        if self.engine == "vector":
+            from repro.kernels.cache import KERNEL_CACHE
+
+            snap["kernel_cache"] = KERNEL_CACHE.snapshot()
         snap["workers"] = {w.worker_id: w.accounting() for w in self.workers}
         return snap

@@ -205,6 +205,25 @@ class RequestBroker:
             # penalised twice (once by the fault, once by requeue position).
             self._queue.extendleft(reversed(ready))
 
+    def wait_for_depth(self, n: int, deadline_s: float) -> int:
+        """Block until the broker holds at least ``n`` requests, the
+        broker closes, or the deadline (on the broker clock) passes.
+        Returns the depth observed on wake-up.
+
+        This is the batching window's wait primitive: submits and
+        requeues notify the same condition, so a scheduler waiting for a
+        fuller batch wakes exactly when work arrives instead of polling.
+        """
+        with self._cond:
+            while True:
+                depth = len(self._queue) + len(self._delayed)
+                if depth >= n or self._closed:
+                    return depth
+                wait = deadline_s - self.clock()
+                if wait <= 0:
+                    return depth
+                self._cond.wait(wait)
+
     def take(
         self,
         max_n: int,
@@ -227,9 +246,10 @@ class RequestBroker:
                 self._release_delayed(self.clock())
                 if self._queue:
                     break
-                if self._closed:
-                    return []
                 if self._delayed:
+                    # Checked before the closed flag: a drain shutdown must
+                    # still serve requests sitting out a retry backoff
+                    # (and a blocking take would otherwise spin on them).
                     # Sleep at most until the earliest backoff release.
                     release = min(r.not_before_s for r in self._delayed)
                     wait = release - self.clock()
@@ -239,6 +259,8 @@ class RequestBroker:
                         continue
                     self._cond.wait(wait)
                     continue
+                if self._closed:
+                    return []
                 if deadline is None:
                     self._cond.wait()
                 else:

@@ -109,12 +109,19 @@ def run_fuzz(
     seeds: Iterable[int],
     tolerances: Optional[ToleranceSpec] = None,
     max_requests: int = 12,
+    engine: str = "scalar",
 ) -> FuzzReport:
-    """Fuzz a seed range through the oracle, shrinking every failure."""
+    """Fuzz a seed range through the oracle, shrinking every failure.
+
+    With ``engine="vector"`` every scenario is served through the
+    vectorized batch engine and diffed against the scalar reference
+    replay — the randomized scalar-vs-vector equivalence harness — and
+    shrinking runs under the same engine, so a reproducer stays a
+    reproducer."""
     tolerances = tolerances or ToleranceSpec()
 
     def violations_of(scenario: Scenario) -> List[str]:
-        return check_scenario(scenario, tolerances=tolerances).violations
+        return check_scenario(scenario, tolerances=tolerances, engine=engine).violations
 
     report = FuzzReport()
     for seed in seeds:

@@ -131,11 +131,15 @@ def serve_scenario(
     cache: Optional[ArtifactCache] = None,
     fault_injector: Optional[FaultInjector] = None,
     timeout_s: float = 120.0,
+    engine: str = "scalar",
 ) -> Dict[int, MeasurementResponse]:
     """Serve one scenario through the fleet runtime; responses by id.
 
     One worker, requests pre-submitted before the pool starts: per-tank
     execution order (and therefore every numeric result) is deterministic.
+    ``engine`` selects the scalar or vectorized execution path; the
+    vector engine requires batched (stage-major) execution, so unbatched
+    scenarios fall back to the scalar engine.
 
     Raises
     ------
@@ -153,6 +157,7 @@ def serve_scenario(
         cache=cache if cache is not None else _shared_cache,
         noise_rms=scenario.noise_rms,
         fault_injector=fault_injector,
+        engine=engine if scenario.batched else "scalar",
     )
     accepted, rejected = service.submit_many(requests)
     if rejected:
@@ -194,12 +199,13 @@ def check_scenario(
     scenario: Scenario,
     tolerances: Optional[ToleranceSpec] = None,
     cache: Optional[ArtifactCache] = None,
+    engine: str = "scalar",
 ) -> ScenarioCheck:
     """Run one scenario through both paths and diff every response."""
     tolerances = tolerances or ToleranceSpec()
     check = ScenarioCheck(scenario, deviations={name: 0.0 for name in ORACLE_FIELDS})
     reference = ReferenceExecutor(scenario).run()
-    responses = serve_scenario(scenario, cache=cache)
+    responses = serve_scenario(scenario, cache=cache, engine=engine)
 
     for request in scenario.requests():
         response = responses.get(request.request_id)
@@ -267,12 +273,18 @@ def run_oracle(
     seeds: Iterable[int],
     tolerances: Optional[ToleranceSpec] = None,
     cache: Optional[ArtifactCache] = None,
+    engine: str = "scalar",
 ) -> OracleReport:
     """Differential-check one scenario per seed; aggregate the verdicts."""
     tolerances = tolerances or ToleranceSpec()
     report = OracleReport(tolerances=tolerances)
     for seed in seeds:
         report.checks.append(
-            check_scenario(generate_scenario(seed), tolerances=tolerances, cache=cache)
+            check_scenario(
+                generate_scenario(seed),
+                tolerances=tolerances,
+                cache=cache,
+                engine=engine,
+            )
         )
     return report

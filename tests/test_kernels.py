@@ -1,0 +1,413 @@
+"""Tests of the vectorized batch kernels (repro.kernels) and the
+``engine="vector"`` serving path.
+
+The contract under test is strict: every kernel must be *bit-identical*
+to the scalar path it replaces, not merely close — the verifylab oracle
+compares the two engines at tolerance 1e-9 and the fixed-point
+quantization would surface any last-ulp drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.app import dsp
+from repro.app.modules import standard_modules
+from repro.app.tank import MeasurementCircuit
+from repro.ip.delta_sigma import DeltaSigmaAdc
+from repro.kernels import (
+    adc_chain_batch,
+    batch_amp_phase,
+    batch_capacity,
+    batch_filter_update,
+    batch_goertzel,
+    batch_sample_cycles,
+    native_status,
+)
+from repro.kernels.cache import ArtifactCache
+from repro.kernels.native import DISABLE_ENV, _adc_chain_python, native_available
+from repro.serve import ENGINES, FleetService, synthetic_load
+from repro.serve.batching import BatchExecutor, FaultInjector, TankStateStore
+
+CIRCUIT = MeasurementCircuit()
+TONE = 500_000.0
+RATE = 4_000_000.0
+
+
+def tones(b, n, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / RATE
+    return np.stack(
+        [
+            np.sin(2 * np.pi * TONE * t + rng.uniform(0, 2 * np.pi))
+            + 0.01 * rng.normal(size=n)
+            for _ in range(b)
+        ]
+    )
+
+
+# ------------------------------------------------------ reference goertzel
+
+
+def test_goertzel_dot_matches_recursive():
+    """The closed-form dot-product Goertzel agrees with the classic
+    recursive form to near machine precision."""
+    for row in tones(4, 512, seed=3):
+        direct = dsp.goertzel(row, TONE, RATE)
+        recursive = dsp.goertzel_recursive(row, TONE, RATE)
+        assert abs(direct - recursive) <= 1e-12 * max(1.0, abs(direct))
+
+
+def test_goertzel_recursive_validations_match():
+    with pytest.raises(ValueError):
+        dsp.goertzel_recursive(np.array([]), TONE, RATE)
+    with pytest.raises(ValueError):
+        dsp.goertzel_recursive(np.ones(8), TONE, 0.0)
+
+
+# --------------------------------------------------------- batch_goertzel
+
+
+def test_batch_goertzel_empty_batch():
+    out = batch_goertzel(np.empty((0, 64)), TONE, RATE)
+    assert out.shape == (0,) and out.dtype == np.complex128
+
+
+def test_batch_goertzel_single_lane_bit_equal():
+    row = tones(1, 512)[0]
+    out = batch_goertzel(row[None, :], TONE, RATE, cache=ArtifactCache(4))
+    assert out[0] == dsp.goertzel(row, TONE, RATE)  # exact, not approx
+
+
+def test_batch_goertzel_many_lanes_bit_equal():
+    blocks = tones(5, 256, seed=9)
+    out = batch_goertzel(blocks, TONE, RATE, cache=ArtifactCache(4))
+    for i in range(5):
+        assert out[i] == dsp.goertzel(blocks[i], TONE, RATE)
+
+
+def test_batch_goertzel_guards():
+    with pytest.raises(ValueError):
+        batch_goertzel(np.ones(8), TONE, RATE)  # 1-D
+    with pytest.raises(ValueError):
+        batch_goertzel(np.empty((2, 0)), TONE, RATE)  # empty rows
+    with pytest.raises(ValueError):
+        batch_goertzel(np.ones((2, 8)), TONE, 0.0)  # bad rate
+    bad = np.ones((2, 8))
+    bad[1, 3] = np.nan
+    with pytest.raises(ValueError):
+        batch_goertzel(bad, TONE, RATE)
+
+
+# -------------------------------------------------------- batch_amp_phase
+
+
+def test_batch_amp_phase_matches_scalar_module():
+    modules = standard_modules(CIRCUIT, TONE)
+    meas, ref = tones(3, 512, seed=1), tones(3, 512, seed=2)
+    out = batch_amp_phase(meas, ref, RATE, TONE, cache=ArtifactCache(4))
+    for i in range(3):
+        scalar = modules["amp_phase"].behavior(meas[i], ref[i], RATE, TONE)
+        assert out[i] == scalar  # tuple equality, bit for bit
+
+
+def test_batch_amp_phase_size_mismatch():
+    with pytest.raises(ValueError, match="differ in size"):
+        batch_amp_phase(tones(2, 64), tones(3, 64), RATE, TONE)
+
+
+# --------------------------------------------------------- batch_capacity
+
+
+def scalar_phasors(level, seed=0):
+    """Realistic quantised phasors via the scalar frontend + module."""
+    store = TankStateStore(circuit=CIRCUIT, seed=seed)
+    session = store.session("tank-x")
+    modules = standard_modules(CIRCUIT, session.frontend.tone_hz)
+    cycle = session.frontend.sample_cycle(level, 512)
+    return (
+        modules,
+        modules["amp_phase"].behavior(
+            cycle.meas, cycle.ref, cycle.sample_rate_hz, cycle.tone_hz
+        ),
+    )
+
+
+def test_batch_capacity_empty():
+    out = batch_capacity([], CIRCUIT, TONE)
+    assert out.shape == (0,)
+
+
+def test_batch_capacity_matches_scalar_module():
+    modules, p1 = scalar_phasors(0.3)
+    _, p2 = scalar_phasors(0.8, seed=4)
+    out = batch_capacity([p1, p2], CIRCUIT, TONE)
+    assert out[0] == modules["capacity"].behavior(*p1)
+    assert out[1] == modules["capacity"].behavior(*p2)
+
+
+def test_batch_capacity_guards():
+    with pytest.raises(ValueError, match="amplitude is zero"):
+        batch_capacity([(1.0, 0.1, 0.0, 0.0)], CIRCUIT, TONE)
+    with pytest.raises(ValueError, match="non-finite"):
+        batch_capacity([(np.nan, 0.0, 1.0, 0.0)], CIRCUIT, TONE)
+    with pytest.raises(ValueError, match=r"\(B, 4\)"):
+        batch_capacity([(1.0, 0.0, 1.0)], CIRCUIT, TONE)
+
+
+# ---------------------------------------------------- batch_filter_update
+
+
+def test_batch_filter_empty():
+    levels, states = batch_filter_update(
+        np.empty(0), [], {"a": 0.5}, CIRCUIT
+    )
+    assert levels.size == 0 and states == {"a": 0.5}
+
+
+def test_batch_filter_single_lane_matches_scalar():
+    modules = standard_modules(CIRCUIT, TONE)
+    c = 150.0
+    levels, states = batch_filter_update(np.array([c]), ["a"], {}, CIRCUIT)
+    want_level, want_state = modules["filter"].behavior(c, None)
+    assert levels[0] == want_level
+    assert states["a"] == want_state
+
+
+def test_batch_filter_mixed_tanks_chain_in_lane_order():
+    """Lanes of the same tank chain through the filter exactly as the
+    scalar module would process them sequentially."""
+    modules = standard_modules(CIRCUIT, TONE)
+    c_pf = np.array([150.0, 210.0, 180.0, 165.0, 230.0])
+    keys = ["a", "b", "a", "a", "b"]
+    initial = {"a": None, "b": 0.4}
+    levels, states = batch_filter_update(c_pf, keys, dict(initial), CIRCUIT)
+
+    scalar_states = dict(initial)
+    for i, (c, key) in enumerate(zip(c_pf, keys)):
+        level, scalar_states[key] = modules["filter"].behavior(
+            float(c), scalar_states[key]
+        )
+        assert levels[i] == level, i
+    assert states == scalar_states
+
+
+def test_batch_filter_does_not_mutate_input_states():
+    states = {"a": 0.25}
+    batch_filter_update(np.array([170.0]), ["a"], states, CIRCUIT)
+    assert states == {"a": 0.25}
+
+
+def test_batch_filter_guards():
+    with pytest.raises(ValueError, match="alpha"):
+        batch_filter_update(np.array([150.0]), ["a"], {}, CIRCUIT, alpha=0.0)
+    with pytest.raises(ValueError, match="non-finite"):
+        batch_filter_update(np.array([np.nan]), ["a"], {}, CIRCUIT)
+    with pytest.raises(ValueError, match="tank keys"):
+        batch_filter_update(np.array([150.0, 160.0]), ["a"], {}, CIRCUIT)
+    with pytest.raises(ValueError, match="1-D"):
+        batch_filter_update(np.ones((2, 2)), ["a"], {}, CIRCUIT)
+
+
+# ----------------------------------------------------------- adc kernels
+
+
+def adc_reference(lanes):
+    """Scalar DeltaSigmaAdc.convert per lane (the ground truth)."""
+    adc = DeltaSigmaAdc()
+    return np.stack([adc.convert(lane) for lane in lanes])
+
+
+def test_adc_chain_python_fallback_bit_exact(monkeypatch):
+    monkeypatch.setenv(DISABLE_ENV, "1")
+    adc = DeltaSigmaAdc()
+    lanes = tones(3, 2048, seed=7)
+    out = adc_chain_batch(
+        lanes, adc.antialias.alpha, adc.antialias.order, adc.decimation
+    )
+    np.testing.assert_array_equal(out, adc_reference(lanes))
+    assert "disabled" in native_status()
+
+
+def test_adc_chain_native_bit_exact_when_available():
+    if not native_available():
+        pytest.skip(f"no native kernel: {native_status()}")
+    adc = DeltaSigmaAdc()
+    lanes = tones(4, 2048, seed=8)
+    out = adc_chain_batch(
+        lanes, adc.antialias.alpha, adc.antialias.order, adc.decimation
+    )
+    np.testing.assert_array_equal(out, adc_reference(lanes))
+    # And the two fallback tiers agree with each other.
+    py = np.stack(
+        [
+            _adc_chain_python(
+                lane, adc.antialias.alpha, adc.antialias.order, adc.decimation, 0.9
+            )
+            for lane in lanes
+        ]
+    )
+    np.testing.assert_array_equal(out, py)
+
+
+def test_adc_chain_guards():
+    with pytest.raises(ValueError, match="2-D"):
+        adc_chain_batch(np.ones(16), 0.1, 2, 4)
+    with pytest.raises(ValueError, match="order"):
+        adc_chain_batch(np.ones((1, 16)), 0.1, 9, 4)
+    with pytest.raises(ValueError, match="decimation"):
+        adc_chain_batch(np.ones((1, 16)), 0.1, 2, 1)
+    assert adc_chain_batch(np.empty((0, 16)), 0.1, 2, 4).shape == (0, 4)
+
+
+# ----------------------------------------------------- batched frontend
+
+
+def test_batch_sample_cycles_bit_exact_with_scalar():
+    """Mixed tanks, a repeated tank (two RNG draws from one generator),
+    noise on: the batch must replay the scalar path exactly."""
+    entries_spec = [("a", 0.3), ("b", 0.7), ("a", 0.35), ("c", 0.5)]
+
+    scalar_store = TankStateStore(circuit=CIRCUIT, seed=11)
+    expected = [
+        scalar_store.session(t).frontend.sample_cycle(lv, 512)
+        for t, lv in entries_spec
+    ]
+
+    vector_store = TankStateStore(circuit=CIRCUIT, seed=11)
+    entries = [(vector_store.session(t), lv) for t, lv in entries_spec]
+    got = batch_sample_cycles(entries, 512, cache=ArtifactCache(16))
+
+    for want, have in zip(expected, got):
+        np.testing.assert_array_equal(have.meas, want.meas)
+        np.testing.assert_array_equal(have.ref, want.ref)
+        assert have.sample_rate_hz == want.sample_rate_hz
+        assert have.tone_hz == want.tone_hz
+
+
+def test_batch_sample_cycles_zero_noise_and_empty():
+    assert batch_sample_cycles([], 512) == []
+    scalar_store = TankStateStore(circuit=CIRCUIT, seed=2, noise_rms=0.0)
+    want = scalar_store.session("a").frontend.sample_cycle(0.6, 512)
+    vector_store = TankStateStore(circuit=CIRCUIT, seed=2, noise_rms=0.0)
+    (have,) = batch_sample_cycles(
+        [(vector_store.session("a"), 0.6)], 512, cache=ArtifactCache(16)
+    )
+    np.testing.assert_array_equal(have.meas, want.meas)
+    np.testing.assert_array_equal(have.ref, want.ref)
+
+
+# --------------------------------------------------- engine integration
+
+
+def run_service(requests, **kwargs):
+    kwargs.setdefault("queue_capacity", len(requests) + 8)
+    service = FleetService(**kwargs).start()
+    accepted, rejected = service.submit_many(requests)
+    assert not rejected
+    assert service.await_responses(accepted, timeout_s=120)
+    assert service.shutdown()
+    return service
+
+
+def by_id(service):
+    return {r.request_id: r for r in service.responses()}
+
+
+def test_vector_engine_equals_scalar_engine():
+    """The whole point: same seeds, same answers, to the bit."""
+    scalar = run_service(
+        synthetic_load(10, n_tanks=3), workers=1, max_batch=8, seed=7
+    )
+    vector = run_service(
+        synthetic_load(10, n_tanks=3),
+        workers=1,
+        max_batch=8,
+        seed=7,
+        engine="vector",
+    )
+    s, v = by_id(scalar), by_id(vector)
+    assert set(s) == set(v)
+    for request_id in s:
+        assert s[request_id].ok and v[request_id].ok
+        assert v[request_id].level_measured == s[request_id].level_measured
+        assert v[request_id].capacitance_pf == s[request_id].capacitance_pf
+
+
+def test_vector_engine_preserves_fault_semantics():
+    """Fault-injected requests fall back to the scalar path: both engines
+    see identical fault schedules, retries and final answers."""
+    results = {}
+    for engine in ENGINES:
+        service = run_service(
+            synthetic_load(12, n_tanks=3),
+            workers=1,
+            max_batch=6,
+            seed=9,
+            engine=engine,
+            fault_injector=FaultInjector(0.4, seed=3),
+        )
+        results[engine] = service
+    s, v = by_id(results["scalar"]), by_id(results["vector"])
+    assert set(s) == set(v)
+    for request_id in s:
+        assert v[request_id].status == s[request_id].status
+        assert v[request_id].attempts == s[request_id].attempts
+        assert v[request_id].level_measured == s[request_id].level_measured
+    assert results["vector"].metrics.counter("faults_injected") == results[
+        "scalar"
+    ].metrics.counter("faults_injected")
+    assert results["vector"].metrics.counter("requests_retried") == results[
+        "scalar"
+    ].metrics.counter("requests_retried")
+
+
+def test_engine_validation():
+    service = FleetService(workers=1)
+    executor = service.workers[0].executor
+    with pytest.raises(ValueError, match="engine must be one of"):
+        BatchExecutor(executor.system, service.tanks, engine="simd")
+    with pytest.raises(ValueError, match="stage_major"):
+        BatchExecutor(
+            executor.system, service.tanks, stage_major=False, engine="vector"
+        )
+    with pytest.raises(ValueError, match="engine must be one of"):
+        FleetService(workers=1, engine="simd")
+
+
+def test_snapshot_reports_engine_stage_times_and_kernel_cache():
+    service = run_service(
+        synthetic_load(6, n_tanks=2), workers=1, max_batch=4, engine="vector"
+    )
+    snap = service.metrics_snapshot()
+    assert snap["service"]["engine"] == "vector"
+    assert "kernel_cache" in snap
+    for stage in ("frontend", "amp_phase", "capacity", "filter"):
+        hist = snap["histograms"][f"stage_{stage}_s"]
+        assert hist["count"] > 0
+        assert hist["p50"] >= 0.0
+
+    scalar = run_service(synthetic_load(4, n_tanks=2), workers=1, max_batch=4)
+    snap = scalar.metrics_snapshot()
+    assert snap["service"]["engine"] == "scalar"
+    assert "kernel_cache" not in snap
+    assert snap["histograms"]["stage_frontend_s"]["count"] > 0
+
+
+def test_per_request_mode_also_times_stages():
+    service = run_service(
+        synthetic_load(4, n_tanks=2), workers=1, max_batch=4, batched=False
+    )
+    snap = service.metrics_snapshot()
+    for stage in ("frontend", "amp_phase", "capacity", "filter"):
+        assert snap["histograms"][f"stage_{stage}_s"]["count"] > 0
+
+
+def test_blocking_workers_do_not_spin():
+    """Satellite 1: with the condition-variable default, idle workers wake
+    only on work arrival or shutdown — not thousands of empty polls."""
+    service = run_service(
+        synthetic_load(8, n_tanks=2), workers=2, max_batch=4, seed=1
+    )
+    # Each worker may see a handful of spurious wakeups (batch races,
+    # close notification) but nothing like a poll loop's idle churn.
+    assert service.metrics.counter("worker_idle_wakeups") <= 16

@@ -81,6 +81,16 @@ class TestOracle:
         assert set(payload["max_deviation"]) == {"level", "capacitance_pf", "dsp_level"}
         assert len(payload["per_seed"]) == 2
 
+    def test_vector_engine_sweep_has_zero_violations(self):
+        """The vector engine must hold the oracle with *unchanged*
+        tolerances — and, being bit-identical, with zero module-path
+        deviation."""
+        report = run_oracle(range(3), engine="vector")
+        assert report.ok and not report.violations
+        deviations = report.max_deviation()
+        assert deviations["level"] == 0.0
+        assert deviations["capacitance_pf"] == 0.0
+
     def test_zero_tolerance_reports_violation(self):
         # The dsp path legitimately deviates by the fixed-point grid; a
         # zero tolerance must surface that as a per-field violation.
@@ -100,6 +110,13 @@ class TestFuzz:
         assert report.ok
         assert report.seeds_run == 2
         assert report.to_dict()["failures"] == []
+
+    def test_vector_engine_clean_sweep(self):
+        """Randomized scalar-vs-vector equivalence: the fuzzer's reference
+        replay is the scalar path, so a vector sweep diffs the engines."""
+        report = run_fuzz(range(2), max_requests=6, engine="vector")
+        assert report.ok
+        assert report.seeds_run == 2
 
     def test_shrink_finds_minimal_reproducer(self):
         scenario = generate_scenario(11)  # multi-tank, several requests
@@ -220,6 +237,12 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is True and payload["seeds_run"] == 1
 
+    def test_oracle_vector_engine_passes(self, capsys):
+        rc = cli_main(["verifylab", "oracle", "--seeds", "2", "--engine", "vector"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["seeds_checked"] == 2
+
     def test_campaign_emits_json_and_writes_report(self, capsys, tmp_path):
         out = tmp_path / "report.json"
         rc = cli_main(
@@ -253,3 +276,29 @@ class TestCli:
         batched = payload["modes"]["batched"]
         assert batched["service"]["requests_per_s"] > 0
         assert batched["histograms"]["latency_s"]["count"] == 4
+
+    def test_serve_bench_vector_engine_json(self, capsys):
+        rc = cli_main(
+            [
+                "serve-bench",
+                "--requests", "4",
+                "--tanks", "2",
+                "--workers", "1",
+                "--engine", "vector",
+                "--batched-only",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        batched = payload["modes"]["batched"]
+        assert batched["service"]["engine"] == "vector"
+        assert "kernel_cache" in batched
+        # Satellite: per-stage timing histograms surface in --json output.
+        for stage in ("frontend", "amp_phase", "capacity", "filter"):
+            assert batched["histograms"][f"stage_{stage}_s"]["count"] > 0
+
+    def test_serve_bench_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["serve-bench", "--engine", "simd"])
+        capsys.readouterr()
