@@ -8,6 +8,7 @@ Exposes the headline analyses as subcommands::
     repro parflow               # the Section-4.3 power-aware PAR flow
     repro recover               # fault injection / recovery demo
     repro serve-bench           # fleet serving: batched vs per-request
+    repro trace-report FILE     # per-stage breakdown + flamegraph of traces
     repro verifylab oracle      # differential oracle over seeded scenarios
     repro verifylab fuzz        # scenario fuzzing with shrinking
     repro verifylab campaign    # SEU fault campaign with JSON report
@@ -135,7 +136,25 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_serve_mode(args: argparse.Namespace, batched: bool) -> dict:
+#: Fixed empty-histogram shape (mirrors ``Histogram.summary()``), so the
+#: renderers below never KeyError on a run that observed nothing.
+_EMPTY_HISTOGRAM = {"count": 0, "mean": 0.0, "min": None, "max": None, "p50": None, "p95": None}
+
+
+def _hist(snapshot: dict, name: str) -> dict:
+    """A histogram summary from a metrics snapshot, empty-shaped when the
+    histogram never observed anything (zero requests served)."""
+    return snapshot.get("histograms", {}).get(name) or dict(_EMPTY_HISTOGRAM)
+
+
+def _quantile_ms(snapshot: dict, name: str, key: str) -> str:
+    """Format one histogram quantile as milliseconds; ``-`` when there
+    were no observations (never divide by or format None)."""
+    value = _hist(snapshot, name).get(key)
+    return "-" if value is None else f"{value * 1e3:.0f} ms"
+
+
+def _run_serve_mode(args: argparse.Namespace, batched: bool, tracer=None) -> dict:
     from repro.serve import FleetService, synthetic_load
 
     service = FleetService(
@@ -148,6 +167,7 @@ def _run_serve_mode(args: argparse.Namespace, batched: bool) -> dict:
         # The vector engine batches per stage; the per-request baseline
         # mode therefore always runs the scalar engine.
         engine=args.engine if batched else "scalar",
+        tracer=tracer,
     ).start()
     requests = synthetic_load(args.requests, n_tanks=args.tanks)
     accepted, rejected = service.submit_many(requests)
@@ -159,9 +179,22 @@ def _run_serve_mode(args: argparse.Namespace, batched: bool) -> dict:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    tracer = None
+    if args.trace:
+        from repro.trace import JsonlExporter, TraceSink, Tracer
+
+        tracer = Tracer(
+            sink=TraceSink(capacity=4096, exporter=JsonlExporter(args.trace))
+        )
+    modes = ["batched"] if args.batched_only else ["per-request", "batched"]
     if args.json:
-        modes = ["batched"] if args.batched_only else ["per-request", "batched"]
-        snapshots = {m: _run_serve_mode(args, batched=(m == "batched")) for m in modes}
+        snapshots = {
+            m: _run_serve_mode(args, batched=(m == "batched"), tracer=tracer)
+            for m in modes
+        }
+        if tracer is not None:
+            tracer.close()
+            print(f"traces written to {args.trace}", file=sys.stderr)
         print(json.dumps({"modes": snapshots}, indent=2, sort_keys=True))
         return 0
     print(
@@ -170,14 +203,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"fault rate {args.fault_rate}, engine {args.engine}"
     )
     snapshots = {}
-    modes = ["per-request", "batched"] if not args.batched_only else ["batched"]
     for mode in modes:
-        snapshots[mode] = _run_serve_mode(args, batched=(mode == "batched"))
+        snapshots[mode] = _run_serve_mode(args, batched=(mode == "batched"), tracer=tracer)
+    if tracer is not None:
+        tracer.close()
+        print(f"traces written to {args.trace} (render: repro trace-report {args.trace})")
 
     fields = [
         ("requests/s", lambda s: f"{s['service']['requests_per_s']:.1f}"),
-        ("p50 latency", lambda s: f"{s['histograms']['latency_s']['p50'] * 1e3:.0f} ms"),
-        ("p95 latency", lambda s: f"{s['histograms']['latency_s']['p95'] * 1e3:.0f} ms"),
+        ("p50 latency", lambda s: _quantile_ms(s, "latency_s", "p50")),
+        ("p95 latency", lambda s: _quantile_ms(s, "latency_s", "p95")),
         ("reconfigurations", lambda s: str(s["service"]["reconfigurations"])),
         ("reconfigs avoided", lambda s: str(s["service"]["reconfigurations_avoided"])),
         ("mJ / request", lambda s: f"{s['service']['joules_per_request'] * 1e3:.3f}"),
@@ -197,6 +232,21 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             f"\nbatching: {ratio:.1f}x fewer slot reconfigurations, "
             f"{speedup:.2f}x requests/s"
         )
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.trace import read_traces, trace_report
+
+    try:
+        traces = read_traces(args.file)
+    except FileNotFoundError:
+        print(f"trace file not found: {args.file}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"malformed trace file: {exc}", file=sys.stderr)
+        return 2
+    print(trace_report(traces, flame=args.flame, top=args.top, width=args.width))
     return 0
 
 
@@ -312,7 +362,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution engine for the batched mode (vector = fused numpy kernels)",
     )
     p.add_argument("--json", action="store_true", help="emit metric snapshots as JSON")
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record per-request span traces to this JSONL file",
+    )
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser(
+        "trace-report", help="per-stage latency/energy breakdown of recorded traces"
+    )
+    p.add_argument("file", help="JSONL trace file (from serve-bench --trace)")
+    p.add_argument("--flame", action="store_true", help="append a text flamegraph")
+    p.add_argument("--top", type=int, default=5, help="slow exemplars to list")
+    p.add_argument("--width", type=int, default=40, help="flamegraph bar width")
+    p.set_defaults(func=_cmd_trace_report)
 
     p = sub.add_parser(
         "verifylab", help="correctness harness: oracle / fuzz / campaign / golden"

@@ -25,6 +25,7 @@ from repro.kernels.dsp_kernels import (
     batch_filter_update,
 )
 from repro.kernels.frontend import batch_sample_cycles
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 class VectorEngine:
@@ -35,9 +36,15 @@ class VectorEngine:
     cache shared fleet-wide by default.
     """
 
-    def __init__(self, system, cache: Optional[ArtifactCache] = None):
+    def __init__(
+        self,
+        system,
+        cache: Optional[ArtifactCache] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         self.system = system
         self.cache = cache if cache is not None else KERNEL_CACHE
+        self.tracer = tracer or NULL_TRACER
         self.frame_samples = system.config.frame_samples
         self.circuit = system.config.circuit
         self.tone_hz = system.frontend.tone_hz
@@ -59,15 +66,23 @@ class VectorEngine:
         if not requests:
             return
         if stage == "frontend":
-            self._frontend(requests, contexts)
+            kernel = self._frontend
         elif stage == "amp_phase":
-            self._amp_phase(requests, contexts)
+            kernel = self._amp_phase
         elif stage == "capacity":
-            self._capacity(requests, contexts)
+            kernel = self._capacity
         elif stage == "filter":
-            self._filter(requests, contexts)
+            kernel = self._filter
         else:
             raise ValueError(f"unknown pipeline stage {stage!r}")
+        if self.tracer.enabled:
+            t0 = self.tracer.clock()
+            kernel(requests, contexts)
+            self.tracer.emit(
+                f"kernel:{stage}", t0, self.tracer.clock(), requests=len(requests)
+            )
+        else:
+            kernel(requests, contexts)
 
     def _frontend(self, requests: List, contexts: Dict[int, dict]) -> None:
         entries = [

@@ -40,6 +40,11 @@ from repro.serve.requests import (
     RequestBroker,
 )
 from repro.softcore.footprint import MICROBLAZE_FOOTPRINT
+from repro.trace.tracer import NULL_TRACER, Tracer
+
+#: Clock domain of the analog front end's delta-sigma sampling, MHz
+#: (matches the 16 MHz the power model charges frontend activity at).
+FRONTEND_CLOCK_MHZ = 16.0
 
 #: The full measurement pipeline, in data-flow order (paper Figure 4).
 STANDARD_PIPELINE: Tuple[str, ...] = ("frontend", "amp_phase", "capacity", "filter")
@@ -72,6 +77,7 @@ class BatchScheduler:
         max_batch: int = 16,
         window_s: float = 0.0,
         metrics: Optional[Metrics] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -81,6 +87,7 @@ class BatchScheduler:
         self.max_batch = max_batch
         self.window_s = window_s
         self.metrics = metrics or Metrics()
+        self.tracer = tracer or NULL_TRACER
         self._next_id = 0
         self._id_lock = threading.Lock()
 
@@ -92,8 +99,9 @@ class BatchScheduler:
     def next_batch(self, timeout_s: Optional[float] = None) -> Optional[Batch]:
         """Take the next batch, blocking up to ``timeout_s`` for the first
         request; None when nothing arrived (timeout or broker closed)."""
+        window_start = self.broker.clock()
         if self.window_s > 0:
-            deadline = self.broker.clock() + self.window_s
+            deadline = window_start + self.window_s
             self.broker.wait_for_depth(self.max_batch, deadline)
         taken = self.broker.take(
             self.max_batch,
@@ -102,7 +110,23 @@ class BatchScheduler:
         )
         if not taken:
             return None
+        taken_at = self.broker.clock()
         batch = Batch(self._allocate_id(), taken[0].pipeline, taken)
+        if self.tracer.enabled:
+            assembled_at = self.broker.clock()
+            for request in taken:
+                if request.trace is not None:
+                    request.trace.add(
+                        "schedule",
+                        window_start,
+                        taken_at,
+                        window_s=self.window_s,
+                        batch_id=batch.batch_id,
+                        batch_size=batch.size,
+                    )
+                    request.trace.add(
+                        "batch_assembly", taken_at, assembled_at, batch_id=batch.batch_id
+                    )
         self.metrics.inc("batches_formed")
         self.metrics.observe("batch_size", batch.size)
         return batch
@@ -245,6 +269,7 @@ class BatchExecutor:
         slot_index: int = 0,
         clock: Callable[[], float] = time.monotonic,
         engine: str = "scalar",
+        tracer: Optional[Tracer] = None,
     ):
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -260,12 +285,17 @@ class BatchExecutor:
         self.slot_index = slot_index
         self.clock = clock
         self.engine = engine
+        self.tracer = tracer or NULL_TRACER
+        #: The batch segment currently being executed (tracing only);
+        #: the executor is single-threaded per worker, so one slot is
+        #: enough for the scrub path to emit into.
+        self._seg = None
         if engine == "vector":
             # Imported here so the scalar path never touches the kernels
             # package (and its optional native compile).
             from repro.kernels.engine import VectorEngine
 
-            self._vector: Optional["VectorEngine"] = VectorEngine(system)
+            self._vector: Optional["VectorEngine"] = VectorEngine(system, tracer=self.tracer)
         else:
             self._vector = None
         steps = system._processing_steps()
@@ -277,6 +307,30 @@ class BatchExecutor:
             "capacity": steps[1][1],
             "filter": steps[2][1],
         }
+
+    # ------------------------------------------------------------ attribution
+
+    def stage_clock_mhz(self, stage: str) -> float:
+        """Clock domain a stage's device work runs in."""
+        return FRONTEND_CLOCK_MHZ if stage == "frontend" else self.system.hw_clock_mhz
+
+    def stage_cycles(self, stage: str, n_requests: int = 1) -> int:
+        """Simulated device cycles a stage occupies for ``n_requests``."""
+        return int(round(
+            self._stage_time_s[stage] * self.stage_clock_mhz(stage) * 1e6 * n_requests
+        ))
+
+    def stage_energy_j(self, stage: str, n_requests: int = 1) -> float:
+        """Modelled dynamic energy of one stage for ``n_requests`` — the
+        same per-block activity model :meth:`_account` charges, exposed
+        per stage so spans can attribute energy the way the paper's
+        Table 2 attributes per-net power."""
+        if stage == "frontend":
+            power = block_dynamic_power_w(frontend_slices(), 0.45, FRONTEND_CLOCK_MHZ)
+        else:
+            module = self.system.modules[stage].compiled
+            power = block_dynamic_power_w(module.slices, 0.15, self.system.hw_clock_mhz)
+        return power * self._stage_time_s[stage] * n_requests
 
     # ---------------------------------------------------------------- stages
 
@@ -314,6 +368,8 @@ class BatchExecutor:
     def _inject_and_scrub(self, request: MeasurementRequest) -> str:
         """Flip configuration bits, detect them by readback compare, scrub
         the slot, and report the fault description (fabric.faults reuse)."""
+        seg = self._seg
+        scrub_t0 = self.clock() if seg is not None else 0.0
         controller = self.system.controller
         memory = controller.config_memory
         description = "transient device fault"
@@ -337,6 +393,14 @@ class BatchExecutor:
                     f"burst of {len(faults)} SEUs in slot {self.slot_index} (scrubbed)"
                 )
         self.metrics.inc("faults_injected")
+        if seg is not None:
+            seg.add(
+                "seu_scrub",
+                scrub_t0,
+                self.clock(),
+                request_id=request.request_id,
+                description=description,
+            )
         return description
 
     # ---------------------------------------------------------------- execute
@@ -399,37 +463,121 @@ class BatchExecutor:
                 return
             self._run_stage(stage, request, contexts[request.request_id])
 
-        if self.stage_major:
-            for stage_index, stage in enumerate(batch.pipeline):
-                self.system.controller.load(stage, self.slot_index)
-                started = time.perf_counter()
-                if self._vector is not None:
-                    # Faulting requests first, in batch order (preserving
-                    # the injector's RNG stream), then one kernel call for
-                    # the runnable rest.
-                    runnable: List[MeasurementRequest] = []
-                    for request in live:
-                        if request.request_id in failed:
-                            continue
-                        if fault_at.get(request.request_id) == stage_index:
-                            failed[request.request_id] = self._inject_and_scrub(request)
-                            continue
-                        runnable.append(request)
-                    self._vector.run_stage(stage, runnable, contexts)
-                else:
-                    for request in live:
-                        run_request_stage(stage_index, stage, request)
-                self.metrics.observe(f"stage_{stage}_s", time.perf_counter() - started)
-        else:
-            stage_elapsed = [0.0] * len(batch.pipeline)
-            for request in live:
+        # One span segment covers the whole batch; it is grafted into
+        # every live request's trace afterwards.  While the segment is
+        # the thread's ambient trace, the cache and the kernel engine
+        # attach their own spans to it.
+        seg = self.tracer.segment(f"batch-{batch.batch_id}") if self.tracer.enabled else None
+        if seg is not None:
+            seg.begin(
+                "execute",
+                batch_id=batch.batch_id,
+                size=batch.size,
+                live=len(live),
+                engine=self.engine,
+                stage_major=self.stage_major,
+                worker=worker,
+            )
+            self.tracer.push(seg)
+        self._seg = seg
+        try:
+            if self.stage_major:
                 for stage_index, stage in enumerate(batch.pipeline):
-                    self.system.controller.load(stage, self.slot_index)
+                    if seg is not None:
+                        seg.begin(f"stage:{stage}", batch_id=batch.batch_id, stage=stage)
+                        reconfig_t0 = self.clock()
+                    record = self.system.controller.load(stage, self.slot_index)
+                    if seg is not None:
+                        seg.add(
+                            "reconfig",
+                            reconfig_t0,
+                            self.clock(),
+                            batch_id=batch.batch_id,
+                            stage=stage,
+                            module=record.module,
+                            cached=record.config.bitstream_bytes == 0,
+                            device_time_s=record.total_time_s,
+                            energy_j=record.energy_j,
+                        )
+                        compute_t0 = self.clock()
+                        seg.begin(
+                            "compute",
+                            t0=compute_t0,
+                            batch_id=batch.batch_id,
+                            stage=stage,
+                            engine=self.engine,
+                        )
                     started = time.perf_counter()
-                    run_request_stage(stage_index, stage, request)
-                    stage_elapsed[stage_index] += time.perf_counter() - started
-            for stage, elapsed in zip(batch.pipeline, stage_elapsed):
-                self.metrics.observe(f"stage_{stage}_s", elapsed)
+                    if self._vector is not None:
+                        # Faulting requests first, in batch order (preserving
+                        # the injector's RNG stream), then one kernel call for
+                        # the runnable rest.
+                        runnable: List[MeasurementRequest] = []
+                        for request in live:
+                            if request.request_id in failed:
+                                continue
+                            if fault_at.get(request.request_id) == stage_index:
+                                failed[request.request_id] = self._inject_and_scrub(request)
+                                continue
+                            runnable.append(request)
+                        self._vector.run_stage(stage, runnable, contexts)
+                    else:
+                        for request in live:
+                            run_request_stage(stage_index, stage, request)
+                    elapsed = time.perf_counter() - started
+                    self.metrics.observe(f"stage_{stage}_s", elapsed)
+                    if seg is not None:
+                        seg.end("compute", t1=compute_t0 + elapsed, wall_s=elapsed)
+                        seg.end(
+                            f"stage:{stage}",
+                            requests=len(live),
+                            cycles=self.stage_cycles(stage, len(live)),
+                            energy_j=self.stage_energy_j(stage, len(live)),
+                        )
+            else:
+                n_stages = len(batch.pipeline)
+                stage_elapsed = [0.0] * n_stages
+                stage_t0: List[Optional[float]] = [None] * n_stages
+                stage_t1 = [0.0] * n_stages
+                for request in live:
+                    for stage_index, stage in enumerate(batch.pipeline):
+                        self.system.controller.load(stage, self.slot_index)
+                        if stage_t0[stage_index] is None:
+                            stage_t0[stage_index] = self.clock()
+                        started = time.perf_counter()
+                        run_request_stage(stage_index, stage, request)
+                        stage_elapsed[stage_index] += time.perf_counter() - started
+                        stage_t1[stage_index] = self.clock()
+                for stage_index, (stage, elapsed) in enumerate(
+                    zip(batch.pipeline, stage_elapsed)
+                ):
+                    self.metrics.observe(f"stage_{stage}_s", elapsed)
+                    if seg is not None:
+                        # Per-request serving interleaves stages, so the
+                        # spans are reconstructed flat: one per stage,
+                        # spanning first entry to last exit, carrying the
+                        # exact summed compute time the metrics observed.
+                        t0 = stage_t0[stage_index] or 0.0
+                        seg.begin(f"stage:{stage}", t0=t0, batch_id=batch.batch_id, stage=stage)
+                        seg.begin(
+                            "compute",
+                            t0=t0,
+                            batch_id=batch.batch_id,
+                            stage=stage,
+                            engine=self.engine,
+                        )
+                        seg.end("compute", t1=stage_t1[stage_index], wall_s=elapsed)
+                        seg.end(
+                            f"stage:{stage}",
+                            t1=stage_t1[stage_index],
+                            requests=len(live),
+                            cycles=self.stage_cycles(stage, len(live)),
+                            energy_j=self.stage_energy_j(stage, len(live)),
+                        )
+        finally:
+            self._seg = None
+            if seg is not None:
+                self.tracer.pop()
 
         reconfigs = self.system.controller.configured_load_count - loads_before
         would_be = len(batch.pipeline) * len(live)
@@ -437,6 +585,17 @@ class BatchExecutor:
         batch_loads = self.system.controller.loads[records_before:]
         device_time, energy = self._account(batch, live, batch_loads)
         share = energy / len(live) if live else 0.0
+        if seg is not None:
+            seg.end(
+                "execute",
+                device_time_s=device_time,
+                energy_j=energy,
+                reconfigurations=reconfigs,
+                reconfigurations_avoided=avoided,
+            )
+            for request in live:
+                if request.trace is not None:
+                    request.trace.extend(seg)
 
         retries: List[MeasurementRequest] = []
         faults = len(failed)
@@ -525,13 +684,7 @@ class BatchExecutor:
         energy = static_power_w(system.device, params) * device_time
         energy += clock_power * clock_span
         for stage in batch.pipeline:
-            if stage == "frontend":
-                continue
-            module = system.modules[stage].compiled
-            stage_power = block_dynamic_power_w(module.slices, 0.15, system.hw_clock_mhz)
-            energy += stage_power * self._stage_time_s[stage] * n
-        if "frontend" in batch.pipeline:
-            energy += block_dynamic_power_w(frontend_slices(), 0.45, 16.0) * sample_total
+            energy += self.stage_energy_j(stage, n)
         energy += (
             block_dynamic_power_w(
                 MICROBLAZE_FOOTPRINT.slices,

@@ -58,13 +58,18 @@ class ArtifactCache:
     entry point: it runs ``builder`` only on a miss.
     """
 
-    def __init__(self, capacity: int = 64):
+    def __init__(self, capacity: int = 64, tracer=None):
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        #: Optional :class:`repro.trace.Tracer`; when enabled, every miss
+        #: build is emitted as an ``artifact_build`` span (into the
+        #: current batch segment, or the tracer's runtime trace for
+        #: builds outside any batch, e.g. fleet construction).
+        self.tracer = tracer
 
     def __len__(self) -> int:
         with self._lock:
@@ -104,7 +109,16 @@ class ArtifactCache:
         """
         value = self.get(key)
         if value is None:
-            value = builder()
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                t0 = tracer.clock()
+                value = builder()
+                kind = key[0] if isinstance(key, tuple) and key else "artifact"
+                tracer.emit(
+                    "artifact_build", t0, tracer.clock(), kind=str(kind), key=repr(key)
+                )
+            else:
+                value = builder()
             self.put(key, value)
         return value
 

@@ -40,6 +40,7 @@ from repro.serve.requests import (
     RequestBroker,
     RetryPolicy,
 )
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 
 class FleetWorker(threading.Thread):
@@ -161,20 +162,30 @@ class FleetService:
         noise_rms: float = 0.002,
         fault_injector: Optional[FaultInjector] = None,
         engine: str = "scalar",
+        tracer: Optional[Tracer] = None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         self.engine = engine
         self.clock = clock
         self.metrics = Metrics()
+        self.tracer = tracer or NULL_TRACER
         self.cache = cache or ArtifactCache()
+        if self.tracer.enabled and self.cache.tracer is None:
+            # Attach before the workers are built: bitstream generation
+            # during construction is exactly the cold-start cost worth
+            # seeing in the runtime trace.
+            self.cache.tracer = self.tracer
         self.batched = batched
-        self.broker = RequestBroker(queue_capacity, retry=retry, clock=clock)
+        self.broker = RequestBroker(
+            queue_capacity, retry=retry, clock=clock, tracer=self.tracer
+        )
         self.scheduler = BatchScheduler(
             self.broker,
             max_batch=max_batch if batched else 1,
             window_s=window_s,
             metrics=self.metrics,
+            tracer=self.tracer,
         )
         self.config = config or SystemConfig()
         self.tanks = TankStateStore(
@@ -209,6 +220,7 @@ class FleetService:
                 metrics=self.metrics,
                 clock=clock,
                 engine=engine,
+                tracer=self.tracer,
             )
             self.workers.append(
                 FleetWorker(
@@ -284,6 +296,22 @@ class FleetService:
         return accepted, rejected
 
     def _deliver(self, responses: List[MeasurementResponse]) -> None:
+        if self.tracer.enabled:
+            # Terminate traces before taking the delivery lock: finishing
+            # may export (file IO) and must not serialize against callers
+            # of responses()/await_responses().
+            for response in responses:
+                self.tracer.finish(
+                    response.request_id,
+                    status=response.status,
+                    latency_s=response.latency_s,
+                    energy_j=response.energy_j,
+                    device_time_s=response.device_time_s,
+                    attempts=response.attempts,
+                    worker=response.worker,
+                    batch_id=response.batch_id,
+                    batch_size=response.batch_size,
+                )
         with self._done:
             for response in responses:
                 self._responses.append(response)
@@ -343,4 +371,6 @@ class FleetService:
 
             snap["kernel_cache"] = KERNEL_CACHE.snapshot()
         snap["workers"] = {w.worker_id: w.accounting() for w in self.workers}
+        if self.tracer.enabled:
+            snap["trace"] = self.tracer.snapshot()
         return snap

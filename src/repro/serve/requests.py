@@ -24,6 +24,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional, Tuple
 
+from repro.trace.tracer import NULL_TRACER, Tracer
+
 #: Response statuses.
 STATUS_OK = "ok"
 STATUS_EXPIRED = "expired"
@@ -65,6 +67,9 @@ class MeasurementRequest:
     submitted_at: float = 0.0
     #: Earliest time the broker may hand the request out (retry backoff).
     not_before_s: float = 0.0
+    #: The request's span trace, attached by the broker when tracing is
+    #: enabled (see :mod:`repro.trace`); None otherwise.
+    trace: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.level <= 1.0:
@@ -136,6 +141,7 @@ class RequestBroker:
         retry: Optional[RetryPolicy] = None,
         clock: Callable[[], float] = time.monotonic,
         retry_after_hint_s: float = 0.05,
+        tracer: Optional[Tracer] = None,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -143,6 +149,7 @@ class RequestBroker:
         self.retry = retry or RetryPolicy()
         self.clock = clock
         self.retry_after_hint_s = retry_after_hint_s
+        self.tracer = tracer or NULL_TRACER
         self._queue: Deque[MeasurementRequest] = deque()
         #: Requests sitting out a retry backoff, released by ``not_before_s``.
         self._delayed: List[MeasurementRequest] = []
@@ -178,6 +185,19 @@ class RequestBroker:
                 self.rejected += 1
                 raise BrokerFullError(self.capacity, self.retry_after_hint_s)
             request.submitted_at = self.clock()
+            if self.tracer.enabled:
+                # Trace ops stay inside the broker lock: the admit/queue
+                # spans must exist before any consumer can take (and
+                # close) them.
+                trace = self.tracer.start(request.request_id, request.tank_id)
+                request.trace = trace
+                trace.add(
+                    "admit",
+                    request.submitted_at,
+                    request.submitted_at,
+                    queue_depth=len(self._queue) + len(self._delayed),
+                )
+                trace.begin("queue", t0=request.submitted_at)
             self._queue.append(request)
             self.submitted += 1
             self._cond.notify()
@@ -191,7 +211,17 @@ class RequestBroker:
         """
         delay = self.retry.delay_s(max(1, request.attempts))
         with self._cond:
-            request.not_before_s = self.clock() + delay
+            now = self.clock()
+            request.not_before_s = now + delay
+            if self.tracer.enabled and request.trace is not None:
+                request.trace.add(
+                    "retry_wait",
+                    now,
+                    request.not_before_s,
+                    delay_s=delay,
+                    attempt=request.attempts,
+                )
+                request.trace.begin("queue", t0=request.not_before_s, retry=True)
             self._delayed.append(request)
             self.requeued += 1
             self._cond.notify()
@@ -283,6 +313,12 @@ class RequestBroker:
                         kept.append(candidate)
                 kept.extend(self._queue)
                 self._queue = kept
+            if self.tracer.enabled:
+                now = self.clock()
+                remaining = len(self._queue) + len(self._delayed)
+                for request in taken:
+                    if request.trace is not None:
+                        request.trace.end("queue", t1=now, depth_after=remaining)
             return taken
 
     def close(self) -> None:

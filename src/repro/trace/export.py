@@ -1,0 +1,85 @@
+"""JSONL persistence for traces.
+
+One finished trace per line keeps export append-only and crash-tolerant
+(a truncated final line loses one trace, not the file), streams through
+``repro trace-report`` without loading more than a line at a time, and
+diffs cleanly under version control for the golden-structure fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+from repro.trace.spans import Trace
+
+
+class JsonlExporter:
+    """Append finished traces to a JSONL file.
+
+    Usable directly as a :class:`repro.trace.tracer.TraceSink` exporter
+    (it is callable) and as a context manager.  The file opens lazily on
+    the first trace so a traced run that serves nothing leaves no file.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._file: Optional[IO[str]] = None
+        self._lock = threading.Lock()
+        self.written = 0
+
+    def export(self, trace: Trace) -> None:
+        line = json.dumps(trace.to_dict(), sort_keys=True)
+        with self._lock:
+            if self._file is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = self.path.open("w", encoding="utf-8")
+            self._file.write(line + "\n")
+            self.written += 1
+
+    __call__ = export
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_traces(path: Union[str, Path], traces: List[Trace]) -> Path:
+    """Write a trace list as JSONL; returns the path."""
+    with JsonlExporter(path) as exporter:
+        for trace in traces:
+            exporter.export(trace)
+    return Path(path)
+
+
+def read_traces(path: Union[str, Path]) -> List[Trace]:
+    """Load every trace of a JSONL file.
+
+    Raises
+    ------
+    FileNotFoundError
+        If the file does not exist.
+    ValueError
+        On a malformed (non-JSON) line, with the line number.
+    """
+    traces: List[Trace] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                traces.append(Trace.from_dict(json.loads(line)))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not a JSON trace line: {exc}") from exc
+    return traces

@@ -1,0 +1,309 @@
+"""Trace analysis: per-stage breakdown tables and a text flamegraph.
+
+The report layer answers the paper's question — *where do the time and
+the energy actually go?* — from exported traces alone.  Batch-level
+spans (``stage:*``, ``compute``, ``reconfig``, ``execute``) are grafted
+into every request of their batch, so aggregation first deduplicates
+them by identity ``(name, batch_id, endpoints)``: the per-stage numbers
+then match the runtime's own ``stage_*_s`` histograms (one observation
+per executed batch per stage), which the differential test in
+``tests/test_trace.py`` pins.
+
+Everything here is defensive about empty input: zero traces, zero
+observations for a stage, or a single observation must render a table,
+never divide by zero.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.trace.spans import Span, Trace
+
+#: Prefix of the per-stage batch spans the executor emits.
+STAGE_PREFIX = "stage:"
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _percentile(values: List[float], p: float) -> float:
+    """Linear-interpolated percentile, 0.0 on an empty list (report
+    rendering must survive stages that never ran)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def _digest(values: List[float]) -> Dict[str, float]:
+    return {
+        "count": len(values),
+        "total_s": sum(values),
+        "mean_s": _mean(values),
+        "p50_s": _percentile(values, 50.0),
+        "p95_s": _percentile(values, 95.0),
+    }
+
+
+def _dedupe_batch_spans(traces: Iterable[Trace], name_filter) -> List[Span]:
+    """Unique batch-level spans across traces: the same segment span is
+    present in every request of its batch; identity collapses the copies
+    without collapsing distinct batches (endpoints disambiguate even if
+    two services in one export reuse batch ids)."""
+    seen = set()
+    unique: List[Span] = []
+    for trace in traces:
+        for span in trace.spans:
+            if not name_filter(span.name):
+                continue
+            key = (span.name, span.attrs.get("batch_id"), span.t0_s, span.t1_s)
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(span)
+    return unique
+
+
+def stage_breakdown(traces: List[Trace]) -> dict:
+    """Aggregate a trace list into the per-stage latency/energy table.
+
+    Returns a plain dict: ``stages`` (ordered by first appearance) with
+    per-stage compute digests, reconfiguration cost, simulated cycles and
+    modelled energy; ``requests`` with terminal-status counts and
+    end-to-end latency digest; ``artifacts`` with cache-build cost.
+    """
+    stage_spans = _dedupe_batch_spans(traces, lambda n: n.startswith(STAGE_PREFIX))
+    compute_spans = _dedupe_batch_spans(traces, lambda n: n == "compute")
+    reconfig_spans = _dedupe_batch_spans(traces, lambda n: n == "reconfig")
+    execute_spans = _dedupe_batch_spans(traces, lambda n: n == "execute")
+
+    compute_by_stage: Dict[str, List[float]] = {}
+    for span in compute_spans:
+        compute_by_stage.setdefault(span.attrs.get("stage", "?"), []).append(span.wall_s)
+
+    stages: Dict[str, dict] = {}
+    for span in stage_spans:
+        stage = span.name[len(STAGE_PREFIX):]
+        entry = stages.setdefault(
+            stage,
+            {
+                "batches": 0,
+                "requests": 0,
+                "cycles": 0,
+                "energy_j": 0.0,
+                "wall_s": 0.0,
+                "reconfig": {"count": 0, "cached": 0, "device_time_s": 0.0, "energy_j": 0.0},
+            },
+        )
+        entry["batches"] += 1
+        entry["requests"] += int(span.attrs.get("requests", 0))
+        entry["cycles"] += int(span.attrs.get("cycles", 0))
+        entry["energy_j"] += float(span.attrs.get("energy_j", 0.0))
+        entry["wall_s"] += span.wall_s
+    for stage, entry in stages.items():
+        entry["compute"] = _digest(compute_by_stage.get(stage, []))
+    for span in reconfig_spans:
+        stage = span.attrs.get("stage", "?")
+        if stage not in stages:
+            continue
+        rec = stages[stage]["reconfig"]
+        rec["count"] += 1
+        rec["cached"] += 1 if span.attrs.get("cached") else 0
+        rec["device_time_s"] += float(span.attrs.get("device_time_s", 0.0))
+        rec["energy_j"] += float(span.attrs.get("energy_j", 0.0))
+
+    statuses: Dict[str, int] = {}
+    latencies: List[float] = []
+    queue_walls: List[float] = []
+    for trace in traces:
+        for span in trace.spans:
+            if span.name == "respond":
+                status = str(span.attrs.get("status", "?"))
+                statuses[status] = statuses.get(status, 0) + 1
+                if "latency_s" in span.attrs:
+                    latencies.append(float(span.attrs["latency_s"]))
+            elif span.name == "queue":
+                queue_walls.append(span.wall_s)
+
+    artifact_walls = [
+        span.wall_s
+        for trace in traces
+        for span in trace.spans
+        if span.name == "artifact_build"
+    ]
+
+    return {
+        "traces": len(traces),
+        "batches": len(execute_spans),
+        "stages": stages,
+        "requests": {"statuses": statuses, "latency": _digest(latencies)},
+        "queue": _digest(queue_walls),
+        "artifacts": _digest(artifact_walls),
+    }
+
+
+def stage_compute_means(traces: List[Trace]) -> Dict[str, float]:
+    """Per-stage mean compute wall time from deduplicated batch spans —
+    the quantity the runtime's ``stage_<name>_s`` histograms also track;
+    the differential regression compares the two."""
+    breakdown = stage_breakdown(traces)
+    return {
+        stage: entry["compute"]["mean_s"] for stage, entry in breakdown["stages"].items()
+    }
+
+
+def _fmt_time(seconds: float, width: int = 10) -> str:
+    """Fixed-width adaptive time: us below a millisecond, ms below a
+    second, s above — so a 118 ms frontend stage never overflows the
+    column a 60 us filter stage sets."""
+    if seconds >= 1.0:
+        text = f"{seconds:.2f}s"
+    elif seconds >= 1e-3:
+        text = f"{seconds * 1e3:.1f}ms"
+    else:
+        text = f"{seconds * 1e6:.1f}us"
+    return f"{text:>{width}}"
+
+
+def render_stage_table(breakdown: dict) -> str:
+    """The per-stage latency/energy breakdown as a fixed-width table
+    (the serving analogue of the paper's Table 2 per-net power rows)."""
+    total_energy = sum(e["energy_j"] for e in breakdown["stages"].values())
+    reconfig_energy = sum(
+        e["reconfig"]["energy_j"] for e in breakdown["stages"].values()
+    )
+    header = (
+        f"{'stage':<12}{'batches':>8}{'reqs':>6}{'mean':>10}{'p50':>10}{'p95':>10}"
+        f"{'reconfig':>10}{'cycles/req':>12}{'uJ/req':>9}{'energy%':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for stage, entry in breakdown["stages"].items():
+        requests = max(1, entry["requests"])
+        compute = entry["compute"]
+        grand = total_energy + reconfig_energy
+        share = entry["energy_j"] / grand * 100.0 if grand else 0.0
+        lines.append(
+            f"{stage:<12}{entry['batches']:>8}{entry['requests']:>6}"
+            f"{_fmt_time(compute['mean_s'])}"
+            f"{_fmt_time(compute['p50_s'])}"
+            f"{_fmt_time(compute['p95_s'])}"
+            f"{_fmt_time(entry['reconfig']['device_time_s'])}"
+            f"{entry['cycles'] // requests:>12}"
+            f"{entry['energy_j'] / requests * 1e6:>9.2f}"
+            f"{share:>8.1f}%"
+        )
+    if breakdown["stages"]:
+        grand = total_energy + reconfig_energy
+        share = reconfig_energy / grand * 100.0 if grand else 0.0
+        lines.append(
+            f"{'(reconfig)':<12}{breakdown['batches']:>8}{'-':>6}{'-':>10}{'-':>10}{'-':>10}"
+            f"{'-':>10}{'-':>12}{'-':>9}{share:>8.1f}%"
+        )
+    else:
+        lines.append("(no stage spans in these traces)")
+    return "\n".join(lines)
+
+
+def render_flamegraph(traces: List[Trace], width: int = 40) -> str:
+    """A text flamegraph: frames keyed by ancestor path, width
+    proportional to the share of total traced wall time.
+
+    Batch spans are *not* deduplicated here on purpose: the flamegraph
+    is the request's-eye view ("where did request-seconds go"), so a
+    stage shared by an 8-request batch rightly weighs 8x.
+    """
+    totals: Dict[Tuple[str, ...], float] = {}
+    for trace in traces:
+        for path, span in trace.walk():
+            totals[path] = totals.get(path, 0.0) + max(0.0, span.wall_s)
+    if not totals:
+        return "(no spans)"
+    root_total = sum(t for path, t in totals.items() if len(path) == 1)
+    if root_total <= 0.0:
+        root_total = max(totals.values())
+    lines = [f"flamegraph — {len(traces)} traces, {root_total:.4f} s of traced wall time"]
+
+    def render(prefix: Tuple[str, ...], indent: int) -> None:
+        children = sorted(
+            (
+                (path, total)
+                for path, total in totals.items()
+                if len(path) == indent + 1 and path[: len(prefix)] == prefix
+            ),
+            key=lambda item: -item[1],
+        )
+        for path, total in children:
+            frac = total / root_total if root_total else 0.0
+            bar = "#" * max(1, int(round(frac * width)))
+            lines.append(
+                f"{'  ' * indent}{path[-1]:<{max(4, 28 - 2 * indent)}}"
+                f"{total * 1e3:>10.2f} ms {frac * 100:>5.1f}% {bar}"
+            )
+            render(path, indent + 1)
+
+    render((), 0)
+    return "\n".join(lines)
+
+
+def render_exemplars(traces: List[Trace], top: int = 5) -> str:
+    """The slowest traces, one line each — where a p99 hunt starts.
+
+    Only request traces (ones that responded) are ranked; the tracer's
+    ambient "runtime" trace spans the whole run and would always win.
+    """
+    finished = [t for t in traces if t.find("respond")]
+    ranked = sorted(finished or traces, key=lambda t: -t.duration_s)[:top]
+    if not ranked:
+        return "(no traces)"
+    lines = [f"{'trace':<14}{'tank':<12}{'ms':>9}{'spans':>7}  slowest span"]
+    for trace in ranked:
+        slowest: Optional[Span] = None
+        for span in trace.spans:
+            if slowest is None or span.wall_s > slowest.wall_s:
+                slowest = span
+        worst = f"{slowest.name} ({slowest.wall_s * 1e3:.2f} ms)" if slowest else "-"
+        lines.append(
+            f"{trace.trace_id:<14}{trace.tank_id:<12}"
+            f"{trace.duration_s * 1e3:>9.2f}{len(trace.spans):>7}  {worst}"
+        )
+    return "\n".join(lines)
+
+
+def trace_report(
+    traces: List[Trace], flame: bool = False, top: int = 5, width: int = 40
+) -> str:
+    """The full text report ``repro trace-report`` prints."""
+    breakdown = stage_breakdown(traces)
+    statuses = breakdown["requests"]["statuses"]
+    latency = breakdown["requests"]["latency"]
+    status_text = (
+        ", ".join(f"{k}={v}" for k, v in sorted(statuses.items())) if statuses else "none"
+    )
+    sections = [
+        f"traces: {breakdown['traces']}  batches: {breakdown['batches']}  "
+        f"responses: {status_text}",
+        f"latency: mean {latency['mean_s'] * 1e3:.2f} ms  "
+        f"p50 {latency['p50_s'] * 1e3:.2f} ms  p95 {latency['p95_s'] * 1e3:.2f} ms  "
+        f"queue mean {breakdown['queue']['mean_s'] * 1e3:.2f} ms",
+        "",
+        render_stage_table(breakdown),
+    ]
+    if breakdown["artifacts"]["count"]:
+        art = breakdown["artifacts"]
+        sections.append(
+            f"\nartifact builds: {art['count']} "
+            f"({art['total_s'] * 1e3:.2f} ms total, cold-start cost shared fleet-wide)"
+        )
+    sections.append("\nslow exemplars:\n" + render_exemplars(traces, top=top))
+    if flame:
+        sections.append("\n" + render_flamegraph(traces, width=width))
+    return "\n".join(sections)

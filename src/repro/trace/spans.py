@@ -1,0 +1,205 @@
+"""Span and trace data model.
+
+A :class:`Trace` is the per-request record of everything that happened
+between admission and the terminal response: a flat, pre-order list of
+:class:`Span` entries whose ``depth`` field encodes nesting (the same
+depth-encoded shape VCD-derived activity timelines use in
+:mod:`repro.activity`).  Spans carry wall-clock endpoints plus free-form
+``attrs`` — simulated device cycles, per-stage energy from the power
+model, batch ids — so the report layer can aggregate without re-deriving
+anything from the runtime.
+
+Traces are single-owner at any point in time: a request's trace is
+touched by the submitting thread, then the scheduler, then the worker
+serving its batch, with every hand-off ordered by the broker lock, so
+the model itself carries no locks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace."""
+
+    name: str
+    t0_s: float
+    t1_s: float
+    depth: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_s(self) -> float:
+        """Measured wall time; prefers the exact ``wall_s`` attribute when
+        the emitter recorded one (e.g. the executor's per-stage window)."""
+        wall = self.attrs.get("wall_s")
+        return float(wall) if wall is not None else self.t1_s - self.t0_s
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "t0_s": self.t0_s,
+            "t1_s": self.t1_s,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            t0_s=data["t0_s"],
+            t1_s=data["t1_s"],
+            depth=data["depth"],
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class Trace:
+    """A depth-encoded span tree for one request (or one batch segment).
+
+    ``begin``/``end`` manage an open-span stack for the common
+    strictly-nested case; ``add`` appends an already-timed span at the
+    current nesting depth; ``extend`` grafts another trace's spans (a
+    batch segment shared by every request it served) under this one.
+    """
+
+    __slots__ = ("trace_id", "request_id", "tank_id", "spans", "clock", "_open")
+
+    def __init__(
+        self,
+        trace_id: str,
+        request_id: Optional[int] = None,
+        tank_id: str = "",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.trace_id = trace_id
+        self.request_id = request_id
+        self.tank_id = tank_id
+        self.spans: List[Span] = []
+        self.clock = clock
+        #: Indices into ``spans`` of the currently open spans.
+        self._open: List[int] = []
+
+    # ------------------------------------------------------------- building
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth new spans are appended at."""
+        return len(self._open)
+
+    def begin(self, name: str, t0: Optional[float] = None, **attrs: Any) -> Span:
+        """Open a span; it stays open until the matching :meth:`end`."""
+        span = Span(name, t0 if t0 is not None else self.clock(), 0.0, self.depth, attrs)
+        self._open.append(len(self.spans))
+        self.spans.append(span)
+        return span
+
+    def end(self, name: str, t1: Optional[float] = None, **attrs: Any) -> Span:
+        """Close the innermost open span.
+
+        Raises
+        ------
+        ValueError
+            If no span is open, or the innermost open span has a
+            different name (unbalanced begin/end indicate an emitter bug
+            worth failing loudly on).
+        """
+        if not self._open:
+            raise ValueError(f"end({name!r}) with no open span")
+        span = self.spans[self._open[-1]]
+        if span.name != name:
+            raise ValueError(f"end({name!r}) but innermost open span is {span.name!r}")
+        self._open.pop()
+        span.t1_s = t1 if t1 is not None else self.clock()
+        span.attrs.update(attrs)
+        return span
+
+    def add(
+        self, name: str, t0: Optional[float] = None, t1: Optional[float] = None, **attrs: Any
+    ) -> Span:
+        """Append a complete span at the current depth."""
+        if t0 is None:
+            t0 = self.clock()
+        span = Span(name, t0, t1 if t1 is not None else t0, self.depth, attrs)
+        self.spans.append(span)
+        return span
+
+    def extend(self, other: "Trace") -> None:
+        """Graft copies of another trace's spans at the current depth.
+
+        Used to merge a batch-level segment into each participating
+        request's trace; copies keep the segment reusable and the
+        request traces independently mutable.
+        """
+        offset = self.depth
+        for span in other.spans:
+            self.spans.append(
+                Span(span.name, span.t0_s, span.t1_s, span.depth + offset, dict(span.attrs))
+            )
+
+    def close_open(self, t1: Optional[float] = None) -> int:
+        """Force-close any spans left open (a worker error unwound the
+        emitter); returns how many were closed."""
+        if t1 is None:
+            t1 = self.clock()
+        closed = 0
+        while self._open:
+            span = self.spans[self._open.pop()]
+            span.t1_s = t1
+            span.attrs.setdefault("unfinished", True)
+            closed += 1
+        return closed
+
+    # -------------------------------------------------------------- reading
+
+    @property
+    def duration_s(self) -> float:
+        """End-to-end wall span of the trace (0 when empty)."""
+        if not self.spans:
+            return 0.0
+        return max(s.t1_s for s in self.spans) - min(s.t0_s for s in self.spans)
+
+    def structure(self) -> List[Tuple[int, str]]:
+        """The timing-free shape of the trace: ``(depth, name)`` per span,
+        in emission order — what the golden regression freezes."""
+        return [(s.depth, s.name) for s in self.spans]
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def walk(self) -> Iterable[Tuple[Tuple[str, ...], Span]]:
+        """Yield ``(path, span)`` with ``path`` the ancestor name chain
+        ending at the span itself — the flamegraph's frame key."""
+        stack: List[str] = []
+        for span in self.spans:
+            del stack[span.depth:]
+            stack.append(span.name)
+            yield tuple(stack), span
+
+    # ---------------------------------------------------------- persistence
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "request_id": self.request_id,
+            "tank_id": self.tank_id,
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        trace = cls(
+            trace_id=data["trace_id"],
+            request_id=data.get("request_id"),
+            tank_id=data.get("tank_id", ""),
+        )
+        trace.spans = [Span.from_dict(s) for s in data.get("spans", [])]
+        return trace
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({self.trace_id!r}, spans={len(self.spans)})"

@@ -1,0 +1,215 @@
+"""The tracing seam: :class:`Tracer` and the finished-trace sink.
+
+Every serve-path component (broker, scheduler, executor, worker pool,
+artifact cache, kernel engine) holds a tracer and guards each emission
+with ``tracer.enabled`` — a single attribute check, so a disabled tracer
+costs nothing on the hot path.  The shared :data:`NULL_TRACER` is the
+default everywhere.
+
+Finished traces flow into a :class:`TraceSink`: a bounded in-memory ring
+(recent traces for snapshots), a slow-exemplar sampler that keeps the K
+worst end-to-end traces seen so far (the p99 offenders a latency
+investigation starts from), and an optional exporter callback (JSONL,
+see :mod:`repro.trace.export`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.trace.spans import Trace
+
+
+class TraceSink:
+    """Where finished traces go: ring + exemplar sampler + exporter."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        exemplars: int = 8,
+        exporter: Optional[Callable[[Trace], None]] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        if exemplars < 0:
+            raise ValueError(f"exemplar count must be >= 0, got {exemplars}")
+        self.capacity = capacity
+        self.exemplar_capacity = exemplars
+        self.exporter = exporter
+        self._ring: "deque[Trace]" = deque(maxlen=capacity)
+        #: Min-heap of (duration, seq, trace): the root is the *fastest*
+        #: kept exemplar, so pushing past capacity drops it and the heap
+        #: converges on the slowest traces observed.
+        self._exemplars: List[tuple] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self.finished = 0
+        self.exported = 0
+
+    def offer(self, trace: Trace) -> None:
+        """Accept one finished trace."""
+        duration = trace.duration_s
+        with self._lock:
+            self.finished += 1
+            self._seq += 1
+            self._ring.append(trace)
+            if self.exemplar_capacity:
+                entry = (duration, self._seq, trace)
+                if len(self._exemplars) < self.exemplar_capacity:
+                    heapq.heappush(self._exemplars, entry)
+                elif entry > self._exemplars[0]:
+                    heapq.heapreplace(self._exemplars, entry)
+        if self.exporter is not None:
+            self.exporter(trace)
+            with self._lock:
+                self.exported += 1
+
+    def traces(self) -> List[Trace]:
+        """The ring's current contents, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def exemplars(self) -> List[Trace]:
+        """The kept slow exemplars, slowest first."""
+        with self._lock:
+            return [t for _, _, t in sorted(self._exemplars, reverse=True)]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "finished": self.finished,
+                "exported": self.exported,
+                "ring": len(self._ring),
+                "ring_capacity": self.capacity,
+                "exemplars": len(self._exemplars),
+                "slowest_s": max((d for d, _, _ in self._exemplars), default=0.0),
+            }
+
+
+class Tracer:
+    """Hands out per-request traces and collects finished ones.
+
+    Also carries two side channels:
+
+    * an *ambient* per-thread segment stack, so components with no
+      request in hand (the artifact cache inside a reconfiguration, the
+      vector kernel engine inside a stage) can attach spans to whatever
+      batch segment their thread is currently executing;
+    * a *runtime* trace that absorbs ambient-less spans (artifact builds
+      during service construction), exported alongside request traces.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sink: Optional[TraceSink] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.enabled = enabled
+        self.sink = sink if sink is not None else TraceSink()
+        self.clock = clock
+        self._active: Dict[int, Trace] = {}
+        self._lock = threading.Lock()
+        self._ambient = threading.local()
+        self.runtime = Trace("runtime", clock=clock)
+        self._closed = False
+
+    # ------------------------------------------------------ request traces
+
+    def start(self, request_id: int, tank_id: str = "") -> Optional[Trace]:
+        """Begin the trace of one admitted request; None when disabled."""
+        if not self.enabled:
+            return None
+        trace = Trace(f"req-{request_id}", request_id=request_id, tank_id=tank_id, clock=self.clock)
+        with self._lock:
+            self._active[request_id] = trace
+        return trace
+
+    def active(self, request_id: int) -> Optional[Trace]:
+        with self._lock:
+            return self._active.get(request_id)
+
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    def finish(self, request_id: int, **attrs: Any) -> Optional[Trace]:
+        """Terminate a request's trace: append the ``respond`` span,
+        close any spans a failure path left open, hand it to the sink.
+        Safe no-op for unknown ids (e.g. requests admitted before the
+        tracer was enabled)."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            trace = self._active.pop(request_id, None)
+        if trace is None:
+            return None
+        now = self.clock()
+        trace.close_open(now)
+        trace.add("respond", now, now, **attrs)
+        self.sink.offer(trace)
+        return trace
+
+    # ----------------------------------------------------- batch segments
+
+    def segment(self, name: str) -> Optional[Trace]:
+        """A free-standing span tree for batch-level work, later grafted
+        into each participating request's trace."""
+        if not self.enabled:
+            return None
+        return Trace(name, clock=self.clock)
+
+    def push(self, segment: Trace) -> None:
+        """Make ``segment`` the current thread's ambient span target."""
+        stack = getattr(self._ambient, "stack", None)
+        if stack is None:
+            stack = self._ambient.stack = []
+        stack.append(segment)
+
+    def pop(self) -> None:
+        self._ambient.stack.pop()
+
+    def ambient(self) -> Optional[Trace]:
+        stack = getattr(self._ambient, "stack", None)
+        return stack[-1] if stack else None
+
+    def emit(self, name: str, t0: float, t1: float, **attrs: Any) -> None:
+        """Record a span into the thread's ambient segment, falling back
+        to the runtime trace (component work outside any batch)."""
+        if not self.enabled:
+            return
+        target = self.ambient()
+        if target is not None:
+            target.add(name, t0, t1, **attrs)
+        else:
+            with self._lock:
+                self.runtime.add(name, t0, t1, **attrs)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def snapshot(self) -> dict:
+        snap = self.sink.snapshot()
+        snap["enabled"] = self.enabled
+        snap["active"] = self.active_count()
+        snap["runtime_spans"] = len(self.runtime.spans)
+        return snap
+
+    def close(self) -> None:
+        """Flush the runtime trace to the sink and close the exporter.
+        Idempotent."""
+        if self._closed or not self.enabled:
+            return
+        self._closed = True
+        if self.runtime.spans:
+            self.sink.offer(self.runtime)
+        closer = getattr(self.sink.exporter, "close", None)
+        if closer is not None:
+            closer()
+
+
+#: The shared disabled tracer — the default seam value everywhere.
+NULL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,208 @@
+"""Property-based tests of the request broker's admission behaviour.
+
+Randomized (seeded, shrinking) checks of the three front-door contracts:
+retry backoff monotonicity, bounded-queue backpressure, and
+``wait_for_depth`` never waking early — the invariants the batching
+window and the retry loop silently rely on.
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import MeasurementRequest, RequestBroker, RetryPolicy
+from repro.serve.requests import BrokerFullError
+
+
+def _request(request_id, **kwargs):
+    return MeasurementRequest(request_id=request_id, tank_id="t", level=0.5, **kwargs)
+
+
+# ---------------------------------------------------------- retry monotonicity
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    base=st.floats(min_value=1e-4, max_value=0.1),
+    factor=st.floats(min_value=1.0, max_value=4.0),
+    cap=st.floats(min_value=1e-3, max_value=1.0),
+    attempts=st.integers(min_value=2, max_value=12),
+)
+def test_retry_backoff_is_monotone_and_capped(base, factor, cap, attempts):
+    policy = RetryPolicy(base_delay_s=base, factor=factor, max_delay_s=cap)
+    delays = [policy.delay_s(a) for a in range(1, attempts + 1)]
+    assert delays[0] == pytest.approx(min(cap, base))
+    for earlier, later in zip(delays, delays[1:]):
+        assert later >= earlier - 1e-12  # never backs off *less* on a later try
+    assert all(d <= cap + 1e-12 for d in delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    attempts=st.lists(st.integers(min_value=1, max_value=10), min_size=2, max_size=8),
+    base=st.floats(min_value=1e-4, max_value=0.05),
+)
+def test_requeue_not_before_is_monotone_in_attempts(attempts, base):
+    """On a frozen clock, a request on attempt k+1 is never released
+    before a request on attempt k (retry-after monotonicity end-to-end,
+    through the broker rather than just the policy)."""
+    now = 100.0
+    broker = RequestBroker(
+        capacity=len(attempts),
+        retry=RetryPolicy(base_delay_s=base, factor=2.0, max_delay_s=0.25),
+        clock=lambda: now,
+    )
+    releases = {}
+    for i, attempt in enumerate(attempts):
+        request = _request(i)
+        request.attempts = attempt
+        broker.requeue(request)
+        releases[attempt] = request.not_before_s
+        assert request.not_before_s > now
+    ordered = sorted(releases.items())
+    for (_, earlier), (_, later) in zip(ordered, ordered[1:]):
+        assert later >= earlier - 1e-12
+    assert broker.requeued == len(attempts)
+
+
+# --------------------------------------------------------------- backpressure
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=16),
+    submits=st.integers(min_value=1, max_value=40),
+)
+def test_backpressure_bounds_depth_and_hints_retry(capacity, submits):
+    broker = RequestBroker(capacity=capacity)
+    accepted = 0
+    for i in range(submits):
+        try:
+            broker.submit(_request(i))
+            accepted += 1
+        except BrokerFullError as err:
+            assert err.retry_after_s > 0
+            assert err.capacity == capacity
+        assert broker.depth <= capacity  # the bound is never breached
+    assert accepted == min(submits, capacity)
+    assert broker.submitted == accepted
+    assert broker.rejected == max(0, submits - capacity)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=48),
+    takes=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=12),
+)
+def test_fifo_drain_preserves_order_without_loss(n, takes):
+    """Random take sizes drain the queue in exact submission order —
+    no request lost, duplicated, or reordered."""
+    broker = RequestBroker(capacity=n)
+    for i in range(n):
+        broker.submit(_request(i))
+    drained = []
+    step = 0
+    while len(drained) < n:
+        batch = broker.take(takes[step % len(takes)], timeout_s=0.05)
+        assert batch, "queue emptied before every request was seen"
+        drained.extend(r.request_id for r in batch)
+        step += 1
+    assert drained == list(range(n))
+    assert broker.depth == 0
+    assert broker.take(1, timeout_s=0.0) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_random_submit_take_interleaving_invariants(seed):
+    """A seeded random schedule of submits and takes: depth always equals
+    submitted - taken, FIFO order holds across interleavings."""
+    import random
+
+    rng = random.Random(seed)
+    broker = RequestBroker(capacity=64)
+    next_id = 0
+    taken = []
+    for _ in range(rng.randint(5, 40)):
+        if rng.random() < 0.6 and next_id < 64:
+            broker.submit(_request(next_id))
+            next_id += 1
+        else:
+            taken.extend(
+                r.request_id for r in broker.take(rng.randint(1, 4), timeout_s=0.0)
+            )
+        assert broker.depth == next_id - len(taken)
+    assert taken == list(range(len(taken)))  # FIFO prefix, no holes
+
+
+def test_retried_request_jumps_the_fifo_on_release():
+    """A backoff release re-enters at the head: the fault already cost
+    the request one pass through the queue."""
+    broker = RequestBroker(
+        capacity=4, retry=RetryPolicy(base_delay_s=0.005, max_delay_s=0.01)
+    )
+    broker.submit(_request(1))
+    broker.submit(_request(2))
+    (head,) = broker.take(1, timeout_s=0.1)
+    assert head.request_id == 1
+    head.attempts = 1
+    delay = broker.requeue(head)
+    time.sleep(delay + 0.01)  # let the backoff release before taking
+    batch = broker.take(2, timeout_s=1.0)
+    assert [r.request_id for r in batch] == [1, 2]
+
+
+# -------------------------------------------------------------- wait_for_depth
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    present=st.integers(min_value=0, max_value=6),
+    want=st.integers(min_value=1, max_value=6),
+)
+def test_wait_for_depth_never_returns_early(present, want):
+    """The contract: return only once depth >= n, the broker closed, or
+    the deadline passed — and report the depth actually present."""
+    broker = RequestBroker(capacity=16)
+    for i in range(present):
+        broker.submit(_request(i))
+    window_s = 0.05
+    t0 = time.monotonic()
+    depth = broker.wait_for_depth(want, deadline_s=broker.clock() + window_s)
+    elapsed = time.monotonic() - t0
+    assert depth == present
+    if present < want:
+        # Neither satisfied nor closed: the full window must elapse.
+        assert elapsed >= window_s * 0.8
+    else:
+        assert elapsed < window_s  # satisfied depth returns without waiting
+
+
+def test_wait_for_depth_wakes_on_submit_and_close():
+    broker = RequestBroker(capacity=8)
+
+    def submit_later():
+        time.sleep(0.02)
+        broker.submit(_request(1))
+
+    thread = threading.Thread(target=submit_later)
+    thread.start()
+    t0 = time.monotonic()
+    depth = broker.wait_for_depth(1, deadline_s=broker.clock() + 5.0)
+    elapsed = time.monotonic() - t0
+    thread.join()
+    assert depth >= 1
+    assert elapsed < 4.0  # woke on the submit, not the faraway deadline
+
+    def close_later():
+        time.sleep(0.02)
+        broker.close()
+
+    thread = threading.Thread(target=close_later)
+    thread.start()
+    depth = broker.wait_for_depth(50, deadline_s=broker.clock() + 5.0)
+    thread.join()
+    assert broker.closed
+    assert depth == 1  # the one queued request, reported at close

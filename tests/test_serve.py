@@ -465,3 +465,68 @@ def test_metrics_snapshot_with_no_observations():
     metrics = Metrics()
     assert metrics.counter("never_incremented") == 0
     assert metrics.gauge("never_set") == 0.0
+
+
+def test_single_observation_histogram_summary_is_degenerate():
+    """One observation: every statistic collapses to that value — the
+    shape the trace report must render without dividing by zero."""
+    hist = Histogram()
+    hist.observe(0.25)
+    summary = hist.summary()
+    assert summary["count"] == 1
+    for key in ("mean", "min", "max", "p50", "p95"):
+        assert summary[key] == pytest.approx(0.25)
+
+
+def test_cli_formatters_survive_missing_histograms():
+    """serve-bench's table renderers on a run that observed nothing
+    (zero requests): placeholders, not TypeError on None quantiles."""
+    from repro.cli import _hist, _quantile_ms
+
+    assert _quantile_ms({}, "latency_s", "p50") == "-"
+    assert _quantile_ms({"histograms": {}}, "latency_s", "p95") == "-"
+    empty = _hist({"histograms": {}}, "latency_s")
+    assert empty["count"] == 0 and empty["p50"] is None
+    # Zero-count summaries pass through unchanged...
+    zero = {"histograms": {"latency_s": Histogram().summary()}}
+    assert _quantile_ms(zero, "latency_s", "p50") == "-"
+    # ...and real observations still format as milliseconds.
+    populated = {"histograms": {"latency_s": {"p50": 0.125}}}
+    assert _quantile_ms(populated, "latency_s", "p50") == "125 ms"
+
+
+def test_artifact_cache_eviction_stress_with_concurrent_get_put():
+    """Eviction under contention: capacity far below the key set while
+    8 threads mix get/put/get_or_build.  The LRU bound, the counters and
+    the returned values must all stay coherent."""
+    capacity, n_keys, n_threads, ops = 4, 32, 8, 300
+    cache = ArtifactCache(capacity=capacity)
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def churn(worker):
+        barrier.wait()
+        try:
+            for op in range(ops):
+                key = ("artifact", (worker * 7 + op * 3) % n_keys)
+                if op % 3 == 0:
+                    cache.put(key, ("put", key))
+                elif op % 3 == 1:
+                    value = cache.get(key)
+                    assert value is None or value[1] == key
+                else:
+                    value = cache.get_or_build(key, lambda k=key: ("built", k))
+                    assert value[1] == key
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    _join_all(_start_threads(n_threads, churn))
+    assert not errors
+    assert len(cache) <= capacity  # the LRU bound holds under churn
+    snap = cache.snapshot()
+    assert snap["evictions"] > 0
+    assert snap["hits"] + snap["misses"] == cache.stats.lookups
+    assert 0.0 <= snap["hit_rate"] <= 1.0
+    # Survivors are still readable and correct after the storm.
+    for key in list(cache._entries):
+        assert cache.get(key)[1] == key
