@@ -1,0 +1,112 @@
+"""Runtime chaos-recovery sweep: supervised fleet vs injected failures.
+
+Where ``bench_verifylab_campaign.py`` strikes the simulated *device*
+(SEU bursts), this bench strikes the *runtime*: seeded worker crashes
+mid-batch, injected executor exceptions and clock skew, served by a
+supervised :class:`repro.serve.FleetService`.  Three scenarios of
+increasing hostility regenerate the recovery table; the floors asserted
+here — at least 99% of admitted requests reach a terminal response in
+every scenario, at least one worker restart is actually exercised, and
+every ok answer still matches the differential oracle's reference — are
+the claims the CI chaos artifact documents.
+
+Crash injection runs at rate 1.0 under a fixed budget, so the injected
+fault *counts* are exact per seed regardless of thread scheduling.
+"""
+
+from _util import show
+
+from repro.verifylab import run_chaos_campaign
+
+#: Minimum fraction of admitted requests that must reach a terminal
+#: response (ok / failed / expired) in every chaos scenario.
+TERMINAL_FLOOR = 0.99
+
+#: The swept hostility axis.
+SCENARIOS = [
+    {
+        "name": "crash",
+        "kwargs": dict(crash_rate=1.0, max_crashes=2, exec_error_rate=0.0),
+    },
+    {
+        "name": "crash+exec",
+        "kwargs": dict(
+            crash_rate=1.0,
+            max_crashes=2,
+            exec_error_rate=0.35,
+            max_exec_errors=4,
+        ),
+    },
+    {
+        "name": "crash+exec+skew",
+        "kwargs": dict(
+            crash_rate=1.0,
+            max_crashes=2,
+            exec_error_rate=0.35,
+            max_exec_errors=4,
+            clock_skew_s=0.002,
+        ),
+    },
+]
+
+
+def _run_all():
+    return [
+        {
+            "name": scenario["name"],
+            "report": run_chaos_campaign(
+                requests=32, seed=0, workers=3, **scenario["kwargs"]
+            ),
+        }
+        for scenario in SCENARIOS
+    ]
+
+
+def test_chaos_recovery_floor(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    header = (
+        f"{'scenario':<18}{'crashes':>8}{'faults':>7}{'restarts':>9}"
+        f"{'redeliv':>8}{'terminal':>9}{'rate':>7}{'integrity':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        report = result["report"]
+        chaos = report["chaos"]
+        recovery = report["recovery"]
+        integrity = report["integrity"]
+        lines.append(
+            f"{result['name']:<18}{chaos['crashes_injected']:>8}"
+            f"{chaos['exec_errors_injected']:>7}"
+            f"{recovery['worker_restarts']:>9}"
+            f"{recovery['requests_redelivered']:>8}"
+            f"{report['terminal']:>6}/{report['admitted']:<2}"
+            f"{report['terminal_rate'] * 100:>6.0f}%"
+            f"{integrity['matching']:>6}/{integrity['checked']:<4}"
+        )
+    show("Chaos campaign: runtime-fault recovery under supervision", "\n".join(lines))
+
+    for result in results:
+        report = result["report"]
+        name = result["name"]
+        # Every scenario actually exercised the crash-restart path.
+        assert report["chaos"]["crashes_injected"] >= 1, name
+        assert report["recovery"]["worker_restarts"] >= 1, name
+        assert report["recovery"]["requests_redelivered"] >= 1, name
+        # The headline floor: admitted work reaches a terminal answer.
+        assert report["terminal_rate"] >= TERMINAL_FLOOR, name
+        # And nothing served after a crash or retry is wrong.
+        integrity = report["integrity"]
+        assert integrity["matching"] == integrity["checked"], name
+        assert not integrity["mismatches"], name
+        assert report["ok"], name
+
+    benchmark.extra_info.update(
+        {
+            f"terminal_rate_{r['name']}": round(r["report"]["terminal_rate"], 4)
+            for r in results
+        }
+    )
+    benchmark.extra_info["restarts_total"] = sum(
+        r["report"]["recovery"]["worker_restarts"] for r in results
+    )

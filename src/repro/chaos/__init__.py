@@ -1,0 +1,188 @@
+"""Deterministic chaos injection for the fleet runtime.
+
+The verifylab campaigns strike the *device* (SEU bursts in configuration
+memory); this package strikes the *runtime* — the failure modes an
+intermittently powered field deployment actually sees:
+
+* **Worker crashes mid-batch** — :class:`ChaosMonkey.on_batch` raises
+  :class:`WorkerCrash` (a ``BaseException``, so the worker's defensive
+  ``except Exception`` around the executor cannot swallow it) after the
+  batch was taken from the broker but before it executed, killing the
+  worker thread with the batch in flight.  The supervisor must restore
+  the requests and rebuild the worker.
+* **Executor exceptions** — :class:`ChaosMonkey.on_execute` raises
+  :class:`ChaosExecutorError` inside the worker's defensive try, driving
+  the failed-batch path and, repeated, the circuit breaker.
+* **Clock skew** — :meth:`ChaosMonkey.skewed_clock` wraps a base clock
+  with a seeded bounded random walk (monotonicity preserved), jittering
+  every deadline, backoff and heartbeat computation at once.
+
+All injection decisions come from one seeded RNG with per-mode budgets,
+so a campaign's fault *counts* are exactly reproducible even though
+thread scheduling decides which worker draws each strike.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+class WorkerCrash(BaseException):
+    """Injected worker-thread death.  Deliberately a ``BaseException``:
+    it must escape the worker's defensive ``except Exception`` and kill
+    the thread the way a real crash would."""
+
+
+class ChaosExecutorError(RuntimeError):
+    """Injected executor failure (caught by the worker's defensive path)."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One seeded chaos schedule."""
+
+    seed: int = 0
+    #: Probability a taken batch kills its worker thread.
+    crash_rate: float = 0.0
+    #: Probability a batch's execution raises :class:`ChaosExecutorError`.
+    exec_error_rate: float = 0.0
+    #: Peak absolute clock-skew walk amplitude, seconds (0 disables).
+    clock_skew_s: float = 0.0
+    #: Budget caps so a campaign terminates even at rate 1.0.
+    max_crashes: Optional[int] = None
+    max_exec_errors: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "exec_error_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.clock_skew_s < 0:
+            raise ValueError(f"clock skew must be >= 0, got {self.clock_skew_s}")
+        for name in ("max_crashes", "max_exec_errors"):
+            cap = getattr(self, name)
+            if cap is not None and cap < 0:
+                raise ValueError(f"{name} must be >= 0, got {cap}")
+
+
+class ChaosMonkey:
+    """Seeded fault source the worker loop consults at its injection seams.
+
+    Thread-safe: one RNG behind one lock, so the *sequence* of injection
+    decisions is deterministic per seed (which worker draws each decision
+    follows thread scheduling, but counts and budgets are exact).
+    """
+
+    def __init__(self, config: Optional[ChaosConfig] = None, **kwargs):
+        self.config = config or ChaosConfig(**kwargs)
+        self._rng = random.Random(self.config.seed)
+        self._lock = threading.Lock()
+        self.crashes_injected = 0
+        self.exec_errors_injected = 0
+
+    # ------------------------------------------------------------- injection
+
+    def on_batch(self, worker_id: int, batch) -> None:
+        """Called by the worker after taking a batch, before executing it.
+
+        Raises
+        ------
+        WorkerCrash
+            With probability ``crash_rate`` while the crash budget lasts.
+        """
+        config = self.config
+        if config.crash_rate <= 0.0:
+            return
+        with self._lock:
+            if (
+                config.max_crashes is not None
+                and self.crashes_injected >= config.max_crashes
+            ):
+                return
+            if self._rng.random() >= config.crash_rate:
+                return
+            self.crashes_injected += 1
+            count = self.crashes_injected
+        raise WorkerCrash(
+            f"chaos: worker {worker_id} crashed on batch {batch.batch_id} "
+            f"(crash #{count})"
+        )
+
+    def on_execute(self, worker_id: int, batch) -> None:
+        """Called inside the worker's defensive try, before the executor.
+
+        Raises
+        ------
+        ChaosExecutorError
+            With probability ``exec_error_rate`` while the budget lasts.
+        """
+        config = self.config
+        if config.exec_error_rate <= 0.0:
+            return
+        with self._lock:
+            if (
+                config.max_exec_errors is not None
+                and self.exec_errors_injected >= config.max_exec_errors
+            ):
+                return
+            if self._rng.random() >= config.exec_error_rate:
+                return
+            self.exec_errors_injected += 1
+            count = self.exec_errors_injected
+        raise ChaosExecutorError(
+            f"chaos: executor fault on worker {worker_id} batch {batch.batch_id} "
+            f"(fault #{count})"
+        )
+
+    # ------------------------------------------------------------ clock skew
+
+    def skewed_clock(self, base: Callable[[], float]) -> Callable[[], float]:
+        """Wrap ``base`` with a seeded bounded-random-walk offset.
+
+        The walk is clamped to ``±clock_skew_s`` and the returned clock is
+        forced non-decreasing (a monotonic clock that runs backwards would
+        break the broker's condition waits, which is not the failure mode
+        under test — deadline/backoff *jitter* is).
+        """
+        skew_cap = self.config.clock_skew_s
+        if skew_cap <= 0.0:
+            return base
+        rng = random.Random(self.config.seed ^ 0x5EED)
+        state = {"skew": 0.0, "last": None}
+        lock = threading.Lock()
+
+        def skewed() -> float:
+            with lock:
+                step = rng.uniform(-skew_cap / 8.0, skew_cap / 8.0)
+                state["skew"] = max(-skew_cap, min(skew_cap, state["skew"] + step))
+                value = base() + state["skew"]
+                if state["last"] is not None and value < state["last"]:
+                    value = state["last"]
+                state["last"] = value
+                return value
+
+        return skewed
+
+    # ------------------------------------------------------------- reporting
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "seed": self.config.seed,
+                "crash_rate": self.config.crash_rate,
+                "exec_error_rate": self.config.exec_error_rate,
+                "clock_skew_s": self.config.clock_skew_s,
+                "crashes_injected": self.crashes_injected,
+                "exec_errors_injected": self.exec_errors_injected,
+            }
+
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosExecutorError",
+    "ChaosMonkey",
+    "WorkerCrash",
+]

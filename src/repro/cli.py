@@ -13,6 +13,7 @@ Exposes the headline analyses as subcommands::
     repro verifylab fuzz        # scenario fuzzing with shrinking
     repro verifylab campaign    # SEU fault campaign with JSON report
     repro verifylab golden      # golden-trace check / refresh
+    repro chaos                 # runtime chaos campaign (crashes, skew)
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -289,6 +290,61 @@ def _cmd_verifylab_campaign(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.verifylab import run_chaos_campaign, write_report
+
+    report = run_chaos_campaign(
+        requests=args.requests,
+        seed=args.seed,
+        workers=args.workers,
+        crash_rate=args.crash_rate,
+        exec_error_rate=args.exec_error_rate,
+        clock_skew_s=args.clock_skew,
+        max_crashes=args.max_crashes,
+        max_attempts=args.max_attempts,
+    )
+    if args.out:
+        write_report(report, args.out)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        recovery = report["recovery"]
+        integrity = report["integrity"]
+        print(
+            f"chaos: seed {args.seed}, {args.workers} workers, "
+            f"{report['chaos']['crashes_injected']} crashes, "
+            f"{report['chaos']['exec_errors_injected']} executor faults, "
+            f"clock skew {args.clock_skew} s"
+        )
+        print(
+            f"admitted {report['admitted']}  terminal {report['terminal']} "
+            f"({report['terminal_rate'] * 100:.1f}%)  "
+            f"ok/failed/expired {report['responses']['ok']}/"
+            f"{report['responses']['failed']}/{report['responses']['expired']}"
+        )
+        print(
+            f"restarts {recovery['worker_restarts']}  "
+            f"redelivered {recovery['requests_redelivered']}  "
+            f"breaker trips {recovery['breaker_trips']}  "
+            f"retries {recovery['requests_retried']}"
+        )
+        print(
+            f"integrity: {integrity['matching']}/{integrity['checked']} "
+            f"ok responses match the oracle reference"
+        )
+    if report["terminal_rate"] < args.min_terminal:
+        print(
+            f"FAIL: terminal rate {report['terminal_rate']:.4f} below "
+            f"floor {args.min_terminal}",
+            file=sys.stderr,
+        )
+        return 1
+    if report["integrity"]["matching"] != report["integrity"]["checked"]:
+        print("FAIL: post-recovery integrity mismatch", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_verifylab_golden(args: argparse.Namespace) -> int:
     from repro.verifylab import CANONICAL_SEEDS, check_golden, write_golden
 
@@ -410,6 +466,28 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--update", action="store_true", help="re-freeze the traces")
     v.add_argument("--dir", default=None, help="trace directory (default tests/golden)")
     v.set_defaults(func=_cmd_verifylab_golden)
+
+    p = sub.add_parser(
+        "chaos", help="runtime chaos campaign: crashes, executor faults, clock skew"
+    )
+    p.add_argument("--requests", type=int, default=48)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=3)
+    p.add_argument("--crash-rate", type=float, default=1.0,
+                   help="probability a taken batch kills its worker (budget-capped)")
+    p.add_argument("--exec-error-rate", type=float, default=0.25,
+                   help="probability a batch's execution raises an injected fault")
+    p.add_argument("--clock-skew", type=float, default=0.0,
+                   help="peak clock-skew walk amplitude in seconds")
+    p.add_argument("--max-crashes", type=int, default=3,
+                   help="crash budget (makes rate 1.0 terminate)")
+    p.add_argument("--max-attempts", type=int, default=3)
+    p.add_argument("--min-terminal", type=float, default=0.99,
+                   help="floor on the fraction of admitted requests reaching "
+                        "a terminal response")
+    p.add_argument("--json", action="store_true", help="emit the full JSON report")
+    p.add_argument("--out", help="also write the JSON report to this path")
+    p.set_defaults(func=_cmd_chaos)
     return parser
 
 

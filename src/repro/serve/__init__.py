@@ -21,6 +21,14 @@ ones the reconfiguration literature points at:
   batch kernels instead of looping per request; results are
   bit-identical to the scalar engine.
 
+* **Supervision** (:mod:`repro.serve.supervisor`) — the runtime survives
+  its own component death the way the paper's device survives bit flips:
+  per-worker heartbeats with crash restart (in-flight requests
+  re-delivered, systems rebuilt from the shared cache), per-worker
+  circuit breakers quarantining a persistently faulting executor, and
+  overload shedding (expired requests answered at batch assembly, doomed
+  submits rejected early).  Chaos-tested by :mod:`repro.chaos`.
+
 The remaining pieces: :mod:`repro.serve.requests` (request/response model,
 bounded FIFO broker with deadlines, backpressure and exponential-backoff
 retry on transient device faults), :mod:`repro.serve.pool` (thread-based
@@ -44,18 +52,27 @@ from repro.serve.requests import (
     BrokerFullError,
     MeasurementRequest,
     MeasurementResponse,
+    OverloadShedError,
     RequestBroker,
     RetryPolicy,
     TransientDeviceFault,
 )
+from repro.serve.supervisor import (
+    AdmissionController,
+    CircuitBreaker,
+    SupervisorConfig,
+    WorkerSupervisor,
+)
 
 __all__ = [
+    "AdmissionController",
     "ArtifactCache",
     "Batch",
     "BatchExecutor",
     "BatchScheduler",
     "BrokerFullError",
     "CachingBitstreamGenerator",
+    "CircuitBreaker",
     "Counter",
     "ENGINES",
     "FleetService",
@@ -64,9 +81,12 @@ __all__ = [
     "MeasurementRequest",
     "MeasurementResponse",
     "Metrics",
+    "OverloadShedError",
     "RequestBroker",
     "RetryPolicy",
     "STANDARD_PIPELINE",
+    "SupervisorConfig",
     "TransientDeviceFault",
+    "WorkerSupervisor",
     "synthetic_load",
 ]

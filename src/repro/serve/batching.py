@@ -78,6 +78,7 @@ class BatchScheduler:
         window_s: float = 0.0,
         metrics: Optional[Metrics] = None,
         tracer: Optional[Tracer] = None,
+        on_expired: Optional[Callable[[List[MeasurementResponse]], None]] = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -88,6 +89,10 @@ class BatchScheduler:
         self.window_s = window_s
         self.metrics = metrics or Metrics()
         self.tracer = tracer or NULL_TRACER
+        #: Load shedding: with a delivery callback set, requests that are
+        #: already expired when a batch is assembled are answered here —
+        #: they never reach a device or count against a batch.
+        self.on_expired = on_expired
         self._next_id = 0
         self._id_lock = threading.Lock()
 
@@ -110,6 +115,10 @@ class BatchScheduler:
         )
         if not taken:
             return None
+        if self.on_expired is not None:
+            taken = self._shed_expired(taken)
+            if not taken:
+                return None  # every taken request had already expired
         taken_at = self.broker.clock()
         batch = Batch(self._allocate_id(), taken[0].pipeline, taken)
         if self.tracer.enabled:
@@ -130,6 +139,32 @@ class BatchScheduler:
         self.metrics.inc("batches_formed")
         self.metrics.observe("batch_size", batch.size)
         return batch
+
+    def _shed_expired(
+        self, taken: List[MeasurementRequest]
+    ) -> List[MeasurementRequest]:
+        """Answer already-expired requests now, return the live rest."""
+        now = self.broker.clock()
+        live = [r for r in taken if not r.expired(now)]
+        if len(live) == len(taken):
+            return taken
+        expired = [r for r in taken if r.expired(now)]
+        self.metrics.inc("requests_expired", len(expired))
+        self.metrics.inc("requests_shed_expired", len(expired))
+        self.on_expired(
+            [
+                MeasurementResponse(
+                    request_id=r.request_id,
+                    tank_id=r.tank_id,
+                    status=STATUS_EXPIRED,
+                    latency_s=max(0.0, now - r.submitted_at),
+                    attempts=r.attempts,
+                    error="deadline exceeded at batch assembly (shed)",
+                )
+                for r in expired
+            ]
+        )
+        return live
 
 
 class TankSession:

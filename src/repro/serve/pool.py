@@ -10,8 +10,12 @@ generated once for the whole fleet, and one
 follows it whichever worker serves it.
 
 :class:`FleetService` is the facade: submit requests (bounded, with
-backpressure), await responses, read a metrics snapshot, shut down
-gracefully (drain) or immediately.
+backpressure and overload shedding), await responses, read a metrics
+snapshot, shut down gracefully (drain) or immediately.  With supervision
+enabled (the default) a :class:`repro.serve.supervisor.WorkerSupervisor`
+heartbeat-checks the pool, restarts workers whose thread died mid-batch
+(re-delivering their in-flight requests) and circuit-breaks workers whose
+executor keeps faulting.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from repro.fabric.faults import ConfigurationMemory
 from repro.reconfig.controller import ReconfigController
 from repro.reconfig.ports import ConfigPort, Icap
 from repro.serve.batching import (
+    Batch,
     BatchExecutor,
     BatchScheduler,
     FaultInjector,
@@ -37,8 +42,15 @@ from repro.serve.requests import (
     BrokerFullError,
     MeasurementRequest,
     MeasurementResponse,
+    OverloadShedError,
     RequestBroker,
     RetryPolicy,
+)
+from repro.serve.supervisor import (
+    AdmissionController,
+    CircuitBreaker,
+    SupervisorConfig,
+    WorkerSupervisor,
 )
 from repro.trace.tracer import NULL_TRACER, Tracer
 
@@ -63,6 +75,9 @@ class FleetWorker(threading.Thread):
         deliver: Callable[[List[MeasurementResponse]], None],
         metrics: Metrics,
         poll_s: Optional[float] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        admission: Optional[AdmissionController] = None,
+        chaos=None,
     ):
         super().__init__(name=f"fleet-worker-{worker_id}", daemon=True)
         self.worker_id = worker_id
@@ -72,11 +87,20 @@ class FleetWorker(threading.Thread):
         self.deliver = deliver
         self.metrics = metrics
         self.poll_s = poll_s
+        self.breaker = breaker
+        self.admission = admission
+        self.chaos = chaos
         self.energy_j = 0.0
         self.device_time_s = 0.0
         self.requests_served = 0
         self.batches_executed = 0
         self._halt = threading.Event()
+        #: Supervision state: last loop heartbeat (on the broker clock),
+        #: the batch taken but not yet fully delivered, and the exception
+        #: that killed the serving loop (None on a normal exit).
+        self.last_heartbeat = broker.clock()
+        self.current_batch: Optional[Batch] = None
+        self.failure: Optional[BaseException] = None
 
     @property
     def system(self) -> FpgaReconfigSystem:
@@ -87,33 +111,53 @@ class FleetWorker(threading.Thread):
         self._halt.set()
 
     def run(self) -> None:  # pragma: no cover - exercised via FleetService
+        try:
+            self._serve_loop()
+        except BaseException as exc:  # crash: recorded for the supervisor
+            self.failure = exc
+            self.metrics.inc("worker_crashes")
+
+    def _serve_loop(self) -> None:
+        clock = self.broker.clock
         while not self._halt.is_set():
+            self.last_heartbeat = clock()
+            if self.breaker is not None and not self.breaker.allow():
+                # Quarantined: sit out the cooldown without taking batches
+                # (short waits keep shutdown responsive).
+                self.metrics.inc("worker_quarantine_waits")
+                if self.broker.closed and self.broker.depth == 0:
+                    break
+                self._halt.wait(
+                    min(0.05, max(0.001, self.breaker.cooldown_remaining_s()))
+                )
+                continue
             batch = self.scheduler.next_batch(timeout_s=self.poll_s)
             if batch is None:
                 self.metrics.inc("worker_idle_wakeups")
                 if self.broker.closed and self.broker.depth == 0:
                     break
                 continue
+            self.current_batch = batch
+            self.last_heartbeat = clock()
+            if self.chaos is not None:
+                # May raise WorkerCrash (a BaseException): the thread dies
+                # with the batch in flight and the supervisor takes over.
+                self.chaos.on_batch(self.worker_id, batch)
+            started = time.perf_counter()
             try:
+                if self.chaos is not None:
+                    self.chaos.on_execute(self.worker_id, batch)
                 outcome = self.executor.execute(batch, worker=self.worker_id)
             except Exception as exc:  # defensive: never strand a batch
-                self.metrics.inc("worker_errors")
-                self.deliver(
-                    [
-                        MeasurementResponse(
-                            request_id=r.request_id,
-                            tank_id=r.tank_id,
-                            status=STATUS_FAILED,
-                            attempts=r.attempts,
-                            worker=self.worker_id,
-                            batch_id=batch.batch_id,
-                            batch_size=batch.size,
-                            error=f"worker error: {exc}",
-                        )
-                        for r in batch.requests
-                    ]
-                )
+                self._handle_failed_batch(batch, exc)
+                self.current_batch = None
                 continue
+            wall_s = time.perf_counter() - started
+            if self.breaker is not None:
+                self.breaker.record_success()
+            if self.admission is not None:
+                self.admission.observe_batch(batch.size, wall_s)
+            self.metrics.observe("batch_exec_s", wall_s)
             for request in outcome.retries:
                 delay = self.broker.requeue(request)
                 self.metrics.inc("requests_retried")
@@ -123,6 +167,45 @@ class FleetWorker(threading.Thread):
             self.requests_served += sum(1 for r in outcome.responses if r.ok)
             self.batches_executed += 1
             self.deliver(outcome.responses)
+            self.current_batch = None
+
+    def _handle_failed_batch(self, batch: Batch, exc: Exception) -> None:
+        """A batch whose execution raised: count it against the breaker,
+        retry requests with attempt budget left, fail the rest with their
+        *real* submit→respond latency (the pre-fix code delivered
+        ``latency_s=0.0``, dragging the latency histogram's p50 down)."""
+        self.metrics.inc("worker_errors")
+        if self.breaker is not None:
+            self.breaker.record_failure()
+        now = self.broker.clock()
+        failed: List[MeasurementResponse] = []
+        for request in batch.requests:
+            # The failed batch consumed (at least) one attempt.  Executor
+            # exceptions can strike before or after ``execute`` increments
+            # the counter, so this may overcount by one — the safe
+            # direction: budgets shrink, retry loops always terminate.
+            request.attempts += 1
+            if request.attempts < request.max_attempts:
+                delay = self.broker.requeue(request)
+                self.metrics.inc("requests_retried")
+                self.metrics.observe("retry_backoff_s", delay)
+                continue
+            failed.append(
+                MeasurementResponse(
+                    request_id=request.request_id,
+                    tank_id=request.tank_id,
+                    status=STATUS_FAILED,
+                    latency_s=max(0.0, now - request.submitted_at),
+                    attempts=request.attempts,
+                    worker=self.worker_id,
+                    batch_id=batch.batch_id,
+                    batch_size=batch.size,
+                    error=f"worker error: {exc}",
+                )
+            )
+        if failed:
+            self.metrics.inc("requests_failed", len(failed))
+            self.deliver(failed)
 
     def accounting(self) -> Dict[str, float]:
         """Per-worker power/energy bookkeeping."""
@@ -163,6 +246,9 @@ class FleetService:
         fault_injector: Optional[FaultInjector] = None,
         engine: str = "scalar",
         tracer: Optional[Tracer] = None,
+        supervise: bool = True,
+        supervisor_config: Optional[SupervisorConfig] = None,
+        chaos=None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -170,6 +256,8 @@ class FleetService:
         self.clock = clock
         self.metrics = Metrics()
         self.tracer = tracer or NULL_TRACER
+        self.supervisor_config = supervisor_config or SupervisorConfig()
+        self.chaos = chaos
         self.cache = cache or ArtifactCache()
         if self.tracer.enabled and self.cache.tracer is None:
             # Attach before the workers are built: bitstream generation
@@ -186,6 +274,10 @@ class FleetService:
             window_s=window_s,
             metrics=self.metrics,
             tracer=self.tracer,
+            # Graceful degradation under overload: requests that expired
+            # while queued are answered at batch-assembly time instead of
+            # occupying a device slot.
+            on_expired=self._deliver if self.supervisor_config.shed_expired else None,
         )
         self.config = config or SystemConfig()
         self.tanks = TankStateStore(
@@ -199,70 +291,111 @@ class FleetService:
             self.fault_injector = (
                 FaultInjector(fault_rate, seed=seed) if fault_rate > 0 else None
             )
+        self._port_factory = port_factory
+        self.admission = (
+            AdmissionController(workers, alpha=self.supervisor_config.admission_alpha)
+            if self.supervisor_config.shed_early
+            else None
+        )
         self.workers: List[FleetWorker] = []
         for worker_id in range(workers):
-            config_memory = ConfigurationMemory()
-            system = FpgaReconfigSystem(
-                config=self.config,
-                port=port_factory(),
-                controller_factory=lambda floorplan, port, mem=config_memory: ReconfigController(
-                    floorplan,
-                    port,
-                    generator=CachingBitstreamGenerator(floorplan.device, self.cache),
-                    config_memory=mem,
-                ),
-            )
-            executor = BatchExecutor(
-                system,
-                self.tanks,
-                stage_major=batched,
-                fault_injector=self.fault_injector,
-                metrics=self.metrics,
-                clock=clock,
-                engine=engine,
-                tracer=self.tracer,
-            )
-            self.workers.append(
-                FleetWorker(
-                    worker_id,
-                    self.scheduler,
-                    self.broker,
-                    executor,
-                    self._deliver,
-                    self.metrics,
-                )
-            )
+            self.workers.append(self.build_worker(worker_id))
+        self.supervisor: Optional[WorkerSupervisor] = (
+            WorkerSupervisor(self, self.supervisor_config) if supervise else None
+        )
         self._responses: List[MeasurementResponse] = []
         self._done = threading.Condition()
+        self._state_lock = threading.Lock()
         self._started = False
         self._start_time: Optional[float] = None
         self._stop_time: Optional[float] = None
 
+    def build_worker(self, worker_id: int) -> FleetWorker:
+        """Build one worker around a fresh simulated system.
+
+        Also the supervisor's restart path: the replacement's
+        ``FpgaReconfigSystem`` rebuilds its bitstreams and slot
+        implementations through the shared :class:`ArtifactCache`, so a
+        restart costs cache rehydration, not regeneration.
+        """
+        config_memory = ConfigurationMemory()
+        system = FpgaReconfigSystem(
+            config=self.config,
+            port=self._port_factory(),
+            controller_factory=lambda floorplan, port, mem=config_memory: ReconfigController(
+                floorplan,
+                port,
+                generator=CachingBitstreamGenerator(floorplan.device, self.cache),
+                config_memory=mem,
+            ),
+        )
+        executor = BatchExecutor(
+            system,
+            self.tanks,
+            stage_major=self.batched,
+            fault_injector=self.fault_injector,
+            metrics=self.metrics,
+            clock=self.clock,
+            engine=self.engine,
+            tracer=self.tracer,
+        )
+        return FleetWorker(
+            worker_id,
+            self.scheduler,
+            self.broker,
+            executor,
+            self._deliver,
+            self.metrics,
+            breaker=CircuitBreaker(
+                threshold=self.supervisor_config.breaker_threshold,
+                cooldown_s=self.supervisor_config.breaker_cooldown_s,
+                clock=self.clock,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                name=f"worker-{worker_id}",
+            ),
+            admission=self.admission,
+            chaos=self.chaos,
+        )
+
     # ----------------------------------------------------------- lifecycle
 
     def start(self) -> "FleetService":
-        """Start the worker threads (idempotent); returns self."""
+        """Start the worker threads and the supervisor (idempotent);
+        returns self."""
         if not self._started:
             self._started = True
-            self._start_time = self.clock()
+            with self._state_lock:
+                if self._start_time is None:
+                    self._start_time = self.clock()
             for worker in self.workers:
-                worker.start()
+                # A supervisor restart may already have started a
+                # replacement worker before the service itself started.
+                if worker.ident is None:
+                    worker.start()
+            if self.supervisor is not None:
+                self.supervisor.start()
         return self
 
     def shutdown(self, drain: bool = True, timeout_s: float = 30.0) -> bool:
         """Stop the pool; with ``drain`` the queue is served to empty
         first, otherwise queued requests are abandoned.  Returns True when
-        every worker exited within the timeout."""
+        every worker exited within the timeout.  All timing runs on the
+        injected service clock so fake-clock tests control the timeout."""
+        if self.supervisor is not None:
+            # Stop supervision first: workers exiting on the closed broker
+            # below must not be mistaken for crashes and restarted.
+            self.supervisor.stop()
         self.broker.close()
         if not drain:
             for worker in self.workers:
                 worker.stop()
-        deadline = time.monotonic() + timeout_s
+        deadline = self.clock() + timeout_s
         clean = True
         for worker in self.workers:
             if not worker.is_alive():
                 continue
-            worker.join(max(0.0, deadline - time.monotonic()))
+            worker.join(max(0.0, deadline - self.clock()))
             clean = clean and not worker.is_alive()
         self._stop_time = self.clock()
         return clean
@@ -274,11 +407,29 @@ class FleetService:
 
         Raises
         ------
+        OverloadShedError
+            Early shed: the estimated queue delay already exceeds the
+            request's deadline budget (only for not-yet-expired deadlines,
+            and only once the admission controller has observed service
+            times — a cold service never sheds).
         BrokerFullError
             Backpressure: the queue is full; retry after the hinted delay.
         """
-        if self._start_time is None:
-            self._start_time = self.clock()
+        with self._state_lock:
+            # Guarded check-then-set: two racing first submits must not
+            # both write the epoch (the later one would shrink ``elapsed``
+            # and inflate every derived rate).
+            if self._start_time is None:
+                self._start_time = self.clock()
+        if self.admission is not None and request.deadline_s is not None:
+            now = self.clock()
+            depth = self.broker.depth
+            if self.admission.should_shed(request.deadline_s, now, depth):
+                self.metrics.inc("requests_shed_early")
+                raise OverloadShedError(
+                    self.admission.estimated_delay_s(depth),
+                    request.deadline_s - now,
+                )
         self.broker.submit(request)
 
     def submit_many(
@@ -324,11 +475,12 @@ class FleetService:
 
     def await_responses(self, count: int, timeout_s: float = 30.0) -> bool:
         """Block until ``count`` terminal responses exist (True) or the
-        timeout elapses (False)."""
-        deadline = time.monotonic() + timeout_s
+        timeout elapses (False).  The timeout runs on the injected service
+        clock, so fake-clock tests control it."""
+        deadline = self.clock() + timeout_s
         with self._done:
             while len(self._responses) < count:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - self.clock()
                 if remaining <= 0:
                     return False
                 self._done.wait(remaining)
@@ -344,7 +496,13 @@ class FleetService:
         served = snap["counters"].get("requests_served", 0)
         energy = snap["gauges"].get("energy_j", 0.0)
         end = self._stop_time if self._stop_time is not None else self.clock()
-        elapsed = max(1e-9, (end - self._start_time) if self._start_time else 0.0)
+        with self._state_lock:
+            start = self._start_time
+        # No time base yet (nothing submitted or started): report zero
+        # throughput instead of dividing by an epsilon epoch — the pre-fix
+        # code turned a None start into elapsed=1e-9 and reported absurd
+        # requests_per_s.
+        elapsed = max(1e-9, end - start) if start is not None else 0.0
         reconfigs = snap["counters"].get("reconfigurations", 0)
         avoided = snap["counters"].get("reconfigurations_avoided", 0)
         snap["service"] = {
@@ -352,7 +510,7 @@ class FleetService:
             "engine": self.engine,
             "workers": len(self.workers),
             "elapsed_s": elapsed,
-            "requests_per_s": served / elapsed,
+            "requests_per_s": served / elapsed if elapsed > 0 else 0.0,
             "joules_per_request": energy / served if served else 0.0,
             "reconfigurations": reconfigs,
             "reconfigurations_avoided": avoided,
@@ -364,7 +522,22 @@ class FleetService:
             "submitted": self.broker.submitted,
             "rejected": self.broker.rejected,
             "requeued": self.broker.requeued,
+            "redelivered": self.broker.redelivered,
         }
+        snap["supervisor"] = (
+            self.supervisor.snapshot()
+            if self.supervisor is not None
+            else {"enabled": False}
+        )
+        snap["supervisor"]["breakers"] = {
+            w.worker_id: w.breaker.snapshot()
+            for w in self.workers
+            if w.breaker is not None
+        }
+        if self.admission is not None:
+            snap["supervisor"]["admission"] = self.admission.snapshot()
+        if self.chaos is not None:
+            snap["chaos"] = self.chaos.snapshot()
         snap["cache"] = self.cache.snapshot()
         if self.engine == "vector":
             from repro.kernels.cache import KERNEL_CACHE

@@ -48,6 +48,26 @@ class BrokerFullError(RuntimeError):
         self.retry_after_s = retry_after_s
 
 
+class OverloadShedError(BrokerFullError):
+    """Submit shed early: the estimated queue delay already exceeds the
+    request's deadline budget, so admitting it would only burn a queue
+    slot on a response that must expire.  Subclasses
+    :class:`BrokerFullError` so callers that treat backpressure as
+    "reject + retry later" (``submit_many``) handle shedding the same way.
+    """
+
+    def __init__(self, estimated_delay_s: float, deadline_budget_s: float):
+        RuntimeError.__init__(
+            self,
+            f"submit shed: estimated queue delay {estimated_delay_s:.3f} s exceeds "
+            f"the request's remaining deadline budget {deadline_budget_s:.3f} s",
+        )
+        self.capacity = 0
+        self.retry_after_s = max(0.0, estimated_delay_s)
+        self.estimated_delay_s = estimated_delay_s
+        self.deadline_budget_s = deadline_budget_s
+
+
 @dataclass
 class MeasurementRequest:
     """One level-measurement job for one tank of the fleet."""
@@ -158,6 +178,7 @@ class RequestBroker:
         self.submitted = 0
         self.rejected = 0
         self.requeued = 0
+        self.redelivered = 0
 
     @property
     def depth(self) -> int:
@@ -227,6 +248,26 @@ class RequestBroker:
             self._cond.notify()
         return delay
 
+    def restore(self, requests: List[MeasurementRequest]) -> None:
+        """Return undelivered in-flight requests to the head of the queue.
+
+        This is the supervisor's crash re-delivery path: a worker died
+        mid-batch, so its taken-but-unanswered requests re-enter at the
+        front (they already waited their FIFO turn once).  Bypasses both
+        the capacity bound and the closed flag — already-admitted work is
+        never dropped, and a drain shutdown must still serve it.
+        """
+        if not requests:
+            return
+        with self._cond:
+            now = self.clock()
+            for request in requests:
+                if self.tracer.enabled and request.trace is not None:
+                    request.trace.begin("queue", t0=now, redelivered=True)
+            self._queue.extendleft(reversed(list(requests)))
+            self.redelivered += len(requests)
+            self._cond.notify_all()
+
     def _release_delayed(self, now: float) -> None:
         ready = [r for r in self._delayed if r.not_before_s <= now]
         if ready:
@@ -266,7 +307,22 @@ class RequestBroker:
         rest of the queue is scanned and only requests for which
         ``match(head, candidate)`` holds ride along (FIFO order among the
         matches is preserved — this is how the batching scheduler groups
-        same-pipeline requests).  Returns ``[]`` on timeout or close.
+        same-pipeline requests).
+
+        Timing contract
+        ---------------
+        * ``timeout_s=None`` — **drain semantics**: block until a request
+          is available.  Requests sitting out a retry backoff count as
+          available-later: the call sleeps until the earliest backoff
+          release rather than returning empty, so a drain shutdown still
+          serves delayed retries before giving up.
+        * ``timeout_s >= 0`` — **timeout semantics**: return ``[]`` once
+          the deadline (``clock() + timeout_s``) passes, even when
+          backoff-delayed requests exist whose release is later than the
+          deadline.  The call never blocks — and never burns CPU — past
+          its deadline.
+
+        Returns ``[]`` on timeout or close.
         """
         if max_n < 1:
             raise ValueError(f"max_n must be >= 1, got {max_n}")
@@ -280,11 +336,18 @@ class RequestBroker:
                     # Checked before the closed flag: a drain shutdown must
                     # still serve requests sitting out a retry backoff
                     # (and a blocking take would otherwise spin on them).
-                    # Sleep at most until the earliest backoff release.
+                    # Sleep at most until the earliest backoff release —
+                    # but never past the caller's deadline: once that is
+                    # hit the timeout contract wins and we return empty
+                    # (the pre-fix code looped here at 100% CPU until a
+                    # backoff released).
+                    now = self.clock()
+                    if deadline is not None and deadline - now <= 0:
+                        return []
                     release = min(r.not_before_s for r in self._delayed)
-                    wait = release - self.clock()
+                    wait = release - now
                     if deadline is not None:
-                        wait = min(wait, deadline - self.clock())
+                        wait = min(wait, deadline - now)
                     if wait <= 0:
                         continue
                     self._cond.wait(wait)

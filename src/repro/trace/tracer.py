@@ -189,6 +189,15 @@ class Tracer:
             with self._lock:
                 self.runtime.add(name, t0, t1, **attrs)
 
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a zero-duration marker span at the current clock — the
+        supervisor's lifecycle events (worker restarts, breaker trips and
+        resets) land in the runtime trace through this."""
+        if not self.enabled:
+            return
+        now = self.clock()
+        self.emit(name, now, now, **attrs)
+
     # ------------------------------------------------------------ lifecycle
 
     def snapshot(self) -> dict:

@@ -17,8 +17,13 @@ This package checks both, four ways:
   recovery rate, retries consumed and post-recovery result integrity.
 * :mod:`repro.verifylab.golden` — golden-trace regression: canonical
   seeds frozen to committed JSON snapshots with a loud diff on drift.
+* :mod:`repro.verifylab.chaos` — runtime chaos campaigns: seeded worker
+  crashes, executor exceptions and clock skew (:mod:`repro.chaos`) served
+  by a supervised fleet, gated on terminal-response recovery rate and
+  post-recovery result integrity.
 
-Run from the CLI as ``repro verifylab {oracle,fuzz,campaign,golden}``.
+Run from the CLI as ``repro verifylab {oracle,fuzz,campaign,golden}``
+or ``repro chaos`` for the runtime chaos campaign.
 """
 
 from repro.verifylab.campaign import (
@@ -28,6 +33,7 @@ from repro.verifylab.campaign import (
     run_campaign,
     write_report,
 )
+from repro.verifylab.chaos import run_chaos_campaign
 from repro.verifylab.fuzz import FuzzFailure, FuzzReport, run_fuzz, shrink
 from repro.verifylab.golden import (
     CANONICAL_SEEDS,
@@ -68,6 +74,7 @@ __all__ = [
     "generate_scenario",
     "retarget_single_tank",
     "run_campaign",
+    "run_chaos_campaign",
     "run_fuzz",
     "run_oracle",
     "serve_scenario",

@@ -1,0 +1,154 @@
+"""Chaos campaign: runtime-fault injection with recovery + integrity gates.
+
+Where :mod:`repro.verifylab.campaign` strikes the simulated *device*
+(SEU bursts in configuration memory), this campaign strikes the serving
+*runtime* itself: seeded worker crashes mid-batch, executor exceptions
+and clock skew (:mod:`repro.chaos`), served by a supervised
+:class:`repro.serve.FleetService`.  Two gates come out the other side:
+
+* **Recovery** — every admitted request must still reach a terminal
+  response (ok / failed / expired); the supervisor's crash re-delivery
+  and worker restarts are what make that true.
+* **Integrity** — every ``ok`` response must still match the
+  :class:`repro.verifylab.oracle.ReferenceExecutor` answer: chaos uses
+  the same one-tank-per-request, noise-free workloads as the SEU
+  campaigns, so re-execution after a crash cannot legally change any
+  result.
+
+Injection decisions are seeded and budget-capped, so fault *counts* are
+exactly reproducible; thread scheduling decides which worker draws each
+strike, so the gates assert rates and totals, not per-worker traces.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.app.system import SystemConfig
+from repro.chaos import ChaosConfig, ChaosMonkey
+from repro.serve.pool import FleetService
+from repro.serve.supervisor import SupervisorConfig
+from repro.verifylab.campaign import campaign_scenario
+from repro.verifylab.oracle import ReferenceExecutor, ToleranceSpec
+
+
+def run_chaos_campaign(
+    requests: int = 48,
+    seed: int = 0,
+    workers: int = 3,
+    crash_rate: float = 0.25,
+    exec_error_rate: float = 0.0,
+    clock_skew_s: float = 0.0,
+    max_crashes: Optional[int] = 3,
+    max_exec_errors: Optional[int] = 6,
+    max_attempts: int = 3,
+    max_batch: int = 8,
+    timeout_s: float = 120.0,
+    tolerances: Optional[ToleranceSpec] = None,
+    supervisor_config: Optional[SupervisorConfig] = None,
+) -> dict:
+    """Serve one campaign workload under runtime chaos; JSON-ready report.
+
+    ``report["ok"]`` requires both gates: every admitted request reached a
+    terminal response (``terminal_rate == 1.0``) and every ok response
+    matched the oracle reference.  Callers (CLI, the recovery benchmark)
+    judge ``terminal_rate`` against their own floor.
+    """
+    tolerances = tolerances or ToleranceSpec()
+    scenario = campaign_scenario(
+        requests, seed, max_attempts=max_attempts, max_batch=max_batch
+    )
+    reference = ReferenceExecutor(scenario).run()
+    monkey = ChaosMonkey(
+        ChaosConfig(
+            seed=seed,
+            crash_rate=crash_rate,
+            exec_error_rate=exec_error_rate,
+            clock_skew_s=clock_skew_s,
+            max_crashes=max_crashes,
+            max_exec_errors=max_exec_errors,
+        )
+    )
+    supervisor_config = supervisor_config or SupervisorConfig(interval_s=0.02)
+    service = FleetService(
+        workers=workers,
+        max_batch=scenario.max_batch,
+        queue_capacity=requests + 16,
+        batched=True,
+        seed=scenario.seed,
+        config=SystemConfig(circuit=scenario.circuit),
+        noise_rms=scenario.noise_rms,
+        clock=monkey.skewed_clock(time.monotonic),
+        chaos=monkey,
+        supervisor_config=supervisor_config,
+    )
+    admitted, rejected = service.submit_many(scenario.requests())
+    service.start()
+    completed = service.await_responses(admitted, timeout_s=timeout_s)
+    service.shutdown(drain=True, timeout_s=30.0)
+    responses = {r.request_id: r for r in service.responses()}
+    snapshot = service.metrics_snapshot()
+
+    terminal = len(responses)
+    ok_count = sum(1 for r in responses.values() if r.ok)
+    failed = sum(1 for r in responses.values() if r.status == "failed")
+    expired = sum(1 for r in responses.values() if r.status == "expired")
+
+    checked = matching = 0
+    max_level_dev = max_cap_dev = 0.0
+    mismatches = []
+    for request_id, response in sorted(responses.items()):
+        if not response.ok:
+            continue
+        expected = reference[request_id]
+        level_dev = abs(response.level_measured - expected.level)
+        cap_dev = abs(response.capacitance_pf - expected.capacitance_pf)
+        max_level_dev = max(max_level_dev, level_dev)
+        max_cap_dev = max(max_cap_dev, cap_dev)
+        checked += 1
+        if (
+            level_dev <= tolerances.level_abs
+            and cap_dev <= tolerances.capacitance_abs_pf
+        ):
+            matching += 1
+        else:
+            mismatches.append(
+                f"request {request_id}: level dev {level_dev:.3e}, "
+                f"capacitance dev {cap_dev:.3e}"
+            )
+
+    counters = snapshot["counters"]
+    report = {
+        "workload": scenario.to_dict(),
+        "chaos": monkey.snapshot(),
+        "admitted": admitted,
+        "rejected": len(rejected),
+        "terminal": terminal,
+        "terminal_rate": (terminal / admitted) if admitted else 1.0,
+        "completed_in_time": completed,
+        "responses": {"ok": ok_count, "failed": failed, "expired": expired},
+        "recovery": {
+            "worker_crashes": counters.get("worker_crashes", 0),
+            "worker_restarts": counters.get("worker_restarts", 0),
+            "requests_redelivered": counters.get("requests_redelivered", 0),
+            "worker_errors": counters.get("worker_errors", 0),
+            "requests_retried": counters.get("requests_retried", 0),
+            "breaker_trips": counters.get("breaker_trips", 0),
+            "breaker_resets": counters.get("breaker_resets", 0),
+            "requests_shed_expired": counters.get("requests_shed_expired", 0),
+            "requests_shed_early": counters.get("requests_shed_early", 0),
+        },
+        "supervisor": snapshot.get("supervisor", {}),
+        "integrity": {
+            "checked": checked,
+            "matching": matching,
+            "max_level_deviation": max_level_dev,
+            "max_capacitance_deviation_pf": max_cap_dev,
+            "mismatches": mismatches,
+        },
+    }
+    report["ok"] = (
+        terminal == admitted and matching == checked and not mismatches
+    )
+    return report

@@ -1,0 +1,71 @@
+"""Per-test wall-clock ceiling, with or without pytest-timeout.
+
+CI installs ``pytest-timeout`` (see the ``test`` extra) and honours the
+``timeout`` ini option in ``pyproject.toml``.  Hermetic environments
+without the plugin get a SIGALRM-based fallback here instead, so a
+regression that blocks forever (the broker's old backoff busy-spin, a
+worker that never heartbeats) fails loudly rather than hanging the run.
+
+The fallback only activates when the plugin is absent — it registers the
+same ``timeout`` ini option, so defining it unconditionally would clash
+with the real plugin's registration.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+try:  # pragma: no cover - presence depends on the environment
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PLUGIN = True
+except ImportError:
+    _HAVE_PLUGIN = False
+
+_HAVE_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+if not _HAVE_PLUGIN:
+
+    def pytest_addoption(parser):
+        parser.addini(
+            "timeout",
+            "per-test wall-clock ceiling in seconds (fallback shim)",
+            default="0",
+        )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    if _HAVE_PLUGIN or not _HAVE_SIGALRM:
+        yield
+        return
+    try:
+        limit = float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        limit = 0.0
+    marker = item.get_closest_marker("timeout")
+    if marker and marker.args:
+        limit = float(marker.args[0])
+    if limit <= 0:
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise TimeoutError(f"test exceeded the {limit:.0f} s timeout ceiling")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "timeout(seconds): per-test wall-clock ceiling"
+    )

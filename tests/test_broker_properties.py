@@ -1,9 +1,10 @@
 """Property-based tests of the request broker's admission behaviour.
 
-Randomized (seeded, shrinking) checks of the three front-door contracts:
-retry backoff monotonicity, bounded-queue backpressure, and
-``wait_for_depth`` never waking early — the invariants the batching
-window and the retry loop silently rely on.
+Randomized (seeded, shrinking) checks of the front-door contracts:
+retry backoff monotonicity, bounded-queue backpressure,
+``wait_for_depth`` never waking early, and ``take``'s timing contract
+(a timed take never blocks — or spins — past its deadline) — the
+invariants the batching window and the retry loop silently rely on.
 """
 
 import threading
@@ -18,6 +19,30 @@ from repro.serve.requests import BrokerFullError
 
 def _request(request_id, **kwargs):
     return MeasurementRequest(request_id=request_id, tank_id="t", level=0.5, **kwargs)
+
+
+class StepClock:
+    """A fake monotonic clock advancing a tiny epsilon per read.
+
+    The auto-step stands in for the passage of real time: code that
+    *polls* the clock in a tight loop (the pre-fix busy-spin) sees time
+    race forward and terminates the test quickly, while code honouring
+    its deadline returns after a bounded number of reads.
+    """
+
+    def __init__(self, start=100.0, step=1e-4):
+        self.now = start
+        self.step = step
+        self.reads = 0
+
+    def __call__(self):
+        self.reads += 1
+        value = self.now
+        self.now += self.step
+        return value
+
+    def advance(self, dt):
+        self.now += dt
 
 
 # ---------------------------------------------------------- retry monotonicity
@@ -152,6 +177,83 @@ def test_retried_request_jumps_the_fifo_on_release():
     time.sleep(delay + 0.01)  # let the backoff release before taking
     batch = broker.take(2, timeout_s=1.0)
     assert [r.request_id for r in batch] == [1, 2]
+
+
+# ------------------------------------------------------- take timing contract
+
+
+def test_take_timeout_returns_empty_despite_delayed_backlog():
+    """Regression for the backoff busy-spin: queue empty, one request
+    sitting out a backoff released far beyond the deadline.  A timed
+    ``take`` must return ``[]`` once its deadline passes — the pre-fix
+    loop treated ``wait <= 0`` as "retry immediately" and spun at 100%
+    CPU until the backoff released, then returned the request (violating
+    the timeout twice over: blocking past it *and* not returning empty)."""
+    clock = StepClock(step=1e-4)
+    broker = RequestBroker(
+        capacity=4,
+        retry=RetryPolicy(base_delay_s=5.0, factor=1.0, max_delay_s=5.0),
+        clock=clock,
+    )
+    broker.submit(_request(1))
+    (taken,) = broker.take(1, timeout_s=0.0)
+    taken.attempts = 1
+    broker.requeue(taken)  # released ~5 fake seconds from now
+
+    reads_before = clock.reads
+    assert broker.take(1, timeout_s=0.0) == []
+    # The deadline check must terminate the call after a handful of clock
+    # reads; the pre-fix spin polled the clock ~50k times (5 s / 1e-4)
+    # before the backoff released.
+    assert clock.reads - reads_before < 20
+    # An expired deadline must not have consumed the delayed request.
+    clock.advance(10.0)
+    assert [r.request_id for r in broker.take(1, timeout_s=0.0)] == [1]
+
+
+def test_take_drain_semantics_still_serve_delayed_requests():
+    """``timeout_s=None`` keeps drain semantics: the call sleeps until
+    the earliest backoff release and returns the request instead of
+    returning empty (a drain shutdown must serve delayed retries)."""
+    broker = RequestBroker(
+        capacity=4, retry=RetryPolicy(base_delay_s=0.01, factor=1.0, max_delay_s=0.01)
+    )
+    broker.submit(_request(7))
+    (taken,) = broker.take(1, timeout_s=0.0)
+    taken.attempts = 1
+    broker.requeue(taken)
+    t0 = time.monotonic()
+    batch = broker.take(1, timeout_s=None)
+    elapsed = time.monotonic() - t0
+    assert [r.request_id for r in batch] == [7]
+    assert elapsed < 5.0  # woke on the release, not an unbounded block
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    timeout_s=st.floats(min_value=0.0, max_value=0.05),
+    backoff_s=st.floats(min_value=0.5, max_value=5.0),
+    delayed=st.integers(min_value=0, max_value=3),
+)
+def test_take_never_blocks_past_its_deadline(timeout_s, backoff_s, delayed):
+    """Property: whatever mixture of empty queue and backoff-delayed
+    requests the broker holds, a timed ``take`` returns within its
+    timeout (plus scheduling slack) — and empty, since nothing can be
+    released before the far-future backoff."""
+    broker = RequestBroker(
+        capacity=8,
+        retry=RetryPolicy(base_delay_s=backoff_s, factor=1.0, max_delay_s=backoff_s),
+    )
+    for i in range(delayed):
+        broker.submit(_request(i))
+        (taken,) = broker.take(1, timeout_s=0.0)
+        taken.attempts = 1
+        broker.requeue(taken)
+    t0 = time.monotonic()
+    batch = broker.take(4, timeout_s=timeout_s)
+    elapsed = time.monotonic() - t0
+    assert batch == []
+    assert elapsed <= timeout_s + 0.25  # generous scheduling slack
 
 
 # -------------------------------------------------------------- wait_for_depth

@@ -1,0 +1,458 @@
+"""Supervision layer: circuit breaker, admission control, worker restart,
+chaos injection, and the failed-batch / throughput metric regressions."""
+
+import time
+
+import pytest
+
+from repro.chaos import ChaosConfig, ChaosExecutorError, ChaosMonkey, WorkerCrash
+from repro.serve import (
+    FleetService,
+    MeasurementRequest,
+    OverloadShedError,
+    RequestBroker,
+)
+from repro.serve.metrics import Metrics
+from repro.serve.requests import BrokerFullError
+from repro.serve.supervisor import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    AdmissionController,
+    CircuitBreaker,
+    SupervisorConfig,
+)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def _request(request_id, **kwargs):
+    kwargs.setdefault("tank_id", "t")
+    return MeasurementRequest(request_id=request_id, level=0.5, **kwargs)
+
+
+# ------------------------------------------------------------- circuit breaker
+
+
+def test_breaker_full_state_machine_on_a_fake_clock():
+    clock = FakeClock()
+    metrics = Metrics()
+    breaker = CircuitBreaker(
+        threshold=3, cooldown_s=1.0, clock=clock, metrics=metrics, name="w0"
+    )
+    # Closed: failures below the threshold keep serving.
+    assert breaker.state == BREAKER_CLOSED
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.allow()
+    assert breaker.state == BREAKER_CLOSED
+    # A success resets the consecutive count entirely.
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == BREAKER_CLOSED
+    # The third consecutive failure trips it open.
+    breaker.record_failure()
+    assert breaker.state == BREAKER_OPEN
+    assert metrics.counter("breaker_trips") == 1
+    assert not breaker.allow()
+    assert breaker.cooldown_remaining_s() == pytest.approx(1.0)
+    # Cooldown elapses: exactly one probe is allowed (half-open).
+    clock.advance(1.5)
+    assert breaker.cooldown_remaining_s() == 0.0
+    assert breaker.allow()
+    assert breaker.state == BREAKER_HALF_OPEN
+    assert metrics.counter("breaker_probes") == 1
+    # Probe fails: straight back to quarantine.
+    breaker.record_failure()
+    assert breaker.state == BREAKER_OPEN
+    assert metrics.counter("breaker_trips") == 2
+    assert not breaker.allow()
+    # Second cooldown, successful probe: closed again, reset counted.
+    clock.advance(2.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == BREAKER_CLOSED
+    assert metrics.counter("breaker_resets") == 1
+    snap = breaker.snapshot()
+    assert snap == {
+        "state": "closed",
+        "consecutive_failures": 0,
+        "trips": 2,
+        "resets": 1,
+        "probes": 2,
+    }
+
+
+def test_breaker_rejects_invalid_parameters():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown_s=-1.0)
+
+
+# ---------------------------------------------------------- admission control
+
+
+def test_admission_never_sheds_cold_or_expired():
+    admission = AdmissionController(workers=2)
+    # Cold start: no observations, estimate 0, nothing shed at any depth.
+    assert admission.estimated_delay_s(100) == 0.0
+    assert not admission.should_shed(deadline_s=100.5, now=100.0, depth=100)
+    admission.observe_batch(4, 8.0)  # 2 s per request
+    # Already-expired deadlines still flow through (answered "expired").
+    assert not admission.should_shed(deadline_s=99.0, now=100.0, depth=100)
+    assert not admission.should_shed(deadline_s=None, now=100.0, depth=100)
+
+
+def test_admission_ewma_and_shed_decision():
+    admission = AdmissionController(workers=2, alpha=0.5)
+    admission.observe_batch(4, 8.0)  # 2.0 s/request
+    assert admission.per_request_s() == pytest.approx(2.0)
+    admission.observe_batch(2, 2.0)  # 1.0 s/request -> EWMA 1.5
+    assert admission.per_request_s() == pytest.approx(1.5)
+    # 4 queued ahead / 2 workers * 1.5 s = 3 s estimated delay.
+    assert admission.estimated_delay_s(4) == pytest.approx(3.0)
+    assert admission.should_shed(deadline_s=102.0, now=100.0, depth=4)
+    assert not admission.should_shed(deadline_s=104.0, now=100.0, depth=4)
+    assert admission.snapshot() == {"observed_batches": 2, "per_request_s": 1.5}
+
+
+def test_admission_rejects_invalid_parameters():
+    with pytest.raises(ValueError):
+        AdmissionController(workers=0)
+    with pytest.raises(ValueError):
+        AdmissionController(workers=1, alpha=0.0)
+
+
+def test_service_sheds_doomed_submit_early():
+    service = FleetService(workers=2, queue_capacity=8, supervise=False)
+    # Seed the admission estimator: 1 s per request, 2 workers.
+    service.admission.observe_batch(4, 4.0)
+    service.submit(_request(1))  # no deadline: occupies the queue
+    now = service.clock()
+    with pytest.raises(OverloadShedError) as excinfo:
+        service.submit(_request(2, deadline_s=now + 0.01))
+    assert excinfo.value.estimated_delay_s > 0
+    assert isinstance(excinfo.value, BrokerFullError)
+    assert service.metrics.counter("requests_shed_early") == 1
+    # A generous deadline clears the queue-delay estimate and is admitted.
+    service.submit(_request(3, deadline_s=service.clock() + 60.0))
+    # submit_many treats the shed like any rejection.
+    accepted, rejected = service.submit_many(
+        [_request(4, deadline_s=service.clock() + 0.01)]
+    )
+    assert (accepted, len(rejected)) == (0, 1)
+
+
+def test_scheduler_sheds_expired_requests_at_assembly():
+    service = FleetService(workers=1, queue_capacity=8, supervise=False)
+    service.submit(_request(1, deadline_s=service.clock() - 1.0))  # already dead
+    assert service.scheduler.next_batch(timeout_s=0.0) is None
+    (response,) = service.responses()
+    assert response.status == "expired"
+    assert "shed" in response.error
+    assert response.latency_s >= 0.0
+    assert service.metrics.counter("requests_shed_expired") == 1
+    assert service.metrics.counter("requests_expired") == 1
+
+
+# ------------------------------------------------------------ chaos injection
+
+
+def test_chaos_budgets_and_determinism():
+    batch = type("B", (), {"batch_id": 7})()
+    counts = []
+    for _ in range(2):
+        monkey = ChaosMonkey(seed=42, crash_rate=1.0, max_crashes=2)
+        fired = 0
+        for _ in range(10):
+            try:
+                monkey.on_batch(0, batch)
+            except WorkerCrash:
+                fired += 1
+        counts.append(fired)
+        assert monkey.snapshot()["crashes_injected"] == 2
+    assert counts == [2, 2]  # seeded: exact counts, run to run
+
+
+def test_chaos_exec_errors_are_plain_exceptions():
+    batch = type("B", (), {"batch_id": 1})()
+    monkey = ChaosMonkey(seed=0, exec_error_rate=1.0, max_exec_errors=1)
+    with pytest.raises(ChaosExecutorError):
+        monkey.on_execute(3, batch)
+    monkey.on_execute(3, batch)  # budget spent: no-op
+    assert issubclass(ChaosExecutorError, Exception)
+    # WorkerCrash must escape a worker's `except Exception` guard.
+    assert issubclass(WorkerCrash, BaseException)
+    assert not issubclass(WorkerCrash, Exception)
+
+
+def test_chaos_skewed_clock_is_monotonic_and_bounded():
+    base = FakeClock(now=50.0)
+    monkey = ChaosMonkey(seed=3, clock_skew_s=0.01)
+    clock = monkey.skewed_clock(base)
+    last = None
+    for i in range(500):
+        base.advance(0.001)
+        value = clock()
+        assert abs(value - base.now) <= 0.01 + 1e-9
+        if last is not None:
+            assert value >= last
+        last = value
+    # Zero skew returns the base clock untouched.
+    assert ChaosMonkey(seed=0).skewed_clock(time.monotonic) is time.monotonic
+
+
+def test_chaos_config_validation():
+    with pytest.raises(ValueError):
+        ChaosConfig(crash_rate=1.5)
+    with pytest.raises(ValueError):
+        ChaosConfig(exec_error_rate=-0.1)
+    with pytest.raises(ValueError):
+        ChaosConfig(clock_skew_s=-1.0)
+    with pytest.raises(ValueError):
+        ChaosConfig(max_crashes=-1)
+
+
+def test_supervisor_config_validation():
+    with pytest.raises(ValueError):
+        SupervisorConfig(interval_s=0.0)
+    with pytest.raises(ValueError):
+        SupervisorConfig(breaker_threshold=0)
+    with pytest.raises(ValueError):
+        SupervisorConfig(admission_alpha=0.0)
+    with pytest.raises(ValueError):
+        SupervisorConfig(max_restarts_per_worker=-1)
+
+
+# -------------------------------------------------------------- broker restore
+
+
+def test_restore_redelivers_at_the_head_of_the_queue():
+    broker = RequestBroker(capacity=4)
+    broker.submit(_request(1))
+    broker.submit(_request(2))
+    broker.restore([_request(8), _request(9)])
+    assert broker.redelivered == 2
+    taken = broker.take(4, timeout_s=0.0)
+    assert [r.request_id for r in taken] == [8, 9, 1, 2]
+    # Restore bypasses both capacity and the closed flag: admitted work
+    # survives a drain shutdown.
+    broker.close()
+    broker.restore([_request(5)])
+    assert [r.request_id for r in broker.take(1, timeout_s=0.0)] == [5]
+
+
+# ----------------------------------------------- crash restart and re-delivery
+
+
+def test_supervisor_restarts_crashed_worker_and_redelivers_batch():
+    monkey = ChaosMonkey(seed=0, crash_rate=1.0, max_crashes=1)
+    service = FleetService(
+        workers=1,
+        queue_capacity=16,
+        chaos=monkey,
+        supervisor_config=SupervisorConfig(interval_s=0.01),
+    )
+    requests = [_request(i, tank_id=f"t{i}") for i in range(6)]
+    accepted, rejected = service.submit_many(requests)
+    assert (accepted, rejected) == (6, [])
+    service.start()
+    assert service.await_responses(6, timeout_s=60.0)
+    assert service.shutdown(drain=True)
+    snap = service.metrics_snapshot()
+    assert snap["counters"]["worker_crashes"] == 1
+    assert snap["counters"]["worker_restarts"] == 1
+    assert snap["counters"]["requests_redelivered"] >= 1
+    assert snap["broker"]["redelivered"] >= 1
+    assert snap["supervisor"]["total_restarts"] == 1
+    responses = service.responses()
+    assert len(responses) == 6
+    assert all(r.ok for r in responses)
+    # The replacement worker is a different object under the same id.
+    assert service.workers[0].worker_id == 0
+    assert service.workers[0].failure is None
+
+
+def test_supervisor_check_once_is_deterministic_without_the_thread():
+    monkey = ChaosMonkey(seed=0, crash_rate=1.0, max_crashes=1)
+    service = FleetService(
+        workers=1, queue_capacity=8, chaos=monkey, supervise=False
+    )
+    from repro.serve.supervisor import WorkerSupervisor
+
+    supervisor = WorkerSupervisor(service, SupervisorConfig())
+    service.submit_many([_request(i) for i in range(3)])
+    crashed = service.workers[0]
+    crashed.start()
+    crashed.join(timeout=30.0)
+    assert not crashed.is_alive()
+    assert isinstance(crashed.failure, WorkerCrash)
+    assert crashed.current_batch is not None
+    # One sweep restarts it; a second sweep finds nothing to do.
+    assert supervisor.check_once() == 1
+    assert supervisor.check_once() == 0
+    assert service.workers[0] is not crashed
+    assert service.metrics.counter("requests_redelivered") == 3
+    service.start()
+    assert service.await_responses(3, timeout_s=60.0)
+    service.shutdown()
+    assert all(r.ok for r in service.responses())
+
+
+def test_supervisor_detects_and_clears_heartbeat_stalls():
+    clock = FakeClock(now=100.0)
+    service = FleetService(workers=1, supervise=False, clock=clock)
+    from repro.serve.supervisor import WorkerSupervisor
+
+    supervisor = WorkerSupervisor(
+        service, SupervisorConfig(heartbeat_timeout_s=1.0)
+    )
+    worker = service.workers[0]
+    worker.is_alive = lambda: True  # stalled, not dead: thread still up
+    worker.last_heartbeat = clock()
+    clock.advance(5.0)
+    assert supervisor.check_once() == 0  # a stall is flagged, not restarted
+    # Counted once per stall, not once per sweep.
+    assert supervisor.check_once() == 0
+    assert service.metrics.counter("worker_stalls") == 1
+    # The heartbeat resumes: the stall flag clears, a later stall recounts.
+    worker.last_heartbeat = clock()
+    supervisor.check_once()
+    clock.advance(5.0)
+    supervisor.check_once()
+    assert service.metrics.counter("worker_stalls") == 2
+
+
+def test_tracer_events_mark_supervision_in_the_runtime_trace():
+    from repro.trace import Tracer
+
+    tracer = Tracer()
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, cooldown_s=0.5, clock=clock, tracer=tracer)
+    breaker.record_failure()  # trips: threshold 1
+    clock.advance(1.0)
+    assert breaker.allow()  # half-open probe
+    breaker.record_success()  # reset
+    names = [span.name for span in tracer.runtime.spans]
+    assert names == ["breaker_trip", "breaker_probe", "breaker_reset"]
+    trip = tracer.runtime.spans[0]
+    assert trip.t0_s == trip.t1_s  # zero-duration marker
+    assert trip.attrs["consecutive_failures"] == 1
+    # Disabled tracing keeps events zero-cost no-ops.
+    off = Tracer(enabled=False)
+    off.event("breaker_trip")
+    assert not off.runtime.spans
+
+
+def test_supervisor_respects_the_restart_budget():
+    service = FleetService(workers=1, queue_capacity=8, supervise=False)
+    from repro.serve.supervisor import WorkerSupervisor
+
+    supervisor = WorkerSupervisor(
+        service, SupervisorConfig(max_restarts_per_worker=0)
+    )
+    worker = service.workers[0]
+    worker.failure = RuntimeError("synthetic crash")  # dead, never started
+    assert supervisor.check_once() == 0
+    assert service.metrics.counter("workers_abandoned") == 1
+    assert service.workers[0] is worker  # not replaced
+    # Abandonment is recorded once, not per sweep.
+    assert supervisor.check_once() == 0
+    assert service.metrics.counter("workers_abandoned") == 1
+
+
+# ---------------------------------------- failed batches and metric integrity
+
+
+def test_failed_batches_report_real_latency_and_failure_counter():
+    """Regression: the defensive failed-batch path delivered responses
+    with ``latency_s=0.0``, silently dragging the latency histogram down;
+    failures were also invisible in the counters."""
+    monkey = ChaosMonkey(seed=0, exec_error_rate=1.0)  # every batch faults
+    service = FleetService(
+        workers=1,
+        queue_capacity=8,
+        chaos=monkey,
+        supervisor_config=SupervisorConfig(
+            breaker_threshold=100, breaker_cooldown_s=0.01
+        ),
+    )
+    service.submit_many([_request(i, max_attempts=2) for i in range(3)])
+    service.start()
+    assert service.await_responses(3, timeout_s=60.0)
+    service.shutdown()
+    responses = service.responses()
+    assert len(responses) == 3
+    assert all(r.status == "failed" for r in responses)
+    assert all(r.latency_s > 0.0 for r in responses)
+    assert all(r.attempts >= 2 for r in responses)
+    snap = service.metrics_snapshot()
+    assert snap["counters"]["requests_failed"] == 3
+    assert snap["counters"]["requests_retried"] >= 3
+    assert snap["counters"]["worker_errors"] >= 2
+    assert snap["histograms"]["latency_s"]["min"] > 0.0
+
+
+def test_persistent_executor_faults_trip_the_breaker():
+    monkey = ChaosMonkey(seed=0, exec_error_rate=1.0)
+    service = FleetService(
+        workers=1,
+        queue_capacity=16,
+        chaos=monkey,
+        supervisor_config=SupervisorConfig(
+            breaker_threshold=2, breaker_cooldown_s=0.01
+        ),
+    )
+    service.submit_many([_request(i, max_attempts=2) for i in range(6)])
+    service.start()
+    assert service.await_responses(6, timeout_s=60.0)
+    service.shutdown()
+    snap = service.metrics_snapshot()
+    assert snap["counters"]["breaker_trips"] >= 1
+    assert snap["counters"]["breaker_probes"] >= 1
+    breaker = snap["supervisor"]["breakers"][0]
+    assert breaker["trips"] >= 1
+
+
+# ------------------------------------------------- throughput metric regression
+
+
+def test_idle_service_reports_zero_throughput():
+    """Regression: with no time base (nothing submitted or started) the
+    snapshot used elapsed=1e-9 and reported an absurd requests_per_s."""
+    service = FleetService(workers=1, supervise=False)
+    snap = service.metrics_snapshot()
+    assert snap["service"]["elapsed_s"] == 0.0
+    assert snap["service"]["requests_per_s"] == 0.0
+
+
+def test_first_submit_sets_the_time_base_once():
+    clock = FakeClock(now=10.0)
+    service = FleetService(workers=1, supervise=False, clock=clock)
+    service.submit(_request(1))
+    clock.advance(5.0)
+    service.submit(_request(2))  # must NOT move the epoch
+    assert service._start_time == pytest.approx(10.0)
+    clock.advance(5.0)
+    snap = service.metrics_snapshot()
+    assert snap["service"]["elapsed_s"] == pytest.approx(10.0)
+
+
+def test_shutdown_and_await_run_on_the_injected_clock():
+    clock = FakeClock(now=0.0)
+    service = FleetService(workers=1, supervise=False, clock=clock)
+    # Nothing queued and never started: a fake-clock timeout must expire
+    # without touching the real clock.
+    assert not service.await_responses(1, timeout_s=0.0)
+    assert service.shutdown(drain=False, timeout_s=0.0)
