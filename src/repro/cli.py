@@ -8,12 +8,15 @@ Exposes the headline analyses as subcommands::
     repro parflow               # the Section-4.3 power-aware PAR flow
     repro recover               # fault injection / recovery demo
     repro serve-bench           # fleet serving: batched vs per-request
+                                #   (--shards N serves batched mode sharded)
     repro trace-report FILE     # per-stage breakdown + flamegraph of traces
     repro verifylab oracle      # differential oracle over seeded scenarios
+                                #   (--shards N: sharded == single, exactly)
     repro verifylab fuzz        # scenario fuzzing with shrinking
     repro verifylab campaign    # SEU fault campaign with JSON report
     repro verifylab golden      # golden-trace check / refresh
     repro chaos                 # runtime chaos campaign (crashes, skew)
+    repro shard-chaos           # SIGKILL shard processes; zero-loss gate
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -170,7 +173,13 @@ def _run_serve_mode(args: argparse.Namespace, batched: bool, tracer=None) -> dic
         engine=args.engine if batched else "scalar",
         tracer=tracer,
     ).start()
-    requests = synthetic_load(args.requests, n_tanks=args.tanks)
+    requests = synthetic_load(
+        args.requests,
+        n_tanks=args.tanks,
+        popularity=args.popularity,
+        zipf_exponent=args.zipf_exponent,
+        seed=args.seed,
+    )
     accepted, rejected = service.submit_many(requests)
     service.await_responses(accepted, timeout_s=args.timeout)
     service.shutdown()
@@ -179,36 +188,96 @@ def _run_serve_mode(args: argparse.Namespace, batched: bool, tracer=None) -> dic
     return snapshot
 
 
+def _run_serve_sharded(args: argparse.Namespace) -> dict:
+    from repro.serve import synthetic_load
+    from repro.shard import ShardConfig, ShardRouter
+
+    config = ShardConfig(
+        shards=args.shards,
+        workers_per_shard=args.workers,
+        max_batch=args.max_batch,
+        queue_capacity=max(args.requests + 16, 64),
+        batched=True,
+        fault_rate=args.fault_rate,
+        seed=args.seed,
+        engine=args.engine,
+        trace_path=args.trace,
+    )
+    router = ShardRouter(config).start()
+    requests = synthetic_load(
+        args.requests,
+        n_tanks=args.tanks,
+        popularity=args.popularity,
+        zipf_exponent=args.zipf_exponent,
+        seed=args.seed,
+    )
+    accepted, rejected = router.submit_many(requests)
+    router.await_responses(accepted, timeout_s=args.timeout)
+    # Snapshot over the live control channel (merged across shards),
+    # before shutdown time is charged to the elapsed clock.
+    snapshot = router.metrics_snapshot()
+    router.shutdown()
+    snapshot["service"]["rejected"] = len(rejected)
+    return snapshot
+
+
+def _run_serve_modes(args: argparse.Namespace, modes: List[str], tracer) -> dict:
+    """One snapshot per mode; ``sharded`` routes through the shard layer
+    (the per-request baseline always runs in-process)."""
+    snapshots = {}
+    for mode in modes:
+        if mode == "sharded":
+            snapshots[mode] = _run_serve_sharded(args)
+        else:
+            snapshots[mode] = _run_serve_mode(args, batched=(mode == "batched"), tracer=tracer)
+    return snapshots
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     tracer = None
-    if args.trace:
+    # With --shards the shard workers record their own per-shard trace
+    # files; the in-process tracer only serves the unsharded modes.
+    if args.trace and not args.shards:
         from repro.trace import JsonlExporter, TraceSink, Tracer
 
         tracer = Tracer(
             sink=TraceSink(capacity=4096, exporter=JsonlExporter(args.trace))
         )
-    modes = ["batched"] if args.batched_only else ["per-request", "batched"]
+    batched_mode = "sharded" if args.shards else "batched"
+    modes = [batched_mode] if args.batched_only else ["per-request", batched_mode]
+    header = {
+        "engine": args.engine,
+        "shards": args.shards,
+        "workers": args.workers,
+        "requests": args.requests,
+        "tanks": args.tanks,
+        "max_batch": args.max_batch,
+        "popularity": args.popularity,
+        "seed": args.seed,
+    }
     if args.json:
-        snapshots = {
-            m: _run_serve_mode(args, batched=(m == "batched"), tracer=tracer)
-            for m in modes
-        }
+        snapshots = _run_serve_modes(args, modes, tracer)
         if tracer is not None:
             tracer.close()
             print(f"traces written to {args.trace}", file=sys.stderr)
-        print(json.dumps({"modes": snapshots}, indent=2, sort_keys=True))
+        print(json.dumps({**header, "modes": snapshots}, indent=2, sort_keys=True))
         return 0
     print(
         f"fleet: {args.tanks} tanks, {args.requests} requests, "
         f"{args.workers} workers, max batch {args.max_batch}, "
-        f"fault rate {args.fault_rate}, engine {args.engine}"
+        f"fault rate {args.fault_rate}, engine {args.engine}, "
+        f"popularity {args.popularity}"
+        + (f", {args.shards} shards" if args.shards else "")
     )
-    snapshots = {}
-    for mode in modes:
-        snapshots[mode] = _run_serve_mode(args, batched=(mode == "batched"), tracer=tracer)
+    snapshots = _run_serve_modes(args, modes, tracer)
     if tracer is not None:
         tracer.close()
         print(f"traces written to {args.trace} (render: repro trace-report {args.trace})")
+    elif args.trace and args.shards:
+        print(
+            "traces written to "
+            + ", ".join(f"{args.trace}.shard{k}.jsonl" for k in range(args.shards))
+        )
 
     fields = [
         ("requests/s", lambda s: f"{s['service']['requests_per_s']:.1f}"),
@@ -226,11 +295,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     for label, render in fields:
         print(f"{label:<20}" + "".join(f"{render(snapshots[m]):>14}" for m in modes))
     if len(modes) == 2:
-        b, u = snapshots["batched"]["service"], snapshots["per-request"]["service"]
+        b, u = snapshots[batched_mode]["service"], snapshots["per-request"]["service"]
         ratio = u["reconfigurations"] / max(1, b["reconfigurations"])
         speedup = b["requests_per_s"] / max(1e-9, u["requests_per_s"])
         print(
-            f"\nbatching: {ratio:.1f}x fewer slot reconfigurations, "
+            f"\n{batched_mode}: {ratio:.1f}x fewer slot reconfigurations, "
             f"{speedup:.2f}x requests/s"
         )
     return 0
@@ -252,11 +321,14 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_verifylab_oracle(args: argparse.Namespace) -> int:
-    from repro.verifylab import run_oracle
+    from repro.verifylab import run_oracle, run_shard_oracle
 
-    report = run_oracle(
-        range(args.start_seed, args.start_seed + args.seeds), engine=args.engine
-    )
+    seeds = range(args.start_seed, args.start_seed + args.seeds)
+    if args.shards:
+        report = run_shard_oracle(seeds, shards=args.shards, engine=args.engine)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+    report = run_oracle(seeds, engine=args.engine)
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     return 0 if report.ok else 1
 
@@ -327,6 +399,56 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"redelivered {recovery['requests_redelivered']}  "
             f"breaker trips {recovery['breaker_trips']}  "
             f"retries {recovery['requests_retried']}"
+        )
+        print(
+            f"integrity: {integrity['matching']}/{integrity['checked']} "
+            f"ok responses match the oracle reference"
+        )
+    if report["terminal_rate"] < args.min_terminal:
+        print(
+            f"FAIL: terminal rate {report['terminal_rate']:.4f} below "
+            f"floor {args.min_terminal}",
+            file=sys.stderr,
+        )
+        return 1
+    if report["integrity"]["matching"] != report["integrity"]["checked"]:
+        print("FAIL: post-recovery integrity mismatch", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_shard_chaos(args: argparse.Namespace) -> int:
+    from repro.verifylab import run_shard_chaos_campaign, write_report
+
+    report = run_shard_chaos_campaign(
+        requests=args.requests,
+        seed=args.seed,
+        shards=args.shards,
+        kills=args.kills,
+        engine=args.engine,
+    )
+    if args.out:
+        write_report(report, args.out)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        recovery = report["recovery"]
+        integrity = report["integrity"]
+        print(
+            f"shard-chaos: seed {args.seed}, {args.shards} shards, "
+            f"{len(report['kills'])} SIGKILLs "
+            f"({', '.join('shard ' + str(k['shard']) for k in report['kills']) or 'none'})"
+        )
+        print(
+            f"admitted {report['admitted']}  terminal {report['terminal']} "
+            f"({report['terminal_rate'] * 100:.1f}%)  "
+            f"ok/failed/expired {report['responses']['ok']}/"
+            f"{report['responses']['failed']}/{report['responses']['expired']}"
+        )
+        print(
+            f"restarts {recovery['shard_restarts']}  "
+            f"redelivered {recovery['requests_redelivered']}  "
+            f"duplicates dropped {recovery['duplicate_responses_dropped']}"
         )
         print(
             f"integrity: {integrity['matching']}/{integrity['checked']} "
@@ -417,6 +539,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="scalar",
         help="execution engine for the batched mode (vector = fused numpy kernels)",
     )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="serve the batched mode through N shard processes "
+        "(0 = in-process; --workers becomes workers per shard)",
+    )
+    p.add_argument(
+        "--popularity",
+        choices=["uniform", "zipf"],
+        default="uniform",
+        help="per-tank arrival pattern (zipf = few hot tanks carry most load)",
+    )
+    p.add_argument(
+        "--zipf-exponent",
+        type=float,
+        default=1.1,
+        help="tail heaviness of the zipf popularity model",
+    )
     p.add_argument("--json", action="store_true", help="emit metric snapshots as JSON")
     p.add_argument(
         "--trace",
@@ -444,6 +585,13 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--seeds", type=int, default=25, help="number of scenario seeds")
     v.add_argument("--start-seed", type=int, default=0)
     v.add_argument("--engine", choices=["scalar", "vector"], default="scalar")
+    v.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="check the N-shard path for exact equality with the "
+        "single-process path instead of the reference-path oracle",
+    )
     v.set_defaults(func=_cmd_verifylab_oracle)
 
     v = vsub.add_parser("fuzz", help="scenario fuzzer with shrinking")
@@ -488,6 +636,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="emit the full JSON report")
     p.add_argument("--out", help="also write the JSON report to this path")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "shard-chaos",
+        help="SIGKILL shard processes mid-run; gate on zero lost requests",
+    )
+    p.add_argument("--requests", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=3)
+    p.add_argument("--kills", type=int, default=1,
+                   help="shard processes to SIGKILL mid-run")
+    p.add_argument("--engine", choices=["scalar", "vector"], default="scalar")
+    p.add_argument("--min-terminal", type=float, default=1.0,
+                   help="floor on the fraction of admitted requests reaching "
+                        "a terminal response (process kills must lose nothing)")
+    p.add_argument("--json", action="store_true", help="emit the full JSON report")
+    p.add_argument("--out", help="also write the JSON report to this path")
+    p.set_defaults(func=_cmd_shard_chaos)
     return parser
 
 

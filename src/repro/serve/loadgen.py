@@ -1,16 +1,25 @@
 """Synthetic fleet workloads for the serving benchmarks and examples.
 
 Each tank follows its own deterministic fill trajectory (a phase-shifted
-fill/drain ramp like the one in ``examples/level_measurement.py``), and
-requests arrive round-robin across the fleet — the repeated-module
-pattern that batching and artifact caching exploit.
+fill/drain ramp like the one in ``examples/level_measurement.py``).
+Requests arrive either round-robin across the fleet (``popularity=
+"uniform"``, the repeated-module pattern that batching and artifact
+caching exploit) or with a heavy-tailed Zipf per-tank popularity
+(``popularity="zipf"``) — a few hot tanks drawing most of the traffic,
+which is what real fleets look like and what shard-imbalance and
+IIR-state-contention experiments need to exercise.
 """
 
 from __future__ import annotations
 
+import bisect
+import random
 from typing import List, Optional, Sequence, Tuple
 
 from repro.serve.requests import MeasurementRequest
+
+#: Supported per-tank popularity models.
+POPULARITIES: Tuple[str, ...] = ("uniform", "zipf")
 
 #: Default pipeline of generated requests (import kept local to avoid a
 #: cycle with repro.serve.batching).
@@ -28,6 +37,36 @@ def tank_level(tank_index: int, step: int, period: int = 32) -> float:
     return min(0.95, max(0.05, level))
 
 
+def zipf_tank_sequence(
+    n_requests: int, n_tanks: int, exponent: float = 1.1, seed: int = 0
+) -> List[int]:
+    """A seeded heavy-tailed tank index sequence: tank ``k`` is drawn with
+    probability proportional to ``1 / (k + 1) ** exponent`` (tank 0 is the
+    hottest).  Deterministic for a given seed, so two services being
+    compared observe the identical arrival sequence.
+
+    Raises
+    ------
+    ValueError
+        On non-positive sizes or a non-positive exponent.
+    """
+    if n_requests < 1 or n_tanks < 1:
+        raise ValueError(f"need positive sizes, got {n_requests} requests / {n_tanks} tanks")
+    if exponent <= 0:
+        raise ValueError(f"zipf exponent must be positive, got {exponent}")
+    weights = [1.0 / (k + 1) ** exponent for k in range(n_tanks)]
+    cumulative: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc)
+    rng = random.Random(seed)
+    total = cumulative[-1]
+    return [
+        bisect.bisect_left(cumulative, rng.random() * total) for _ in range(n_requests)
+    ]
+
+
 def synthetic_load(
     n_requests: int,
     n_tanks: int = 4,
@@ -36,9 +75,20 @@ def synthetic_load(
     max_attempts: int = 3,
     pipeline: Sequence[str] = _DEFAULT_PIPELINE,
     start_id: int = 0,
+    popularity: str = "uniform",
+    zipf_exponent: float = 1.1,
+    seed: int = 0,
 ) -> List[MeasurementRequest]:
-    """A deterministic request list: ``n_requests`` measurements spread
-    round-robin over ``n_tanks`` tanks.
+    """A deterministic request list: ``n_requests`` measurements over
+    ``n_tanks`` tanks.
+
+    ``popularity`` selects the arrival pattern: ``"uniform"`` spreads
+    requests round-robin (every tank equally hot — the batching-friendly
+    baseline), ``"zipf"`` draws each request's tank from a seeded Zipf
+    distribution with the given ``zipf_exponent`` (a few hot tanks carry
+    most of the load — the shard-imbalance stressor).  Each tank's fill
+    trajectory advances per *its own* request count either way, so the
+    level sequence a given tank sees is popularity-independent.
 
     ``deadline_s`` is a *relative* budget added to ``now_s`` (pass the
     service clock's current value) — None disables deadlines.
@@ -46,14 +96,21 @@ def synthetic_load(
     Raises
     ------
     ValueError
-        On non-positive sizes.
+        On non-positive sizes or an unknown popularity model.
     """
     if n_requests < 1 or n_tanks < 1:
         raise ValueError(f"need positive sizes, got {n_requests} requests / {n_tanks} tanks")
+    if popularity not in POPULARITIES:
+        raise ValueError(f"popularity must be one of {POPULARITIES}, got {popularity!r}")
+    if popularity == "zipf":
+        tanks = zipf_tank_sequence(n_requests, n_tanks, exponent=zipf_exponent, seed=seed)
+    else:
+        tanks = [i % n_tanks for i in range(n_requests)]
+    steps: dict = {}
     requests = []
-    for i in range(n_requests):
-        tank = i % n_tanks
-        step = i // n_tanks
+    for i, tank in enumerate(tanks):
+        step = steps.get(tank, 0)
+        steps[tank] = step + 1
         requests.append(
             MeasurementRequest(
                 request_id=start_id + i,

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 import random
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 class Counter:
@@ -129,6 +129,97 @@ class Histogram:
             "p95": self.percentile(95.0),
         }
 
+    # ------------------------------------------------------------- merging
+
+    def state(self) -> dict:
+        """JSON-serializable full state (exact counts plus the reservoir),
+        the unit cross-process aggregation ships over the wire.  Unlike
+        :meth:`summary`, a histogram rebuilt from a state can still answer
+        percentile queries and be merged with its siblings."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "reservoir": self._reservoir,
+            "samples": list(self._samples),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, seed: int = 0) -> "Histogram":
+        """Rebuild a histogram from :meth:`state` output.
+
+        Raises
+        ------
+        ValueError
+            When the state's sample list is larger than its reservoir or
+            claims samples it never observed.
+        """
+        reservoir = int(state.get("reservoir", 2048))
+        samples = list(state.get("samples", ()))
+        count = int(state.get("count", 0))
+        if len(samples) > reservoir:
+            raise ValueError(
+                f"state has {len(samples)} samples for a reservoir of {reservoir}"
+            )
+        if count < len(samples):
+            raise ValueError(f"state claims {count} observations but holds {len(samples)}")
+        hist = cls(reservoir=reservoir, seed=seed)
+        hist.count = count
+        hist.total = float(state.get("total", 0.0))
+        hist.min = state.get("min")
+        hist.max = state.get("max")
+        hist._samples = samples
+        return hist
+
+    @classmethod
+    def merge(cls, states: Iterable[dict], reservoir: int = 2048, seed: int = 0) -> "Histogram":
+        """Merge histogram states (from :meth:`state`) into one histogram.
+
+        ``count``/``total``/``min``/``max`` merge exactly.  The merged
+        reservoir is exact (a plain concatenation) while the combined
+        samples fit; beyond that it is resampled with each source weighted
+        by its *observation count* — not its reservoir length — so a shard
+        that observed 10x the traffic contributes 10x the samples, which
+        keeps the merged reservoir an (approximately) unbiased sample of
+        the union stream.  Deterministic for a given ``seed`` and state
+        order.  Empty states merge to an empty histogram whose
+        :meth:`summary` keeps the fixed no-observation shape.
+        """
+        sources = [s for s in states if int(s.get("count", 0)) > 0]
+        merged = cls(reservoir=reservoir, seed=seed)
+        if not sources:
+            return merged
+        merged.count = sum(int(s["count"]) for s in sources)
+        merged.total = sum(float(s.get("total", 0.0)) for s in sources)
+        mins = [s["min"] for s in sources if s.get("min") is not None]
+        maxes = [s["max"] for s in sources if s.get("max") is not None]
+        merged.min = min(mins) if mins else None
+        merged.max = max(maxes) if maxes else None
+        pools = [list(s.get("samples", ())) for s in sources]
+        combined = [v for pool in pools for v in pool]
+        if len(combined) <= reservoir:
+            merged._samples = combined
+            return merged
+        rng = random.Random(seed)
+        weights = [int(s["count"]) for s in sources]
+        total_weight = sum(weights)
+        cumulative = []
+        acc = 0
+        for w in weights:
+            acc += w
+            cumulative.append(acc)
+        samples: List[float] = []
+        for _ in range(reservoir):
+            pick = rng.randrange(total_weight)
+            source = 0
+            while cumulative[source] <= pick:
+                source += 1
+            pool = pools[source]
+            samples.append(pool[rng.randrange(len(pool))])
+        merged._samples = samples
+        return merged
+
 
 class Metrics:
     """A named registry of counters, gauges and histograms.
@@ -170,13 +261,85 @@ class Metrics:
             g = self._gauges.get(name)
             return g.value if g else 0.0
 
-    def snapshot(self) -> dict:
-        """Plain-dict view of everything recorded so far."""
+    def snapshot(self, include_reservoirs: bool = False) -> dict:
+        """Plain-dict view of everything recorded so far.
+
+        ``include_reservoirs=True`` additionally emits a
+        ``histogram_states`` section (full :meth:`Histogram.state` per
+        histogram) so a remote aggregator can merge percentile reservoirs
+        with :meth:`merge_snapshots` instead of guessing from summaries.
+        """
         with self._lock:
-            return {
+            snap = {
                 "counters": {name: c.value for name, c in sorted(self._counters.items())},
                 "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
                 "histograms": {
                     name: h.summary() for name, h in sorted(self._histograms.items())
                 },
             }
+            if include_reservoirs:
+                snap["histogram_states"] = {
+                    name: h.state() for name, h in sorted(self._histograms.items())
+                }
+            return snap
+
+    @staticmethod
+    def merge_snapshots(snapshots: Sequence[dict], seed: int = 0) -> dict:
+        """Merge metric snapshots (e.g. one per shard) into one snapshot.
+
+        Counters and gauges sum per name (every counter is a total and the
+        gauges this runtime keeps — joules, device seconds — are additive
+        across shards).  Histograms merge through
+        :meth:`Histogram.merge` when the snapshots carry
+        ``histogram_states``; a name lacking states in *any* source falls
+        back to a summary-level combine (exact count/mean/min/max,
+        ``None`` percentiles — quantiles cannot be recovered from
+        summaries alone, and pretending otherwise would be worse than
+        honesty).  The merged snapshot keeps the plain shape, so existing
+        renderers work on it unchanged.
+        """
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, float] = {}
+        for snap in snapshots:
+            for name, value in snap.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+            for name, value in snap.get("gauges", {}).items():
+                gauges[name] = gauges.get(name, 0.0) + value
+        names: Dict[str, None] = {}
+        for snap in snapshots:
+            for name in snap.get("histograms", {}):
+                names.setdefault(name)
+        histograms: Dict[str, dict] = {}
+        states: Dict[str, dict] = {}
+        for name in names:
+            with_hist = [s for s in snapshots if name in s.get("histograms", {})]
+            if all(name in s.get("histogram_states", {}) for s in with_hist):
+                merged = Histogram.merge(
+                    [s["histogram_states"][name] for s in with_hist], seed=seed
+                )
+                histograms[name] = merged.summary()
+                states[name] = merged.state()
+                continue
+            summaries = [
+                s["histograms"][name] for s in with_hist if s["histograms"][name]["count"]
+            ]
+            count = sum(s["count"] for s in summaries)
+            if not count:
+                histograms[name] = dict(Histogram().summary())
+                continue
+            histograms[name] = {
+                "count": count,
+                "mean": sum(s["mean"] * s["count"] for s in summaries) / count,
+                "min": min(s["min"] for s in summaries),
+                "max": max(s["max"] for s in summaries),
+                "p50": None,
+                "p95": None,
+            }
+        merged_snap = {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+        if states:
+            merged_snap["histogram_states"] = dict(sorted(states.items()))
+        return merged_snap

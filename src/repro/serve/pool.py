@@ -249,9 +249,16 @@ class FleetService:
         supervise: bool = True,
         supervisor_config: Optional[SupervisorConfig] = None,
         chaos=None,
+        on_deliver: Optional[Callable[[List[MeasurementResponse]], None]] = None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        #: Optional push seam: called with every batch of terminal
+        #: responses after they are recorded (a shard worker uses this to
+        #: pump responses over its wire transport).  Exceptions are
+        #: counted, never propagated — a broken downstream must not look
+        #: like a crashed worker.
+        self.on_deliver = on_deliver
         self.engine = engine
         self.clock = clock
         self.metrics = Metrics()
@@ -468,6 +475,11 @@ class FleetService:
                 self._responses.append(response)
                 self.metrics.observe("latency_s", response.latency_s)
             self._done.notify_all()
+        if self.on_deliver is not None:
+            try:
+                self.on_deliver(responses)
+            except Exception:
+                self.metrics.inc("deliver_callback_errors")
 
     def responses(self) -> List[MeasurementResponse]:
         with self._done:

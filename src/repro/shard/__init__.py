@@ -1,0 +1,41 @@
+"""Sharded multi-process fleet: consistent-hash routing over N
+independent :class:`repro.serve.FleetService` processes speaking a
+versioned wire protocol, with process-level supervision and zero-loss
+crash re-delivery."""
+
+from repro.shard.config import ShardConfig, default_start_method
+from repro.shard.hashring import ConsistentHashRing
+from repro.shard.router import ShardRouter
+from repro.shard.supervisor import ShardSupervisor
+from repro.shard.wire import (
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    WireError,
+    decode,
+    encode,
+    read_frame,
+    request_from_wire,
+    request_to_wire,
+    response_from_wire,
+    response_to_wire,
+    write_frame,
+)
+
+__all__ = [
+    "ShardConfig",
+    "ConsistentHashRing",
+    "ShardRouter",
+    "ShardSupervisor",
+    "default_start_method",
+    "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
+    "WireError",
+    "encode",
+    "decode",
+    "read_frame",
+    "write_frame",
+    "request_to_wire",
+    "request_from_wire",
+    "response_to_wire",
+    "response_from_wire",
+]

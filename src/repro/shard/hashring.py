@@ -1,0 +1,104 @@
+"""Consistent-hash routing of tank ids to shards.
+
+Tank IIR state (front-end noise process, level-filter memory) is
+per-tank, so the shard layer is embarrassingly parallel *as long as all
+of a tank's requests land on the same shard*.  A modulo hash would do
+that too — until the fleet resizes, when modulo remaps nearly every
+tank and every shard's warm per-tank state becomes garbage.  The
+classic consistent-hash ring (Karger et al.) bounds that blast radius:
+each shard owns ``replicas`` pseudo-random points on a hash circle, a
+tank routes to the first shard point at or after its own hash, and
+adding/removing one shard remaps only the tanks in that shard's arcs
+(~1/N of the keyspace).
+
+Hashing uses ``blake2b`` rather than Python's ``hash()`` — routing must
+agree across processes and runs, and ``hash()`` is salted per process.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def _point(key: str) -> int:
+    """64-bit position of a key on the ring (stable across processes)."""
+    return int.from_bytes(hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+class ConsistentHashRing:
+    """A hash ring mapping string keys (tank ids) to shard ids."""
+
+    def __init__(
+        self,
+        shard_ids: Iterable[int],
+        replicas: int = 64,
+        salt: str = "repro-shard",
+    ):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self.salt = salt
+        self._points: List[Tuple[int, int]] = []
+        self._hashes: List[int] = []
+        self._shards: Dict[int, None] = {}
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+        if not self._shards:
+            raise ValueError("ring needs at least one shard")
+
+    # ------------------------------------------------------------ membership
+
+    @property
+    def shard_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._shards))
+
+    def add_shard(self, shard_id: int) -> None:
+        """Add a shard's replica points (idempotent)."""
+        if shard_id in self._shards:
+            return
+        self._shards[shard_id] = None
+        for replica in range(self.replicas):
+            point = _point(f"{self.salt}:{shard_id}:{replica}")
+            index = bisect.bisect_left(self._hashes, point)
+            self._hashes.insert(index, point)
+            self._points.insert(index, (point, shard_id))
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Drop a shard's points; its arcs fall to the next shards on the
+        ring (the minimal remap that makes consistent hashing worth it).
+
+        Raises
+        ------
+        KeyError
+            On an unknown shard id.
+        ValueError
+            When removing the last shard (an empty ring routes nothing).
+        """
+        if shard_id not in self._shards:
+            raise KeyError(f"unknown shard {shard_id}")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard from the ring")
+        del self._shards[shard_id]
+        keep = [(h, s) for h, s in self._points if s != shard_id]
+        self._points = keep
+        self._hashes = [h for h, _s in keep]
+
+    # --------------------------------------------------------------- routing
+
+    def lookup(self, key: str) -> int:
+        """Shard id owning ``key`` (first point clockwise from its hash)."""
+        point = _point(key)
+        index = bisect.bisect_right(self._hashes, point)
+        if index == len(self._points):
+            index = 0  # wrap around the circle
+        return self._points[index][1]
+
+    def distribution(self, keys: Sequence[str]) -> Dict[int, int]:
+        """Key count per shard (every shard present, even at zero) —
+        the shard-imbalance observable the Zipf loadgen exercises."""
+        counts = {shard_id: 0 for shard_id in self._shards}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts

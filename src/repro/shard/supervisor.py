@@ -1,0 +1,114 @@
+"""Process-level supervision of the sharded fleet.
+
+PR 5's :class:`repro.serve.supervisor.WorkerSupervisor` answers worker
+*thread* death inside one process; this extends the same contract to
+whole-process death.  A sweep thread heartbeats every shard over its
+control channel (``ping``/``pong``), detects dead processes (crash,
+SIGKILL, OOM) via liveness + pipe EOF, detects *hung* processes via pong
+staleness and escalates those to SIGKILL, and drives
+:meth:`ShardRouter.restart_shard` — which re-delivers the dead shard's
+in-flight requests through the worker's capacity-bypassing ``restore``
+path.  A shard that keeps dying exhausts its restart budget and is
+abandoned, its stranded requests answered terminally ``failed`` so
+callers never hang.
+
+The sweep is time-driven but also wakeable: reader threads nudge it the
+moment a pipe EOFs, so recovery latency is pipe-close latency, not a
+heartbeat period.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.shard.router import ShardRouter
+
+
+class ShardSupervisor:
+    """Heartbeat + restart loop over a :class:`ShardRouter`'s processes."""
+
+    def __init__(self, router: "ShardRouter"):
+        self.router = router
+        self._thread: threading.Thread = threading.Thread(
+            target=self._loop, name="shard-supervisor", daemon=True
+        )
+        self._stop = threading.Event()
+        self._nudge = threading.Event()
+        self._started = False
+        self.sweeps = 0
+        self.stall_kills = 0
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._thread.start()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        self._stop.set()
+        self._nudge.set()
+        if self._started:
+            self._thread.join(timeout_s)
+
+    def wake(self) -> None:
+        """Nudge the sweep now (reader threads call this on pipe EOF so a
+        crash is noticed immediately, not a heartbeat period later)."""
+        self._nudge.set()
+
+    # ------------------------------------------------------------------ sweep
+
+    def _loop(self) -> None:
+        interval = self.router.config.heartbeat_interval_s
+        while not self._stop.is_set():
+            self._nudge.wait(interval)
+            self._nudge.clear()
+            if self._stop.is_set():
+                return
+            self._sweep()
+
+    def _sweep(self) -> None:
+        self.sweeps += 1
+        now = self.router.clock()
+        timeout = self.router.config.heartbeat_timeout_s
+        with self.router._lock:
+            handles = list(self.router._handles.items())
+        for shard_id, handle in handles:
+            if handle.abandoned:
+                continue
+            if handle.dead.is_set() or not handle.process.is_alive():
+                self.router.restart_shard(shard_id)
+                continue
+            if not self.router.ping_shard(handle):
+                continue  # broken pipe: the reader EOFs and re-nudges us
+            if handle.last_pong and now - handle.last_pong > timeout:
+                # Alive but mute: the control loop is wedged, so restore
+                # can't reach it either.  Escalate to the crash path.
+                self._kill_stalled(handle)
+
+    def _kill_stalled(self, handle) -> None:
+        pid = handle.process.pid
+        if pid is None:
+            return
+        self.stall_kills += 1
+        self.router.metrics.inc("shard_stall_kills")
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass  # already gone; the liveness check reaps it next sweep
+
+    # ------------------------------------------------------------- reporting
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "enabled": True,
+            "sweeps": self.sweeps,
+            "stall_kills": self.stall_kills,
+            "restarts": dict(self.router.restarts),
+            "abandoned": dict(self.router.abandoned),
+        }

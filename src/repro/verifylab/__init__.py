@@ -33,7 +33,7 @@ from repro.verifylab.campaign import (
     run_campaign,
     write_report,
 )
-from repro.verifylab.chaos import run_chaos_campaign
+from repro.verifylab.chaos import run_chaos_campaign, run_shard_chaos_campaign
 from repro.verifylab.fuzz import FuzzFailure, FuzzReport, run_fuzz, shrink
 from repro.verifylab.golden import (
     CANONICAL_SEEDS,
@@ -53,6 +53,12 @@ from repro.verifylab.oracle import (
     serve_scenario,
 )
 from repro.verifylab.scenarios import Scenario, generate_scenario, retarget_single_tank
+from repro.verifylab.shard_oracle import (
+    ShardScenarioCheck,
+    check_scenario_sharded,
+    run_shard_oracle,
+    serve_scenario_sharded,
+)
 
 __all__ = [
     "CANONICAL_SEEDS",
@@ -65,11 +71,13 @@ __all__ = [
     "ReferenceResult",
     "Scenario",
     "ScenarioCheck",
+    "ShardScenarioCheck",
     "ToleranceSpec",
     "build_trace",
     "campaign_scenario",
     "check_golden",
     "check_scenario",
+    "check_scenario_sharded",
     "default_golden_dir",
     "generate_scenario",
     "retarget_single_tank",
@@ -77,7 +85,10 @@ __all__ = [
     "run_chaos_campaign",
     "run_fuzz",
     "run_oracle",
+    "run_shard_chaos_campaign",
+    "run_shard_oracle",
     "serve_scenario",
+    "serve_scenario_sharded",
     "shrink",
     "write_golden",
     "write_report",

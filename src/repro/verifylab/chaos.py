@@ -18,6 +18,10 @@ and clock skew (:mod:`repro.chaos`), served by a supervised
 Injection decisions are seeded and budget-capped, so fault *counts* are
 exactly reproducible; thread scheduling decides which worker draws each
 strike, so the gates assert rates and totals, not per-worker traces.
+
+:func:`run_shard_chaos_campaign` lifts the same two gates one level up:
+the faults are whole shard *processes* SIGKILLed mid-run, and recovery
+is the shard supervisor's process restart + wire-level re-delivery.
 """
 
 from __future__ import annotations
@@ -29,6 +33,8 @@ from repro.app.system import SystemConfig
 from repro.chaos import ChaosConfig, ChaosMonkey
 from repro.serve.pool import FleetService
 from repro.serve.supervisor import SupervisorConfig
+from repro.shard.config import ShardConfig
+from repro.shard.router import ShardRouter
 from repro.verifylab.campaign import campaign_scenario
 from repro.verifylab.oracle import ReferenceExecutor, ToleranceSpec
 
@@ -150,5 +156,134 @@ def run_chaos_campaign(
     }
     report["ok"] = (
         terminal == admitted and matching == checked and not mismatches
+    )
+    return report
+
+
+def run_shard_chaos_campaign(
+    requests: int = 64,
+    seed: int = 0,
+    shards: int = 3,
+    kills: int = 1,
+    engine: str = "scalar",
+    timeout_s: float = 120.0,
+    tolerances: Optional[ToleranceSpec] = None,
+) -> dict:
+    """SIGKILL shard *processes* mid-run; gate on zero lost requests.
+
+    The process-level sibling of :func:`run_chaos_campaign`: the same
+    one-tank-per-request noise-free workload, but the faults are whole
+    shard processes killed with SIGKILL while their queues are full.
+    The router's in-flight tables plus the shard supervisor's restart +
+    ``restore`` re-delivery must get every accepted request to a
+    terminal response (``terminal_rate == 1.0``), and — because the
+    workload makes every answer a pure function of (seed, tank, level) —
+    every re-executed ``ok`` answer must still match the reference
+    exactly.  Each kill targets the shard with the most in-flight work,
+    after waiting for partial progress so the pipe holds undrained
+    responses at kill time (the dedup path gets exercised too).
+    """
+    if kills < 0:
+        raise ValueError(f"kills must be >= 0, got {kills}")
+    tolerances = tolerances or ToleranceSpec()
+    scenario = campaign_scenario(requests, seed)
+    reference = ReferenceExecutor(scenario).run()
+    config = ShardConfig(
+        shards=shards,
+        workers_per_shard=1,
+        max_batch=scenario.max_batch,
+        queue_capacity=requests + 16,
+        batched=True,
+        seed=scenario.seed,
+        noise_rms=scenario.noise_rms,
+        engine=engine,
+        circuit=scenario.circuit,
+        heartbeat_interval_s=0.02,
+        max_restarts_per_shard=max(3, kills + 1),
+    )
+    router = ShardRouter(config).start()
+    kill_log = []
+    try:
+        admitted, rejected = router.submit_many(scenario.requests())
+        for strike in range(kills):
+            # Let roughly a kill's share of the work finish first, so the
+            # victim dies with both undrained responses and queued work.
+            target_responses = (admitted * (strike + 1)) // (kills + 1)
+            router.await_responses(target_responses, timeout_s=timeout_s)
+            victim = max(router.inflight_by_shard().items(), key=lambda kv: kv[1])[0]
+            try:
+                pid = router.kill_shard(victim)
+            except RuntimeError:
+                continue  # victim already between generations; skip strike
+            kill_log.append({"shard": victim, "pid": pid, "strike": strike})
+        completed = router.await_responses(admitted, timeout_s=timeout_s)
+        snapshot = router.metrics_snapshot()
+    finally:
+        router.shutdown(drain=True, timeout_s=30.0)
+    responses = {r.request_id: r for r in router.responses()}
+
+    terminal = len(responses)
+    ok_count = sum(1 for r in responses.values() if r.ok)
+    failed = sum(1 for r in responses.values() if r.status == "failed")
+    expired = sum(1 for r in responses.values() if r.status == "expired")
+
+    checked = matching = 0
+    max_level_dev = max_cap_dev = 0.0
+    mismatches = []
+    for request_id, response in sorted(responses.items()):
+        if not response.ok:
+            continue
+        expected = reference[request_id]
+        level_dev = abs(response.level_measured - expected.level)
+        cap_dev = abs(response.capacitance_pf - expected.capacitance_pf)
+        max_level_dev = max(max_level_dev, level_dev)
+        max_cap_dev = max(max_cap_dev, cap_dev)
+        checked += 1
+        if (
+            level_dev <= tolerances.level_abs
+            and cap_dev <= tolerances.capacitance_abs_pf
+        ):
+            matching += 1
+        else:
+            mismatches.append(
+                f"request {request_id}: level dev {level_dev:.3e}, "
+                f"capacitance dev {cap_dev:.3e}"
+            )
+
+    router_counters = snapshot["router"]["counters"]
+    report = {
+        "workload": scenario.to_dict(),
+        "shards": shards,
+        "engine": engine,
+        "kills": kill_log,
+        "admitted": admitted,
+        "rejected": len(rejected),
+        "terminal": terminal,
+        "terminal_rate": (terminal / admitted) if admitted else 1.0,
+        "completed_in_time": completed,
+        "responses": {"ok": ok_count, "failed": failed, "expired": expired},
+        "recovery": {
+            "shard_kills": router_counters.get("shard_kills", 0),
+            "shard_restarts": router_counters.get("shard_restarts", 0),
+            "requests_redelivered": router_counters.get("requests_redelivered", 0),
+            "duplicate_responses_dropped": router_counters.get(
+                "shard_duplicate_responses", 0
+            ),
+            "shards_abandoned": router_counters.get("shards_abandoned", 0),
+        },
+        "supervisor": snapshot.get("supervisor", {}),
+        "integrity": {
+            "checked": checked,
+            "matching": matching,
+            "max_level_deviation": max_level_dev,
+            "max_capacitance_deviation_pf": max_cap_dev,
+            "mismatches": mismatches,
+        },
+    }
+    report["ok"] = (
+        terminal == admitted
+        and len(kill_log) == kills
+        and matching == checked
+        and not mismatches
     )
     return report

@@ -1,0 +1,172 @@
+"""Sharded differential oracle: N processes must equal one, bit for bit.
+
+The shard layer's equivalence claim is stronger than the batching one:
+splitting a fleet across processes and shipping every request and
+response through the versioned wire codec must change *nothing* — not
+within a tolerance, but exactly.  Three properties make that checkable:
+
+* every shard builds its fleet from the same base seed, and a tank
+  session's seed derives from (base seed, tank id), so a tank is served
+  identically whichever shard the ring assigns it to;
+* one worker per shard keeps each tank's execution order equal to its
+  submission order, same as the single-process oracle setup;
+* the JSON wire format round-trips floats shortest-repr, which Python
+  guarantees bit-exact.
+
+So this oracle serves each scenario once through one in-process
+:func:`repro.verifylab.oracle.serve_scenario` and once through a
+:class:`repro.shard.ShardRouter`, and diffs every response field with
+``==`` — any wire rounding, routing inconsistency or cross-process seed
+drift is a violation, not a deviation.
+
+(Energy and batch bookkeeping are *not* compared: batch composition
+legitimately differs across shard counts, and reconfiguration energy
+amortizes over batches.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.serve.requests import MeasurementResponse
+from repro.shard.config import ShardConfig
+from repro.shard.router import ShardRouter
+from repro.verifylab.oracle import serve_scenario
+from repro.verifylab.scenarios import Scenario, generate_scenario
+
+#: Response fields that must match exactly between the sharded and the
+#: single-process path.
+SHARD_EXACT_FIELDS = ("status", "level_measured", "capacitance_pf")
+
+
+def serve_scenario_sharded(
+    scenario: Scenario,
+    shards: int = 2,
+    timeout_s: float = 120.0,
+    engine: str = "scalar",
+    start_method: Optional[str] = None,
+) -> Dict[int, MeasurementResponse]:
+    """Serve one scenario through a sharded fleet; responses by id.
+
+    Mirrors :func:`serve_scenario`'s determinism setup — one worker per
+    shard, every request submitted up front — with the routing layer and
+    wire codec in between.
+
+    Raises
+    ------
+    RuntimeError
+        On rejected submissions or a timeout (both mean the comparison
+        would be vacuous, so they fail loudly).
+    """
+    requests = scenario.requests()
+    config = ShardConfig(
+        shards=shards,
+        workers_per_shard=1,
+        max_batch=scenario.max_batch,
+        queue_capacity=len(requests) + 16,
+        batched=scenario.batched,
+        seed=scenario.seed,
+        noise_rms=scenario.noise_rms,
+        engine=engine if scenario.batched else "scalar",
+        circuit=scenario.circuit,
+        start_method=start_method,
+    )
+    router = ShardRouter(config).start()
+    try:
+        accepted, rejected = router.submit_many(requests)
+        if rejected:
+            raise RuntimeError(
+                f"scenario seed {scenario.seed}: {len(rejected)} rejected by router"
+            )
+        if not router.await_responses(accepted, timeout_s=timeout_s):
+            raise RuntimeError(
+                f"scenario seed {scenario.seed}: sharded serve timed out "
+                f"after {timeout_s} s"
+            )
+    finally:
+        router.shutdown(drain=False, timeout_s=10.0)
+    return {r.request_id: r for r in router.responses()}
+
+
+@dataclass
+class ShardScenarioCheck:
+    """Exact-equality verdict of one scenario at one shard count."""
+
+    scenario: Scenario
+    shards: int
+    violations: List[str] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.scenario.seed,
+            "shards": self.shards,
+            "n_requests": self.scenario.n_requests,
+            "compared": self.compared,
+            "ok": self.ok,
+            "violations": list(self.violations),
+        }
+
+
+def check_scenario_sharded(
+    scenario: Scenario,
+    shards: int = 2,
+    engine: str = "scalar",
+    start_method: Optional[str] = None,
+) -> ShardScenarioCheck:
+    """Serve one scenario both ways and require exact response equality."""
+    check = ShardScenarioCheck(scenario, shards)
+    single = serve_scenario(scenario, engine=engine)
+    sharded = serve_scenario_sharded(
+        scenario, shards=shards, engine=engine, start_method=start_method
+    )
+    for request in scenario.requests():
+        reference = single.get(request.request_id)
+        response = sharded.get(request.request_id)
+        if reference is None or response is None:
+            check.violations.append(
+                f"seed {scenario.seed} request {request.request_id}: missing "
+                f"from {'single-process' if reference is None else 'sharded'} path"
+            )
+            continue
+        check.compared += 1
+        for name in SHARD_EXACT_FIELDS:
+            got, want = getattr(response, name), getattr(reference, name)
+            if got != want:
+                check.violations.append(
+                    f"seed {scenario.seed} request {request.request_id} "
+                    f"field {name}: sharded {got!r} != single {want!r}"
+                )
+    return check
+
+
+def run_shard_oracle(
+    seeds: Iterable[int],
+    shards: int = 2,
+    engine: str = "scalar",
+    start_method: Optional[str] = None,
+) -> dict:
+    """Exact-equality sweep over seeds; JSON-ready aggregate report."""
+    checks = [
+        check_scenario_sharded(
+            generate_scenario(seed),
+            shards=shards,
+            engine=engine,
+            start_method=start_method,
+        )
+        for seed in seeds
+    ]
+    return {
+        "ok": all(c.ok for c in checks),
+        "shards": shards,
+        "engine": engine,
+        "seeds_checked": len(checks),
+        "requests_compared": sum(c.compared for c in checks),
+        "violations": [v for c in checks for v in c.violations],
+        "per_seed": [c.to_dict() for c in checks],
+    }

@@ -308,3 +308,83 @@ def test_wait_for_depth_wakes_on_submit_and_close():
     thread.join()
     assert broker.closed
     assert depth == 1  # the one queued request, reported at close
+
+
+# ------------------------------------------------------- restore semantics
+
+
+def test_restore_enters_at_the_head_in_batch_order():
+    """A restored batch jumps the queue — it already waited once on the
+    dead worker — and keeps its own internal order."""
+    broker = RequestBroker(capacity=16)
+    for i in range(4):
+        broker.submit(_request(i))
+    broker.restore([_request(100), _request(101), _request(102)])
+    drained = [r.request_id for r in broker.take(7, timeout_s=0.1)]
+    assert drained == [100, 101, 102, 0, 1, 2, 3]
+
+
+def test_restore_bypasses_capacity_and_closed_queue():
+    """Restore re-admits work the broker already accepted once, so
+    neither the capacity bound nor a closed (draining) queue may refuse
+    it — refusing would turn a worker death into request loss."""
+    broker = RequestBroker(capacity=2)
+    broker.submit(_request(0))
+    broker.submit(_request(1))
+    with pytest.raises(BrokerFullError):
+        broker.submit(_request(2))
+    broker.restore([_request(10), _request(11)])
+    assert broker.depth == 4
+
+    broker.close()
+    broker.restore([_request(20)])
+    drained = [r.request_id for r in broker.take(8, timeout_s=0.1)]
+    assert drained == [20, 10, 11, 0, 1]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_restore_interleaved_with_concurrent_submits(seed):
+    """Property: restores racing live submits lose nothing, duplicate
+    nothing, and never reorder *within* a restored batch or within the
+    submitted stream (the cross-stream interleaving is scheduling)."""
+    import random
+
+    rng = random.Random(seed)
+    broker = RequestBroker(capacity=1024)
+    n_submits = rng.randint(10, 60)
+    batches = [
+        [1000 * (b + 1) + i for i in range(rng.randint(1, 5))]
+        for b in range(rng.randint(1, 4))
+    ]
+
+    def submitter():
+        for i in range(n_submits):
+            broker.submit(_request(i))
+
+    def restorer():
+        for batch in batches:
+            broker.restore([_request(i) for i in batch])
+
+    threads = [threading.Thread(target=submitter), threading.Thread(target=restorer)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30.0)
+        assert not t.is_alive()
+
+    drained = []
+    expected = n_submits + sum(len(b) for b in batches)
+    while len(drained) < expected:
+        batch = broker.take(rng.randint(1, 8), timeout_s=0.2)
+        assert batch, "drain stalled before every request was seen"
+        drained.extend(r.request_id for r in batch)
+
+    assert sorted(drained) == sorted(
+        list(range(n_submits)) + [i for b in batches for i in b]
+    )
+    submitted_order = [i for i in drained if i < 1000]
+    assert submitted_order == list(range(n_submits))
+    for batch in batches:
+        batch_order = [i for i in drained if i in set(batch)]
+        assert batch_order == batch

@@ -1,0 +1,78 @@
+"""Heavy-tailed load generation: the Zipf per-tank popularity model."""
+
+import pytest
+
+from repro.serve.loadgen import (
+    POPULARITIES,
+    synthetic_load,
+    tank_level,
+    zipf_tank_sequence,
+)
+
+
+def test_zipf_sequence_is_deterministic_per_seed():
+    first = zipf_tank_sequence(500, 8, seed=4)
+    second = zipf_tank_sequence(500, 8, seed=4)
+    assert first == second
+    assert first != zipf_tank_sequence(500, 8, seed=5)
+
+
+def test_zipf_sequence_is_heavy_tailed():
+    """Rank-0 is the hottest tank and popularity decays with rank; the
+    head tanks carry well more than a uniform share of the traffic."""
+    seq = zipf_tank_sequence(4000, 10, exponent=1.1, seed=0)
+    counts = [seq.count(k) for k in range(10)]
+    assert counts[0] == max(counts)
+    assert counts[0] > 2 * (len(seq) / 10)  # far above the uniform share
+    assert counts[0] > counts[4] > counts[9]
+    assert all(0 <= tank < 10 for tank in seq)
+
+
+def test_zipf_exponent_controls_tail_weight():
+    flat = zipf_tank_sequence(3000, 8, exponent=0.2, seed=1)
+    steep = zipf_tank_sequence(3000, 8, exponent=2.5, seed=1)
+    assert steep.count(0) > flat.count(0)
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        zipf_tank_sequence(0, 4)
+    with pytest.raises(ValueError):
+        zipf_tank_sequence(10, 0)
+    with pytest.raises(ValueError):
+        zipf_tank_sequence(10, 4, exponent=0.0)
+
+
+def test_synthetic_load_uniform_stays_round_robin():
+    """The default popularity keeps the original round-robin pattern —
+    the Zipf axis must not perturb existing workloads."""
+    requests = synthetic_load(12, n_tanks=4)
+    assert [r.tank_id for r in requests] == [f"tank-{i % 4:03d}" for i in range(12)]
+
+
+def test_synthetic_load_zipf_concentrates_on_hot_tanks():
+    requests = synthetic_load(600, n_tanks=6, popularity="zipf", seed=2)
+    counts = {}
+    for request in requests:
+        counts[request.tank_id] = counts.get(request.tank_id, 0) + 1
+    assert counts["tank-000"] == max(counts.values())
+    assert counts["tank-000"] > 600 / 6
+
+
+def test_tank_trajectory_is_popularity_independent():
+    """A tank's k-th request sees the same level whichever popularity
+    model generated the stream: trajectories advance per *tank* request
+    count, so services under different load shapes stay comparable."""
+    zipf = synthetic_load(300, n_tanks=5, popularity="zipf", seed=7)
+    per_tank_levels = {}
+    for request in zipf:
+        per_tank_levels.setdefault(request.tank_id, []).append(request.level)
+    for tank_id, levels in per_tank_levels.items():
+        tank = int(tank_id.split("-")[1])
+        assert levels == [tank_level(tank, k) for k in range(len(levels))]
+
+
+def test_synthetic_load_rejects_unknown_popularity():
+    assert POPULARITIES == ("uniform", "zipf")
+    with pytest.raises(ValueError):
+        synthetic_load(4, popularity="bimodal")

@@ -1,0 +1,169 @@
+"""Cross-process metric aggregation: histogram and snapshot merging.
+
+The shard router sums counters and merges percentile reservoirs across
+worker processes; these tests pin the merge algebra — exact count /
+total / min / max, exact percentiles while the combined reservoirs fit,
+count-weighted resampling beyond that — and the edge cases (empty
+sources, single observations, summary-only fallbacks) that a fleet with
+an idle shard hits on its very first snapshot.
+"""
+
+import pytest
+
+from repro.serve.metrics import Histogram, Metrics
+
+
+def _hist_with(values, reservoir=2048, seed=0):
+    hist = Histogram(reservoir=reservoir, seed=seed)
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+# ------------------------------------------------------------ Histogram.merge
+
+
+def test_merge_of_no_states_is_the_empty_histogram():
+    merged = Histogram.merge([])
+    assert merged.summary() == {
+        "count": 0,
+        "mean": 0.0,
+        "min": None,
+        "max": None,
+        "p50": None,
+        "p95": None,
+    }
+
+
+def test_merge_skips_empty_states():
+    empty = Histogram().state()
+    full = _hist_with([1.0, 3.0]).state()
+    merged = Histogram.merge([empty, full, empty])
+    assert merged.count == 2
+    assert merged.min == 1.0 and merged.max == 3.0
+    assert merged.percentile(50.0) == pytest.approx(2.0)
+
+
+def test_merge_single_observation_states():
+    """One observation per shard — the smallest non-trivial merge."""
+    states = [_hist_with([float(v)]).state() for v in (5, 1, 3)]
+    merged = Histogram.merge(states)
+    assert merged.count == 3
+    assert merged.total == pytest.approx(9.0)
+    assert (merged.min, merged.max) == (1.0, 5.0)
+    assert merged.percentile(50.0) == pytest.approx(3.0)
+
+
+def test_merge_is_exact_while_reservoirs_fit():
+    """Concatenation path: merged percentiles equal the percentiles of
+    one histogram that observed the union stream."""
+    a = list(range(0, 50))
+    b = list(range(50, 120))
+    merged = Histogram.merge(
+        [_hist_with(map(float, a)).state(), _hist_with(map(float, b)).state()]
+    )
+    union = _hist_with(map(float, a + b))
+    for p in (0.0, 25.0, 50.0, 95.0, 100.0):
+        assert merged.percentile(p) == pytest.approx(union.percentile(p))
+
+
+def test_merge_resamples_by_observation_count_when_over_capacity():
+    """Resample path: a shard that observed 9x the traffic dominates the
+    merged reservoir roughly 9:1 — weighting by reservoir length instead
+    would split it 1:1 and skew every quantile."""
+    hot = _hist_with([1.0] * 900, reservoir=64)
+    cold = _hist_with([100.0] * 100, reservoir=64)
+    merged = Histogram.merge([hot.state(), cold.state()], reservoir=64, seed=3)
+    assert merged.count == 1000
+    assert merged.total == pytest.approx(900 * 1.0 + 100 * 100.0)
+    hot_share = sum(1 for v in merged._samples if v == 1.0) / len(merged._samples)
+    assert 0.75 < hot_share < 0.99
+    # Exact stats stay exact regardless of sampling.
+    assert (merged.min, merged.max) == (1.0, 100.0)
+
+
+def test_merge_is_deterministic_for_a_seed():
+    states = [
+        _hist_with([float(i) for i in range(200)], reservoir=32).state(),
+        _hist_with([float(i) for i in range(500)], reservoir=32).state(),
+    ]
+    first = Histogram.merge(states, reservoir=32, seed=9)
+    second = Histogram.merge(states, reservoir=32, seed=9)
+    assert first._samples == second._samples
+
+
+def test_from_state_roundtrip_and_validation():
+    hist = _hist_with([2.0, 4.0, 6.0])
+    rebuilt = Histogram.from_state(hist.state())
+    assert rebuilt.summary() == hist.summary()
+    with pytest.raises(ValueError):
+        Histogram.from_state({"count": 1, "reservoir": 2, "samples": [1.0, 2.0, 3.0]})
+    with pytest.raises(ValueError):
+        Histogram.from_state({"count": 1, "reservoir": 8, "samples": [1.0, 2.0]})
+
+
+# ------------------------------------------------------ Metrics.merge_snapshots
+
+
+def test_merge_snapshots_sums_counters_and_gauges():
+    a, b = Metrics(), Metrics()
+    a.inc("served", 3)
+    a.add("energy_j", 1.5)
+    b.inc("served", 4)
+    b.inc("only_b")
+    b.add("energy_j", 0.5)
+    merged = Metrics.merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["counters"] == {"only_b": 1, "served": 7}
+    assert merged["gauges"]["energy_j"] == pytest.approx(2.0)
+
+
+def test_merge_snapshots_of_nothing_is_empty():
+    merged = Metrics.merge_snapshots([])
+    assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_merge_snapshots_merges_reservoirs_when_states_present():
+    a, b = Metrics(), Metrics()
+    for v in (1.0, 2.0):
+        a.observe("latency_s", v)
+    for v in (3.0, 4.0):
+        b.observe("latency_s", v)
+    merged = Metrics.merge_snapshots(
+        [a.snapshot(include_reservoirs=True), b.snapshot(include_reservoirs=True)]
+    )
+    summary = merged["histograms"]["latency_s"]
+    assert summary["count"] == 4
+    assert summary["p50"] == pytest.approx(2.5)
+    # The merged snapshot stays mergeable (states ride along).
+    assert merged["histogram_states"]["latency_s"]["count"] == 4
+
+
+def test_merge_snapshots_summary_fallback_without_states():
+    """A source without reservoirs degrades honestly: exact count / mean
+    / min / max, percentiles None rather than invented."""
+    a, b = Metrics(), Metrics()
+    a.observe("latency_s", 1.0)
+    b.observe("latency_s", 3.0)
+    merged = Metrics.merge_snapshots(
+        [a.snapshot(include_reservoirs=True), b.snapshot()]
+    )
+    summary = merged["histograms"]["latency_s"]
+    assert summary["count"] == 2
+    assert summary["mean"] == pytest.approx(2.0)
+    assert (summary["min"], summary["max"]) == (1.0, 3.0)
+    assert summary["p50"] is None and summary["p95"] is None
+    assert "histogram_states" not in merged
+
+
+def test_merge_snapshots_with_idle_shard():
+    """An idle shard (no observations yet) must not erase the busy one's
+    percentiles — the first fleet-wide snapshot after startup does this."""
+    busy, idle = Metrics(), Metrics()
+    busy.observe("latency_s", 2.0)
+    merged = Metrics.merge_snapshots(
+        [busy.snapshot(include_reservoirs=True), idle.snapshot(include_reservoirs=True)]
+    )
+    summary = merged["histograms"]["latency_s"]
+    assert summary["count"] == 1
+    assert summary["p50"] == pytest.approx(2.0)
+    assert summary["p95"] == pytest.approx(2.0)

@@ -1,0 +1,276 @@
+"""The sharded fleet: wire codec, hash ring, router, crash recovery.
+
+Process-spawning tests keep the workloads small (tens of requests, one
+or two shard processes) — the contracts under test are routing totality,
+wire round-trip exactness, merged metrics arithmetic, and the zero-loss
+kill/restart path, none of which need volume.
+"""
+
+import io
+
+import pytest
+
+from repro.serve.loadgen import synthetic_load
+from repro.serve.requests import (
+    BrokerFullError,
+    MeasurementRequest,
+    MeasurementResponse,
+)
+from repro.shard import (
+    ConsistentHashRing,
+    ShardConfig,
+    ShardRouter,
+    WireError,
+    decode,
+    encode,
+    read_frame,
+    request_from_wire,
+    request_to_wire,
+    response_from_wire,
+    response_to_wire,
+    write_frame,
+)
+from repro.shard.wire import KIND_SUBMIT, WIRE_VERSION
+
+
+# ------------------------------------------------------------------ wire codec
+
+
+def test_request_wire_roundtrip_is_exact():
+    request = MeasurementRequest(
+        request_id=41,
+        tank_id="tank-007",
+        level=0.123456789012345678,  # shortest-repr floats survive JSON
+        pipeline=("frontend", "amp_phase", "capacity", "filter"),
+        deadline_s=12.5,
+        max_attempts=5,
+        attempts=2,
+        submitted_at=3.25,
+        not_before_s=0.5,
+    )
+    rebuilt = request_from_wire(request_to_wire(request))
+    for field in (
+        "request_id",
+        "tank_id",
+        "level",
+        "pipeline",
+        "deadline_s",
+        "max_attempts",
+        "attempts",
+        "submitted_at",
+        "not_before_s",
+    ):
+        assert getattr(rebuilt, field) == getattr(request, field)
+
+
+def test_response_wire_roundtrip_is_exact():
+    response = MeasurementResponse(
+        request_id=9,
+        tank_id="tank-001",
+        status="ok",
+        level_measured=0.6000000000000001,
+        capacitance_pf=312.0781249999999,
+        energy_j=1.25e-4,
+        device_time_s=0.0123,
+        latency_s=0.5,
+        attempts=1,
+        worker="worker-0",
+        batch_id=3,
+        batch_size=4,
+    )
+    rebuilt = response_from_wire(response_to_wire(response))
+    assert rebuilt == response
+
+
+def test_envelope_rejects_unknown_version_and_kind():
+    data = encode(KIND_SUBMIT, {"request": {}})
+    kind, payload = decode(data)
+    assert kind == KIND_SUBMIT and payload == {"request": {}}
+
+    with pytest.raises(WireError):
+        encode("teleport", {})
+    with pytest.raises(WireError):
+        decode(b"not json at all")
+    with pytest.raises(WireError):
+        decode(b'{"v": %d, "kind": "teleport", "payload": {}}' % WIRE_VERSION)
+    with pytest.raises(WireError):
+        decode(b'{"v": 99, "kind": "submit", "payload": {}}')
+    with pytest.raises(WireError):
+        decode(b'{"v": %d, "kind": "submit", "payload": 3}' % WIRE_VERSION)
+
+
+def test_malformed_request_payload_raises_wire_error():
+    with pytest.raises(WireError):
+        request_from_wire({"request_id": 1})  # missing required fields
+    with pytest.raises(WireError):
+        request_from_wire(
+            {"request_id": 1, "tank_id": "t", "level": 2.5, "pipeline": ["frontend"]}
+        )  # level out of range: model validation re-runs on decode
+
+
+def test_frame_roundtrip_eof_and_truncation():
+    stream = io.BytesIO()
+    write_frame(stream, b"alpha")
+    write_frame(stream, b"")
+    stream.seek(0)
+    assert read_frame(stream) == b"alpha"
+    assert read_frame(stream) == b""
+    assert read_frame(stream) is None  # clean EOF
+
+    stream = io.BytesIO(b"\x00\x00\x00\x10onlyfour")
+    with pytest.raises(WireError):
+        read_frame(stream)  # truncated body
+    with pytest.raises(WireError):
+        read_frame(io.BytesIO(b"\x00\x00"))  # truncated prefix
+    with pytest.raises(WireError):
+        read_frame(io.BytesIO(b"\xff\xff\xff\xff"))  # absurd length prefix
+
+
+# ------------------------------------------------------------------- hash ring
+
+
+def test_ring_routes_every_key_to_a_member_deterministically():
+    ring = ConsistentHashRing(range(4))
+    again = ConsistentHashRing(range(4))
+    keys = [f"tank-{i:03d}" for i in range(200)]
+    for key in keys:
+        assert ring.lookup(key) in (0, 1, 2, 3)
+        assert ring.lookup(key) == again.lookup(key)  # process-independent
+
+
+def test_ring_removal_only_remaps_the_removed_shards_keys():
+    ring = ConsistentHashRing(range(4))
+    keys = [f"tank-{i:03d}" for i in range(300)]
+    before = {key: ring.lookup(key) for key in keys}
+    ring.remove_shard(2)
+    for key in keys:
+        after = ring.lookup(key)
+        if before[key] != 2:
+            assert after == before[key]  # untouched arcs keep their owner
+        else:
+            assert after != 2
+
+
+def test_ring_distribution_reports_every_shard():
+    ring = ConsistentHashRing(range(3), replicas=128)
+    counts = ring.distribution([f"tank-{i:03d}" for i in range(600)])
+    assert set(counts) == {0, 1, 2}
+    assert sum(counts.values()) == 600
+    assert all(count > 0 for count in counts.values())
+
+
+def test_ring_validation():
+    with pytest.raises(ValueError):
+        ConsistentHashRing([])
+    with pytest.raises(ValueError):
+        ConsistentHashRing([0], replicas=0)
+    ring = ConsistentHashRing([0, 1])
+    with pytest.raises(KeyError):
+        ring.remove_shard(7)
+    ring.remove_shard(1)
+    with pytest.raises(ValueError):
+        ring.remove_shard(0)  # never an empty ring
+
+
+# ------------------------------------------------------------------ the router
+
+
+def _serve(router, requests, timeout_s=60.0):
+    accepted, rejected = router.submit_many(requests)
+    assert router.await_responses(accepted, timeout_s=timeout_s)
+    return accepted, rejected
+
+
+def test_router_serves_all_requests_with_tank_affinity():
+    config = ShardConfig(shards=2, seed=3, supervise=False)
+    router = ShardRouter(config).start()
+    try:
+        requests = synthetic_load(40, n_tanks=6, seed=1)
+        accepted, rejected = _serve(router, requests)
+        assert (accepted, rejected) == (40, [])
+        responses = router.responses()
+        assert sorted(r.request_id for r in responses) == list(range(40))
+        assert all(r.status == "ok" for r in responses)
+        snapshot = router.metrics_snapshot()
+    finally:
+        assert router.shutdown()
+    assert snapshot["service"]["shards"] == 2
+    assert snapshot["counters"]["requests_served"] == 40
+    # Both shards did real work and the per-shard counts add back up.
+    per_shard = [s["requests_served"] for s in snapshot["shards"].values()]
+    assert sum(per_shard) == 40 and all(count > 0 for count in per_shard)
+    # Merged percentiles come from real reservoirs, not summary guesses.
+    assert snapshot["histograms"]["latency_s"]["count"] == 40
+    assert snapshot["histograms"]["latency_s"]["p95"] is not None
+
+
+def test_router_backpressure_bounds_inflight_per_shard():
+    config = ShardConfig(shards=1, queue_capacity=4, supervise=False)
+    router = ShardRouter(config).start()
+    try:
+        requests = synthetic_load(12, n_tanks=1, seed=0)
+        accepted, rejected = router.submit_many(requests)
+        assert accepted <= 8  # capacity plus whatever already completed
+        assert len(rejected) == 12 - accepted
+        with pytest.raises(RuntimeError):
+            router.kill_shard(7)  # unknown shard ids raise KeyError below
+    except KeyError:
+        pass
+    finally:
+        router.shutdown()
+
+
+def test_duplicate_request_id_is_refused():
+    config = ShardConfig(shards=1, supervise=False)
+    router = ShardRouter(config).start()
+    try:
+        request = synthetic_load(1, n_tanks=1)[0]
+        router.submit(request)
+        with pytest.raises(ValueError):
+            router.submit(request)
+    finally:
+        router.shutdown()
+
+
+def test_killed_shard_recovers_with_zero_loss():
+    """SIGKILL the busiest shard mid-run: the supervisor restarts the
+    process, re-delivers its in-flight table, and every accepted request
+    still gets exactly one terminal response."""
+    config = ShardConfig(
+        shards=2, seed=5, queue_capacity=256, heartbeat_interval_s=0.02
+    )
+    router = ShardRouter(config).start()
+    try:
+        requests = synthetic_load(120, n_tanks=8, seed=2)
+        accepted, rejected = router.submit_many(requests)
+        assert (accepted, len(rejected)) == (120, 0)
+        router.await_responses(20, timeout_s=60.0)  # let some work finish
+        victim = max(router.inflight_by_shard().items(), key=lambda kv: kv[1])[0]
+        router.kill_shard(victim)
+        assert router.await_responses(120, timeout_s=60.0)
+        responses = router.responses()
+        assert sorted(r.request_id for r in responses) == list(range(120))
+        assert all(r.status == "ok" for r in responses)
+        assert router.restarts.get(victim) == 1
+        assert router.metrics.counter("requests_redelivered") > 0
+    finally:
+        router.shutdown()
+
+
+def test_sharded_path_exactly_equals_single_process():
+    from repro.verifylab import check_scenario_sharded, generate_scenario
+
+    check = check_scenario_sharded(generate_scenario(11), shards=2)
+    assert check.compared == check.scenario.n_requests
+    assert check.ok, check.violations
+
+
+def test_shard_chaos_campaign_loses_nothing():
+    from repro.verifylab import run_shard_chaos_campaign
+
+    report = run_shard_chaos_campaign(requests=24, seed=3, shards=2, kills=1)
+    assert report["ok"], report
+    assert report["terminal_rate"] == 1.0
+    assert report["responses"]["ok"] == 24
+    assert report["recovery"]["shard_restarts"] >= 1
+    assert report["integrity"]["matching"] == report["integrity"]["checked"] == 24
