@@ -164,6 +164,7 @@ class ShardRouter:
         deadline = time.monotonic() + self.config.startup_timeout_s
         for shard_id, handle in self._handles.items():
             if not handle.ready.wait(max(0.0, deadline - time.monotonic())):
+                self._teardown_failed_start()
                 raise RuntimeError(
                     f"shard {shard_id} failed to start within "
                     f"{self.config.startup_timeout_s} s"
@@ -171,6 +172,29 @@ class ShardRouter:
         if self.supervisor is not None:
             self.supervisor.start()
         return self
+
+    def _teardown_failed_start(self) -> None:
+        """Reap every process launched by a failed :meth:`start` and reset
+        ``_started`` so a retry is a real retry, not a half-started fleet
+        of leaked children."""
+        with self._lock:
+            handles = list(self._handles.values())
+            self._handles.clear()
+        for handle in handles:
+            if handle.process.is_alive():
+                handle.process.terminate()
+        for handle in handles:
+            handle.process.join(1.0)
+            if handle.process.is_alive() and handle.process.pid:
+                os.kill(handle.process.pid, signal.SIGKILL)
+                handle.process.join(1.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            if handle.reader is not None:
+                handle.reader.join(1.0)
+        self._started = False
 
     def _launch(self, shard_id: int) -> _ShardHandle:
         """One shard process + its reader thread (also the restart path)."""
@@ -296,19 +320,21 @@ class ShardRouter:
             self.supervisor.wake()
 
     def _on_response(self, handle: _ShardHandle, wire_response: dict) -> None:
-        request_id = wire_response.get("request_id")
+        # Validate before touching the in-flight table: a malformed
+        # payload must leave the entry tracked so the request can still
+        # be re-delivered and answered terminally.
+        try:
+            response = response_from_wire(wire_response)
+        except WireError:
+            self.metrics.inc("router_wire_errors")
+            return
         with handle.lock:
-            known = handle.inflight.pop(request_id, None)
+            known = handle.inflight.pop(response.request_id, None)
         if known is None:
             # Crash re-delivery can re-execute work whose first answer was
             # already drained from the dead process's pipe; first terminal
             # answer wins, later ones are dropped here.
             self.metrics.inc("shard_duplicate_responses")
-            return
-        try:
-            response = response_from_wire(wire_response)
-        except WireError:
-            self.metrics.inc("router_wire_errors")
             return
         self.metrics.inc("responses_delivered")
         self.metrics.observe("router_latency_s", response.latency_s)
@@ -462,17 +488,21 @@ class ShardRouter:
         self.metrics.inc("shard_restarts")
         replacement = self._launch(shard_id)
         if not replacement.ready.wait(self.config.startup_timeout_s):
-            # Startup failure burns a restart; the next sweep tries again
-            # (or abandons once the budget runs out).
+            # Startup failure burns a restart.  The replacement must NOT
+            # be retired — a retired handle is never restarted again —
+            # so the next sweep finds it dead, re-collects the leftovers
+            # stored below, and tries again (or abandons once the budget
+            # runs out).  A crash-looping shard thus converges on the
+            # abandon path instead of wedging with stranded requests.
             self.metrics.inc("shard_restart_failures")
             replacement.process.terminate()
-            with replacement.lock:
-                replacement.retired = True
-            with self._lock:
-                self._handles[shard_id] = replacement
-            # Put the leftovers back where the next restart will find them.
+            replacement.process.join(1.0)
             with replacement.lock:
                 replacement.inflight.update({r["request_id"]: r for r in leftover})
+            with self._lock:
+                self._handles[shard_id] = replacement
+            if self.supervisor is not None:
+                self.supervisor.wake()
             return False
         with replacement.lock:
             for wire_request in leftover:

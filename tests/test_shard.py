@@ -265,6 +265,100 @@ def test_sharded_path_exactly_equals_single_process():
     assert check.ok, check.violations
 
 
+# ----------------------------------------------------------- failure machinery
+
+
+def _stillborn_shard_main(shard_id, conn, router_conn, config):
+    """A worker that dies before sending hello (crash-loop stand-in)."""
+    if router_conn is not None:
+        router_conn.close()
+    conn.close()
+
+
+def test_failed_start_reaps_processes_and_is_retryable(monkeypatch):
+    """A startup timeout must not leak half-started children or wedge
+    the router: the launched processes are reaped and a later start()
+    on the same router is a real retry."""
+    import repro.shard.router as router_mod
+
+    monkeypatch.setattr(router_mod, "shard_main", _stillborn_shard_main)
+    config = ShardConfig(shards=2, supervise=False, startup_timeout_s=2.0)
+    router = ShardRouter(config)
+    with pytest.raises(RuntimeError):
+        router.start()
+    assert router._started is False
+    assert router._handles == {}
+    monkeypatch.undo()  # workers come up for real now
+    router.start()
+    try:
+        accepted, rejected = _serve(router, synthetic_load(6, n_tanks=2, seed=1))
+        assert (accepted, rejected) == (6, [])
+    finally:
+        router.shutdown()
+
+
+def test_crashlooping_restart_converges_on_abandon(monkeypatch):
+    """Regression: a replacement that died before hello used to be
+    installed already-retired, which no later sweep would ever restart
+    or abandon — stranding its in-flight requests forever.  Every failed
+    restart must burn budget until the abandon path answers everything
+    terminally."""
+    import dataclasses
+
+    import repro.shard.router as router_mod
+
+    config = ShardConfig(shards=1, supervise=False, max_restarts_per_shard=2)
+    router = ShardRouter(config).start()
+    try:
+        handle = router._handles[0]
+        monkeypatch.setattr(router_mod, "shard_main", _stillborn_shard_main)
+        router.config = dataclasses.replace(config, startup_timeout_s=0.3)
+        router.kill_shard(0)
+        handle.process.join(10.0)
+        assert handle.dead.wait(10.0)
+        # Accepted while the shard is down: the pipe write fails but the
+        # entries stay in flight awaiting re-delivery.
+        accepted, rejected = router.submit_many(synthetic_load(4, n_tanks=2, seed=6))
+        assert (accepted, rejected) == (4, [])
+        # Each sweep burns budget on a stillborn replacement...
+        assert router.restart_shard(0) is False
+        assert router.restart_shard(0) is False
+        assert router.restarts[0] == 2
+        assert router.metrics.counter("shard_restart_failures") == 2
+        # ...until the budget is spent and the shard is abandoned, with
+        # every stranded request answered terminally.
+        assert router.restart_shard(0) is False
+        assert 0 in router.abandoned
+        assert router.await_responses(4, timeout_s=5.0)
+        responses = router.responses()
+        assert sorted(r.request_id for r in responses) == [0, 1, 2, 3]
+        assert all(r.status == "failed" for r in responses)
+        with pytest.raises(BrokerFullError):
+            router.submit(synthetic_load(5, n_tanks=2, seed=7)[4])
+    finally:
+        router.shutdown()
+
+
+def test_malformed_response_payload_keeps_request_inflight():
+    """Regression: a response that fails wire validation used to pop the
+    in-flight entry first, orphaning the request with no terminal answer
+    possible.  Validation must come first so the entry stays tracked."""
+    from repro.shard.router import _ShardHandle
+
+    router = ShardRouter(ShardConfig(shards=1, supervise=False))
+    handle = _ShardHandle(0, 0, process=None, conn=None)
+    handle.inflight[7] = {"request_id": 7, "tank_id": "tank-007"}
+    router._on_response(handle, {"request_id": 7})  # missing status et al.
+    assert 7 in handle.inflight  # still re-deliverable
+    assert router.metrics.counter("router_wire_errors") == 1
+    good = response_to_wire(
+        MeasurementResponse(request_id=7, tank_id="tank-007", status="ok")
+    )
+    router._on_response(handle, good)
+    assert handle.inflight == {}
+    assert [r.request_id for r in router.responses()] == [7]
+
+
 def test_shard_chaos_campaign_loses_nothing():
     from repro.verifylab import run_shard_chaos_campaign
 
