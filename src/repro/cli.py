@@ -172,6 +172,8 @@ def _run_serve_mode(args: argparse.Namespace, batched: bool, tracer=None) -> dic
         # mode therefore always runs the scalar engine.
         engine=args.engine if batched else "scalar",
         tracer=tracer,
+        policy=args.policy if batched else "fifo",
+        window_s=args.window if batched else 0.0,
     ).start()
     requests = synthetic_load(
         args.requests,
@@ -247,6 +249,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     modes = [batched_mode] if args.batched_only else ["per-request", batched_mode]
     header = {
         "engine": args.engine,
+        "policy": args.policy,
         "shards": args.shards,
         "workers": args.workers,
         "requests": args.requests,
@@ -266,7 +269,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"fleet: {args.tanks} tanks, {args.requests} requests, "
         f"{args.workers} workers, max batch {args.max_batch}, "
         f"fault rate {args.fault_rate}, engine {args.engine}, "
-        f"popularity {args.popularity}"
+        f"policy {args.policy}, popularity {args.popularity}"
         + (f", {args.shards} shards" if args.shards else "")
     )
     snapshots = _run_serve_modes(args, modes, tracer)
@@ -305,6 +308,53 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_energy_plan(args: argparse.Namespace) -> int:
+    from repro.serve.energy import DeviceMixPlanner
+
+    planner = DeviceMixPlanner(max_batch=args.max_batch)
+    plans = planner.plan(args.load)
+    if not plans:
+        print("no catalog device fits the application floorplan", file=sys.stderr)
+        return 1
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "offered_rps": args.load,
+                    "max_batch": args.max_batch,
+                    "plans": [p.to_dict() for p in plans],
+                    "best": plans[0].device,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(
+        f"device mix for {args.load:.1f} requests/s (max batch {args.max_batch}):"
+    )
+    header = (
+        f"{'device':<10}{'slots':>6}{'dies':>6}{'capacity/s':>12}"
+        f"{'util':>7}{'power W':>10}{'mJ/req':>9}{'fleet $':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for plan in plans:
+        print(
+            f"{plan.device:<10}{plan.slots_per_die:>6}{plan.dies:>6}"
+            f"{plan.capacity_rps:>12.1f}{plan.utilization * 100:>6.0f}%"
+            f"{plan.total_power_w:>10.3f}{plan.joules_per_request * 1e3:>9.3f}"
+            f"{plan.fleet_price_usd:>9.2f}"
+        )
+    best = plans[0]
+    print(
+        f"\nbest: {best.device} x {best.dies} "
+        f"({best.slots_per_die} slots/die, {best.total_power_w:.3f} W, "
+        f"{best.joules_per_request * 1e3:.3f} mJ/request)"
+    )
+    return 0
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     from repro.trace import read_traces, trace_report
 
@@ -328,7 +378,7 @@ def _cmd_verifylab_oracle(args: argparse.Namespace) -> int:
         report = run_shard_oracle(seeds, shards=args.shards, engine=args.engine)
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0 if report["ok"] else 1
-    report = run_oracle(seeds, engine=args.engine)
+    report = run_oracle(seeds, engine=args.engine, policy=args.policy)
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     return 0 if report.ok else 1
 
@@ -558,6 +608,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.1,
         help="tail heaviness of the zipf popularity model",
     )
+    p.add_argument(
+        "--policy",
+        choices=["fifo", "energy"],
+        default="fifo",
+        help="batch-formation policy for the batched mode "
+        "(energy = minimize joules/request within deadline SLOs)",
+    )
+    p.add_argument(
+        "--window",
+        type=float,
+        default=0.0,
+        help="batching fill window in seconds (energy policy default 0.05)",
+    )
     p.add_argument("--json", action="store_true", help="emit metric snapshots as JSON")
     p.add_argument(
         "--trace",
@@ -577,6 +640,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_trace_report)
 
     p = sub.add_parser(
+        "energy-plan",
+        help="device-mix autoscaler: catalog options for an offered load",
+    )
+    p.add_argument(
+        "--load",
+        type=float,
+        default=50.0,
+        metavar="RPS",
+        help="offered load in requests/second (e.g. the admission EWMA)",
+    )
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_energy_plan)
+
+    p = sub.add_parser(
         "verifylab", help="correctness harness: oracle / fuzz / campaign / golden"
     )
     vsub = p.add_subparsers(dest="mode", required=True)
@@ -591,6 +669,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="check the N-shard path for exact equality with the "
         "single-process path instead of the reference-path oracle",
+    )
+    v.add_argument(
+        "--policy",
+        choices=["fifo", "energy"],
+        default="fifo",
+        help="batch-formation policy under test (scheduling-order changes "
+        "must never alter measurement results)",
     )
     v.set_defaults(func=_cmd_verifylab_oracle)
 

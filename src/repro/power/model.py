@@ -94,6 +94,35 @@ def block_dynamic_power_w(
     return switching_power_w(total_cap, mean_activity, clock_mhz, params.vccint)
 
 
+def reconfiguration_energy_j(
+    config_time_s: float,
+    port_power_w: float,
+    fetch_time_s: float = 0.0,
+    fetch_power_w: float = 0.015,
+) -> float:
+    """Energy of one dynamic partial reconfiguration.
+
+    The shape follows the DPR overhead measurements of Bonamy et al.
+    ("Accurate Measurement of Power Consumption Overhead During FPGA
+    Dynamic Partial Reconfiguration"): the configuration port draws its
+    active power for the duration of the frame transfer, and the
+    bitstream source (external flash here) draws its read power while
+    the image streams out — two roughly-constant-power phases whose
+    energy is linear in the bitstream size.  This is the same cost
+    :class:`repro.reconfig.controller.LoadRecord` reports for a load the
+    runtime actually performs, factored out so schedulers can price a
+    reconfiguration *before* committing to it.
+
+    Raises
+    ------
+    ValueError
+        On negative times or powers.
+    """
+    if min(config_time_s, port_power_w, fetch_time_s, fetch_power_w) < 0:
+        raise ValueError("reconfiguration_energy_j: negative input")
+    return config_time_s * port_power_w + fetch_time_s * fetch_power_w
+
+
 def clock_tree_power_w(
     device: DeviceSpec,
     sequential_cells: int,

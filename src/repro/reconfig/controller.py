@@ -18,6 +18,11 @@ from repro.fabric.faults import ConfigurationMemory
 from repro.reconfig.ports import ConfigPort, ConfigurationEvent
 from repro.reconfig.slots import Floorplan, Slot
 
+#: Active read power of the external bitstream flash, watts.  Shared with
+#: :func:`repro.power.model.reconfiguration_energy_j` so predicted and
+#: measured reconfiguration energy agree.
+FLASH_READ_POWER_W = 0.015
+
 
 @dataclass
 class BitstreamStore:
@@ -34,7 +39,7 @@ class BitstreamStore:
     #: Standby power of the memory device, watts.
     standby_power_w: float = 0.0002
     #: Active read power, watts.
-    read_power_w: float = 0.015
+    read_power_w: float = FLASH_READ_POWER_W
     _images: Dict[str, bytes] = field(default_factory=dict)
 
     def store(self, name: str, bitstream: Bitstream) -> None:
@@ -85,7 +90,7 @@ class LoadRecord:
 
     @property
     def energy_j(self) -> float:
-        return self.config.energy_j + self.fetch_time_s * 0.015
+        return self.config.energy_j + self.fetch_time_s * FLASH_READ_POWER_W
 
 
 class ReconfigController:

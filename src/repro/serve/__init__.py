@@ -21,6 +21,13 @@ ones the reconfiguration literature points at:
   batch kernels instead of looping per request; results are
   bit-identical to the scalar engine.
 
+* **Energy-aware scheduling** (:mod:`repro.serve.energy`) — the paper's
+  power model priced into batch formation: an :class:`EnergyModel`
+  predicts joules/request for candidate batches, the ``policy="energy"``
+  scheduler seam picks group, batch size and fill wait to minimize it
+  within deadline SLOs, and a :class:`DeviceMixPlanner` recommends a
+  device mix (few big dies vs many small) for an offered load.
+
 * **Supervision** (:mod:`repro.serve.supervisor`) — the runtime survives
   its own component death the way the paper's device survives bit flips:
   per-worker heartbeats with crash restart (in-flight requests
@@ -45,6 +52,15 @@ from repro.serve.batching import (
     BatchScheduler,
 )
 from repro.serve.cache import ArtifactCache, CachingBitstreamGenerator
+from repro.serve.energy import (
+    BatchEnergyEstimate,
+    DeviceMixPlanner,
+    DevicePlan,
+    EnergyDecision,
+    EnergyModel,
+    EnergyPolicy,
+    offered_load_from_admission,
+)
 from repro.serve.loadgen import synthetic_load
 from repro.serve.metrics import Counter, Histogram, Metrics
 from repro.serve.pool import FleetService, FleetWorker
@@ -68,13 +84,19 @@ __all__ = [
     "AdmissionController",
     "ArtifactCache",
     "Batch",
+    "BatchEnergyEstimate",
     "BatchExecutor",
     "BatchScheduler",
     "BrokerFullError",
     "CachingBitstreamGenerator",
     "CircuitBreaker",
     "Counter",
+    "DeviceMixPlanner",
+    "DevicePlan",
     "ENGINES",
+    "EnergyDecision",
+    "EnergyModel",
+    "EnergyPolicy",
     "FleetService",
     "FleetWorker",
     "Histogram",
@@ -88,5 +110,6 @@ __all__ = [
     "SupervisorConfig",
     "TransientDeviceFault",
     "WorkerSupervisor",
+    "offered_load_from_admission",
     "synthetic_load",
 ]

@@ -69,6 +69,12 @@ class BatchScheduler:
     ``window_s`` trades latency for batch size: when the queue holds
     fewer than ``max_batch`` requests the scheduler waits up to the
     window for more to arrive before dispatching a partial batch.
+
+    ``policy`` switches batch formation from FIFO (take the head group)
+    to cost-driven: an :class:`repro.serve.energy.EnergyPolicy` chooses
+    the pipeline group, target batch size and fill wait that minimize
+    predicted joules/request within the queued requests' deadline slack.
+    ``policy=None`` keeps the FIFO path byte-for-byte unchanged.
     """
 
     def __init__(
@@ -79,6 +85,7 @@ class BatchScheduler:
         metrics: Optional[Metrics] = None,
         tracer: Optional[Tracer] = None,
         on_expired: Optional[Callable[[List[MeasurementResponse]], None]] = None,
+        policy=None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -93,6 +100,14 @@ class BatchScheduler:
         #: already expired when a batch is assembled are answered here —
         #: they never reach a device or count against a batch.
         self.on_expired = on_expired
+        #: Cost-driven batch formation (None = FIFO).
+        self.policy = policy
+        #: Module the executor left resident in the slot after the last
+        #: batch this scheduler formed — the energy model's starting
+        #: point for reconfiguration charges.  Best-effort under multiple
+        #: workers (each worker has its own slot; a shared scheduler sees
+        #: the union), exact with one worker.
+        self._resident: Optional[str] = None
         self._next_id = 0
         self._id_lock = threading.Lock()
 
@@ -104,6 +119,8 @@ class BatchScheduler:
     def next_batch(self, timeout_s: Optional[float] = None) -> Optional[Batch]:
         """Take the next batch, blocking up to ``timeout_s`` for the first
         request; None when nothing arrived (timeout or broker closed)."""
+        if self.policy is not None:
+            return self._next_batch_energy(timeout_s)
         window_start = self.broker.clock()
         if self.window_s > 0:
             deadline = window_start + self.window_s
@@ -138,6 +155,106 @@ class BatchScheduler:
                     )
         self.metrics.inc("batches_formed")
         self.metrics.observe("batch_size", batch.size)
+        return batch
+
+    def _next_batch_energy(self, timeout_s: Optional[float]) -> Optional[Batch]:
+        """Cost-driven batch formation: peek at the per-pipeline queue
+        summary, let the policy choose group / target size / fill wait,
+        then take exactly that group (per-tank FIFO preserved by the
+        broker's ``select`` contract)."""
+        window_start = self.broker.clock()
+        deadline = None if timeout_s is None else window_start + timeout_s
+        # Park until work exists (or timeout / close), FIFO-style — but
+        # without taking, so the policy chooses the group.
+        while True:
+            slice_end = self.broker.clock() + 1.0
+            if deadline is not None:
+                slice_end = min(slice_end, deadline)
+            depth = self.broker.wait_for_depth(1, slice_end)
+            if depth > 0:
+                break
+            if self.broker.closed:
+                return None
+            if deadline is not None and self.broker.clock() >= deadline:
+                return None
+        groups = self.broker.group_summary()
+        now = self.broker.clock()
+        if not groups:
+            # Everything queued is sitting out a retry backoff: the plain
+            # take knows how to sleep until the earliest release (and how
+            # to drain on close), so degrade to head-group batching.
+            remaining = None if deadline is None else max(0.0, deadline - now)
+            taken = self.broker.take(
+                self.max_batch,
+                timeout_s=remaining,
+                match=lambda head, req: req.pipeline == head.pipeline,
+            )
+            decision = None
+        else:
+            decision = self.policy.decide(groups, now, resident=self._resident)
+            if (
+                decision.wait_until_s > now
+                and decision.target_batch > decision.queued
+            ):
+                # Fill wait, bounded by deadline slack: wake early when
+                # the queue reaches a full batch.
+                self.broker.wait_for_depth(self.max_batch, decision.wait_until_s)
+            taken = self.broker.take(
+                decision.target_batch, timeout_s=0.0, select=decision.pipeline
+            )
+        if not taken:
+            return None
+        if self.on_expired is not None:
+            taken = self._shed_expired(taken)
+            if not taken:
+                return None  # every taken request had already expired
+        taken_at = self.broker.clock()
+        batch = Batch(self._allocate_id(), taken[0].pipeline, taken)
+        estimate = (
+            self.policy.model.estimate(
+                batch.pipeline, batch.size, resident=self._resident
+            )
+            if decision is not None
+            else None
+        )
+        if self.tracer.enabled:
+            assembled_at = self.broker.clock()
+            for request in taken:
+                if request.trace is not None:
+                    request.trace.add(
+                        "schedule",
+                        window_start,
+                        taken_at,
+                        window_s=self.window_s,
+                        batch_id=batch.batch_id,
+                        batch_size=batch.size,
+                    )
+                    if estimate is not None:
+                        request.trace.add(
+                            "energy_decision",
+                            taken_at,
+                            taken_at,
+                            batch_id=batch.batch_id,
+                            batch_size=batch.size,
+                            target_batch=decision.target_batch,
+                            pipeline=list(batch.pipeline),
+                            predicted_j_per_request=estimate.joules_per_request,
+                            predicted_reconfig_j=estimate.reconfig_energy_j,
+                        )
+                    request.trace.add(
+                        "batch_assembly", taken_at, assembled_at, batch_id=batch.batch_id
+                    )
+        # Stage-major execution leaves the last stage's module resident.
+        self._resident = batch.pipeline[-1]
+        self.metrics.inc("batches_formed")
+        self.metrics.observe("batch_size", batch.size)
+        if decision is not None:
+            self.metrics.inc("energy_decisions")
+            self.metrics.observe("energy_target_batch", decision.target_batch)
+            if estimate is not None:
+                self.metrics.observe(
+                    "predicted_j_per_request", estimate.joules_per_request
+                )
         return batch
 
     def _shed_expired(
@@ -680,6 +797,14 @@ class BatchExecutor:
         self.metrics.inc("reconfigurations_avoided", avoided)
         self.metrics.add("device_time_s", device_time)
         self.metrics.add("energy_j", energy)
+        if live:
+            # Per-request energy share of this batch: the distribution the
+            # energy policy optimizes (scheduling changes move it, total
+            # ``energy_j`` alone would hide the per-request win).
+            self.metrics.observe("joules_per_request", share)
+        self.metrics.add(
+            "reconfig_energy_j", sum(r.energy_j for r in batch_loads)
+        )
         return BatchOutcome(
             batch=batch,
             responses=responses,

@@ -295,8 +295,12 @@ class Metrics:
         back to a summary-level combine (exact count/mean/min/max,
         ``None`` percentiles — quantiles cannot be recovered from
         summaries alone, and pretending otherwise would be worse than
-        honesty).  The merged snapshot keeps the plain shape, so existing
-        renderers work on it unchanged.
+        honesty).  Every histogram that degraded this way is listed in
+        the merged snapshot's top-level ``merge_degraded`` key (absent
+        when the merge was lossless), so a reader knows its percentiles
+        were dropped rather than silently never existed.  The merged
+        snapshot otherwise keeps the plain shape, so existing renderers
+        work on it unchanged.
         """
         counters: Dict[str, int] = {}
         gauges: Dict[str, float] = {}
@@ -311,6 +315,7 @@ class Metrics:
                 names.setdefault(name)
         histograms: Dict[str, dict] = {}
         states: Dict[str, dict] = {}
+        degraded: List[str] = []
         for name in names:
             with_hist = [s for s in snapshots if name in s.get("histograms", {})]
             if all(name in s.get("histogram_states", {}) for s in with_hist):
@@ -327,6 +332,7 @@ class Metrics:
             if not count:
                 histograms[name] = dict(Histogram().summary())
                 continue
+            degraded.append(name)
             histograms[name] = {
                 "count": count,
                 "mean": sum(s["mean"] * s["count"] for s in summaries) / count,
@@ -342,4 +348,6 @@ class Metrics:
         }
         if states:
             merged_snap["histogram_states"] = dict(sorted(states.items()))
+        if degraded:
+            merged_snap["merge_degraded"] = sorted(degraded)
         return merged_snap

@@ -250,9 +250,17 @@ class FleetService:
         supervisor_config: Optional[SupervisorConfig] = None,
         chaos=None,
         on_deliver: Optional[Callable[[List[MeasurementResponse]], None]] = None,
+        policy: str = "fifo",
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        if policy not in ("fifo", "energy"):
+            raise ValueError(f"policy must be 'fifo' or 'energy', got {policy!r}")
+        if policy == "energy" and not batched:
+            raise ValueError(
+                "policy='energy' optimizes batch formation and requires batched=True"
+            )
+        self.policy = policy
         #: Optional push seam: called with every batch of terminal
         #: responses after they are recorded (a shard worker uses this to
         #: pump responses over its wire transport).  Exceptions are
@@ -307,6 +315,18 @@ class FleetService:
         self.workers: List[FleetWorker] = []
         for worker_id in range(workers):
             self.workers.append(self.build_worker(worker_id))
+        if policy == "energy":
+            # Built after the workers: the energy model reads its costs off
+            # a live system (identical across workers — same config, port
+            # and cache), so predictions match the executor's accounting.
+            from repro.serve.energy import DEFAULT_FILL_WINDOW_S, EnergyModel, EnergyPolicy
+
+            self.scheduler.policy = EnergyPolicy(
+                EnergyModel.from_system(self.workers[0].executor.system),
+                max_batch=max_batch,
+                fill_window_s=window_s if window_s > 0 else DEFAULT_FILL_WINDOW_S,
+                admission=self.admission,
+            )
         self.supervisor: Optional[WorkerSupervisor] = (
             WorkerSupervisor(self, self.supervisor_config) if supervise else None
         )
@@ -520,6 +540,7 @@ class FleetService:
         snap["service"] = {
             "mode": "batched" if self.batched else "per-request",
             "engine": self.engine,
+            "policy": self.policy,
             "workers": len(self.workers),
             "elapsed_s": elapsed,
             "requests_per_s": served / elapsed if elapsed > 0 else 0.0,

@@ -276,6 +276,37 @@ class RequestBroker:
             # penalised twice (once by the fault, once by requeue position).
             self._queue.extendleft(reversed(ready))
 
+    def group_summary(self) -> dict:
+        """Per-pipeline summary of the ready queue (retry-backoff holds
+        excluded): ``{pipeline: {"count", "earliest_deadline_s",
+        "head_position"}}``.
+
+        ``head_position`` is the queue index of the group's first
+        request (0 = the FIFO head), ``earliest_deadline_s`` the
+        soonest deadline among the group's requests (None when none of
+        them carries one).  This is the energy policy's decision input:
+        which pipeline groups are waiting, how full a batch each could
+        form right now, and how much deadline slack bounds a fill wait.
+        """
+        with self._cond:
+            self._release_delayed(self.clock())
+            groups: dict = {}
+            for position, request in enumerate(self._queue):
+                info = groups.get(request.pipeline)
+                if info is None:
+                    groups[request.pipeline] = {
+                        "count": 1,
+                        "earliest_deadline_s": request.deadline_s,
+                        "head_position": position,
+                    }
+                    continue
+                info["count"] += 1
+                deadline = request.deadline_s
+                earliest = info["earliest_deadline_s"]
+                if deadline is not None and (earliest is None or deadline < earliest):
+                    info["earliest_deadline_s"] = deadline
+            return groups
+
     def wait_for_depth(self, n: int, deadline_s: float) -> int:
         """Block until the broker holds at least ``n`` requests, the
         broker closes, or the deadline (on the broker clock) passes.
@@ -300,6 +331,7 @@ class RequestBroker:
         max_n: int,
         timeout_s: Optional[float] = None,
         match: Optional[Callable[[MeasurementRequest, MeasurementRequest], bool]] = None,
+        select: Optional[Tuple[str, ...]] = None,
     ) -> List[MeasurementRequest]:
         """Pop up to ``max_n`` requests, blocking up to ``timeout_s``.
 
@@ -308,6 +340,22 @@ class RequestBroker:
         ``match(head, candidate)`` holds ride along (FIFO order among the
         matches is preserved — this is how the batching scheduler groups
         same-pipeline requests).
+
+        With ``select`` given (mutually exclusive with ``match``), the
+        queue is scanned for requests of exactly that pipeline — the
+        head is *not* forced into the batch, which is how the energy
+        policy serves the group it chose rather than whatever sits at
+        the head.  Two safety rules keep this reordering benign:
+
+        * **Per-tank FIFO** — once a request of some tank is skipped
+          (left queued), no later request of the same tank is taken in
+          front of it, so each tank's measurements (and its IIR filter
+          state) are always processed in submit order.
+        * **Head-group fallback** — when no request of the selected
+          pipeline is takeable, the call degrades to the plain
+          same-pipeline-as-head grouping, so a non-empty queue never
+          yields an empty batch (the policy's view may be stale by the
+          time the take runs).
 
         Timing contract
         ---------------
@@ -326,6 +374,8 @@ class RequestBroker:
         """
         if max_n < 1:
             raise ValueError(f"max_n must be >= 1, got {max_n}")
+        if match is not None and select is not None:
+            raise ValueError("take: match and select are mutually exclusive")
         deadline = None if timeout_s is None else self.clock() + timeout_s
         with self._cond:
             while True:
@@ -361,6 +411,18 @@ class RequestBroker:
                     if remaining <= 0 or not self._cond.wait(remaining):
                         if not self._queue:
                             return []
+            if select is not None:
+                taken = self._take_selected(select, max_n)
+                if taken:
+                    if self.tracer.enabled:
+                        now = self.clock()
+                        remaining = len(self._queue) + len(self._delayed)
+                        for request in taken:
+                            if request.trace is not None:
+                                request.trace.end("queue", t1=now, depth_after=remaining)
+                    return taken
+                # Selected group gone (stale view): degrade to head-group.
+                match = lambda head, req: req.pipeline == head.pipeline  # noqa: E731
             head = self._queue.popleft()
             taken = [head]
             if match is None:
@@ -383,6 +445,25 @@ class RequestBroker:
                     if request.trace is not None:
                         request.trace.end("queue", t1=now, depth_after=remaining)
             return taken
+
+    def _take_selected(self, select: Tuple[str, ...], max_n: int) -> List[MeasurementRequest]:
+        """Pop up to ``max_n`` requests of exactly the ``select`` pipeline
+        while preserving per-tank FIFO order (caller holds the lock)."""
+        taken: List[MeasurementRequest] = []
+        kept: Deque[MeasurementRequest] = deque()
+        blocked: set = set()
+        for candidate in self._queue:
+            if (
+                len(taken) < max_n
+                and candidate.pipeline == select
+                and candidate.tank_id not in blocked
+            ):
+                taken.append(candidate)
+            else:
+                kept.append(candidate)
+                blocked.add(candidate.tank_id)
+        self._queue = kept
+        return taken
 
     def close(self) -> None:
         """Stop accepting submits and wake every blocked ``take``."""

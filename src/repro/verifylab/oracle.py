@@ -132,6 +132,7 @@ def serve_scenario(
     fault_injector: Optional[FaultInjector] = None,
     timeout_s: float = 120.0,
     engine: str = "scalar",
+    policy: str = "fifo",
 ) -> Dict[int, MeasurementResponse]:
     """Serve one scenario through the fleet runtime; responses by id.
 
@@ -139,7 +140,11 @@ def serve_scenario(
     execution order (and therefore every numeric result) is deterministic.
     ``engine`` selects the scalar or vectorized execution path; the
     vector engine requires batched (stage-major) execution, so unbatched
-    scenarios fall back to the scalar engine.
+    scenarios fall back to the scalar engine.  ``policy`` selects batch
+    formation (``"energy"`` likewise falls back to FIFO when unbatched);
+    the oracle's per-tank FIFO guarantee makes any policy's results
+    bit-exact against the reference, which is exactly what this check
+    enforces.
 
     Raises
     ------
@@ -158,6 +163,7 @@ def serve_scenario(
         noise_rms=scenario.noise_rms,
         fault_injector=fault_injector,
         engine=engine if scenario.batched else "scalar",
+        policy=policy if scenario.batched else "fifo",
     )
     accepted, rejected = service.submit_many(requests)
     if rejected:
@@ -200,12 +206,13 @@ def check_scenario(
     tolerances: Optional[ToleranceSpec] = None,
     cache: Optional[ArtifactCache] = None,
     engine: str = "scalar",
+    policy: str = "fifo",
 ) -> ScenarioCheck:
     """Run one scenario through both paths and diff every response."""
     tolerances = tolerances or ToleranceSpec()
     check = ScenarioCheck(scenario, deviations={name: 0.0 for name in ORACLE_FIELDS})
     reference = ReferenceExecutor(scenario).run()
-    responses = serve_scenario(scenario, cache=cache, engine=engine)
+    responses = serve_scenario(scenario, cache=cache, engine=engine, policy=policy)
 
     for request in scenario.requests():
         response = responses.get(request.request_id)
@@ -274,6 +281,7 @@ def run_oracle(
     tolerances: Optional[ToleranceSpec] = None,
     cache: Optional[ArtifactCache] = None,
     engine: str = "scalar",
+    policy: str = "fifo",
 ) -> OracleReport:
     """Differential-check one scenario per seed; aggregate the verdicts."""
     tolerances = tolerances or ToleranceSpec()
@@ -285,6 +293,7 @@ def run_oracle(
                 tolerances=tolerances,
                 cache=cache,
                 engine=engine,
+                policy=policy,
             )
         )
     return report

@@ -155,6 +155,49 @@ def test_merge_snapshots_summary_fallback_without_states():
     assert "histogram_states" not in merged
 
 
+def test_merge_snapshots_flags_degraded_histograms():
+    """Regression: the summary fallback used to hide that per-shard
+    percentile data was dropped — the merged snapshot must carry a
+    ``merge_degraded`` list naming every histogram whose percentiles
+    could not be recovered."""
+    a, b = Metrics(), Metrics()
+    a.observe("latency_s", 1.0)
+    a.observe("batch_size", 4.0)
+    b.observe("latency_s", 3.0)
+    b.observe("batch_size", 8.0)
+    merged = Metrics.merge_snapshots(
+        [a.snapshot(include_reservoirs=True), b.snapshot()]
+    )
+    assert merged["merge_degraded"] == ["batch_size", "latency_s"]
+
+
+def test_merge_snapshots_lossless_merge_has_no_degraded_flag():
+    """A merge with full reservoirs everywhere recovers percentiles,
+    so the flag must be absent — its presence IS the signal."""
+    a, b = Metrics(), Metrics()
+    a.observe("latency_s", 1.0)
+    b.observe("latency_s", 3.0)
+    merged = Metrics.merge_snapshots(
+        [a.snapshot(include_reservoirs=True), b.snapshot(include_reservoirs=True)]
+    )
+    assert "merge_degraded" not in merged
+    assert merged["histograms"]["latency_s"]["p50"] is not None
+
+
+def test_merge_snapshots_empty_histograms_do_not_degrade():
+    """A name whose every source is empty merges to the empty summary
+    without raising the degraded flag (nothing was lost)."""
+    a, b = Metrics(), Metrics()
+    a.observe_nothing = None  # no observations at all
+    snap_a, snap_b = a.snapshot(), b.snapshot()
+    snap_a["histograms"]["latency_s"] = {
+        "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "p50": None, "p95": None,
+    }
+    merged = Metrics.merge_snapshots([snap_a, snap_b])
+    assert "merge_degraded" not in merged
+    assert merged["histograms"]["latency_s"]["count"] == 0
+
+
 def test_merge_snapshots_with_idle_shard():
     """An idle shard (no observations yet) must not erase the busy one's
     percentiles — the first fleet-wide snapshot after startup does this."""

@@ -9,6 +9,8 @@ kill/restart path, none of which need volume.
 import io
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.serve.loadgen import synthetic_load
 from repro.serve.requests import (
@@ -30,7 +32,13 @@ from repro.shard import (
     response_to_wire,
     write_frame,
 )
-from repro.shard.wire import KIND_SUBMIT, WIRE_VERSION
+from repro.shard.wire import (
+    KIND_RESPONSE,
+    KIND_RESTORE,
+    KIND_SUBMIT,
+    KNOWN_KINDS,
+    WIRE_VERSION,
+)
 
 
 # ------------------------------------------------------------------ wire codec
@@ -124,6 +132,141 @@ def test_frame_roundtrip_eof_and_truncation():
         read_frame(io.BytesIO(b"\x00\x00"))  # truncated prefix
     with pytest.raises(WireError):
         read_frame(io.BytesIO(b"\xff\xff\xff\xff"))  # absurd length prefix
+
+
+# ------------------------------------------------------- wire codec fuzzing
+#
+# The differential oracle compares shard output to a single-process run
+# with EXACT float equality, so the codec must be a bijection over the
+# model fields for arbitrary values — not just the friendly ones in the
+# hand-written cases above.  And a router that half-parses corrupt bytes
+# orphans every in-flight entry mapped to that connection, so malformed
+# input must surface as ``WireError``, never as junk data or a foreign
+# exception type.
+
+_finite = st.floats(allow_nan=False, allow_infinity=False)
+
+_fuzz_requests = st.builds(
+    MeasurementRequest,
+    request_id=st.integers(min_value=0, max_value=2**63),
+    tank_id=st.text(max_size=24),
+    level=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    pipeline=st.lists(st.text(min_size=1, max_size=12), min_size=1, max_size=6).map(
+        tuple
+    ),
+    deadline_s=st.none() | _finite,
+    max_attempts=st.integers(min_value=1, max_value=50),
+    attempts=st.integers(min_value=0, max_value=50),
+    submitted_at=_finite,
+    not_before_s=_finite,
+)
+
+_fuzz_responses = st.builds(
+    MeasurementResponse,
+    request_id=st.integers(min_value=0, max_value=2**63),
+    tank_id=st.text(max_size=24),
+    status=st.sampled_from(["ok", "failed", "rejected", "expired"]),
+    level_measured=st.none() | _finite,
+    capacitance_pf=st.none() | _finite,
+    energy_j=_finite,
+    device_time_s=_finite,
+    latency_s=_finite,
+    attempts=st.integers(min_value=0, max_value=50),
+    worker=st.none() | st.integers(min_value=0, max_value=64),
+    batch_id=st.none() | st.integers(min_value=0, max_value=2**32),
+    batch_size=st.integers(min_value=0, max_value=64),
+    error=st.text(max_size=40),
+)
+
+
+def _frame_roundtrip(data: bytes) -> bytes:
+    """Push ``data`` through the length-prefixed stream layer."""
+    stream = io.BytesIO()
+    write_frame(stream, data)
+    stream.seek(0)
+    out = read_frame(stream)
+    assert read_frame(stream) is None  # nothing left over
+    return out
+
+
+@settings(max_examples=75, deadline=None)
+@given(request=_fuzz_requests)
+def test_fuzz_submit_envelope_roundtrips_bit_exactly(request):
+    data = encode(KIND_SUBMIT, {"request": request_to_wire(request)})
+    kind, payload = decode(_frame_roundtrip(data))
+    assert kind == KIND_SUBMIT
+    assert request_from_wire(payload["request"]) == request
+
+
+@settings(max_examples=50, deadline=None)
+@given(requests=st.lists(_fuzz_requests, min_size=1, max_size=5))
+def test_fuzz_restore_envelope_roundtrips_bit_exactly(requests):
+    data = encode(
+        KIND_RESTORE, {"requests": [request_to_wire(r) for r in requests]}
+    )
+    kind, payload = decode(_frame_roundtrip(data))
+    assert kind == KIND_RESTORE
+    assert [request_from_wire(r) for r in payload["requests"]] == requests
+
+
+@settings(max_examples=50, deadline=None)
+@given(responses=st.lists(_fuzz_responses, min_size=1, max_size=5))
+def test_fuzz_responses_envelope_roundtrips_bit_exactly(responses):
+    data = encode(
+        KIND_RESPONSE, {"responses": [response_to_wire(r) for r in responses]}
+    )
+    kind, payload = decode(_frame_roundtrip(data))
+    assert kind == KIND_RESPONSE
+    assert [response_from_wire(r) for r in payload["responses"]] == responses
+
+
+@settings(max_examples=75, deadline=None)
+@given(request=_fuzz_requests, data=st.data())
+def test_fuzz_truncated_frames_raise_instead_of_half_parsing(request, data):
+    """Any strict prefix of a framed message either reads as clean EOF
+    (zero bytes) or raises ``WireError`` — ``read_frame`` never hands
+    back a partial frame for ``decode`` to misinterpret."""
+    stream = io.BytesIO()
+    write_frame(stream, encode(KIND_SUBMIT, {"request": request_to_wire(request)}))
+    raw = stream.getvalue()
+    cut = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+    truncated = io.BytesIO(raw[:cut])
+    if cut == 0:
+        assert read_frame(truncated) is None
+    else:
+        with pytest.raises(WireError):
+            read_frame(truncated)
+
+
+@settings(max_examples=100, deadline=None)
+@given(blob=st.binary(max_size=256))
+def test_fuzz_arbitrary_bytes_decode_cleanly_or_raise_wire_error(blob):
+    """Garbage on the wire raises exactly ``WireError``; in the
+    astronomically unlikely event the bytes happen to be a valid
+    envelope, the result is still a (known kind, dict) pair."""
+    try:
+        kind, payload = decode(blob)
+    except WireError:
+        return
+    assert kind in KNOWN_KINDS
+    assert isinstance(payload, dict)
+
+
+@settings(max_examples=100, deadline=None)
+@given(request=_fuzz_requests, data=st.data())
+def test_fuzz_single_byte_corruption_never_escapes_the_codec(request, data):
+    """Flipping one byte of a valid envelope either still parses to a
+    well-formed (kind, payload) pair or raises ``WireError`` — no other
+    exception type leaks out of ``decode``."""
+    raw = bytearray(encode(KIND_SUBMIT, {"request": request_to_wire(request)}))
+    index = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+    raw[index] ^= data.draw(st.integers(min_value=1, max_value=255))
+    try:
+        kind, payload = decode(bytes(raw))
+    except WireError:
+        return
+    assert kind in KNOWN_KINDS
+    assert isinstance(payload, dict)
 
 
 # ------------------------------------------------------------------- hash ring

@@ -31,6 +31,7 @@ from repro.trace import (
 from repro.trace.report import _fmt_time, _percentile
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "trace_structure.json"
+ENERGY_GOLDEN_PATH = Path(__file__).parent / "golden" / "trace_structure_energy.json"
 
 #: Spans whose presence depends on cross-run cache temperature, excluded
 #: from golden-structure comparison (see golden fixture notes).
@@ -411,6 +412,44 @@ def test_traced_service_structure_matches_golden_vector():
     for request_id, trace in by_id.items():
         assert _stable_structure(trace) == golden["vector"][str(request_id)], (
             f"span structure drifted for request {request_id}"
+        )
+
+
+def test_traced_service_structure_matches_golden_energy():
+    """The energy policy's span structure — including its
+    ``energy_decision`` span — is frozen the same way the scalar/vector
+    structures are: a schedule change that adds, drops or reorders spans
+    must be a conscious golden refresh, not an accident."""
+    by_id, _, _ = _run_traced_service(policy="energy")
+    golden = json.loads(ENERGY_GOLDEN_PATH.read_text())
+    assert {str(i) for i in by_id} == set(golden["energy"])
+    for request_id, trace in by_id.items():
+        assert _stable_structure(trace) == golden["energy"][str(request_id)], (
+            f"span structure drifted for request {request_id}"
+        )
+
+
+def test_energy_decision_span_predicts_the_measured_joules():
+    """Every request batched by the energy policy carries one
+    ``energy_decision`` span whose prediction must match the executor's
+    measured per-request energy share exactly — the model mirrors the
+    accounting, so any drift between the two is a bug in one of them."""
+    by_id, _, snapshot = _run_traced_service(policy="energy")
+    assert snapshot["counters"]["energy_decisions"] >= 1
+    for request_id, trace in by_id.items():
+        decisions = trace.find("energy_decision")
+        assert len(decisions) == 1, f"request {request_id}"
+        span = decisions[0]
+        assert span.attrs["pipeline"] == list(
+            ("frontend", "amp_phase", "capacity", "filter")
+        )
+        assert span.attrs["batch_size"] == 4
+        assert span.attrs["target_batch"] == 4
+        assert span.attrs["predicted_reconfig_j"] > 0.0
+        respond = trace.find("respond")
+        assert respond, f"request {request_id} has no respond span"
+        assert span.attrs["predicted_j_per_request"] == pytest.approx(
+            respond[0].attrs["energy_j"], rel=1e-9
         )
 
 
