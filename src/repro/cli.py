@@ -371,9 +371,19 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_verifylab_oracle(args: argparse.Namespace) -> int:
-    from repro.verifylab import run_oracle, run_shard_oracle
+    from repro.verifylab import run_fault_oracle, run_oracle, run_shard_oracle
 
     seeds = range(args.start_seed, args.start_seed + args.seeds)
+    if args.faults:
+        report = run_fault_oracle(
+            seeds,
+            rate=args.fault_rate,
+            retry_rate=args.retry_rate,
+            burst=args.burst,
+            engine=args.engine,
+        )
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
     if args.shards:
         report = run_shard_oracle(seeds, shards=args.shards, engine=args.engine)
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -677,6 +687,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch-formation policy under test (scheduling-order changes "
         "must never alter measurement results)",
     )
+    v.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the mixed faulty/clean oracle instead: counter-mode SEU "
+        "injection replayed request-by-request on the reference path",
+    )
+    v.add_argument(
+        "--fault-rate", type=float, default=0.3, help="first-attempt strike rate"
+    )
+    v.add_argument(
+        "--retry-rate", type=float, default=0.15, help="retry-attempt strike rate"
+    )
+    v.add_argument("--burst", type=int, default=2, help="SEU burst size")
     v.set_defaults(func=_cmd_verifylab_oracle)
 
     v = vsub.add_parser("fuzz", help="scenario fuzzer with shrinking")

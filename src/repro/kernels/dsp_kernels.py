@@ -5,10 +5,13 @@ values bit-identical to running the scalar module behaviours
 (:mod:`repro.app.modules`) request by request.  Where full vectorization
 would change a rounding, the kernel deliberately keeps that op scalar:
 
-* The Goertzel projection uses a per-row ``np.dot`` against the shared
-  cached basis instead of one ``(B, N) @ (N,)`` matmul — BLAS blocks and
-  reassociates the matmul, shifting results by ~1e-16 relative, while the
-  per-row dot takes exactly the code path of :func:`repro.app.dsp.goertzel`.
+* The Goertzel projection defaults to a per-row ``np.dot`` against the
+  shared cached basis — exactly the code path of
+  :func:`repro.app.dsp.goertzel`.  The single ``(B, N) @ (N,)`` matmul
+  (and the fused C kernel) are typically *not* bit-identical because
+  BLAS blocks and reassociates the accumulation (~1e-16 relative), so
+  they are only used when the :func:`goertzel_fast_path` runtime probe
+  proves them exact on the running platform.
 * The capacitance solve vectorizes the transcendental part (``np.exp`` is
   elementwise bit-identical to ``cmath.exp``) but performs the complex
   multiply/divide chain with Python complex scalars: NumPy's complex
@@ -35,7 +38,63 @@ from repro.app.modules import (
     PHASOR_FRAC_BITS,
 )
 from repro.app.tank import MeasurementCircuit
+from repro.kernels import native
 from repro.kernels.cache import ArtifactCache, cached_goertzel_basis
+
+#: Cached result of :func:`goertzel_fast_path` (None = not probed yet).
+_GOERTZEL_PATH: Optional[str] = None
+
+
+def _rowwise_goertzel(arr: np.ndarray, basis: np.ndarray, half: float) -> np.ndarray:
+    """The reference projection: scalar ``np.dot`` per row — exactly the
+    code path of :func:`repro.app.dsp.goertzel`."""
+    return np.array(
+        [complex(np.dot(arr[i], basis)) / half for i in range(arr.shape[0])],
+        dtype=np.complex128,
+    )
+
+
+def goertzel_fast_path(refresh: bool = False) -> str:
+    """Which Goertzel projection the batch kernel uses on this platform:
+    ``"matmul"`` (one BLAS ``(B, N) @ (N,)`` product), ``"native"`` (the
+    sequential-accumulation C kernel) or ``"scalar"`` (per-row ``np.dot``,
+    always exact).
+
+    A faster formulation is only eligible if a runtime probe shows it
+    reproduces the per-row reference **bit-for-bit** over a spread of
+    shapes: whether a vectorized dot reassociates the accumulation is a
+    property of the BLAS build, not of numpy, so it must be measured
+    where the code runs.  With the default scipy-openblas wheels both
+    fast candidates reassociate and the probe selects ``"scalar"``; on a
+    reference-BLAS or no-BLAS numpy the matmul typically passes.  The
+    differential tests pin the outcome either way: any divergence the
+    probe misses fails the scalar/vector oracle loudly.
+
+    The result is probed once and cached; ``refresh=True`` re-probes
+    (tests use this to cover all three dispatch arms).
+    """
+    global _GOERTZEL_PATH
+    if _GOERTZEL_PATH is not None and not refresh:
+        return _GOERTZEL_PATH
+    rng = np.random.RandomState(0x5EED)
+    shapes = ((1, 64), (2, 64), (3, 480), (5, 128), (16, 1000))
+    bases = [(1000.0, 48000.0), (5000.0, 1.0e6)]
+    matmul_ok = True
+    native_ok = native.native_available()
+    for b, n in shapes:
+        arr = rng.standard_normal((b, n)) * rng.uniform(0.5, 2.0)
+        half = n / 2.0
+        for f, fs in bases:
+            basis = dsp.goertzel_basis(n, f, fs)
+            ref = _rowwise_goertzel(arr, basis, half)
+            if matmul_ok and not np.array_equal((arr @ basis) / half, ref):
+                matmul_ok = False
+            if native_ok:
+                got = native.goertzel_rows_batch(arr, basis, half)
+                if got is None or not np.array_equal(got, ref):
+                    native_ok = False
+    _GOERTZEL_PATH = "matmul" if matmul_ok else ("native" if native_ok else "scalar")
+    return _GOERTZEL_PATH
 
 
 def batch_goertzel(
@@ -48,7 +107,10 @@ def batch_goertzel(
 
     Returns a complex ``(B,)`` array whose elements are bit-identical to
     ``dsp.goertzel(row, f, fs)`` per row.  An empty batch yields an empty
-    array.
+    array — but only after the same argument validation the scalar path
+    performs, so a degenerate configuration (zero-length rows, a
+    non-positive sample rate) raises identically whether or not any
+    request happens to be in flight.
 
     Raises
     ------
@@ -60,20 +122,24 @@ def batch_goertzel(
     if arr.ndim != 2:
         raise ValueError(f"blocks must be 2-D (B, N), got shape {arr.shape}")
     b, n = arr.shape
-    if b == 0:
-        return np.empty(0, dtype=np.complex128)
     if n == 0:
         raise ValueError("goertzel of empty input")
     if sample_rate_hz <= 0:
         raise ValueError(f"sample rate must be positive, got {sample_rate_hz}")
+    if b == 0:
+        return np.empty(0, dtype=np.complex128)
     if not np.all(np.isfinite(arr)):
         raise ValueError("goertzel of non-finite samples")
     basis = cached_goertzel_basis(n, frequency_hz, sample_rate_hz, cache)
     half = n / 2.0
-    return np.array(
-        [complex(np.dot(arr[i], basis)) / half for i in range(b)],
-        dtype=np.complex128,
-    )
+    path = goertzel_fast_path()
+    if path == "matmul":
+        return (arr @ basis) / half
+    if path == "native":
+        out = native.goertzel_rows_batch(arr, basis, half)
+        if out is not None:
+            return out
+    return _rowwise_goertzel(arr, basis, half)
 
 
 def batch_amp_phase(
@@ -207,8 +273,45 @@ def batch_filter_update(
         return np.empty(0, dtype=np.float64), new_states
     if not np.all(np.isfinite(c)):
         raise ValueError("non-finite capacitance in batch")
-
     tank = circuit.tank
+
+    # Fused C path: linearise + per-tank IIR chain + quantise in one
+    # pass (bit-identical op sequence).  Each distinct tank gets a state
+    # slot; the kernel chains same-tank lanes in lane order, exactly as
+    # the rounds below do.  A None return (library unavailable, or a
+    # lane failed quantisation) falls through to the numpy path, which
+    # either succeeds identically or raises the scalar-path error.
+    slot_of: Dict[Hashable, int] = {}
+    slots = np.empty(c.size, dtype=np.int64)
+    slot_keys: List[Hashable] = []
+    for i, key in enumerate(tank_keys):
+        s = slot_of.get(key)
+        if s is None:
+            s = slot_of[key] = len(slot_keys)
+            slot_keys.append(key)
+        slots[i] = s
+    slot_state = np.array(
+        [0.0 if states.get(k) is None else states.get(k) for k in slot_keys],
+        dtype=np.float64,
+    )
+    slot_fresh = np.array(
+        [states.get(k) is None for k in slot_keys], dtype=np.uint8
+    )
+    fused = native.level_filter_chain_batch(
+        c,
+        slots,
+        slot_state,
+        slot_fresh,
+        tank.c_empty_pf,
+        tank.c_full_pf - tank.c_empty_pf,
+        alpha,
+        frac_bits,
+    )
+    if fused is not None:
+        for j, key in enumerate(slot_keys):
+            new_states[key] = float(slot_state[j])
+        return fused, new_states
+
     raw = (c - tank.c_empty_pf) / (tank.c_full_pf - tank.c_empty_pf)
     levels = np.minimum(1.0, np.maximum(0.0, raw))
 

@@ -50,12 +50,23 @@ class VectorEngine:
         self.tone_hz = system.frontend.tone_hz
         self.filter_alpha = DEFAULT_FILTER_ALPHA
 
-    def run_stage(self, stage: str, requests: List, contexts: Dict[int, dict]) -> None:
+    def run_stage(
+        self,
+        stage: str,
+        requests: List,
+        contexts: Dict[int, dict],
+        lanes=None,
+    ) -> None:
         """Run one pipeline stage for every request of the batch.
 
         ``requests`` lists the still-runnable requests in batch order;
         ``contexts`` maps request id to the per-request context dict the
-        executor threads through the pipeline.
+        executor threads through the pipeline.  With ``lanes`` (a
+        :class:`repro.serve.respbuf.LaneBuffers`), the ``capacity`` and
+        ``filter`` stages scatter their results straight into the
+        preallocated per-batch arrays at each request's ``row`` instead
+        of boxing them through per-context Python floats — the zero-copy
+        path the wire encoder reads from.
 
         Raises
         ------
@@ -77,14 +88,23 @@ class VectorEngine:
             raise ValueError(f"unknown pipeline stage {stage!r}")
         if self.tracer.enabled:
             t0 = self.tracer.clock()
-            kernel(requests, contexts)
+            kernel(requests, contexts, lanes)
             self.tracer.emit(
                 f"kernel:{stage}", t0, self.tracer.clock(), requests=len(requests)
             )
         else:
-            kernel(requests, contexts)
+            kernel(requests, contexts, lanes)
 
-    def _frontend(self, requests: List, contexts: Dict[int, dict]) -> None:
+    @staticmethod
+    def _rows(requests: List, contexts: Dict[int, dict]) -> np.ndarray:
+        """Lane indices of the runnable requests, batch order."""
+        return np.fromiter(
+            (contexts[r.request_id]["row"] for r in requests),
+            dtype=np.intp,
+            count=len(requests),
+        )
+
+    def _frontend(self, requests: List, contexts: Dict[int, dict], lanes=None) -> None:
         entries = [
             (contexts[r.request_id]["session"], r.level) for r in requests
         ]
@@ -92,7 +112,7 @@ class VectorEngine:
         for request, cycle in zip(requests, cycles):
             contexts[request.request_id]["cycle"] = cycle
 
-    def _amp_phase(self, requests: List, contexts: Dict[int, dict]) -> None:
+    def _amp_phase(self, requests: List, contexts: Dict[int, dict], lanes=None) -> None:
         # A homogeneous fleet lands in one group; grouping keeps mixed
         # frame/rate configurations correct rather than assuming.
         groups: Dict[tuple, List] = {}
@@ -107,16 +127,20 @@ class VectorEngine:
             for request, tup in zip(group, phasors):
                 contexts[request.request_id]["phasors"] = tup
 
-    def _capacity(self, requests: List, contexts: Dict[int, dict]) -> None:
+    def _capacity(self, requests: List, contexts: Dict[int, dict], lanes=None) -> None:
         phasors = [contexts[r.request_id]["phasors"] for r in requests]
         c_pf = batch_capacity(phasors, self.circuit, self.tone_hz)
-        for request, c in zip(requests, c_pf):
-            contexts[request.request_id]["c_pf"] = float(c)
+        if lanes is not None:
+            lanes.c_pf[self._rows(requests, contexts)] = c_pf
+        else:
+            for request, c in zip(requests, c_pf):
+                contexts[request.request_id]["c_pf"] = float(c)
 
-    def _filter(self, requests: List, contexts: Dict[int, dict]) -> None:
+    def _filter(self, requests: List, contexts: Dict[int, dict], lanes=None) -> None:
         sessions = {}
         for request in requests:
             sessions[request.tank_id] = contexts[request.request_id]["session"]
+        rows = self._rows(requests, contexts) if lanes is not None else None
         # Lock every touched session in a canonical order (no deadlock
         # against a sibling worker locking the same tanks), gather the
         # filter states, run the batched update, scatter them back.
@@ -127,15 +151,21 @@ class VectorEngine:
                 tank_id: session.filter_state
                 for tank_id, session in sessions.items()
             }
-            c_pf = np.array(
-                [contexts[r.request_id]["c_pf"] for r in requests],
-                dtype=np.float64,
-            )
+            if rows is not None:
+                c_pf = lanes.c_pf[rows]
+            else:
+                c_pf = np.array(
+                    [contexts[r.request_id]["c_pf"] for r in requests],
+                    dtype=np.float64,
+                )
             keys = [r.tank_id for r in requests]
             levels, new_states = batch_filter_update(
                 c_pf, keys, states, self.circuit, self.filter_alpha
             )
             for tank_id, session in sessions.items():
                 session.filter_state = new_states[tank_id]
-        for request, level in zip(requests, levels):
-            contexts[request.request_id]["level"] = float(level)
+        if rows is not None:
+            lanes.level[rows] = levels
+        else:
+            for request, level in zip(requests, levels):
+                contexts[request.request_id]["level"] = float(level)

@@ -12,12 +12,24 @@ and still bit-exact, because IEEE-754 double ops are deterministic and
 ``-ffp-contract=off`` forbids the only transformation (FMA contraction)
 that could change a rounding.
 
-The kernel is compiled on first use with whatever ``cc``/``gcc``/``clang``
+The library is compiled on first use with whatever ``cc``/``gcc``/``clang``
 the host provides — no new Python dependency.  When no compiler is
 available (or ``REPRO_NO_NATIVE_KERNELS`` is set) the loader reports
 unavailable and callers fall back to a fused pure-Python loop
 (:func:`adc_chain_batch` handles the dispatch), which produces identical
 bits, just slower.
+
+Besides the converter chain the library fuses two more stages:
+
+* :func:`level_filter_chain_batch` — the whole ``filter`` stage
+  (linearise, per-tank IIR chain, fixed-point quantise) in one pass,
+  bit-exact with the numpy rounds path by construction (identical scalar
+  op sequence per lane, ``rint`` = round-half-even = ``np.rint``,
+  power-of-two scale ops exact).
+* :func:`goertzel_rows_batch` — per-row Goertzel projection with
+  sequential accumulation; **not** guaranteed bit-exact against BLAS
+  ``np.dot`` and therefore gated behind the runtime exactness probe in
+  :mod:`repro.kernels.dsp_kernels`.
 """
 
 from __future__ import annotations
@@ -71,6 +83,64 @@ void ds_adc_chain_batch(const double* x, long lanes, long n, double alpha,
         }
     }
 }
+
+/* Fused linearise + per-tank IIR chain + fixed-point quantise: the whole
+ * ``filter`` stage in one pass.  slot[i] names lane i's tank; lanes of
+ * one tank chain through state[slot] in lane order, exactly like the
+ * numpy "rounds" path chains the k-th occurrences.  Every per-lane op is
+ * the identical scalar IEEE-754 sequence the numpy path performs
+ * elementwise (clip via max-then-min, a*(b-c) with contraction off,
+ * rint = round-half-even = np.rint, power-of-two scale mult/divide), so
+ * the outputs are bit-identical.  Returns 0 on success; 1 when a
+ * quantised code falls outside [-limit, limit) or is NaN — the caller
+ * re-runs the numpy path to raise the exact scalar-path error. */
+int level_filter_chain(const double* c_pf, const long long* slot, long n,
+                       double* state, unsigned char* fresh,
+                       double c_empty, double c_span, double alpha,
+                       double scale, double limit, double* out) {
+    for (long i = 0; i < n; i++) {
+        double raw = (c_pf[i] - c_empty) / c_span;
+        /* np.minimum(1.0, np.maximum(0.0, raw)) — NaN propagates. */
+        double lv = raw > 0.0 ? raw : (raw == raw ? 0.0 : raw);
+        lv = lv < 1.0 ? lv : (lv == lv ? 1.0 : lv);
+        long long s = slot[i];
+        double sm;
+        if (fresh[s]) {
+            sm = lv;
+        } else {
+            double st = state[s];
+            sm = st + alpha * (lv - st);
+        }
+        double code = rint(sm * scale);
+        if (!(code >= -limit && code < limit)) {
+            return 1;
+        }
+        sm = code / scale;
+        out[i] = sm;
+        state[s] = sm;
+        fresh[s] = 0;
+    }
+    return 0;
+}
+
+/* Per-row Goertzel projection: out[2r], out[2r+1] = re, im of
+ * ``dot(x[r], basis) / half`` with plain sequential accumulation.  Only
+ * used when the runtime exactness probe (kernels.dsp_kernels) shows it
+ * reproduces ``np.dot`` bit-for-bit on this platform — vectorized BLAS
+ * dots use multi-accumulator orders a sequential loop cannot match. */
+void goertzel_rows(const double* x, long b, long n, const double* basis_re,
+                   const double* basis_im, double half, double* out) {
+    for (long r = 0; r < b; r++) {
+        const double* xi = x + r * n;
+        double re = 0.0, im = 0.0;
+        for (long i = 0; i < n; i++) {
+            re += xi[i] * basis_re[i];
+            im += xi[i] * basis_im[i];
+        }
+        out[2 * r] = re / half;
+        out[2 * r + 1] = im / half;
+    }
+}
 """
 
 _lock = threading.Lock()
@@ -94,7 +164,7 @@ def _compile_and_load() -> ctypes.CDLL:
             # -ffp-contract=off: no FMA contraction, so every double op
             # rounds exactly where the Python reference rounds.
             [compiler, "-O2", "-fPIC", "-shared", "-ffp-contract=off",
-             src, "-o", lib_path],
+             src, "-o", lib_path, "-lm"],
             capture_output=True,
             timeout=120,
         )
@@ -115,6 +185,30 @@ def _compile_and_load() -> ctypes.CDLL:
         ctypes.POINTER(ctypes.c_double),
     ]
     lib.ds_adc_chain_batch.restype = None
+    lib.level_filter_chain.argtypes = [
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_longlong),
+        ctypes.c_long,
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_ubyte),
+        ctypes.c_double,
+        ctypes.c_double,
+        ctypes.c_double,
+        ctypes.c_double,
+        ctypes.c_double,
+        ctypes.POINTER(ctypes.c_double),
+    ]
+    lib.level_filter_chain.restype = ctypes.c_int
+    lib.goertzel_rows.argtypes = [
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.c_long,
+        ctypes.c_long,
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.c_double,
+        ctypes.POINTER(ctypes.c_double),
+    ]
+    lib.goertzel_rows.restype = None
     return lib
 
 
@@ -232,3 +326,79 @@ def adc_chain_batch(
     for i in range(n_lanes):
         out[i, :] = _adc_chain_python(x[i], alpha, order, decimation, clip)
     return out
+
+
+def level_filter_chain_batch(
+    c_pf: np.ndarray,
+    slots: np.ndarray,
+    state: np.ndarray,
+    fresh: np.ndarray,
+    c_empty: float,
+    c_span: float,
+    alpha: float,
+    frac_bits: int,
+    total_bits: int = 32,
+) -> Optional[np.ndarray]:
+    """Fused ``filter`` stage: linearise, per-tank IIR chain, quantise.
+
+    ``slots[i]`` indexes lane ``i``'s tank into ``state``/``fresh``
+    (float64 state per tank, uint8 "no state yet" flag); both are
+    updated in place to the post-batch filter states.  Returns the
+    quantised level per lane, or None when the native library is
+    unavailable **or** a lane fails quantisation — the caller must then
+    re-run the pure-Python path, which raises the scalar-path error (and
+    must treat the passed ``state``/``fresh`` as scratch: they may have
+    been partially advanced).
+    """
+    lib = load_native()
+    if lib is None:
+        return None
+    c = np.ascontiguousarray(c_pf, dtype=np.float64)
+    s = np.ascontiguousarray(slots, dtype=np.int64)
+    out = np.empty(c.size, dtype=np.float64)
+    status = lib.level_filter_chain(
+        c.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+        s.ctypes.data_as(ctypes.POINTER(ctypes.c_longlong)),
+        c.size,
+        state.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+        fresh.ctypes.data_as(ctypes.POINTER(ctypes.c_ubyte)),
+        c_empty,
+        c_span,
+        alpha,
+        float(1 << frac_bits),
+        float(1 << (total_bits - 1)),
+        out.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+    )
+    if status != 0:
+        return None
+    return out
+
+
+def goertzel_rows_batch(
+    blocks: np.ndarray, basis: np.ndarray, half: float
+) -> Optional[np.ndarray]:
+    """Sequential-accumulation Goertzel projection of every row; None
+    when the native library is unavailable.  Bit-exactness against the
+    per-row ``np.dot`` reference is platform-dependent — callers gate
+    this path behind the runtime exactness probe."""
+    lib = load_native()
+    if lib is None:
+        return None
+    x = np.ascontiguousarray(blocks, dtype=np.float64)
+    b, n = x.shape
+    basis_re = np.ascontiguousarray(basis.real, dtype=np.float64)
+    basis_im = np.ascontiguousarray(basis.imag, dtype=np.float64)
+    out = np.empty((b, 2), dtype=np.float64)
+    lib.goertzel_rows(
+        x.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+        b,
+        n,
+        basis_re.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+        basis_im.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+        half,
+        out.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+    )
+    z = np.empty(b, dtype=np.complex128)
+    z.real = out[:, 0]
+    z.imag = out[:, 1]
+    return z

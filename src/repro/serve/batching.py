@@ -30,7 +30,9 @@ from repro.app.frontend import AnalogFrontEnd
 from repro.app.modules import FRAME_SAMPLES
 from repro.app.system import MICROBLAZE_CLOCK_MHZ, FpgaReconfigSystem, frontend_slices
 from repro.power.model import block_dynamic_power_w, clock_tree_power_w, static_power_w
+from repro.serve.faultrng import CounterRng
 from repro.serve.metrics import Metrics
+from repro.serve.respbuf import LaneBuffers, ResponseBlock
 from repro.serve.requests import (
     STATUS_EXPIRED,
     STATUS_FAILED,
@@ -324,6 +326,10 @@ class TankStateStore:
             return len(self._sessions)
 
 
+#: Draw modes a :class:`FaultInjector` supports.
+FAULT_MODES: Tuple[str, ...] = ("sequential", "counter")
+
+
 class FaultInjector:
     """Deterministic schedule of transient configuration upsets.
 
@@ -333,6 +339,22 @@ class FaultInjector:
     The stage hit is drawn uniformly from the request's pipeline, and each
     fault event flips ``burst`` configuration bits — the two axes the
     verifylab campaigns sweep as fault intensity.
+
+    ``mode`` selects how the draws are produced:
+
+    * ``"sequential"`` (default) — one shared ``random.Random`` stream
+      consumed in call order.  Byte-compatible with every existing
+      campaign seed and golden trace, but it couples the schedule to
+      batch composition and execution order, so a faulted request must
+      leave its batch and retry through the broker's backoff path.
+    * ``"counter"`` — every draw is a pure function of ``(seed,
+      request_id, attempt)`` via :class:`repro.serve.faultrng.CounterRng`:
+      order- and composition-independent, identical between the scalar
+      and vector engines, and *predictable* (see :meth:`predict_stage`),
+      which lets the executor retry faulted requests with in-batch
+      vectorized sweeps and lets the verifylab oracle replay mixed
+      faulty/clean batches exactly.  ``max_faults`` is rejected in this
+      mode — a global cap is inherently a function of draw order.
     """
 
     def __init__(
@@ -342,6 +364,7 @@ class FaultInjector:
         max_faults: Optional[int] = None,
         burst: int = 1,
         retry_rate: float = 0.0,
+        mode: str = "sequential",
     ):
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"fault rate must be in [0, 1], got {rate}")
@@ -349,16 +372,66 @@ class FaultInjector:
             raise ValueError(f"retry fault rate must be in [0, 1], got {retry_rate}")
         if burst < 1:
             raise ValueError(f"burst size must be >= 1, got {burst}")
+        if mode not in FAULT_MODES:
+            raise ValueError(f"mode must be one of {FAULT_MODES}, got {mode!r}")
+        if mode == "counter" and max_faults is not None:
+            raise ValueError(
+                "max_faults is order-dependent by construction and cannot be "
+                "enforced in counter mode"
+            )
         self.rate = rate
         self.retry_rate = retry_rate
         self.burst = burst
         self.max_faults = max_faults
+        self.mode = mode
+        self.seed = seed
         self._rng = random.Random(seed)
+        self._counter = CounterRng(seed) if mode == "counter" else None
         self._lock = threading.Lock()
         self.fired = 0
 
+    @property
+    def order_independent(self) -> bool:
+        """True when draws do not depend on call order (counter mode) —
+        the property the executor's in-batch retry sweeps require."""
+        return self._counter is not None
+
+    def predict_stage(
+        self, request_id: int, attempt: int, n_stages: int
+    ) -> Optional[int]:
+        """Counter-mode schedule lookup: the pipeline index at which the
+        given attempt faults, or None.  Pure — consumes no state — so a
+        reference executor can replay the schedule exactly.
+
+        Raises
+        ------
+        RuntimeError
+            In sequential mode, where the schedule cannot be predicted
+            without consuming the shared stream.
+        ValueError
+            On a non-positive stage count.
+        """
+        if self._counter is None:
+            raise RuntimeError("predict_stage requires mode='counter'")
+        if n_stages < 1:
+            raise ValueError(f"need at least one stage, got {n_stages}")
+        rate = self.rate if attempt <= 1 else self.retry_rate
+        if rate == 0.0:
+            return None
+        if self._counter.uniform("strike", request_id, attempt) >= rate:
+            return None
+        return self._counter.randbelow(n_stages, "stage", request_id, attempt)
+
     def fault_stage(self, request: MeasurementRequest) -> Optional[int]:
         """Pipeline index at which this attempt faults, or None."""
+        if self._counter is not None:
+            stage = self.predict_stage(
+                request.request_id, request.attempts, len(request.pipeline)
+            )
+            if stage is not None:
+                with self._lock:
+                    self.fired += 1
+            return stage
         with self._lock:
             rate = self.rate if request.attempts <= 1 else self.retry_rate
             if rate == 0.0:
@@ -369,6 +442,15 @@ class FaultInjector:
                 return None
             self.fired += 1
             return self._rng.randrange(len(request.pipeline))
+
+    def scrub_rng(self, request: MeasurementRequest) -> random.Random:
+        """Generator for one scrub event's burst bit positions.  In
+        counter mode each fault event gets its own stream keyed on
+        (request, attempt) — identical draws wherever the event lands in
+        the batch; sequential mode keeps the shared stream."""
+        if self._counter is not None:
+            return self._counter.stream("burst", request.request_id, request.attempts)
+        return self._rng
 
     @property
     def rng(self) -> random.Random:
@@ -388,6 +470,54 @@ class BatchOutcome:
     reconfigurations: int = 0
     reconfigurations_avoided: int = 0
     faults: int = 0
+    #: Zero-copy response buffers (only when the executor emits blocks).
+    block: Optional[ResponseBlock] = None
+    #: Pipeline sweeps executed (>1 when faulted requests retried in-batch).
+    sweeps: int = 1
+
+
+class _AttemptSlot:
+    """One planned ``(request, attempt)`` execution lane of a sweep batch.
+
+    The counter-RNG executor expands every live request into the attempt
+    chain its fault schedule predicts; each chain entry becomes one slot
+    — one lane of the stage kernels, one context, one row of the batch's
+    :class:`LaneBuffers`.  The ``request_id`` property deliberately
+    returns the *slot* id: it is the key both engines use to look up a
+    lane's context, and two attempts of the same request must not share
+    one.  The real request stays reachable via ``request``.
+    """
+
+    __slots__ = ("request", "attempt", "fault_stage", "slot_id", "error")
+
+    def __init__(
+        self,
+        request: MeasurementRequest,
+        attempt: int,
+        fault_stage: Optional[int],
+        slot_id: int,
+    ):
+        self.request = request
+        self.attempt = attempt
+        self.fault_stage = fault_stage
+        self.slot_id = slot_id
+        self.error: Optional[str] = None
+
+    @property
+    def request_id(self) -> int:
+        return self.slot_id
+
+    @property
+    def level(self) -> float:
+        return self.request.level
+
+    @property
+    def tank_id(self) -> str:
+        return self.request.tank_id
+
+    def runs(self, stage_index: int) -> bool:
+        """Whether this attempt reaches (and completes) ``stage_index``."""
+        return self.fault_stage is None or self.fault_stage > stage_index
 
 
 #: Engines a :class:`BatchExecutor` can run a batch through.
@@ -405,10 +535,19 @@ class BatchExecutor:
     each request through the module behaviours one by one (the ground
     truth), ``"vector"`` runs all runnable requests of the stage through
     the batched kernels of :mod:`repro.kernels` (bit-identical results).
-    Fault handling stays on the scalar path either way: a request whose
-    attempt faults at a stage is injected/scrubbed before the vector
-    kernel runs the rest, so injector RNG order, scrub/evict and retry
-    semantics are byte-for-byte unchanged between engines.
+
+    Fault handling depends on the injector's draw mode.  With a
+    sequential injector (the legacy default) a faulted attempt is
+    scrubbed, killed for this batch, and requeued through the broker's
+    exponential backoff — injector RNG order, scrub/evict and retry
+    semantics byte-for-byte unchanged from the pre-counter-RNG code.
+    With an order-independent (counter-mode) injector and stage-major
+    execution, faulted requests instead retry *inside the batch*: the
+    schedule is a pure function of ``(seed, request_id, attempt)``, so
+    the executor expands each request's predicted attempt chain up front
+    and keeps stage-major execution across retries — one slot load per
+    stage per batch, every attempt vectorized like any other lane, no
+    backoff paid and no straggler batches — see :meth:`_execute_sweeps`.
     """
 
     def __init__(
@@ -422,6 +561,7 @@ class BatchExecutor:
         clock: Callable[[], float] = time.monotonic,
         engine: str = "scalar",
         tracer: Optional[Tracer] = None,
+        emit_blocks: bool = False,
     ):
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -433,6 +573,8 @@ class BatchExecutor:
         self.tanks = tanks
         self.stage_major = stage_major
         self.fault_injector = fault_injector
+        #: Fill a :class:`ResponseBlock` per batch (zero-copy wire path).
+        self.emit_blocks = emit_blocks
         self.metrics = metrics or Metrics()
         self.slot_index = slot_index
         self.clock = clock
@@ -528,7 +670,9 @@ class BatchExecutor:
         if memory is not None and memory.frame_count:
             injector = self.fault_injector
             burst = injector.burst if injector else 1
-            faults = memory.inject_burst(burst, injector.rng if injector else None)
+            faults = memory.inject_burst(
+                burst, injector.scrub_rng(request) if injector else None
+            )
             self.metrics.inc("seu_bits_flipped", len(faults))
             golden = controller.golden_bitstream(self.slot_index)
             corrupted = memory.corrupted_frames(golden) if golden else []
@@ -592,12 +736,30 @@ class BatchExecutor:
                 live.append(request)
 
         if not live:  # every request expired — skip all device work
-            return BatchOutcome(batch=batch, responses=responses)
+            outcome = BatchOutcome(batch=batch, responses=responses)
+            if self.emit_blocks:
+                outcome.block = ResponseBlock.from_responses(responses)
+            return outcome
+
+        if (
+            self.fault_injector is not None
+            and self.fault_injector.order_independent
+            and self.stage_major
+        ):
+            # Counter-mode draws are order-independent, so faulted
+            # requests retry in-batch instead of through the broker.
+            return self._execute_sweeps(batch, live, responses, worker)
 
         loads_before = self.system.controller.configured_load_count
         records_before = len(self.system.controller.loads)
+        lanes = LaneBuffers(len(live)) if self._vector is not None else None
+        block = ResponseBlock(len(batch.requests)) if self.emit_blocks else None
+        if block is not None:
+            for response in responses:  # expired at batch entry
+                block.push(response)
         contexts: Dict[int, dict] = {
-            r.request_id: {"session": self.tanks.session(r.tank_id)} for r in live
+            r.request_id: {"session": self.tanks.session(r.tank_id), "row": i}
+            for i, r in enumerate(live)
         }
         fault_at: Dict[int, int] = {}
         if self.fault_injector is not None:
@@ -672,7 +834,7 @@ class BatchExecutor:
                                 failed[request.request_id] = self._inject_and_scrub(request)
                                 continue
                             runnable.append(request)
-                        self._vector.run_stage(stage, runnable, contexts)
+                        self._vector.run_stage(stage, runnable, contexts, lanes)
                     else:
                         for request in live:
                             run_request_stage(stage_index, stage, request)
@@ -753,45 +915,61 @@ class BatchExecutor:
         faults = len(failed)
         end = self.clock()
         for request in live:
+            ctx = contexts[request.request_id]
             if request.request_id in failed:
                 if request.attempts < request.max_attempts:
                     retries.append(request)
                 else:
                     self.metrics.inc("requests_failed")
-                    responses.append(
-                        MeasurementResponse(
-                            request_id=request.request_id,
-                            tank_id=request.tank_id,
-                            status=STATUS_FAILED,
-                            energy_j=share,
-                            device_time_s=device_time,
-                            latency_s=end - request.submitted_at,
-                            attempts=request.attempts,
-                            worker=worker,
-                            batch_id=batch.batch_id,
-                            batch_size=batch.size,
-                            error=failed[request.request_id],
-                        )
+                    response = MeasurementResponse(
+                        request_id=request.request_id,
+                        tank_id=request.tank_id,
+                        status=STATUS_FAILED,
+                        energy_j=share,
+                        device_time_s=device_time,
+                        latency_s=end - request.submitted_at,
+                        attempts=request.attempts,
+                        worker=worker,
+                        batch_id=batch.batch_id,
+                        batch_size=batch.size,
+                        error=failed[request.request_id],
                     )
+                    responses.append(response)
+                    if block is not None:
+                        block.push(response)
                 continue
-            ctx = contexts[request.request_id]
+            if lanes is not None:
+                row = ctx["row"]
+                lv = lanes.level[row]
+                c = lanes.c_pf[row]
+                # NaN marks a stage the pipeline never ran for this lane
+                # (the kernels cannot produce NaN: quantize_array raises).
+                level = float(lv) if lv == lv else None
+                c_pf = float(c) if c == c else None
+            else:
+                level = ctx.get("level")
+                c_pf = ctx.get("c_pf")
             self.metrics.inc("requests_served")
-            responses.append(
-                MeasurementResponse(
-                    request_id=request.request_id,
-                    tank_id=request.tank_id,
-                    status=STATUS_OK,
-                    level_measured=ctx.get("level"),
-                    capacitance_pf=ctx.get("c_pf"),
-                    energy_j=share,
-                    device_time_s=device_time,
-                    latency_s=end - request.submitted_at,
-                    attempts=request.attempts,
-                    worker=worker,
-                    batch_id=batch.batch_id,
-                    batch_size=batch.size,
-                )
+            response = MeasurementResponse(
+                request_id=request.request_id,
+                tank_id=request.tank_id,
+                status=STATUS_OK,
+                level_measured=level,
+                capacitance_pf=c_pf,
+                energy_j=share,
+                device_time_s=device_time,
+                latency_s=end - request.submitted_at,
+                attempts=request.attempts,
+                worker=worker,
+                batch_id=batch.batch_id,
+                batch_size=batch.size,
             )
+            responses.append(response)
+            if block is not None:
+                if lanes is not None:
+                    block.push(response, lanes, ctx["row"])
+                else:
+                    block.push(response)
 
         self.metrics.inc("reconfigurations", reconfigs)
         self.metrics.inc("reconfigurations_avoided", avoided)
@@ -814,6 +992,282 @@ class BatchExecutor:
             reconfigurations=reconfigs,
             reconfigurations_avoided=avoided,
             faults=faults,
+            block=block,
+        )
+
+    # -------------------------------------------------- in-batch fault sweeps
+
+    def _execute_sweeps(
+        self,
+        batch: Batch,
+        live: List[MeasurementRequest],
+        responses: List[MeasurementResponse],
+        worker: Optional[int],
+    ) -> BatchOutcome:
+        """Stage-major execution with in-batch fault-retry attempts.
+
+        Requires an order-independent fault injector: each attempt's
+        schedule is keyed on ``(request_id, attempt)``, so it can be
+        *predicted* before anything runs.  The executor expands every
+        live request into its predicted attempt chain — attempt 1, plus
+        one retry per predicted fault while budget lasts — and gives
+        each ``(request, attempt)`` its own :class:`_AttemptSlot` lane.
+        Execution then stays strictly stage-major: each module is loaded
+        **once per batch** and runs every attempt that reaches its stage,
+        so a retry costs one extra kernel lane instead of a broker
+        requeue (backoff delay, straggler batch) or a full pipeline
+        reload per sweep.  The fault path stays on whichever engine the
+        batch runs, which is what keeps the vector speedup intact on
+        faulty workloads.
+        """
+        injector = self.fault_injector
+        controller = self.system.controller
+        loads_before = controller.configured_load_count
+        records_before = len(controller.loads)
+
+        # Plan: expand each request's predicted attempt chain.  The
+        # injector's draws are pure functions of (request, attempt), so
+        # planning consumes nothing and cannot shift any other draw.
+        # ``fault_stage`` (not ``predict_stage``) keeps the fired count
+        # and rate bookkeeping identical to the sequential path.
+        slots: List[_AttemptSlot] = []
+        final_slot: Dict[int, _AttemptSlot] = {}
+        exhausted: Dict[int, str] = {}
+        expired_at: Dict[int, float] = {}
+        sweeps = 0
+        for request in live:
+            rid = request.request_id
+            chain = 0
+            while True:
+                stage_index = injector.fault_stage(request)
+                slot = _AttemptSlot(
+                    request, request.attempts, stage_index, len(slots)
+                )
+                slots.append(slot)
+                final_slot[rid] = slot
+                chain += 1
+                if stage_index is None:
+                    break  # this attempt completes the pipeline
+                if request.attempts >= request.max_attempts:
+                    exhausted[rid] = "transient device fault"
+                    break
+                now = self.clock()
+                if request.expired(now):
+                    expired_at[rid] = now
+                    break
+                request.attempts += 1
+                self.metrics.inc("requests_retried")
+                self.metrics.inc("retries_in_batch")
+            sweeps = max(sweeps, chain)
+        participants = len(slots)
+
+        lanes = LaneBuffers(participants) if self._vector is not None else None
+        block = ResponseBlock(len(batch.requests)) if self.emit_blocks else None
+        if block is not None:
+            for response in responses:  # expired at batch entry
+                block.push(response)
+        contexts: Dict[int, dict] = {
+            slot.slot_id: {
+                "session": self.tanks.session(slot.tank_id),
+                "row": slot.slot_id,
+            }
+            for slot in slots
+        }
+
+        seg = self.tracer.segment(f"batch-{batch.batch_id}") if self.tracer.enabled else None
+        if seg is not None:
+            seg.begin(
+                "execute",
+                batch_id=batch.batch_id,
+                size=batch.size,
+                live=len(live),
+                attempts=participants,
+                engine=self.engine,
+                stage_major=True,
+                worker=worker,
+            )
+            self.tracer.push(seg)
+        self._seg = seg
+
+        stage_requests: Dict[str, int] = {stage: 0 for stage in batch.pipeline}
+        faults = 0
+        try:
+            for stage_index, stage in enumerate(batch.pipeline):
+                if seg is not None:
+                    seg.begin(
+                        f"stage:{stage}",
+                        batch_id=batch.batch_id,
+                        stage=stage,
+                    )
+                    reconfig_t0 = self.clock()
+                record = controller.load(stage, self.slot_index)
+                if seg is not None:
+                    seg.add(
+                        "reconfig",
+                        reconfig_t0,
+                        self.clock(),
+                        batch_id=batch.batch_id,
+                        stage=stage,
+                        module=record.module,
+                        cached=record.config.bitstream_bytes == 0,
+                        device_time_s=record.total_time_s,
+                        energy_j=record.energy_j,
+                    )
+                    compute_t0 = self.clock()
+                    seg.begin(
+                        "compute",
+                        t0=compute_t0,
+                        batch_id=batch.batch_id,
+                        stage=stage,
+                        engine=self.engine,
+                    )
+                started = time.perf_counter()
+                occupied = 0
+                runnable: List[_AttemptSlot] = []
+                for slot in slots:
+                    if slot.fault_stage == stage_index:
+                        # The strike lands while this module is loaded;
+                        # scrub draws are keyed on (request, attempt), so
+                        # the attempt number is restored around the call.
+                        occupied += 1
+                        faults += 1
+                        request = slot.request
+                        attempts_now = request.attempts
+                        request.attempts = slot.attempt
+                        slot.error = self._inject_and_scrub(request)
+                        request.attempts = attempts_now
+                        continue
+                    if slot.runs(stage_index):
+                        occupied += 1
+                        runnable.append(slot)
+                if self._vector is not None:
+                    self._vector.run_stage(stage, runnable, contexts, lanes)
+                else:
+                    for slot in runnable:
+                        self._run_stage(stage, slot, contexts[slot.slot_id])
+                elapsed = time.perf_counter() - started
+                self.metrics.observe(f"stage_{stage}_s", elapsed)
+                stage_requests[stage] += occupied
+                if seg is not None:
+                    seg.end("compute", t1=compute_t0 + elapsed, wall_s=elapsed)
+                    seg.end(
+                        f"stage:{stage}",
+                        requests=occupied,
+                        cycles=self.stage_cycles(stage, occupied),
+                        energy_j=self.stage_energy_j(stage, occupied),
+                    )
+        finally:
+            self._seg = None
+            if seg is not None:
+                self.tracer.pop()
+        for rid, slot in final_slot.items():
+            if rid in exhausted and slot.error is not None:
+                exhausted[rid] = slot.error
+
+        reconfigs = controller.configured_load_count - loads_before
+        # The naive baseline would pay the full pipeline per *attempt*.
+        would_be = len(batch.pipeline) * participants
+        avoided = max(0, would_be - reconfigs)
+        batch_loads = controller.loads[records_before:]
+        device_time, energy = self._account_sweeps(
+            batch, batch_loads, stage_requests, participants
+        )
+        share = energy / len(live)
+        if seg is not None:
+            seg.end(
+                "execute",
+                device_time_s=device_time,
+                energy_j=energy,
+                reconfigurations=reconfigs,
+                reconfigurations_avoided=avoided,
+                sweeps=sweeps,
+            )
+            for request in live:
+                if request.trace is not None:
+                    request.trace.extend(seg)
+
+        end = self.clock()
+        for request in live:
+            rid = request.request_id
+            ctx = contexts[final_slot[rid].slot_id]
+            if rid in exhausted:
+                self.metrics.inc("requests_failed")
+                response = MeasurementResponse(
+                    request_id=rid,
+                    tank_id=request.tank_id,
+                    status=STATUS_FAILED,
+                    energy_j=share,
+                    device_time_s=device_time,
+                    latency_s=end - request.submitted_at,
+                    attempts=request.attempts,
+                    worker=worker,
+                    batch_id=batch.batch_id,
+                    batch_size=batch.size,
+                    error=exhausted[rid],
+                )
+            elif rid in expired_at:
+                self.metrics.inc("requests_expired")
+                response = MeasurementResponse(
+                    request_id=rid,
+                    tank_id=request.tank_id,
+                    status=STATUS_EXPIRED,
+                    latency_s=expired_at[rid] - request.submitted_at,
+                    attempts=request.attempts,
+                    worker=worker,
+                    batch_id=batch.batch_id,
+                    batch_size=batch.size,
+                    error="deadline exceeded between in-batch retry sweeps",
+                )
+            else:
+                if lanes is not None:
+                    row = ctx["row"]
+                    lv = lanes.level[row]
+                    c = lanes.c_pf[row]
+                    level = float(lv) if lv == lv else None
+                    c_pf = float(c) if c == c else None
+                else:
+                    level = ctx.get("level")
+                    c_pf = ctx.get("c_pf")
+                self.metrics.inc("requests_served")
+                response = MeasurementResponse(
+                    request_id=rid,
+                    tank_id=request.tank_id,
+                    status=STATUS_OK,
+                    level_measured=level,
+                    capacitance_pf=c_pf,
+                    energy_j=share,
+                    device_time_s=device_time,
+                    latency_s=end - request.submitted_at,
+                    attempts=request.attempts,
+                    worker=worker,
+                    batch_id=batch.batch_id,
+                    batch_size=batch.size,
+                )
+            responses.append(response)
+            if block is not None:
+                if response.status == STATUS_OK and lanes is not None:
+                    block.push(response, lanes, ctx["row"])
+                else:
+                    block.push(response)
+
+        self.metrics.inc("reconfigurations", reconfigs)
+        self.metrics.inc("reconfigurations_avoided", avoided)
+        self.metrics.add("device_time_s", device_time)
+        self.metrics.add("energy_j", energy)
+        self.metrics.observe("joules_per_request", share)
+        self.metrics.observe("fault_sweeps", sweeps)
+        self.metrics.add("reconfig_energy_j", sum(r.energy_j for r in batch_loads))
+        return BatchOutcome(
+            batch=batch,
+            responses=responses,
+            retries=[],
+            device_time_s=device_time,
+            energy_j=energy,
+            reconfigurations=reconfigs,
+            reconfigurations_avoided=avoided,
+            faults=faults,
+            block=block,
+            sweeps=sweeps,
         )
 
     # ------------------------------------------------------------- accounting
@@ -845,6 +1299,59 @@ class BatchExecutor:
         energy += clock_power * clock_span
         for stage in batch.pipeline:
             energy += self.stage_energy_j(stage, n)
+        energy += (
+            block_dynamic_power_w(
+                MICROBLAZE_FOOTPRINT.slices,
+                MICROBLAZE_FOOTPRINT.mean_activity,
+                MICROBLAZE_CLOCK_MHZ,
+            )
+            * device_time
+        )
+        energy += reconfig_energy
+        return device_time, energy
+
+    def _account_sweeps(
+        self,
+        batch: Batch,
+        batch_loads,
+        stage_requests: Dict[str, int],
+        participants: int,
+    ) -> Tuple[float, float]:
+        """Device time and energy of a sweep-mode batch.
+
+        Same per-cycle model as :meth:`_account`, but charged by actual
+        stage participation: a request that faulted at stage *k* of
+        sweep *j* only ran stages ``0..k`` that sweep, and re-ran the
+        pipeline on the next sweep.  ``stage_requests[stage]`` counts
+        request-runs of each stage across all sweeps; ``participants``
+        counts request-sweeps (the unit the per-request I/O and FSL
+        transfer costs scale with).
+        """
+        system = self.system
+        if participants == 0:
+            return 0.0, 0.0
+        compute_time = sum(
+            self._stage_time_s[s] * stage_requests.get(s, 0)
+            for s in batch.pipeline
+            if s != "frontend"
+        )
+        sample_total = system.sample_time_s * stage_requests.get("frontend", 0)
+        reconfig_time = sum(r.total_time_s for r in batch_loads)
+        reconfig_energy = sum(r.energy_j for r in batch_loads)
+        io_time = (system.fsl_transfer_s + system._io_time_s()) * participants
+        device_time = reconfig_time + sample_total + compute_time + io_time
+
+        params = system.params
+        clock_power = clock_tree_power_w(system.device, 1400, system.hw_clock_mhz, params)
+        clock_span = (
+            compute_time + system.fsl_transfer_s * participants
+            if system.clock_gating
+            else device_time
+        )
+        energy = static_power_w(system.device, params) * device_time
+        energy += clock_power * clock_span
+        for stage in batch.pipeline:
+            energy += self.stage_energy_j(stage, stage_requests.get(stage, 0))
         energy += (
             block_dynamic_power_w(
                 MICROBLAZE_FOOTPRINT.slices,

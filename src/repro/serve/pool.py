@@ -37,6 +37,7 @@ from repro.serve.batching import (
 )
 from repro.serve.cache import ArtifactCache, CachingBitstreamGenerator
 from repro.serve.metrics import Metrics
+from repro.serve.respbuf import ResponseBlock
 from repro.serve.requests import (
     STATUS_FAILED,
     BrokerFullError,
@@ -72,7 +73,7 @@ class FleetWorker(threading.Thread):
         scheduler: BatchScheduler,
         broker: RequestBroker,
         executor: BatchExecutor,
-        deliver: Callable[[List[MeasurementResponse]], None],
+        deliver: Callable[..., None],
         metrics: Metrics,
         poll_s: Optional[float] = None,
         breaker: Optional[CircuitBreaker] = None,
@@ -166,7 +167,7 @@ class FleetWorker(threading.Thread):
             self.device_time_s += outcome.device_time_s
             self.requests_served += sum(1 for r in outcome.responses if r.ok)
             self.batches_executed += 1
-            self.deliver(outcome.responses)
+            self.deliver(outcome.responses, outcome.block)
             self.current_batch = None
 
     def _handle_failed_batch(self, batch: Batch, exc: Exception) -> None:
@@ -250,6 +251,7 @@ class FleetService:
         supervisor_config: Optional[SupervisorConfig] = None,
         chaos=None,
         on_deliver: Optional[Callable[[List[MeasurementResponse]], None]] = None,
+        on_deliver_block: Optional[Callable[[ResponseBlock], None]] = None,
         policy: str = "fifo",
     ):
         if workers < 1:
@@ -267,6 +269,13 @@ class FleetService:
         #: counted, never propagated — a broken downstream must not look
         #: like a crashed worker.
         self.on_deliver = on_deliver
+        #: Zero-copy push seam: like ``on_deliver`` but receives the
+        #: batch's :class:`ResponseBlock` — the preallocated buffers the
+        #: vector engine wrote results into — so a wire transport can
+        #: serialize without materializing per-request dicts.  Setting it
+        #: makes every executor emit blocks; delivery paths that have no
+        #: block (shed expiries, failed batches) build one on the fly.
+        self.on_deliver_block = on_deliver_block
         self.engine = engine
         self.clock = clock
         self.metrics = Metrics()
@@ -365,6 +374,7 @@ class FleetService:
             clock=self.clock,
             engine=self.engine,
             tracer=self.tracer,
+            emit_blocks=self.on_deliver_block is not None,
         )
         return FleetWorker(
             worker_id,
@@ -473,7 +483,11 @@ class FleetService:
                 rejected.append(request)
         return accepted, rejected
 
-    def _deliver(self, responses: List[MeasurementResponse]) -> None:
+    def _deliver(
+        self,
+        responses: List[MeasurementResponse],
+        block: Optional[ResponseBlock] = None,
+    ) -> None:
         if self.tracer.enabled:
             # Terminate traces before taking the delivery lock: finishing
             # may export (file IO) and must not serialize against callers
@@ -498,6 +512,13 @@ class FleetService:
         if self.on_deliver is not None:
             try:
                 self.on_deliver(responses)
+            except Exception:
+                self.metrics.inc("deliver_callback_errors")
+        if self.on_deliver_block is not None:
+            try:
+                self.on_deliver_block(
+                    block if block is not None else ResponseBlock.from_responses(responses)
+                )
             except Exception:
                 self.metrics.inc("deliver_callback_errors")
 

@@ -19,20 +19,21 @@ serves the router's wire protocol over one duplex
   the final snapshot, exit.
 
 Terminal responses flow back asynchronously: the service's
-``on_deliver`` seam encodes each delivered batch as one ``responses``
-message.  All sends share one lock — worker threads and the control
-loop interleave on a single connection.
+``on_deliver_block`` seam encodes each delivered batch's
+:class:`repro.serve.respbuf.ResponseBlock` as one ``responses`` message
+— straight from the preallocated result buffers, no per-request dicts,
+byte-identical to the per-response encoding it replaced.  All sends
+share one lock — worker threads and the control loop interleave on a
+single connection.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from typing import List, Optional
-
 from repro.app.system import SystemConfig
 from repro.serve.pool import FleetService
-from repro.serve.requests import BrokerFullError, MeasurementResponse
+from repro.serve.requests import BrokerFullError
 from repro.shard.config import ShardConfig
 from repro.shard.wire import (
     KIND_BYE,
@@ -40,7 +41,6 @@ from repro.shard.wire import (
     KIND_PING,
     KIND_PONG,
     KIND_REJECT,
-    KIND_RESPONSE,
     KIND_RESTORE,
     KIND_SHUTDOWN,
     KIND_SNAPSHOT,
@@ -49,13 +49,17 @@ from repro.shard.wire import (
     WireError,
     decode,
     encode,
+    encode_responses_block,
     request_from_wire,
-    response_to_wire,
 )
 
 
 def build_service(
-    shard_id: int, config: ShardConfig, on_deliver=None, tracer=None
+    shard_id: int,
+    config: ShardConfig,
+    on_deliver=None,
+    tracer=None,
+    on_deliver_block=None,
 ) -> FleetService:
     """The per-shard fleet service.
 
@@ -77,6 +81,7 @@ def build_service(
         engine=config.engine if config.batched else "scalar",
         tracer=tracer,
         on_deliver=on_deliver,
+        on_deliver_block=on_deliver_block,
     )
 
 
@@ -99,10 +104,15 @@ def shard_main(shard_id: int, conn, router_conn, config: ShardConfig) -> None:
         with send_lock:
             conn.send_bytes(data)
 
-    def deliver(responses: List[MeasurementResponse]) -> None:
+    def deliver_block(block) -> None:
+        # Zero-copy: the block's columns (the arrays the vector engine
+        # wrote into) are encoded straight to envelope bytes — no
+        # per-request dict, byte-identical to the per-response encoding.
         # Raised errors are swallowed (and counted) by the service's
-        # on_deliver guard; a dead pipe ends the control loop via EOF.
-        send(KIND_RESPONSE, {"responses": [response_to_wire(r) for r in responses]})
+        # delivery guard; a dead pipe ends the control loop via EOF.
+        data = encode_responses_block(block)
+        with send_lock:
+            conn.send_bytes(data)
 
     tracer = None
     if config.trace_path:
@@ -114,7 +124,9 @@ def shard_main(shard_id: int, conn, router_conn, config: ShardConfig) -> None:
                 exporter=JsonlExporter(f"{config.trace_path}.shard{shard_id}.jsonl"),
             )
         )
-    service = build_service(shard_id, config, on_deliver=deliver, tracer=tracer)
+    service = build_service(
+        shard_id, config, tracer=tracer, on_deliver_block=deliver_block
+    )
     service.start()
     send(KIND_HELLO, {"shard": shard_id, "pid": os.getpid()})
 

@@ -43,16 +43,26 @@ from repro.verifylab.golden import (
     write_golden,
 )
 from repro.verifylab.oracle import (
+    FaultOracleReport,
+    FaultReferenceResult,
+    FaultScenarioCheck,
     OracleReport,
     ReferenceExecutor,
     ReferenceResult,
     ScenarioCheck,
     ToleranceSpec,
+    check_fault_scenario,
     check_scenario,
+    run_fault_oracle,
     run_oracle,
     serve_scenario,
 )
-from repro.verifylab.scenarios import Scenario, generate_scenario, retarget_single_tank
+from repro.verifylab.scenarios import (
+    Scenario,
+    generate_fault_scenario,
+    generate_scenario,
+    retarget_single_tank,
+)
 from repro.verifylab.shard_oracle import (
     ShardScenarioCheck,
     check_scenario_sharded,
@@ -64,6 +74,9 @@ __all__ = [
     "CANONICAL_SEEDS",
     "DEFAULT_INTENSITIES",
     "FaultIntensity",
+    "FaultOracleReport",
+    "FaultReferenceResult",
+    "FaultScenarioCheck",
     "FuzzFailure",
     "FuzzReport",
     "OracleReport",
@@ -75,14 +88,17 @@ __all__ = [
     "ToleranceSpec",
     "build_trace",
     "campaign_scenario",
+    "check_fault_scenario",
     "check_golden",
     "check_scenario",
     "check_scenario_sharded",
     "default_golden_dir",
+    "generate_fault_scenario",
     "generate_scenario",
     "retarget_single_tank",
     "run_campaign",
     "run_chaos_campaign",
+    "run_fault_oracle",
     "run_fuzz",
     "run_oracle",
     "run_shard_chaos_campaign",

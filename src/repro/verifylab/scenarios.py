@@ -139,6 +139,53 @@ def generate_scenario(seed: int, max_requests: int = 12) -> Scenario:
     )
 
 
+def generate_fault_scenario(seed: int, max_tanks: int = 10) -> Scenario:
+    """Seed-determined workload for the *fault* oracle: one request per
+    tank, batched serving.
+
+    The mixed faulty/clean oracle replays the counter-RNG fault schedule
+    request by request, including the extra front-end sampling a retried
+    attempt performs.  With one request per tank every tank's noise
+    stream is consumed by exactly one request in attempt order, so the
+    reference can reproduce the service's noise draws exactly no matter
+    how the executor interleaves retry sweeps across the batch; several
+    requests sharing a tank would interleave their draws in an order the
+    reference cannot know.  Geometry, noise, batch size and attempt
+    budget still randomize across seeds.
+
+    Raises
+    ------
+    ValueError
+        If ``max_tanks`` leaves no room for a single tank.
+    """
+    if max_tanks < 1:
+        raise ValueError(f"max_tanks must be >= 1, got {max_tanks}")
+    rng = random.Random(seed)
+    n_tanks = rng.randint(min(4, max_tanks), max_tanks)
+    c_empty = rng.uniform(40.0, 90.0)
+    circuit = MeasurementCircuit(
+        tank=TankModel(
+            c_empty_pf=c_empty,
+            c_full_pf=c_empty + rng.uniform(200.0, 520.0),
+            r_loss_ohm=rng.uniform(8.0e5, 4.0e6),
+        ),
+        r_series_ohm=rng.uniform(3000.0, 6800.0),
+        c_ref_pf=rng.uniform(150.0, 330.0),
+    )
+    tank_levels = tuple(
+        (f"tank-{t:03d}", rng.uniform(0.05, 0.95)) for t in range(n_tanks)
+    )
+    return Scenario(
+        seed=seed,
+        tank_levels=tank_levels,
+        max_batch=rng.randint(2, 8),
+        batched=True,
+        noise_rms=rng.choice([0.0, 0.001, 0.002, 0.004]),
+        max_attempts=rng.randint(2, 4),
+        circuit=circuit,
+    )
+
+
 def retarget_single_tank(scenario: Scenario) -> Scenario:
     """Shrinking move: collapse the fleet onto the first tank (keeps the
     trajectory, removes cross-tank interleaving as a cause)."""

@@ -24,6 +24,7 @@ from repro.kernels import (
     native_status,
 )
 from repro.kernels.cache import ArtifactCache
+from repro.kernels.dsp_kernels import goertzel_fast_path
 from repro.kernels.native import DISABLE_ENV, _adc_chain_python, native_available
 from repro.serve import ENGINES, FleetService, synthetic_load
 from repro.serve.batching import BatchExecutor, FaultInjector, TankStateStore
@@ -96,6 +97,41 @@ def test_batch_goertzel_guards():
     bad[1, 3] = np.nan
     with pytest.raises(ValueError):
         batch_goertzel(bad, TONE, RATE)
+
+
+def test_batch_goertzel_validates_before_empty_return():
+    """A degenerate configuration raises even when no request is in
+    flight — validation precedes the empty-batch early return."""
+    with pytest.raises(ValueError, match="empty input"):
+        batch_goertzel(np.empty((0, 0)), TONE, RATE)
+    with pytest.raises(ValueError, match="sample rate"):
+        batch_goertzel(np.empty((0, 8)), TONE, -1.0)
+    out = batch_goertzel(np.empty((0, 8)), TONE, RATE)
+    assert out.shape == (0,) and out.dtype == np.complex128
+
+
+def test_goertzel_fast_path_probe_is_cached_and_valid():
+    path = goertzel_fast_path(refresh=True)
+    assert path in ("matmul", "native", "scalar")
+    assert goertzel_fast_path() == path  # cached, no re-probe
+
+
+def test_goertzel_fast_path_scalar_when_native_disabled(monkeypatch):
+    monkeypatch.setenv(DISABLE_ENV, "1")
+    path = goertzel_fast_path(refresh=True)
+    assert path in ("matmul", "scalar")  # native cannot win without the lib
+    monkeypatch.delenv(DISABLE_ENV)
+    goertzel_fast_path(refresh=True)  # restore the real probe result
+
+
+def test_batch_goertzel_bit_equal_whatever_the_path():
+    """Whichever projection the probe picked on this platform, the kernel
+    stays bit-identical to the scalar reference."""
+    for b, n in ((1, 64), (3, 480), (7, 512)):
+        blocks = tones(b, n, seed=b)
+        out = batch_goertzel(blocks, TONE, RATE, cache=ArtifactCache(4))
+        for i in range(b):
+            assert out[i] == dsp.goertzel(blocks[i], TONE, RATE)
 
 
 # -------------------------------------------------------- batch_amp_phase
@@ -206,6 +242,44 @@ def test_batch_filter_guards():
         batch_filter_update(np.array([150.0, 160.0]), ["a"], {}, CIRCUIT)
     with pytest.raises(ValueError, match="1-D"):
         batch_filter_update(np.ones((2, 2)), ["a"], {}, CIRCUIT)
+
+
+def test_batch_filter_fused_native_matches_python_rounds(monkeypatch):
+    """The fused C chain (linearise + IIR + quantise in one pass) is
+    bit-identical to the numpy rounds path over randomized mixed-tank
+    batches, including the states dict it hands back."""
+    if not native_available():
+        pytest.skip(f"no native kernel: {native_status()}")
+    rng = np.random.default_rng(0xF1)
+    pool = ["a", "b", "c", "d"]
+    span = CIRCUIT.tank.c_full_pf - CIRCUIT.tank.c_empty_pf
+    for _trial in range(40):
+        n = int(rng.integers(1, 13))
+        keys = [pool[int(k)] for k in rng.integers(0, len(pool), n)]
+        c = CIRCUIT.tank.c_empty_pf + span * rng.uniform(-0.2, 1.2, n)
+        states = {
+            k: (None if rng.random() < 0.4 else float(rng.random())) for k in pool
+        }
+        fused_out, fused_states = batch_filter_update(c, keys, dict(states), CIRCUIT)
+        with monkeypatch.context() as m:
+            m.setenv(DISABLE_ENV, "1")
+            py_out, py_states = batch_filter_update(c, keys, dict(states), CIRCUIT)
+        np.testing.assert_array_equal(fused_out, py_out)
+        assert fused_states == py_states
+
+
+def test_batch_filter_fused_chain_matches_scalar_module():
+    """Long same-tank chains exercise the C kernel's sequential state
+    update; every lane must match the scalar module run in order."""
+    modules = standard_modules(CIRCUIT, TONE)
+    c_pf = np.linspace(150.0, 420.0, 17)
+    keys = ["t"] * 17
+    levels, states = batch_filter_update(c_pf, keys, {}, CIRCUIT)
+    state = None
+    for i, c in enumerate(c_pf):
+        level, state = modules["filter"].behavior(float(c), state)
+        assert levels[i] == level, i
+    assert states["t"] == state
 
 
 # ----------------------------------------------------------- adc kernels
@@ -400,6 +474,40 @@ def test_per_request_mode_also_times_stages():
     snap = service.metrics_snapshot()
     for stage in ("frontend", "amp_phase", "capacity", "filter"):
         assert snap["histograms"][f"stage_{stage}_s"]["count"] > 0
+
+
+def test_counter_mode_sweeps_keep_engines_identical():
+    """Counter-mode injection keeps faulted requests *in* the batch: both
+    engines retry via vectorizable sweeps, produce bit-identical results,
+    and never touch the broker's requeue path."""
+    results = {}
+    for engine in ENGINES:
+        results[engine] = run_service(
+            synthetic_load(12, n_tanks=3),
+            workers=1,
+            max_batch=6,
+            seed=9,
+            engine=engine,
+            fault_injector=FaultInjector(
+                0.4, seed=3, retry_rate=0.2, mode="counter"
+            ),
+        )
+    s, v = by_id(results["scalar"]), by_id(results["vector"])
+    assert set(s) == set(v)
+    for request_id in s:
+        assert v[request_id].status == s[request_id].status
+        assert v[request_id].attempts == s[request_id].attempts
+        assert v[request_id].level_measured == s[request_id].level_measured
+        assert v[request_id].capacitance_pf == s[request_id].capacitance_pf
+    for service in results.values():
+        # Every retry happened inside its batch — none via the broker.
+        assert service.metrics.counter("retries_in_batch") > 0
+        assert service.metrics.counter("retries_in_batch") == service.metrics.counter(
+            "requests_retried"
+        )
+    assert results["vector"].metrics.counter("faults_injected") == results[
+        "scalar"
+    ].metrics.counter("faults_injected")
 
 
 def test_blocking_workers_do_not_spin():

@@ -14,9 +14,11 @@ from repro.verifylab import (
     campaign_scenario,
     check_golden,
     check_scenario,
+    generate_fault_scenario,
     generate_scenario,
     retarget_single_tank,
     run_campaign,
+    run_fault_oracle,
     run_fuzz,
     run_oracle,
     shrink,
@@ -99,6 +101,68 @@ class TestOracle:
         assert not check.ok
         assert any("dsp_level" in v for v in check.violations)
         assert all("capacitance_pf" not in v for v in check.violations)
+
+
+# -------------------------------------------------------------- fault oracle
+
+
+class TestFaultOracle:
+    def test_fault_scenarios_are_deterministic_one_request_per_tank(self):
+        scenario = generate_fault_scenario(4)
+        assert scenario == generate_fault_scenario(4)
+        tank_ids = [tank_id for tank_id, _level in scenario.tank_levels]
+        assert len(tank_ids) == len(set(tank_ids))
+        assert scenario.batched
+
+    @pytest.mark.parametrize("engine", ["scalar", "vector"])
+    def test_mixed_sweep_is_exact_at_each_engine(self, engine):
+        """The tentpole claim: a batch mixing faulted and clean requests
+        is served bit-exactly by *both* engines — faulted requests retried
+        in-batch, not scrubbed out to a scalar side path."""
+        report = run_fault_oracle(range(4), engine=engine)
+        assert report.ok, report.violations
+        # The sweep genuinely mixed outcomes, else it proved nothing.
+        assert report.clean_ok > 0
+        assert report.faulted_ok > 0
+        deviations = report.max_deviation()
+        assert deviations["level"] == 0.0
+        assert deviations["capacitance_pf"] == 0.0
+        assert 0.0 < deviations["dsp_level"] < ToleranceSpec().dsp_level_abs
+
+    def test_engines_agree_per_seed(self):
+        scalar = run_fault_oracle(range(3), engine="scalar")
+        vector = run_fault_oracle(range(3), engine="vector")
+        for s_check, v_check in zip(scalar.checks, vector.checks):
+            assert s_check.to_dict() == v_check.to_dict()
+
+    def test_sequential_injector_rejected_for_replay(self):
+        from repro.serve.batching import FaultInjector
+        from repro.verifylab.oracle import ReferenceExecutor
+
+        with pytest.raises(ValueError, match="counter"):
+            ReferenceExecutor(generate_fault_scenario(0)).run_with_faults(
+                FaultInjector(0.3, seed=0)
+            )
+
+    def test_shared_tank_scenario_rejected_for_replay(self):
+        from repro.serve.batching import FaultInjector
+        from repro.verifylab.oracle import ReferenceExecutor
+
+        scenario = retarget_single_tank(generate_scenario(11))
+        with pytest.raises(ValueError, match="one request per tank"):
+            ReferenceExecutor(scenario).run_with_faults(
+                FaultInjector(0.3, seed=11, mode="counter")
+            )
+
+    def test_report_shape(self):
+        report = run_fault_oracle(range(2))
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert payload["engine"] == "scalar"
+        assert payload["seeds_checked"] == 2
+        assert payload["clean_ok"] + payload["faulted_ok"] + payload[
+            "failed"
+        ] == payload["requests_checked"]
 
 
 # ---------------------------------------------------------------------- fuzz
@@ -242,6 +306,17 @@ class TestCli:
         assert rc == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is True and payload["seeds_checked"] == 2
+
+    @pytest.mark.parametrize("engine", ["scalar", "vector"])
+    def test_fault_oracle_cli_passes(self, capsys, engine):
+        rc = cli_main(
+            ["verifylab", "oracle", "--seeds", "2", "--faults", "--engine", engine]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["engine"] == engine
+        assert payload["faulted_ok"] > 0 and payload["clean_ok"] > 0
 
     def test_campaign_emits_json_and_writes_report(self, capsys, tmp_path):
         out = tmp_path / "report.json"
