@@ -9,9 +9,14 @@ Exposes the headline analyses as subcommands::
     repro recover               # fault injection / recovery demo
     repro serve-bench           # fleet serving: batched vs per-request
                                 #   (--shards N serves batched mode sharded)
+    repro serve --listen H:P    # TCP front door (drains on SIGTERM;
+                                #   quota knobs: --quota-rps --max-inflight)
+    repro net-load              # loadgen v2: replay a traffic shape
+                                #   (steady/diurnal/flash/ramp/slow)
     repro trace-report FILE     # per-stage breakdown + flamegraph of traces
     repro verifylab oracle      # differential oracle over seeded scenarios
-                                #   (--shards N: sharded == single, exactly)
+                                #   (--shards N: sharded == single, exactly;
+                                #    --net: TCP edge == in-process, exactly)
     repro verifylab fuzz        # scenario fuzzing with shrinking
     repro verifylab campaign    # SEU fault campaign with JSON report
     repro verifylab golden      # golden-trace check / refresh
@@ -371,9 +376,18 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_verifylab_oracle(args: argparse.Namespace) -> int:
-    from repro.verifylab import run_fault_oracle, run_oracle, run_shard_oracle
+    from repro.verifylab import (
+        run_fault_oracle,
+        run_net_oracle,
+        run_oracle,
+        run_shard_oracle,
+    )
 
     seeds = range(args.start_seed, args.start_seed + args.seeds)
+    if args.net:
+        report = run_net_oracle(seeds, clients=args.net_clients, engine=args.engine)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
     if args.faults:
         report = run_fault_oracle(
             seeds,
@@ -548,6 +562,115 @@ def _cmd_verifylab_golden(args: argparse.Namespace) -> int:
     return 0 if not drift else 1
 
 
+def _parse_listen(listen: str) -> tuple:
+    """Split ``HOST:PORT`` (port may be 0 for ephemeral).
+
+    Raises
+    ------
+    ValueError
+        On a malformed listen address.
+    """
+    host, sep, port_text = listen.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"--listen wants HOST:PORT, got {listen!r}")
+    return host, int(port_text)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.net import NetConfig, NetServer
+    from repro.serve.pool import FleetService
+
+    try:
+        host, port = _parse_listen(args.listen)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    service = FleetService(
+        workers=args.workers,
+        max_batch=args.max_batch,
+        queue_capacity=args.queue_capacity,
+        seed=args.seed,
+        engine=args.engine,
+        policy=args.policy,
+        window_s=args.window,
+    )
+    service.start()
+    server = NetServer(
+        service,
+        NetConfig(
+            host=host,
+            port=port,
+            max_connections=args.max_connections,
+            quota_rps=args.quota_rps,
+            quota_burst=args.quota_burst,
+            max_inflight=args.max_inflight,
+            drain_timeout_s=args.drain_timeout,
+        ),
+    ).start()
+    print(f"repro-net listening on {server.host}:{server.port}", flush=True)
+    stop_requested = threading.Event()
+
+    def _on_signal(signum, frame):  # noqa: ARG001 — signal API shape
+        print(f"signal {signum}: draining...", flush=True)
+        stop_requested.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        stop_requested.wait()
+    finally:
+        drained = server.drain(timeout_s=args.drain_timeout)
+        server.stop(drain=False)
+        service.shutdown(drain=True)
+        print(json.dumps({"drained": drained, **server.net_snapshot()}, indent=2))
+    return 0 if drained else 1
+
+
+def _cmd_net_load(args: argparse.Namespace) -> int:
+    from repro.net import run_shape
+
+    try:
+        host, port = _parse_listen(args.connect)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = run_shape(
+        host,
+        port,
+        shape=args.shape,
+        n_requests=args.requests,
+        duration_s=args.duration,
+        n_clients=args.clients,
+        n_tanks=args.tanks,
+        popularity=args.popularity,
+        zipf_exponent=args.zipf_exponent,
+        deadline_s=args.deadline,
+        seed=args.seed,
+        timeout_s=args.timeout,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        counts = report["counts"]
+        latency = report["latency_s"]
+        print(
+            f"shape={report['shape']} requests={report['requests']} "
+            f"clients={report['clients']} ok={counts['ok']} "
+            f"rejected={counts['rejected']} expired={counts['expired']} "
+            f"lost={counts['lost']}"
+        )
+        for key in ("p50", "p95", "p99", "p999"):
+            value = latency[key]
+            print(f"  latency {key}: " + (f"{value * 1e3:.2f} ms" if value is not None else "n/a"))
+        print(f"  shed rate: {report['shed_rate']:.3f}")
+    if report["client_errors"] or report["counts"]["lost"]:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -641,6 +764,91 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_serve_bench)
 
     p = sub.add_parser(
+        "serve",
+        help="TCP front door: serve the fleet over a socket until SIGTERM",
+        description="Run a FleetService behind the repro.net TCP edge "
+        "(newline-delimited JSON wire envelopes). SIGTERM/SIGINT drains "
+        "gracefully: in-flight requests are answered, new ones rejected.",
+    )
+    p.add_argument(
+        "--listen",
+        default="127.0.0.1:7781",
+        metavar="HOST:PORT",
+        help="listen address (port 0 = ephemeral, printed at startup)",
+    )
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--queue-capacity", type=int, default=256)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", choices=["scalar", "vector"], default="scalar")
+    p.add_argument("--policy", choices=["fifo", "energy"], default="fifo")
+    p.add_argument("--window", type=float, default=0.0, help="batch fill window (s)")
+    p.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        help="concurrent TCP connections before new accepts are refused",
+    )
+    p.add_argument(
+        "--quota-rps",
+        type=float,
+        default=0.0,
+        help="per-connection sustained submit rate (token bucket; 0 = unlimited)",
+    )
+    p.add_argument(
+        "--quota-burst",
+        type=int,
+        default=16,
+        help="per-connection token-bucket burst",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="per-connection in-flight request cap",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="max seconds to wait for in-flight responses at shutdown",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "net-load",
+        help="loadgen v2: replay a traffic shape against a repro serve endpoint",
+    )
+    p.add_argument(
+        "--connect",
+        default="127.0.0.1:7781",
+        metavar="HOST:PORT",
+        help="server address (see `repro serve --listen`)",
+    )
+    p.add_argument(
+        "--shape",
+        choices=["steady", "diurnal", "flash", "ramp", "slow"],
+        default="steady",
+        help="arrival-time shape (slow = steady arrivals + misbehaving clients)",
+    )
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--duration", type=float, default=2.0, help="replay window (s)")
+    p.add_argument("--clients", type=int, default=4, help="concurrent connections")
+    p.add_argument("--tanks", type=int, default=8)
+    p.add_argument("--popularity", choices=["uniform", "zipf"], default="zipf")
+    p.add_argument("--zipf-exponent", type=float, default=1.1)
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request deadline budget in seconds, applied at send time",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=60.0)
+    p.add_argument("--json", action="store_true", help="emit the full report as JSON")
+    p.set_defaults(func=_cmd_net_load)
+
+    p = sub.add_parser(
         "trace-report", help="per-stage latency/energy breakdown of recorded traces"
     )
     p.add_argument("file", help="JSONL trace file (from serve-bench --trace)")
@@ -686,6 +894,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="fifo",
         help="batch-formation policy under test (scheduling-order changes "
         "must never alter measurement results)",
+    )
+    v.add_argument(
+        "--net",
+        action="store_true",
+        help="check the TCP front-door path for exact equality with the "
+        "in-process path (N concurrent socket clients)",
+    )
+    v.add_argument(
+        "--net-clients",
+        type=int,
+        default=3,
+        help="concurrent TCP client connections for --net",
     )
     v.add_argument(
         "--faults",

@@ -1,0 +1,45 @@
+"""``repro.net`` — the TCP network edge of the measurement fleet.
+
+The fleet's requests entered through in-process Python calls until this
+package; here they enter the way the paper's always-on measurement
+service is actually deployed — over a socket.  Four pieces:
+
+* :mod:`repro.net.protocol` — newline-delimited JSON framing over the
+  :mod:`repro.shard.wire` envelope, with an incremental chunk-safe
+  decoder.
+* :mod:`repro.net.quotas` — per-client token-bucket + in-flight quotas
+  in front of the service's admission controller.
+* :mod:`repro.net.server` — the asyncio front door (``repro serve
+  --listen``): streaming out-of-order responses, structured error
+  replies, graceful drain, metrics snapshot verb.
+* :mod:`repro.net.client` / :mod:`repro.net.driver` — the synchronous
+  client and the loadgen v2 traffic-shape replay driver (diurnal,
+  flash crowd, ramp, slow clients) reporting p99/p999 tails.
+"""
+
+from repro.net.client import NetClient, NetClientError
+from repro.net.driver import run_shape
+from repro.net.protocol import (
+    MAX_LINE_BYTES,
+    LineDecoder,
+    ProtocolError,
+    decode_line,
+    encode_message,
+)
+from repro.net.quotas import ClientQuota, QuotaExceeded
+from repro.net.server import NetConfig, NetServer
+
+__all__ = [
+    "NetClient",
+    "NetClientError",
+    "run_shape",
+    "MAX_LINE_BYTES",
+    "LineDecoder",
+    "ProtocolError",
+    "decode_line",
+    "encode_message",
+    "ClientQuota",
+    "QuotaExceeded",
+    "NetConfig",
+    "NetServer",
+]

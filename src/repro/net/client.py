@@ -1,0 +1,239 @@
+"""Synchronous TCP client for the :mod:`repro.net` front door.
+
+A deliberately thread-free client: one blocking socket, one
+:class:`repro.net.protocol.LineDecoder`, and an explicit :meth:`pump`
+that reads whatever the server has streamed so far.  Responses arrive in
+*completion* order, tagged by the request id the caller chose, and land
+in :attr:`NetClient.responses`; quota/admission refusals land in
+:attr:`NetClient.rejections`.  That single-threaded shape is what the
+differential oracle needs — every read is under test control, so a
+comparison run has no hidden concurrency of its own — and what the
+loadgen driver builds its arrival-schedule loop around.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Dict, List, Optional
+
+from repro.net.protocol import LineDecoder, encode_message
+from repro.serve.requests import MeasurementRequest, MeasurementResponse
+from repro.shard.wire import (
+    KIND_BYE,
+    KIND_ERROR,
+    KIND_HELLO,
+    KIND_PING,
+    KIND_PONG,
+    KIND_REJECT,
+    KIND_RESPONSE,
+    KIND_SNAPSHOT,
+    KIND_SNAPSHOT_REPLY,
+    KIND_SUBMIT,
+    request_to_wire,
+    response_from_wire,
+)
+
+_RECV_CHUNK = 64 * 1024
+
+
+class NetClientError(RuntimeError):
+    """Connection-level client failure (refused, closed, timed out)."""
+
+
+class NetClient:
+    """One connection to a :class:`repro.net.server.NetServer`.
+
+    Usable as a context manager; :meth:`connect` consumes the server's
+    hello (or its refusal).  Request ids are the caller's to choose and
+    must be unique per connection — the server scopes them per
+    connection, so two clients may reuse the same ids safely.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._decoder = LineDecoder()
+        self.hello: Optional[dict] = None
+        self.closed = False
+        #: client request id -> terminal response.
+        self.responses: Dict[int, MeasurementResponse] = {}
+        #: client request id -> reject payload (error, retry_after_s).
+        self.rejections: Dict[int, dict] = {}
+        #: non-fatal + fatal error payloads, in arrival order.
+        self.errors: List[dict] = []
+        self._pongs: List[dict] = []
+        self._snapshots: List[dict] = []
+
+    # ----------------------------------------------------------- lifecycle
+
+    def __enter__(self) -> "NetClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def connect(self) -> "NetClient":
+        """Dial and consume the server hello.
+
+        Raises
+        ------
+        NetClientError
+            When the server refuses the connection (limit/draining) or
+            no hello arrives within the timeout.
+        """
+        try:
+            self._sock = socket.create_connection((self.host, self.port), self.timeout_s)
+        except OSError as exc:
+            raise NetClientError(f"connect to {self.host}:{self.port} failed: {exc}") from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        deadline = time.monotonic() + self.timeout_s
+        while self.hello is None:
+            if self.closed or self.errors:
+                detail = self.errors[0].get("error", "refused") if self.errors else "closed"
+                raise NetClientError(f"server refused connection: {detail}")
+            if not self.pump(timeout_s=max(0.01, deadline - time.monotonic())):
+                if time.monotonic() >= deadline:
+                    raise NetClientError("no server hello within timeout")
+        return self
+
+    def close(self, bye: bool = True) -> None:
+        if self._sock is None:
+            return
+        if bye and not self.closed:
+            try:
+                self._sock.sendall(encode_message(KIND_BYE, {}))
+            except OSError:
+                pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = None
+        self.closed = True
+
+    # --------------------------------------------------------------- sends
+
+    def send_raw(self, data: bytes) -> None:
+        """Ship raw bytes (the misbehaving-client tests speak through
+        this); normal callers use the typed verbs."""
+        if self._sock is None:
+            raise NetClientError("not connected")
+        self._sock.sendall(data)
+
+    def submit(self, request: MeasurementRequest) -> None:
+        self.send_raw(encode_message(KIND_SUBMIT, {"request": request_to_wire(request)}))
+
+    def ping(self, seq: int = 0, timeout_s: Optional[float] = None) -> dict:
+        """Round-trip a ping; returns the pong payload."""
+        self.send_raw(encode_message(KIND_PING, {"seq": seq}))
+        return self._await_list(self._pongs, timeout_s, "pong")
+
+    def snapshot(self, timeout_s: Optional[float] = None) -> dict:
+        """Fetch the server's merged metrics snapshot (the ``snapshot``
+        verb)."""
+        self.send_raw(encode_message(KIND_SNAPSHOT, {"seq": 0}))
+        return self._await_list(self._snapshots, timeout_s, "snapshot_reply")["snapshot"]
+
+    # --------------------------------------------------------------- reads
+
+    def pump(self, timeout_s: float = 0.05) -> int:
+        """Read once from the socket (waiting at most ``timeout_s``) and
+        process every completed message; returns how many arrived.
+        A server-side close flips :attr:`closed` instead of raising —
+        misbehaving-client tests *expect* to be hung up on."""
+        if self._sock is None or self.closed:
+            return 0
+        self._sock.settimeout(max(0.001, timeout_s))
+        try:
+            data = self._sock.recv(_RECV_CHUNK)
+        except socket.timeout:
+            return 0
+        except OSError:
+            self.closed = True
+            return 0
+        if not data:
+            self.closed = True
+            return 0
+        messages = self._decoder.feed(data)
+        for kind, payload in messages:
+            self._process(kind, payload)
+        return len(messages)
+
+    def await_responses(self, count: int, timeout_s: Optional[float] = None) -> List[MeasurementResponse]:
+        """Pump until ``count`` terminal responses have arrived in total.
+
+        Raises
+        ------
+        NetClientError
+            On timeout or a server-side close before the count is met.
+        """
+        deadline = time.monotonic() + (timeout_s if timeout_s is not None else self.timeout_s)
+        while len(self.responses) < count:
+            if self.closed:
+                raise NetClientError(
+                    f"connection closed with {len(self.responses)}/{count} responses"
+                )
+            if time.monotonic() >= deadline:
+                raise NetClientError(
+                    f"timed out with {len(self.responses)}/{count} responses"
+                )
+            self.pump(timeout_s=0.05)
+        return [self.responses[key] for key in sorted(self.responses)]
+
+    def settled(self) -> int:
+        """Requests with a terminal outcome on this connection (response
+        or rejection)."""
+        return len(self.responses) + len(self.rejections)
+
+    def await_settled(self, count: int, timeout_s: Optional[float] = None) -> int:
+        """Pump until ``count`` submits have settled either way; returns
+        the settled count (which can exceed ``count``).
+
+        Raises
+        ------
+        NetClientError
+            On timeout or a server-side close before the count is met.
+        """
+        deadline = time.monotonic() + (timeout_s if timeout_s is not None else self.timeout_s)
+        while self.settled() < count:
+            if self.closed:
+                raise NetClientError(
+                    f"connection closed with {self.settled()}/{count} settled"
+                )
+            if time.monotonic() >= deadline:
+                raise NetClientError(f"timed out with {self.settled()}/{count} settled")
+            self.pump(timeout_s=0.05)
+        return self.settled()
+
+    def _await_list(self, box: List[dict], timeout_s: Optional[float], what: str) -> dict:
+        deadline = time.monotonic() + (timeout_s if timeout_s is not None else self.timeout_s)
+        while not box:
+            if self.closed:
+                raise NetClientError(f"connection closed waiting for {what}")
+            if time.monotonic() >= deadline:
+                raise NetClientError(f"timed out waiting for {what}")
+            self.pump(timeout_s=0.05)
+        return box.pop(0)
+
+    def _process(self, kind: str, payload: dict) -> None:
+        if kind == KIND_RESPONSE:
+            for wire_dict in payload.get("responses", ()):
+                response = response_from_wire(wire_dict)
+                self.responses[response.request_id] = response
+        elif kind == KIND_REJECT:
+            self.rejections[payload.get("request_id")] = payload
+        elif kind == KIND_HELLO:
+            self.hello = payload
+        elif kind == KIND_PONG:
+            self._pongs.append(payload)
+        elif kind == KIND_SNAPSHOT_REPLY:
+            self._snapshots.append(payload)
+        elif kind == KIND_ERROR:
+            self.errors.append(payload)
+            if payload.get("fatal"):
+                self.closed = True
+        # Anything else is a kind the server never sends client-ward;
+        # tolerated for forward compatibility.

@@ -1,0 +1,246 @@
+"""Loadgen v2: replay traffic *shapes* against the TCP front door.
+
+PR 6's loadgen answered *which tank* each request hits (Zipf
+popularity); this driver adds *when* and *how*: arrival times from
+:func:`repro.serve.loadgen.shape_arrivals` (steady, diurnal sine, flash
+crowd, ramp) replayed by N concurrent client connections, with the
+``slow`` shape additionally making a fraction of those clients
+misbehave — trickle writers that dribble their submit lines out in tiny
+chunks, and slow readers that never pump the socket until the end.
+
+Latency is measured at the *client*: send-to-terminal-response wall
+time, observed through one reservoir histogram
+(:class:`repro.serve.metrics.Histogram`) whose :meth:`percentiles`
+answer the p99/p999 tail the always-on-service framing cares about.
+Rejections (quota or admission shed) settle a request without a latency
+sample; the report carries the shed rate alongside the tail so a shape
+cannot "improve" its p99 by shedding harder without that being visible.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.net.client import NetClient, NetClientError
+from repro.net.protocol import encode_message
+from repro.serve.loadgen import SHAPES, shape_arrivals, synthetic_load
+from repro.serve.metrics import Histogram
+from repro.serve.requests import (
+    STATUS_EXPIRED,
+    STATUS_FAILED,
+    STATUS_OK,
+    MeasurementRequest,
+)
+from repro.shard.wire import KIND_SUBMIT, request_to_wire
+
+#: Reported latency percentiles.
+PERCENTILES = (50.0, 95.0, 99.0, 99.9)
+
+
+class _ClientRun:
+    """One connection's slice of the replay, driven on its own thread."""
+
+    def __init__(
+        self,
+        index: int,
+        host: str,
+        port: int,
+        schedule: List[tuple],
+        deadline_budget_s: Optional[float],
+        timeout_s: float,
+        behaviour: str,
+        trickle_delay_s: float,
+    ):
+        self.index = index
+        self.host = host
+        self.port = port
+        self.schedule = schedule
+        self.deadline_budget_s = deadline_budget_s
+        self.timeout_s = timeout_s
+        self.behaviour = behaviour  # "normal" | "trickle" | "slow_reader"
+        self.trickle_delay_s = trickle_delay_s
+        self.latencies: List[tuple] = []  # (status, seconds)
+        self.rejected = 0
+        self.lost = 0
+        self.error: Optional[str] = None
+
+    def run(self, start_s: float) -> None:
+        try:
+            self._run(start_s)
+        except (NetClientError, OSError) as exc:
+            self.error = f"client {self.index}: {exc}"
+            self.lost = len(self.schedule) - self._settled_total
+
+    _settled_total = 0
+
+    def _run(self, start_s: float) -> None:
+        send_times: Dict[int, float] = {}
+        seen: set = set()
+        client = NetClient(self.host, self.port, timeout_s=self.timeout_s)
+        with client:
+            for offset, request in self.schedule:
+                target = start_s + offset
+                while True:
+                    now = time.monotonic()
+                    if now >= target:
+                        break
+                    if self.behaviour == "slow_reader":
+                        time.sleep(min(0.02, target - now))
+                    else:
+                        client.pump(timeout_s=min(0.02, target - now))
+                        self._note_arrivals(client, send_times, seen)
+                if self.deadline_budget_s is not None:
+                    request.deadline_s = time.monotonic() + self.deadline_budget_s
+                send_times[request.request_id] = time.monotonic()
+                self._send(client, request)
+            deadline = time.monotonic() + self.timeout_s
+            while client.settled() < len(self.schedule):
+                if client.closed or time.monotonic() >= deadline:
+                    break
+                client.pump(timeout_s=0.05)
+                self._note_arrivals(client, send_times, seen)
+            self._note_arrivals(client, send_times, seen)
+            self.rejected = len(client.rejections)
+            self._settled_total = client.settled()
+            self.lost = max(0, len(self.schedule) - self._settled_total)
+
+    def _send(self, client: NetClient, request: MeasurementRequest) -> None:
+        if self.behaviour == "trickle":
+            line = encode_message(KIND_SUBMIT, {"request": request_to_wire(request)})
+            step = max(1, len(line) // 8)
+            for i in range(0, len(line), step):
+                client.send_raw(line[i : i + step])
+                if i + step < len(line):
+                    time.sleep(self.trickle_delay_s)
+        else:
+            client.submit(request)
+
+    def _note_arrivals(self, client: NetClient, send_times: Dict[int, float], seen: set) -> None:
+        now = time.monotonic()
+        for request_id, response in client.responses.items():
+            if request_id in seen:
+                continue
+            seen.add(request_id)
+            sent = send_times.get(request_id)
+            if sent is not None:
+                self.latencies.append((response.status, now - sent))
+
+
+def run_shape(
+    host: str,
+    port: int,
+    shape: str = "steady",
+    n_requests: int = 200,
+    duration_s: float = 2.0,
+    n_clients: int = 4,
+    n_tanks: int = 8,
+    popularity: str = "zipf",
+    zipf_exponent: float = 1.1,
+    deadline_s: Optional[float] = None,
+    seed: int = 0,
+    timeout_s: float = 60.0,
+    slow_fraction: float = 0.5,
+    trickle_delay_s: float = 0.01,
+    shape_params: Optional[dict] = None,
+) -> dict:
+    """Replay one traffic shape and report tail latency + shed rate.
+
+    Requests are generated by :func:`synthetic_load` (so tank popularity
+    and per-tank level trajectories match the in-process benchmarks),
+    scheduled by :func:`shape_arrivals`, and dealt round-robin to
+    ``n_clients`` concurrent connections.  Under ``shape="slow"``,
+    ``slow_fraction`` of the clients misbehave (alternately trickle
+    writers and slow readers) while the rest stay honest — the report's
+    tail then shows what client misbehaviour costs the well-behaved.
+
+    ``deadline_s`` is a per-request budget applied at *send* time on the
+    client's monotonic clock (the service clock in these single-machine
+    runs), so deadline pressure follows the shape's arrival process.
+
+    Raises
+    ------
+    ValueError
+        On an unknown shape or non-positive sizes.
+    """
+    if shape not in SHAPES:
+        raise ValueError(f"shape must be one of {SHAPES}, got {shape!r}")
+    if n_clients < 1:
+        raise ValueError(f"need at least one client, got {n_clients}")
+    requests = synthetic_load(
+        n_requests,
+        n_tanks=n_tanks,
+        popularity=popularity,
+        zipf_exponent=zipf_exponent,
+        seed=seed,
+    )
+    arrivals = shape_arrivals(
+        shape, n_requests, duration_s, seed=seed, **(shape_params or {})
+    )
+    schedules: List[List[tuple]] = [[] for _ in range(n_clients)]
+    for i, (offset, request) in enumerate(zip(arrivals, requests)):
+        schedules[i % n_clients].append((offset, request))
+    n_misbehaving = int(round(slow_fraction * n_clients)) if shape == "slow" else 0
+    runs: List[_ClientRun] = []
+    for index, schedule in enumerate(schedules):
+        if index < n_misbehaving:
+            behaviour = "trickle" if index % 2 == 0 else "slow_reader"
+        else:
+            behaviour = "normal"
+        runs.append(
+            _ClientRun(
+                index,
+                host,
+                port,
+                schedule,
+                deadline_s,
+                timeout_s,
+                behaviour,
+                trickle_delay_s,
+            )
+        )
+    start_s = time.monotonic() + 0.05
+    threads = [
+        threading.Thread(target=run.run, args=(start_s,), name=f"net-load-{run.index}")
+        for run in runs
+    ]
+    wall_start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout_s + duration_s + 10.0)
+    wall_s = time.monotonic() - wall_start
+    latency = Histogram()
+    counts = {STATUS_OK: 0, STATUS_EXPIRED: 0, STATUS_FAILED: 0}
+    rejected = sum(run.rejected for run in runs)
+    lost = sum(run.lost for run in runs)
+    for run in runs:
+        for status, seconds in run.latencies:
+            counts[status] = counts.get(status, 0) + 1
+            if status == STATUS_OK:
+                latency.observe(seconds)
+    settled = sum(counts.values()) + rejected
+    report = {
+        "shape": shape,
+        "requests": n_requests,
+        "clients": n_clients,
+        "misbehaving_clients": n_misbehaving,
+        "tanks": n_tanks,
+        "popularity": popularity,
+        "duration_s": duration_s,
+        "wall_s": wall_s,
+        "counts": {
+            "ok": counts[STATUS_OK],
+            "expired": counts[STATUS_EXPIRED],
+            "failed": counts[STATUS_FAILED],
+            "rejected": rejected,
+            "lost": lost,
+        },
+        "shed_rate": rejected / n_requests if n_requests else 0.0,
+        "settled_rate": settled / n_requests if n_requests else 0.0,
+        "throughput_rps": counts[STATUS_OK] / wall_s if wall_s > 0 else 0.0,
+        "latency_s": {"mean": latency.mean, "count": latency.count, **latency.percentiles(PERCENTILES)},
+        "client_errors": [run.error for run in runs if run.error],
+    }
+    return report

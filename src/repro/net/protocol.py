@@ -1,0 +1,157 @@
+"""Newline-delimited JSON protocol for the TCP front door.
+
+One message = one :mod:`repro.shard.wire` envelope, UTF-8 JSON on a
+single line, terminated by ``\\n``.  JSON string escaping guarantees an
+envelope never contains a raw newline, so the line is the frame — no
+length prefix to corrupt, and a ``netcat`` session is a valid client.
+
+The decode side is an *incremental* :class:`LineDecoder`: TCP delivers
+arbitrary chunk boundaries, so the decoder buffers partial lines across
+:meth:`LineDecoder.feed` calls and yields every completed message.  Its
+failure contract is the one the server's connection loop depends on:
+
+* a line larger than :data:`MAX_LINE_BYTES` raises
+  :class:`ProtocolError` *once*, then the decoder discards bytes until
+  the next newline and resumes — one hostile line never poisons the
+  connection state machine;
+* malformed JSON or a bad envelope raises :class:`ProtocolError` for
+  that line only; feeding continues with the next line;
+* no input ever makes :meth:`feed` block, loop forever, or raise
+  anything other than :class:`ProtocolError`.
+
+:class:`ProtocolError` subclasses :class:`repro.shard.wire.WireError`,
+so callers that already treat ``WireError`` as "bad peer data" need no
+new handling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.shard.wire import WireError, decode, encode
+
+#: Hard ceiling on one protocol line (terminator included).  A client
+#: streaming an endless unterminated line must cost bounded memory.
+MAX_LINE_BYTES = 1 * 1024 * 1024
+
+#: The line terminator.  ``\r\n`` is tolerated on decode (the trailing
+#: ``\r`` is stripped) so interactive telnet/netcat clients work.
+TERMINATOR = b"\n"
+
+
+class ProtocolError(WireError):
+    """A malformed, oversized or otherwise undecodable protocol line."""
+
+
+def encode_message(kind: str, payload: dict) -> bytes:
+    """One wire envelope as a terminated protocol line.
+
+    Raises
+    ------
+    ProtocolError
+        On an unknown kind, an unserializable payload, or an encoded
+        line that exceeds :data:`MAX_LINE_BYTES`.
+    """
+    try:
+        body = encode(kind, payload)
+    except WireError as exc:
+        raise ProtocolError(str(exc)) from exc
+    if len(body) + len(TERMINATOR) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"encoded {kind} message of {len(body)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte line cap"
+        )
+    return body + TERMINATOR
+
+
+def decode_line(line: bytes) -> Tuple[str, dict]:
+    """Decode one complete line (terminator optional) to ``(kind, payload)``.
+
+    Raises
+    ------
+    ProtocolError
+        On malformed JSON, a bad envelope, or an oversized line.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"line of {len(line)} bytes exceeds the {MAX_LINE_BYTES}-byte cap"
+        )
+    body = line.rstrip(b"\r\n")
+    try:
+        return decode(body)
+    except ProtocolError:
+        raise
+    except WireError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+class LineDecoder:
+    """Incremental newline-framed envelope decoder.
+
+    Feed raw socket chunks in; completed ``(kind, payload)`` messages
+    come out, byte-boundary independent: however a message is split
+    across ``feed`` calls, the decoded sequence is identical.
+    """
+
+    def __init__(self, max_line_bytes: int = MAX_LINE_BYTES):
+        if max_line_bytes < 2:
+            raise ValueError(f"max_line_bytes must be >= 2, got {max_line_bytes}")
+        self.max_line_bytes = max_line_bytes
+        self._buffer = bytearray()
+        #: An oversized line was detected mid-stream; bytes are dropped
+        #: until its terminating newline so the next line decodes clean.
+        self._discarding = False
+        self.messages_decoded = 0
+        self.lines_discarded = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered for a not-yet-complete line."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Tuple[str, dict]]:
+        """Consume one chunk; return every message it completed.
+
+        Raises
+        ------
+        ProtocolError
+            On the *first* bad line the chunk completes (oversized,
+            malformed JSON, bad envelope).  The offending line is
+            consumed before raising, so a subsequent ``feed`` resumes
+            with the next line; messages completed earlier in the same
+            chunk are lost with the exception, which is fine for the one
+            caller that matters — the server answers a protocol error by
+            closing the connection.
+        """
+        self._buffer.extend(data)
+        out: List[Tuple[str, dict]] = []
+        while True:
+            newline = self._buffer.find(TERMINATOR)
+            if newline < 0:
+                if self._discarding:
+                    # Still inside the oversized line: drop what we hold.
+                    self._buffer.clear()
+                elif len(self._buffer) >= self.max_line_bytes:
+                    self._discarding = True
+                    overflow = len(self._buffer)
+                    self._buffer.clear()
+                    self.lines_discarded += 1
+                    raise ProtocolError(
+                        f"unterminated line exceeds the {self.max_line_bytes}-byte "
+                        f"cap ({overflow} bytes buffered)"
+                    )
+                return out
+            line = bytes(self._buffer[:newline])
+            del self._buffer[: newline + 1]
+            if self._discarding:
+                # The tail of the line whose head already overflowed.
+                self._discarding = False
+                continue
+            if not line.rstrip(b"\r"):
+                continue  # bare keepalive newline
+            try:
+                out.append(decode_line(line))
+            except ProtocolError:
+                self.lines_discarded += 1
+                raise
+            self.messages_decoded += 1

@@ -1,0 +1,119 @@
+"""Per-client quotas for the TCP front door.
+
+The broker and the :class:`repro.serve.supervisor.AdmissionController`
+protect the *service* (bounded queue, EWMA shedding); a quota protects
+the service from one *client*.  Each connection gets a
+:class:`ClientQuota` with two independent limits:
+
+* **Rate** — a token bucket (``rate_per_s`` sustained, ``burst``
+  instantaneous).  A submit with no token is refused with a
+  ``retry_after_s`` hint computed from the refill rate, mirroring the
+  broker's :class:`repro.serve.requests.BrokerFullError` contract.
+* **In-flight** — at most ``max_inflight`` of the client's requests may
+  be inside the service at once, which bounds how much broker capacity
+  (and response buffering) one connection can pin.
+
+Quota refusals are *cheaper* than admission shedding — they fire before
+the request touches the broker — but the hint they return is fed from
+the same place: when the service's admission controller has a queue-delay
+estimate, :meth:`ClientQuota.try_acquire` returns whichever wait is
+longer, so a throttled client backs off far enough to actually matter.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class QuotaExceeded(Exception):
+    """A per-client quota refused this submit."""
+
+    def __init__(self, reason: str, retry_after_s: float):
+        super().__init__(f"quota exceeded ({reason}); retry after {retry_after_s:.3f} s")
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class ClientQuota:
+    """Token-bucket rate limit plus an in-flight cap for one connection.
+
+    Not thread-safe by design: each quota is owned by one asyncio
+    connection handler and only touched from the event loop.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float = 0.0,
+        burst: int = 16,
+        max_inflight: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate_per_s < 0:
+            raise ValueError(f"rate must be >= 0, got {rate_per_s}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self.max_inflight = max_inflight
+        self.clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+        self.inflight = 0
+        self.rate_refusals = 0
+        self.inflight_refusals = 0
+
+    def _refill(self, now: float) -> None:
+        if self.rate_per_s <= 0:
+            return
+        elapsed = max(0.0, now - self._refilled_at)
+        self._refilled_at = now
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate_per_s)
+
+    def try_acquire(self, admission_delay_s: float = 0.0) -> None:
+        """Charge one submit against the quota.
+
+        ``admission_delay_s`` is the service's current estimated queue
+        delay (:meth:`AdmissionController.estimated_delay_s`); a refusal
+        hints the *max* of the quota wait and that estimate, so a client
+        refused at the edge does not hammer a queue that is also deep.
+
+        Raises
+        ------
+        QuotaExceeded
+            When the in-flight cap or the token bucket refuses.
+        """
+        if self.inflight >= self.max_inflight:
+            self.inflight_refusals += 1
+            raise QuotaExceeded(
+                f"{self.inflight} requests in flight (cap {self.max_inflight})",
+                max(0.001, admission_delay_s),
+            )
+        if self.rate_per_s > 0:
+            self._refill(self.clock())
+            if self._tokens < 1.0:
+                self.rate_refusals += 1
+                wait = (1.0 - self._tokens) / self.rate_per_s
+                raise QuotaExceeded(
+                    f"rate {self.rate_per_s:.1f}/s exceeded",
+                    max(wait, admission_delay_s),
+                )
+            self._tokens -= 1.0
+        self.inflight += 1
+
+    def release(self) -> None:
+        """One of the client's requests reached a terminal response."""
+        if self.inflight > 0:
+            self.inflight -= 1
+
+    def snapshot(self) -> dict:
+        return {
+            "rate_per_s": self.rate_per_s,
+            "burst": self.burst,
+            "max_inflight": self.max_inflight,
+            "inflight": self.inflight,
+            "rate_refusals": self.rate_refusals,
+            "inflight_refusals": self.inflight_refusals,
+        }

@@ -1,0 +1,642 @@
+"""The asyncio TCP front door: ``repro serve --listen``.
+
+One :class:`NetServer` fronts one in-process
+:class:`repro.serve.FleetService`.  Clients speak the newline-delimited
+JSON protocol of :mod:`repro.net.protocol` (one
+:mod:`repro.shard.wire` envelope per line):
+
+* ``submit {"request": {...}}`` — decode + validate, charge the
+  connection's :class:`repro.net.quotas.ClientQuota`, then hand to the
+  service (whose :class:`AdmissionController` may still shed).  Refusals
+  come back as ``reject`` envelopes with a ``retry_after_s`` hint;
+  undecodable requests as ``error`` envelopes.  The connection stays up
+  either way — only *stream-level* protocol damage (garbage framing,
+  oversized or stalled lines) closes it.
+* ``responses`` — streamed back as they complete, tagged by the client's
+  request id, in *completion* order: a slow batch never head-of-line
+  blocks a fast one.
+* ``snapshot`` — a merged metrics snapshot
+  (:meth:`repro.serve.metrics.Metrics.merge_snapshots` over the service
+  registry and the server's own net registry) in a ``snapshot_reply``.
+* ``ping``/``bye`` — liveness and clean goodbye.
+
+Request ids are *connection-scoped*: the server remaps each submit to a
+private server-side id before it enters the broker and maps the response
+back, so two clients reusing id 0 cannot corrupt each other.
+
+Misbehaving clients get bounded-time cleanup: a line that stalls longer
+than ``message_timeout_s`` mid-frame (trickle writers), an outbound
+queue that overflows or a socket that stays undrained past
+``write_timeout_s`` (readers that never read) each disconnect the client
+— and a disconnect never leaks broker work: in-flight requests keep
+their server-side ids, finish normally inside the service, and their
+responses are counted ``net_responses_orphaned`` instead of delivered.
+
+Shutdown is a drain: stop accepting, refuse new submits, wait for every
+in-flight request's terminal response to flush, then close.  The CLI
+wires SIGTERM/SIGINT to exactly this.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.protocol import LineDecoder, ProtocolError, encode_message
+from repro.net.quotas import ClientQuota, QuotaExceeded
+from repro.serve.metrics import Metrics
+from repro.serve.requests import BrokerFullError, MeasurementResponse
+from repro.shard.wire import (
+    KIND_BYE,
+    KIND_ERROR,
+    KIND_HELLO,
+    KIND_PING,
+    KIND_PONG,
+    KIND_REJECT,
+    KIND_RESPONSE,
+    KIND_SNAPSHOT,
+    KIND_SNAPSHOT_REPLY,
+    KIND_SUBMIT,
+    WIRE_VERSION,
+    WireError,
+    request_from_wire,
+    response_to_wire,
+)
+
+#: Socket read size per loop turn.
+_READ_CHUNK = 64 * 1024
+
+
+def _client_id_of(raw: dict):
+    """Best-effort request id out of an undecodable submit payload, so
+    the error reply can still name the request it refuses."""
+    request_id = raw.get("request_id")
+    return request_id if isinstance(request_id, (int, str)) else None
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Tunables of the TCP front door."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (the bound port is NetServer.port)
+    #: Concurrent connections; further accepts get an error reply + close.
+    max_connections: int = 64
+    #: Per-connection sustained submit rate (0 disables the token bucket).
+    quota_rps: float = 0.0
+    #: Token-bucket burst per connection.
+    quota_burst: int = 16
+    #: Per-connection in-flight request cap.
+    max_inflight: int = 64
+    #: A partial protocol line must complete within this window.
+    message_timeout_s: float = 5.0
+    #: A write must drain to the socket within this window.
+    write_timeout_s: float = 5.0
+    #: Outbound envelopes buffered per connection before it is declared
+    #: a slow client and disconnected.
+    outbound_queue: int = 256
+    #: Transport write-buffer high-water mark (None = asyncio default);
+    #: tests shrink it so an unread socket trips ``write_timeout_s``.
+    write_buffer_bytes: Optional[int] = None
+    #: Ceiling on the drain wait at shutdown.
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_connections < 1:
+            raise ValueError(f"max_connections must be >= 1, got {self.max_connections}")
+        if self.quota_rps < 0:
+            raise ValueError(f"quota_rps must be >= 0, got {self.quota_rps}")
+        if self.message_timeout_s <= 0 or self.write_timeout_s <= 0:
+            raise ValueError("message/write timeouts must be positive")
+        if self.outbound_queue < 1:
+            raise ValueError(f"outbound_queue must be >= 1, got {self.outbound_queue}")
+
+
+class _Connection:
+    """Per-connection state: decoder, quota, outbound queue, tasks."""
+
+    __slots__ = (
+        "conn_id",
+        "reader",
+        "writer",
+        "decoder",
+        "quota",
+        "queue",
+        "closed",
+        "close_reason",
+        "partial_deadline",
+        "handler_task",
+        "pump_task",
+    )
+
+    def __init__(self, conn_id: int, reader, writer, quota: ClientQuota, queue_size: int):
+        self.conn_id = conn_id
+        self.reader = reader
+        self.writer = writer
+        self.decoder = LineDecoder()
+        self.quota = quota
+        self.queue: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue(maxsize=queue_size)
+        self.closed = False
+        self.close_reason = ""
+        self.partial_deadline: Optional[float] = None
+        self.handler_task: Optional[asyncio.Task] = None
+        self.pump_task: Optional[asyncio.Task] = None
+
+
+class NetServer:
+    """Asyncio TCP edge in front of one :class:`FleetService`.
+
+    The event loop runs on a dedicated background thread
+    (:meth:`start` / :meth:`stop`), so synchronous callers — the CLI,
+    tests, the benchmark driver — use it like any other service object.
+    The fleet's worker threads push terminal responses in through
+    ``service.on_deliver``; the server marshals them onto the loop with
+    ``call_soon_threadsafe`` and streams them out per connection.
+    """
+
+    def __init__(self, service, config: Optional[NetConfig] = None):
+        self.service = service
+        self.config = config or NetConfig()
+        self.metrics = Metrics()
+        self.host = self.config.host
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._conn_ids = itertools.count(1)
+        self._request_ids = itertools.count(1)
+        self._connections: Dict[int, _Connection] = {}
+        #: server request id -> (connection, client request id)
+        self._inflight: Dict[int, Tuple[_Connection, int]] = {}
+        self._draining = False
+        self._drained: Optional[asyncio.Event] = None
+        self._stopped = False
+        self._prev_on_deliver = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "NetServer":
+        """Bind, start the loop thread, hook response delivery; returns
+        self once the listening port is known.
+
+        Raises
+        ------
+        RuntimeError
+            When the server was already stopped (servers are one-shot),
+            or re-raises the bind error when listening fails.
+        """
+        if self._stopped:
+            raise RuntimeError("NetServer cannot be restarted; build a new one")
+        if self._thread is not None:
+            return self
+        ready = threading.Event()
+        boot_error: List[BaseException] = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                self._server = loop.run_until_complete(
+                    asyncio.start_server(self._handle, self.config.host, self.config.port)
+                )
+            except BaseException as exc:  # bind failure: surface to start()
+                boot_error.append(exc)
+                ready.set()
+                loop.close()
+                return
+            self._drained = asyncio.Event()
+            self.port = self._server.sockets[0].getsockname()[1]
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(target=_run, name="net-server", daemon=True)
+        self._thread.start()
+        ready.wait()
+        if boot_error:
+            self._thread.join()
+            self._thread = None
+            raise boot_error[0]
+        # Chain, don't clobber: a service already pushing responses
+        # somewhere (a shard worker's wire pump) keeps doing so.
+        self._prev_on_deliver = self.service.on_deliver
+        self.service.on_deliver = self._deliver_from_worker
+        return self
+
+    def stop(self, drain: bool = True, timeout_s: float = 60.0) -> None:
+        """Drain (optionally) and tear the edge down.  Idempotent.  The
+        fleet service itself is *not* shut down — it belongs to the
+        caller."""
+        if self._thread is None or self._stopped:
+            return
+        self._stopped = True
+        fut = asyncio.run_coroutine_threadsafe(self._shutdown_async(drain), self._loop)
+        try:
+            fut.result(timeout_s)
+        finally:
+            self.service.on_deliver = self._prev_on_deliver
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=timeout_s)
+
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Stop accepting work and wait for in-flight responses to flush
+        (the SIGTERM path); returns True when fully drained.  The server
+        keeps running so still-connected clients can read their tails —
+        follow with :meth:`stop`."""
+        fut = asyncio.run_coroutine_threadsafe(
+            self._drain_async(
+                timeout_s if timeout_s is not None else self.config.drain_timeout_s
+            ),
+            self._loop,
+        )
+        return fut.result()
+
+    # -------------------------------------------------------------- queries
+
+    def pending(self) -> int:
+        """In-flight requests submitted over the network and not yet
+        answered (thread-safe snapshot)."""
+        return len(self._inflight)
+
+    def connection_count(self) -> int:
+        return len(self._connections)
+
+    def net_snapshot(self) -> dict:
+        """The server's own registry plus edge state (no service merge —
+        that is the snapshot *verb*'s job)."""
+        snap = self.metrics.snapshot()
+        snap["net"] = {
+            "host": self.host,
+            "port": self.port,
+            "connections": len(self._connections),
+            "pending": len(self._inflight),
+            "draining": self._draining,
+            "max_connections": self.config.max_connections,
+            "quota_rps": self.config.quota_rps,
+            "max_inflight": self.config.max_inflight,
+        }
+        return snap
+
+    # ------------------------------------------------------- delivery (in)
+
+    def _deliver_from_worker(self, responses: List[MeasurementResponse]) -> None:
+        """Runs on a fleet worker thread for every terminal batch."""
+        if self._prev_on_deliver is not None:
+            self._prev_on_deliver(responses)
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._dispatch_responses, list(responses))
+        except RuntimeError:
+            # Loop already closed (late stragglers after stop): the
+            # service still recorded the responses; nothing to stream.
+            self.metrics.inc("net_responses_after_stop", len(responses))
+
+    def _dispatch_responses(self, responses: List[MeasurementResponse]) -> None:
+        per_conn: Dict[int, Tuple[_Connection, List[dict]]] = {}
+        for response in responses:
+            entry = self._inflight.pop(response.request_id, None)
+            if entry is None:
+                continue  # not a network submit (or already accounted)
+            conn, client_id = entry
+            conn.quota.release()
+            if conn.closed:
+                self.metrics.inc("net_responses_orphaned")
+                continue
+            wire_dict = response_to_wire(response)
+            wire_dict["request_id"] = client_id
+            per_conn.setdefault(conn.conn_id, (conn, []))[1].append(wire_dict)
+        if self._draining and not self._inflight and self._drained is not None:
+            self._drained.set()
+        for conn, dicts in per_conn.values():
+            self._enqueue(conn, KIND_RESPONSE, {"responses": dicts})
+            self.metrics.inc("net_responses_sent", len(dicts))
+
+    def _enqueue(self, conn: _Connection, kind: str, payload: dict) -> None:
+        if conn.closed:
+            return
+        try:
+            conn.queue.put_nowait(encode_message(kind, payload))
+        except asyncio.QueueFull:
+            self.metrics.inc("net_slow_disconnects")
+            self._abort_connection(conn, "outbound queue overflow (client not reading)")
+        except ProtocolError:
+            self.metrics.inc("net_encode_errors")
+
+    def _abort_connection(self, conn: _Connection, reason: str) -> None:
+        """Tear one connection down from the loop thread (idempotent)."""
+        if conn.closed:
+            return
+        conn.closed = True
+        conn.close_reason = reason
+        if conn.handler_task is not None:
+            conn.handler_task.cancel()
+        if conn.pump_task is not None:
+            conn.pump_task.cancel()
+
+    # ------------------------------------------------------ connection loop
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        if self._draining or self._stopped or len(self._connections) >= self.config.max_connections:
+            reason = (
+                "server draining"
+                if self._draining or self._stopped
+                else f"connection limit {self.config.max_connections} reached"
+            )
+            self.metrics.inc("net_connections_refused")
+            with _swallow_net_errors():
+                writer.write(encode_message(KIND_ERROR, {"error": reason}))
+                await writer.drain()
+                writer.close()
+            return
+        if self.config.write_buffer_bytes is not None:
+            writer.transport.set_write_buffer_limits(high=self.config.write_buffer_bytes)
+            # Shrink the kernel send buffer too: drain() only blocks once
+            # the OS stops absorbing writes, so a meaningful write
+            # timeout needs the whole path to back up, not just asyncio's
+            # own buffer.
+            raw_socket = writer.get_extra_info("socket")
+            if raw_socket is not None:
+                try:
+                    raw_socket.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_SNDBUF, self.config.write_buffer_bytes
+                    )
+                except OSError:
+                    pass
+        conn = _Connection(
+            next(self._conn_ids),
+            reader,
+            writer,
+            ClientQuota(
+                rate_per_s=self.config.quota_rps,
+                burst=self.config.quota_burst,
+                max_inflight=self.config.max_inflight,
+            ),
+            self.config.outbound_queue,
+        )
+        conn.handler_task = asyncio.current_task()
+        conn.pump_task = asyncio.ensure_future(self._pump(conn))
+        self._connections[conn.conn_id] = conn
+        self.metrics.inc("net_connections_accepted")
+        self._enqueue(
+            conn,
+            KIND_HELLO,
+            {
+                "server": "repro-net",
+                "wire_version": WIRE_VERSION,
+                "quota_rps": self.config.quota_rps,
+                "max_inflight": self.config.max_inflight,
+            },
+        )
+        try:
+            await self._read_loop(conn)
+        except asyncio.CancelledError:
+            pass  # aborted (slow client, shutdown); cleanup below
+        except (ConnectionError, OSError):
+            self.metrics.inc("net_connection_errors")
+        except ProtocolError as exc:
+            self.metrics.inc("net_protocol_errors")
+            await self._best_effort_error(conn, str(exc))
+        finally:
+            await self._cleanup(conn)
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        loop = asyncio.get_event_loop()
+        while not conn.closed:
+            timeout = None
+            if conn.decoder.pending_bytes and conn.partial_deadline is not None:
+                timeout = conn.partial_deadline - loop.time()
+                if timeout <= 0:
+                    raise ProtocolError(
+                        f"line stalled mid-frame for {self.config.message_timeout_s} s "
+                        f"({conn.decoder.pending_bytes} bytes pending)"
+                    )
+            try:
+                data = await asyncio.wait_for(conn.reader.read(_READ_CHUNK), timeout)
+            except asyncio.TimeoutError:
+                raise ProtocolError(
+                    f"line stalled mid-frame for {self.config.message_timeout_s} s "
+                    f"({conn.decoder.pending_bytes} bytes pending)"
+                ) from None
+            if not data:
+                return  # clean EOF
+            self.metrics.inc("net_bytes_in", len(data))
+            messages = conn.decoder.feed(data)  # ProtocolError propagates
+            if conn.decoder.pending_bytes:
+                if conn.partial_deadline is None:
+                    conn.partial_deadline = loop.time() + self.config.message_timeout_s
+            else:
+                conn.partial_deadline = None
+            for kind, payload in messages:
+                if not self._on_message(conn, kind, payload):
+                    return  # client said bye
+
+    def _on_message(self, conn: _Connection, kind: str, payload: dict) -> bool:
+        """Dispatch one decoded envelope; False ends the connection."""
+        if kind == KIND_SUBMIT:
+            self._on_submit(conn, payload)
+        elif kind == KIND_PING:
+            self._enqueue(conn, KIND_PONG, {"seq": payload.get("seq")})
+        elif kind == KIND_SNAPSHOT:
+            self._enqueue(
+                conn,
+                KIND_SNAPSHOT_REPLY,
+                {"seq": payload.get("seq"), "snapshot": self.snapshot_verb()},
+            )
+        elif kind == KIND_BYE:
+            return False
+        else:
+            # Valid wire kind, but server-bound it is not (hello, reject,
+            # responses...): answer, keep the stream.
+            self.metrics.inc("net_unexpected_kinds")
+            self._enqueue(
+                conn, KIND_ERROR, {"error": f"kind {kind!r} is not a client verb"}
+            )
+        return True
+
+    def _on_submit(self, conn: _Connection, payload: dict) -> None:
+        raw = payload.get("request")
+        if not isinstance(raw, dict):
+            self.metrics.inc("net_bad_requests")
+            self._enqueue(
+                conn, KIND_ERROR, {"error": "submit payload needs a request object"}
+            )
+            return
+        try:
+            request = request_from_wire(raw)
+        except WireError as exc:
+            self.metrics.inc("net_bad_requests")
+            self._enqueue(
+                conn,
+                KIND_ERROR,
+                {"error": str(exc), "request_id": _client_id_of(raw)},
+            )
+            return
+        client_id = request.request_id
+        if self._draining:
+            self._reject(conn, client_id, "server draining", retry_after_s=1.0)
+            return
+        admission = self.service.admission
+        admission_delay = (
+            admission.estimated_delay_s(self.service.broker.depth)
+            if admission is not None
+            else 0.0
+        )
+        try:
+            conn.quota.try_acquire(admission_delay)
+        except QuotaExceeded as exc:
+            self.metrics.inc("net_quota_rejections")
+            self._reject(conn, client_id, str(exc), retry_after_s=exc.retry_after_s)
+            return
+        server_id = next(self._request_ids)
+        request.request_id = server_id
+        tracer = getattr(self.service, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            now = tracer.clock()
+            trace = tracer.start(server_id, request.tank_id)
+            trace.add("accept", now, now, conn=conn.conn_id, client_request_id=client_id)
+            trace.add("decode", now, now, bytes=len(raw))
+            request.trace = trace
+        try:
+            self.service.submit(request)
+        except BrokerFullError as exc:  # includes OverloadShedError
+            conn.quota.release()
+            if tracer is not None and tracer.enabled:
+                tracer.finish(server_id, status="rejected")
+            self.metrics.inc("net_submit_rejections")
+            self._reject(conn, client_id, str(exc), retry_after_s=exc.retry_after_s)
+            return
+        self._inflight[server_id] = (conn, client_id)
+        self.metrics.inc("net_submits")
+
+    def _reject(self, conn: _Connection, client_id, error: str, retry_after_s: float) -> None:
+        self._enqueue(
+            conn,
+            KIND_REJECT,
+            {
+                "request_id": client_id,
+                "error": error,
+                "retry_after_s": retry_after_s,
+            },
+        )
+
+    def snapshot_verb(self) -> dict:
+        """The ``snapshot`` verb's answer: service and net registries
+        merged through :meth:`Metrics.merge_snapshots` (reservoirs
+        included, so percentiles survive), plus the edge state."""
+        merged = Metrics.merge_snapshots(
+            [
+                self.service.metrics.snapshot(include_reservoirs=True),
+                self.metrics.snapshot(include_reservoirs=True),
+            ]
+        )
+        merged.pop("histogram_states", None)  # bulky; summaries suffice here
+        merged["net"] = self.net_snapshot()["net"]
+        merged["broker"] = {
+            "depth": self.service.broker.depth,
+            "capacity": self.service.broker.capacity,
+            "submitted": self.service.broker.submitted,
+            "rejected": self.service.broker.rejected,
+        }
+        return merged
+
+    # --------------------------------------------------------------- output
+
+    async def _pump(self, conn: _Connection) -> None:
+        try:
+            while True:
+                data = await conn.queue.get()
+                if data is None:
+                    return
+                conn.writer.write(data)
+                self.metrics.inc("net_bytes_out", len(data))
+                await asyncio.wait_for(conn.writer.drain(), self.config.write_timeout_s)
+        except asyncio.CancelledError:
+            pass
+        except asyncio.TimeoutError:
+            self.metrics.inc("net_slow_disconnects")
+            self._abort_connection(conn, "socket undrained (client not reading)")
+        except (ConnectionError, OSError):
+            self.metrics.inc("net_connection_errors")
+            self._abort_connection(conn, "write failed")
+
+    async def _best_effort_error(self, conn: _Connection, error: str) -> None:
+        """Final structured error before closing a damaged stream; sent
+        directly (the pump may be the casualty)."""
+        with _swallow_net_errors():
+            conn.writer.write(encode_message(KIND_ERROR, {"error": error, "fatal": True}))
+            await asyncio.wait_for(conn.writer.drain(), self.config.write_timeout_s)
+
+    async def _cleanup(self, conn: _Connection) -> None:
+        conn.closed = True
+        self._connections.pop(conn.conn_id, None)
+        if conn.pump_task is not None and not conn.pump_task.done():
+            # Let queued lines flush through the sentinel; a stuck pump
+            # is bounded by its own write timeout.
+            try:
+                conn.queue.put_nowait(None)
+            except asyncio.QueueFull:
+                conn.pump_task.cancel()
+            try:
+                await asyncio.wait_for(conn.pump_task, self.config.write_timeout_s + 1.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                conn.pump_task.cancel()
+        with _swallow_net_errors():
+            conn.writer.close()
+            await conn.writer.wait_closed()
+        self.metrics.inc("net_connections_closed")
+
+    # ------------------------------------------------------------- shutdown
+
+    async def _drain_async(self, timeout_s: float) -> bool:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        if not self._inflight:
+            return True
+        self._drained.clear()
+        try:
+            await asyncio.wait_for(self._drained.wait(), timeout_s)
+            return True
+        except asyncio.TimeoutError:
+            self.metrics.inc("net_drain_timeouts")
+            return False
+
+    async def _shutdown_async(self, drain: bool) -> None:
+        if drain:
+            await self._drain_async(self.config.drain_timeout_s)
+        else:
+            self._draining = True
+            if self._server is not None:
+                self._server.close()
+        tasks = []
+        for conn in list(self._connections.values()):
+            self._abort_connection(conn, "server shutdown")
+            for task in (conn.handler_task, conn.pump_task):
+                if task is not None and not task.done():
+                    tasks.append(task)
+        if self._server is not None:
+            await self._server.wait_closed()
+        if tasks:
+            # Let cancelled handlers run their cleanup before the loop dies.
+            await asyncio.wait(tasks, timeout=self.config.write_timeout_s + 2.0)
+
+
+class _swallow_net_errors:
+    """``with`` block that ignores socket-teardown races."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return exc_type is not None and issubclass(
+            exc_type, (ConnectionError, OSError, asyncio.TimeoutError, RuntimeError)
+        )

@@ -13,6 +13,7 @@ IIR-state-contention experiments need to exercise.
 from __future__ import annotations
 
 import bisect
+import math
 import random
 from typing import List, Optional, Sequence, Tuple
 
@@ -20,6 +21,11 @@ from repro.serve.requests import MeasurementRequest
 
 #: Supported per-tank popularity models.
 POPULARITIES: Tuple[str, ...] = ("uniform", "zipf")
+
+#: Traffic shapes loadgen v2 can replay (``shape_arrivals``).  ``slow``
+#: is steady arrivals — its point is misbehaving *client* behaviour
+#: (slow readers, trickle writers), which the network driver layers on.
+SHAPES: Tuple[str, ...] = ("steady", "diurnal", "flash", "ramp", "slow")
 
 #: Default pipeline of generated requests (import kept local to avoid a
 #: cycle with repro.serve.batching).
@@ -122,3 +128,104 @@ def synthetic_load(
             )
         )
     return requests
+
+
+def _invert_cumulative(target: float, cumulative, hi: float) -> float:
+    """Solve ``cumulative(t) == target`` for ``t`` in ``[0, hi]`` by
+    bisection (``cumulative`` must be non-decreasing)."""
+    lo = 0.0
+    for _ in range(64):
+        mid = (lo + hi) / 2.0
+        if cumulative(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def shape_arrivals(
+    shape: str,
+    n_requests: int,
+    duration_s: float,
+    seed: int = 0,
+    diurnal_depth: float = 0.8,
+    flash_at: float = 0.5,
+    flash_width: float = 0.08,
+    flash_fraction: float = 0.5,
+    jitter: float = 0.0,
+) -> List[float]:
+    """Arrival-time offsets (seconds from start, sorted ascending) for
+    one traffic shape over ``duration_s`` — loadgen v2's time axis.
+
+    Shapes are generated by quantile inversion of the shape's intensity
+    function, so the schedule is deterministic and two drivers replaying
+    the same shape hit the service with the identical arrival process:
+
+    * ``steady`` / ``slow`` — constant intensity (``slow`` differs only
+      in client *behaviour*, which the network driver applies).
+    * ``diurnal`` — a full sine period ``1 + depth*sin(...)`` starting at
+      the trough: traffic swells to ``(1+depth)/(1-depth)``× the trough
+      rate mid-run and falls back, the paper's always-on duty cycle.
+    * ``flash`` — ``flash_fraction`` of all requests land uniformly
+      inside a burst window ``flash_width * duration_s`` wide centred at
+      ``flash_at * duration_s``; the rest arrive steadily.  This is the
+      flash-crowd overload stressor the admission controller sheds.
+    * ``ramp`` — intensity grows linearly from zero, i.e. arrival ``i``
+      at ``duration_s * sqrt(q_i)``: a capacity-finding sweep.
+
+    ``jitter`` (a fraction of the mean inter-arrival gap, seeded) breaks
+    the comb structure when phase-locking with the batching window would
+    be unrealistic; 0 keeps the schedule exactly deterministic.
+
+    Raises
+    ------
+    ValueError
+        On an unknown shape or non-positive sizes/duration.
+    """
+    if shape not in SHAPES:
+        raise ValueError(f"shape must be one of {SHAPES}, got {shape!r}")
+    if n_requests < 1:
+        raise ValueError(f"need a positive request count, got {n_requests}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    if not 0.0 <= diurnal_depth < 1.0:
+        raise ValueError(f"diurnal_depth must be in [0, 1), got {diurnal_depth}")
+    if not 0.0 < flash_width <= 1.0 or not 0.0 <= flash_at <= 1.0:
+        raise ValueError(f"bad flash window at={flash_at} width={flash_width}")
+    if not 0.0 <= flash_fraction <= 1.0:
+        raise ValueError(f"flash_fraction must be in [0, 1], got {flash_fraction}")
+    quantiles = [(i + 0.5) / n_requests for i in range(n_requests)]
+    if shape in ("steady", "slow"):
+        arrivals = [q * duration_s for q in quantiles]
+    elif shape == "ramp":
+        arrivals = [duration_s * math.sqrt(q) for q in quantiles]
+    elif shape == "diurnal":
+        # Intensity 1 + depth*sin(2*pi*t/T - pi/2) (trough at t=0); its
+        # integral is monotone, so invert per quantile.
+        omega = 2.0 * math.pi / duration_s
+
+        def cumulative(t: float) -> float:
+            return t + (diurnal_depth / omega) * (
+                math.cos(-math.pi / 2.0) - math.cos(omega * t - math.pi / 2.0)
+            )
+
+        total = cumulative(duration_s)
+        arrivals = [_invert_cumulative(q * total, cumulative, duration_s) for q in quantiles]
+    else:  # flash
+        n_burst = int(round(flash_fraction * n_requests))
+        n_base = n_requests - n_burst
+        half = flash_width * duration_s / 2.0
+        centre = flash_at * duration_s
+        lo = max(0.0, centre - half)
+        hi = min(duration_s, centre + half)
+        arrivals = [(i + 0.5) / n_base * duration_s for i in range(n_base)]
+        arrivals += [lo + (i + 0.5) / max(1, n_burst) * (hi - lo) for i in range(n_burst)]
+        arrivals.sort()
+    if jitter > 0.0:
+        rng = random.Random(seed)
+        gap = duration_s / n_requests
+        arrivals = sorted(
+            min(duration_s, max(0.0, t + rng.uniform(-jitter, jitter) * gap))
+            for t in arrivals
+        )
+    return arrivals

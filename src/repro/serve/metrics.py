@@ -108,6 +108,17 @@ class Histogram:
         frac = rank - lo
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
+    def percentiles(self, ps: Sequence[float] = (50.0, 95.0, 99.0, 99.9)) -> Dict[str, Optional[float]]:
+        """Tail-latency digest: ``{"p50": ..., "p99": ..., "p999": ...}``
+        with the key built from the percentile's digits (99.9 → ``p999``).
+        Unlike :meth:`percentile`, an empty histogram answers ``None``
+        per key instead of raising — this is the loadgen v2 reporting
+        surface, and a shape that shed everything still needs a row."""
+        keys = ["p" + f"{p:g}".replace(".", "") for p in ps]
+        if not self._samples:
+            return {key: None for key in keys}
+        return {key: self.percentile(p) for key, p in zip(keys, ps)}
+
     def summary(self) -> Dict[str, float]:
         """Plain-dict digest; one fixed shape whether or not anything was
         observed, so snapshot consumers can index p50/p95 unconditionally."""

@@ -209,9 +209,14 @@ class RequestBroker:
             if self.tracer.enabled:
                 # Trace ops stay inside the broker lock: the admit/queue
                 # spans must exist before any consumer can take (and
-                # close) them.
-                trace = self.tracer.start(request.request_id, request.tank_id)
-                request.trace = trace
+                # close) them.  A request may arrive with a trace already
+                # attached — the TCP front door starts it at accept so
+                # its accept/decode spans precede admit — in which case
+                # the broker appends to it instead of starting over.
+                trace = request.trace
+                if trace is None:
+                    trace = self.tracer.start(request.request_id, request.tank_id)
+                    request.trace = trace
                 trace.add(
                     "admit",
                     request.submitted_at,

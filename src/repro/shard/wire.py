@@ -53,6 +53,9 @@ KIND_SNAPSHOT = "snapshot"
 KIND_SNAPSHOT_REPLY = "snapshot_reply"
 KIND_SHUTDOWN = "shutdown"
 KIND_BYE = "bye"
+#: Structured per-message failure reply (the TCP front door's answer to a
+#: malformed or disallowed client message — see :mod:`repro.net`).
+KIND_ERROR = "error"
 
 KNOWN_KINDS = frozenset(
     {
@@ -67,6 +70,7 @@ KNOWN_KINDS = frozenset(
         KIND_SNAPSHOT_REPLY,
         KIND_SHUTDOWN,
         KIND_BYE,
+        KIND_ERROR,
     }
 )
 

@@ -57,6 +57,12 @@ from repro.verifylab.oracle import (
     run_oracle,
     serve_scenario,
 )
+from repro.verifylab.net_oracle import (
+    NetScenarioCheck,
+    check_scenario_net,
+    run_net_oracle,
+    serve_scenario_net,
+)
 from repro.verifylab.scenarios import (
     Scenario,
     generate_fault_scenario,
@@ -79,6 +85,7 @@ __all__ = [
     "FaultScenarioCheck",
     "FuzzFailure",
     "FuzzReport",
+    "NetScenarioCheck",
     "OracleReport",
     "ReferenceExecutor",
     "ReferenceResult",
@@ -91,6 +98,7 @@ __all__ = [
     "check_fault_scenario",
     "check_golden",
     "check_scenario",
+    "check_scenario_net",
     "check_scenario_sharded",
     "default_golden_dir",
     "generate_fault_scenario",
@@ -100,10 +108,12 @@ __all__ = [
     "run_chaos_campaign",
     "run_fault_oracle",
     "run_fuzz",
+    "run_net_oracle",
     "run_oracle",
     "run_shard_chaos_campaign",
     "run_shard_oracle",
     "serve_scenario",
+    "serve_scenario_net",
     "serve_scenario_sharded",
     "shrink",
     "write_golden",

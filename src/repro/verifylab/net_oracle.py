@@ -1,0 +1,195 @@
+"""Network differential oracle: the TCP edge must change nothing.
+
+The socket front door (:mod:`repro.net`) re-frames every request through
+the newline-delimited wire protocol, remaps its id, queues it behind an
+event loop and delivers its response across a thread boundary — and none
+of that may move a single result bit.  This oracle serves each seeded
+scenario once in-process (:func:`repro.verifylab.oracle.serve_scenario`)
+and once through ``N`` concurrent TCP client connections against a
+:class:`repro.net.server.NetServer`, then diffs every response field
+with ``==`` — the :mod:`repro.verifylab.shard_oracle` discipline moved
+to the socket edge.
+
+Why exact equality is even *available* over concurrent clients: a tank's
+results depend only on its own request sequence (per-tank sessions with
+derived seeds; batch composition is bookkeeping, which the batching and
+shard oracles already pin down), so the oracle partitions requests
+across clients **by tank**.  Each client submits its tanks' requests in
+scenario order on one ordered TCP stream into the FIFO broker, so every
+per-tank sequence reaches the single worker in submission order no
+matter how the clients' streams interleave — same invariant the shard
+oracle gets from consistent-hash routing.
+
+(Like the shard oracle, energy/batch bookkeeping is not compared:
+interleaving legitimately changes batch composition.)
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.net.client import NetClient
+from repro.net.server import NetConfig, NetServer
+from repro.serve.pool import FleetService
+from repro.serve.requests import MeasurementResponse
+from repro.verifylab.oracle import _shared_cache, serve_scenario
+from repro.verifylab.scenarios import Scenario, generate_scenario
+
+from repro.app.system import SystemConfig
+
+#: Response fields that must match exactly between the TCP and the
+#: in-process path (the shard oracle's exactness contract).
+NET_EXACT_FIELDS = ("status", "level_measured", "capacitance_pf")
+
+
+def serve_scenario_net(
+    scenario: Scenario,
+    clients: int = 3,
+    timeout_s: float = 120.0,
+    engine: str = "scalar",
+) -> Dict[int, MeasurementResponse]:
+    """Serve one scenario through the TCP front door; responses by id.
+
+    Mirrors :func:`serve_scenario`'s determinism setup — one worker, the
+    shared artifact cache, scenario-derived seeds — but submits over
+    ``clients`` concurrent socket connections, partitioned by tank so
+    per-tank submission order is preserved.
+
+    Raises
+    ------
+    RuntimeError
+        On rejected/undelivered submissions or a timeout (the comparison
+        would be vacuous, so fail loudly).
+    """
+    requests = scenario.requests()
+    service = FleetService(
+        workers=1,
+        max_batch=scenario.max_batch,
+        queue_capacity=len(requests) + 16,
+        batched=scenario.batched,
+        seed=scenario.seed,
+        config=SystemConfig(circuit=scenario.circuit),
+        cache=_shared_cache,
+        noise_rms=scenario.noise_rms,
+        engine=engine if scenario.batched else "scalar",
+    )
+    service.start()
+    server = NetServer(service, NetConfig(max_inflight=len(requests) + 16)).start()
+    # Partition by tank: all of one tank's requests ride one connection.
+    tanks = sorted({r.tank_id for r in requests})
+    assignment = {tank: i % clients for i, tank in enumerate(tanks)}
+    schedules: List[List] = [[] for _ in range(clients)]
+    for request in requests:
+        schedules[assignment[request.tank_id]].append(request)
+    responses: Dict[int, MeasurementResponse] = {}
+    errors: List[str] = []
+    lock = threading.Lock()
+
+    def _drive(schedule: List) -> None:
+        try:
+            with NetClient("127.0.0.1", server.port, timeout_s=timeout_s) as client:
+                for request in schedule:
+                    client.submit(request)
+                client.await_responses(len(schedule), timeout_s=timeout_s)
+                with lock:
+                    if client.rejections:
+                        errors.append(
+                            f"seed {scenario.seed}: {len(client.rejections)} rejected"
+                        )
+                    responses.update(client.responses)
+        except Exception as exc:  # noqa: BLE001 — reported as oracle failure
+            with lock:
+                errors.append(f"seed {scenario.seed}: client failed: {exc}")
+
+    threads = [
+        threading.Thread(target=_drive, args=(schedule,), name=f"net-oracle-{i}")
+        for i, schedule in enumerate(schedules)
+        if schedule
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=timeout_s + 10.0)
+    finally:
+        server.stop(drain=False)
+        service.shutdown(drain=False)
+    if errors:
+        raise RuntimeError("; ".join(errors))
+    if len(responses) != len(requests):
+        raise RuntimeError(
+            f"seed {scenario.seed}: {len(responses)}/{len(requests)} answered over TCP"
+        )
+    return responses
+
+
+@dataclass
+class NetScenarioCheck:
+    """Exact-equality verdict of one scenario at one client count."""
+
+    scenario: Scenario
+    clients: int
+    violations: List[str] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.scenario.seed,
+            "clients": self.clients,
+            "n_requests": self.scenario.n_requests,
+            "compared": self.compared,
+            "ok": self.ok,
+            "violations": list(self.violations),
+        }
+
+
+def check_scenario_net(
+    scenario: Scenario, clients: int = 3, engine: str = "scalar"
+) -> NetScenarioCheck:
+    """Serve one scenario both ways and require exact response equality."""
+    check = NetScenarioCheck(scenario, clients)
+    single = serve_scenario(scenario, engine=engine)
+    networked = serve_scenario_net(scenario, clients=clients, engine=engine)
+    for request in scenario.requests():
+        reference = single.get(request.request_id)
+        response = networked.get(request.request_id)
+        if reference is None or response is None:
+            check.violations.append(
+                f"seed {scenario.seed} request {request.request_id}: missing "
+                f"from {'in-process' if reference is None else 'TCP'} path"
+            )
+            continue
+        check.compared += 1
+        for name in NET_EXACT_FIELDS:
+            got, want = getattr(response, name), getattr(reference, name)
+            if got != want:
+                check.violations.append(
+                    f"seed {scenario.seed} request {request.request_id} "
+                    f"field {name}: TCP {got!r} != in-process {want!r}"
+                )
+    return check
+
+
+def run_net_oracle(
+    seeds: Iterable[int], clients: int = 3, engine: str = "scalar"
+) -> dict:
+    """Exact-equality sweep over seeds; JSON-ready aggregate report."""
+    checks = [
+        check_scenario_net(generate_scenario(seed), clients=clients, engine=engine)
+        for seed in seeds
+    ]
+    return {
+        "ok": all(c.ok for c in checks),
+        "clients": clients,
+        "engine": engine,
+        "seeds_checked": len(checks),
+        "requests_compared": sum(c.compared for c in checks),
+        "violations": [v for c in checks for v in c.violations],
+        "per_seed": [c.to_dict() for c in checks],
+    }

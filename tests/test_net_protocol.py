@@ -1,0 +1,228 @@
+"""Hypothesis property tests for the newline-delimited wire protocol.
+
+The TCP front door's framing claim has two halves, and both are
+byte-boundary claims, which is exactly what property testing is for:
+
+* **Round trip under arbitrary chunking** — any valid request envelope
+  survives encode → frame → split-at-arbitrary-socket-boundaries →
+  incremental decode *byte-exact*, whatever the chunk boundaries and
+  whatever other messages share the stream.
+* **Hostile input is an error, never a hang** — truncated, oversized and
+  garbage frames raise :class:`ProtocolError` only; the decoder never
+  raises anything else, never loops, and always recovers to decode the
+  next good line.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.net.protocol import (
+    MAX_LINE_BYTES,
+    LineDecoder,
+    ProtocolError,
+    decode_line,
+    encode_message,
+)
+from repro.serve.requests import MeasurementRequest
+from repro.shard.wire import (
+    KIND_SUBMIT,
+    KNOWN_KINDS,
+    request_from_wire,
+    request_to_wire,
+)
+
+# ----------------------------------------------------------- strategies
+
+_tank_ids = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=24
+)
+
+_requests = st.builds(
+    MeasurementRequest,
+    request_id=st.integers(min_value=0, max_value=2**53 - 1),
+    tank_id=_tank_ids,
+    level=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    pipeline=st.lists(
+        st.sampled_from(["frontend", "amp_phase", "capacity", "filter"]),
+        min_size=1,
+        max_size=4,
+    ).map(tuple),
+    deadline_s=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+    ),
+    max_attempts=st.integers(min_value=1, max_value=9),
+)
+
+
+def _chunked(data: bytes, cuts) -> list:
+    """Split ``data`` at the (sorted, deduplicated) cut offsets."""
+    points = sorted({min(c, len(data)) for c in cuts})
+    chunks = []
+    prev = 0
+    for point in points:
+        chunks.append(data[prev:point])
+        prev = point
+    chunks.append(data[prev:])
+    return [c for c in chunks if c]
+
+
+# ------------------------------------------------- round-trip properties
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    requests=st.lists(_requests, min_size=1, max_size=8),
+    cuts=st.lists(st.integers(min_value=0, max_value=4096), max_size=32),
+)
+def test_requests_survive_arbitrary_chunk_boundaries(requests, cuts):
+    """encode → concatenate → split at arbitrary byte offsets →
+    incremental decode reproduces every request field-exact, in order."""
+    stream = b"".join(
+        encode_message(KIND_SUBMIT, {"request": request_to_wire(r)}) for r in requests
+    )
+    decoder = LineDecoder()
+    decoded = []
+    for chunk in _chunked(stream, cuts):
+        decoded.extend(decoder.feed(chunk))
+    assert len(decoded) == len(requests)
+    for (kind, payload), original in zip(decoded, requests):
+        assert kind == KIND_SUBMIT
+        rebuilt = request_from_wire(payload["request"])
+        assert request_to_wire(rebuilt) == request_to_wire(original)
+    assert decoder.pending_bytes == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(request=_requests, cut=st.integers(min_value=0, max_value=10_000))
+def test_single_byte_feed_equals_single_feed(request, cut):
+    """Byte-at-a-time feeding and whole-line feeding decode identically
+    (the strictest chunk boundary there is), and a prefix cut leaves the
+    tail pending, never half-decoded."""
+    line = encode_message(KIND_SUBMIT, {"request": request_to_wire(request)})
+    whole = LineDecoder().feed(line)
+    bytewise = LineDecoder()
+    out = []
+    for i in range(len(line)):
+        out.extend(bytewise.feed(line[i : i + 1]))
+    assert out == whole
+    prefix = LineDecoder()
+    head = line[: min(cut, len(line) - 1)]
+    assert prefix.feed(head) == []
+    assert prefix.pending_bytes == len(head)
+
+
+@settings(max_examples=60, deadline=None)
+@given(request=_requests)
+def test_round_trip_is_byte_exact(request):
+    """Two encode passes over the decoded request produce identical
+    bytes: floats survive the wire shortest-repr, so nothing drifts."""
+    first = encode_message(KIND_SUBMIT, {"request": request_to_wire(request)})
+    kind, payload = decode_line(first)
+    second = encode_message(kind, {"request": request_to_wire(request_from_wire(payload["request"]))})
+    assert first == second
+
+
+# ----------------------------------------------- hostile-input properties
+
+
+@settings(max_examples=120, deadline=None)
+@given(garbage=st.binary(min_size=1, max_size=512))
+def test_garbage_raises_protocol_error_only(garbage):
+    """Arbitrary bytes fed to the decoder either decode (the rare case
+    where fuzz hits valid JSON) or raise ProtocolError — never anything
+    else, and the decoder stays usable afterwards."""
+    decoder = LineDecoder()
+    # Each embedded newline ends one (almost certainly bad) line, and the
+    # decoder raises once per bad line — drain them all.
+    bad_lines = garbage.count(b"\n") + 1
+    fed = garbage + b"\n"
+    for _ in range(bad_lines):
+        try:
+            decoder.feed(fed)
+        except ProtocolError:
+            fed = b""
+            continue
+        fed = b""
+    assert decoder.pending_bytes == 0
+    good = encode_message(KIND_SUBMIT, {"request": request_to_wire(
+        MeasurementRequest(request_id=1, tank_id="t", level=0.5))})
+    for chunk in (good[:7], good[7:]):
+        try:
+            messages = decoder.feed(chunk)
+        except ProtocolError:
+            pytest.fail("decoder did not recover after a garbage line")
+    assert messages and messages[-1][0] == KIND_SUBMIT
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    payload_size=st.integers(min_value=0, max_value=200),
+    chunk_size=st.integers(min_value=1, max_value=4096),
+)
+def test_oversized_line_is_discarded_not_fatal(payload_size, chunk_size):
+    """An unterminated line past the cap raises exactly once, costs
+    bounded memory, and the line's eventual tail is discarded so the
+    next line decodes clean."""
+    decoder = LineDecoder(max_line_bytes=1024)
+    hostile = b"x" * (1024 + payload_size) + b"tail"
+    raised = 0
+    for i in range(0, len(hostile), chunk_size):
+        try:
+            assert decoder.feed(hostile[i : i + chunk_size]) == []
+        except ProtocolError:
+            raised += 1
+        assert decoder.pending_bytes <= 1024 + chunk_size
+    assert raised == 1
+    assert decoder.feed(b"...more of the same giant line...") == []
+    good = encode_message(KIND_SUBMIT, {"request": request_to_wire(
+        MeasurementRequest(request_id=2, tank_id="t", level=0.25))})
+    assert decoder.feed(b"\n" + good) and decoder.lines_discarded == 1
+
+
+def test_truncated_envelope_is_a_protocol_error():
+    """A syntactically-cut JSON line (the classic mid-write disconnect)
+    raises ProtocolError when its newline finally arrives."""
+    line = encode_message(KIND_SUBMIT, {"request": request_to_wire(
+        MeasurementRequest(request_id=3, tank_id="t", level=0.5))})
+    decoder = LineDecoder()
+    assert decoder.feed(line[: len(line) // 2]) == []
+    with pytest.raises(ProtocolError):
+        decoder.feed(b"\n")
+    # The truncated line was consumed; the stream resumes.
+    assert decoder.feed(line) != []
+
+
+def test_unknown_kind_and_bad_envelope_shapes():
+    """Envelope-level damage (unknown kind, wrong version, non-object
+    payload) is ProtocolError, and bare keepalive newlines are free."""
+    with pytest.raises(ProtocolError):
+        decode_line(json.dumps({"v": 1, "kind": "no-such-kind", "payload": {}}).encode())
+    with pytest.raises(ProtocolError):
+        decode_line(json.dumps({"v": 99, "kind": "ping", "payload": {}}).encode())
+    with pytest.raises(ProtocolError):
+        decode_line(json.dumps({"v": 1, "kind": "ping", "payload": 7}).encode())
+    with pytest.raises(ProtocolError):
+        encode_message("no-such-kind", {})
+    decoder = LineDecoder()
+    assert decoder.feed(b"\n\r\n\n") == []
+    assert decoder.messages_decoded == 0
+
+
+def test_encode_rejects_oversized_messages():
+    """A payload that would exceed the line cap is refused at encode
+    time (ProtocolError), not shipped as an unparseable frame."""
+    with pytest.raises(ProtocolError):
+        encode_message(KIND_SUBMIT, {"request": {"blob": "y" * MAX_LINE_BYTES}})
+
+
+@settings(max_examples=60, deadline=None)
+@given(kind=st.sampled_from(sorted(KNOWN_KINDS)), seq=st.integers())
+def test_crlf_and_lf_terminators_decode_identically(kind, seq):
+    decoder = LineDecoder()
+    body = encode_message(kind, {"seq": seq})
+    with_crlf = body[:-1] + b"\r\n"
+    assert decoder.feed(body) == decoder.feed(with_crlf)
