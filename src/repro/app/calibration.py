@@ -63,22 +63,48 @@ class CalibrationTable:
         return max(abs(self.apply(p.raw_pf) - p.true_pf) for p in self.points)
 
     def rom_contents(self, depth: int, raw_min_pf: float, raw_max_pf: float,
-                     frac_bits: int = 10) -> List[int]:
+                     frac_bits: int = 10, word_bits: int = 18,
+                     strict: bool = True) -> List[int]:
         """The correction table as fixed-point ROM words — what the
         capacity module's ``cal_rom`` holds on the real hardware.
+
+        Words saturate symmetrically at both ends of the ROM's fixed-point
+        range: negative corrections floor at 0, corrections past the
+        ``word_bits``-wide ceiling clamp at ``2**word_bits - 1`` (the
+        block-RAM word width; the pre-fix code floored at 0 but let a
+        steep correction slope emit words that overflowed ``cal_rom``).
 
         Raises
         ------
         ValueError
-            On an empty range or non-positive depth.
+            On an empty range, non-positive depth, a word width too small
+            for the fraction bits, or — with ``strict`` (the default) —
+            when any word saturates: silently wrapping in hardware would
+            corrupt every reading in the saturated region, so an
+            out-of-range table must be re-scaled, not shipped.
         """
         if depth < 2 or raw_max_pf <= raw_min_pf:
             raise ValueError("need depth >= 2 and a non-empty raw range")
+        if word_bits <= frac_bits:
+            raise ValueError(
+                f"word_bits ({word_bits}) must exceed frac_bits ({frac_bits})"
+            )
         scale = 1 << frac_bits
+        max_word = (1 << word_bits) - 1
         words = []
+        saturated = []
         for i in range(depth):
             raw = raw_min_pf + (raw_max_pf - raw_min_pf) * i / (depth - 1)
-            words.append(max(0, int(round(self.apply(raw) * scale))))
+            word = int(round(self.apply(raw) * scale))
+            if word < 0 or word > max_word:
+                saturated.append(i)
+            words.append(min(max_word, max(0, word)))
+        if saturated and strict:
+            raise ValueError(
+                f"{len(saturated)} of {depth} ROM words saturate the "
+                f"{word_bits}-bit fixed-point range (first at index "
+                f"{saturated[0]}); re-scale the correction or widen the ROM"
+            )
         return words
 
 

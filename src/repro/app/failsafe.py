@@ -68,6 +68,7 @@ class MeasurementWatchdog:
         """Check one cycle's outputs; remembers the level for the
         rate-of-change check of the next cycle."""
         violations: List[str] = []
+        rate_violation = False
         lim = self.limits
         if not lim.capacitance_min_pf <= capacitance_pf <= lim.capacitance_max_pf:
             violations.append(
@@ -77,6 +78,7 @@ class MeasurementWatchdog:
         if not 0.0 <= level <= 1.0:
             violations.append(f"level {level:.3f} outside [0, 1]")
         if self._last_level is not None and abs(level - self._last_level) > lim.max_level_step:
+            rate_violation = True
             violations.append(
                 f"level step {abs(level - self._last_level):.3f} exceeds {lim.max_level_step}"
             )
@@ -85,7 +87,28 @@ class MeasurementWatchdog:
         verdict = WatchdogVerdict(plausible=not violations, violations=violations)
         if verdict.plausible:
             self._last_level = level
+        elif rate_violation and len(violations) == 1:
+            # Rate-only violation: the reading is otherwise healthy, so the
+            # step was most likely a genuine process change (a fast pump),
+            # not a corrupted datapath.  Adopt the new level as the
+            # reference so the watchdog re-converges — keeping the stale
+            # level would make every subsequent healthy cycle violate and
+            # wedge the self-healing loop into scrubbing a clean slot.
+            self._last_level = level
         return verdict
+
+
+class RecoveryFailedError(RuntimeError):
+    """Recovery did not restore plausibility: the re-measurement after a
+    scrub + reload still violates the watchdog envelope.  Carries the
+    retry verdict so callers can report what stayed wrong."""
+
+    def __init__(self, verdict: "WatchdogVerdict"):
+        super().__init__(
+            "post-recovery re-measurement still implausible: "
+            + "; ".join(verdict.violations)
+        )
+        self.verdict = verdict
 
 
 @dataclass(frozen=True)
@@ -179,7 +202,23 @@ class SelfHealingSystem:
         )
 
     def _recover(self, violations: List[str]) -> RecoveryEvent:
-        module = self._faulty_module or "amp_phase"
+        module = self._faulty_module
+        if module is None:
+            # No injected fault is resident: the slot's configuration
+            # memory may hold any module's image (or none), so scrubbing
+            # the amp_phase golden against it would "repair" healthy
+            # frames into corruption.  Soft recovery instead: evict the
+            # residency record so the next load rewrites the slot from a
+            # known-good image, and charge no scrub time.
+            self.system.controller.resident[0] = None
+            event = RecoveryEvent(
+                cycle_index=self._cycle_index,
+                module="(reload)",
+                violations=violations,
+                recovery_time_s=0.0,
+            )
+            self.recoveries.append(event)
+            return event
         # Scrub the slot against the resident module's golden image: the
         # readback pass localises the corrupted frame, the repair rewrites
         # only that frame.
@@ -206,6 +245,13 @@ class SelfHealingSystem:
         If the watchdog rejects the measurement, the module is repaired by
         partial reconfiguration and the cycle is re-run; the returned
         result carries the recovery time in ``reconfig_time_s``.
+
+        Raises
+        ------
+        RecoveryFailedError
+            When the post-recovery re-measurement is *still* implausible —
+            reconfiguration did not clear the fault, and returning the
+            reading as good would hand a garbage measurement downstream.
         """
         import dataclasses
 
@@ -217,10 +263,15 @@ class SelfHealingSystem:
         if verdict.plausible:
             return result
         event = self._recover(verdict.violations)
+        # The rejected reading came from corrupt hardware — it must not
+        # serve as the rate reference for judging the re-measurement.
+        self.watchdog.reset()
         # Clean re-measurement after repair.
         retry = self.system.run_cycle(level)
         retry = dataclasses.replace(
             retry, reconfig_time_s=retry.reconfig_time_s + event.recovery_time_s
         )
-        self.watchdog.check(retry.capacitance_pf, retry.level_measured)
+        retry_verdict = self.watchdog.check(retry.capacitance_pf, retry.level_measured)
+        if not retry_verdict.plausible:
+            raise RecoveryFailedError(retry_verdict)
         return retry

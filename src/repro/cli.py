@@ -384,6 +384,12 @@ def _cmd_verifylab_oracle(args: argparse.Namespace) -> int:
     )
 
     seeds = range(args.start_seed, args.start_seed + args.seeds)
+    if args.scenario:
+        from repro.scenarios import run_scenario_oracle
+
+        report = run_scenario_oracle(args.scenario, seeds, engine=args.engine)
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
     if args.net:
         report = run_net_oracle(seeds, clients=args.net_clients, engine=args.engine)
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -542,21 +548,41 @@ def _cmd_shard_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_verifylab_golden(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        SCENARIO_CANONICAL_SEEDS,
+        check_scenario_golden,
+        write_scenario_golden,
+    )
     from repro.verifylab import CANONICAL_SEEDS, check_golden, write_golden
 
+    scenario_seeds = {
+        family: list(seeds) for family, seeds in SCENARIO_CANONICAL_SEEDS.items()
+    }
     if args.update:
         written = write_golden(args.dir)
+        written += write_scenario_golden(args.dir)
         print(
             json.dumps(
-                {"updated": [str(p) for p in written], "seeds": list(CANONICAL_SEEDS)},
+                {
+                    "updated": [str(p) for p in written],
+                    "seeds": list(CANONICAL_SEEDS),
+                    "scenario_seeds": scenario_seeds,
+                },
                 indent=2,
             )
         )
         return 0
     drift = check_golden(args.dir)
+    drift += check_scenario_golden(args.dir)
     print(
         json.dumps(
-            {"ok": not drift, "seeds": list(CANONICAL_SEEDS), "drift": drift}, indent=2
+            {
+                "ok": not drift,
+                "seeds": list(CANONICAL_SEEDS),
+                "scenario_seeds": scenario_seeds,
+                "drift": drift,
+            },
+            indent=2,
         )
     )
     return 0 if not drift else 1
@@ -912,6 +938,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the mixed faulty/clean oracle instead: counter-mode SEU "
         "injection replayed request-by-request on the reference path",
+    )
+    v.add_argument(
+        "--scenario",
+        choices=["drift", "thermal", "priority"],
+        default=None,
+        help="check one long-horizon scenario family instead: calibration "
+        "drift with live recalibration, thermal derating, or priority "
+        "tiers — each with its own coverage gate",
     )
     v.add_argument(
         "--fault-rate", type=float, default=0.3, help="first-attempt strike rate"

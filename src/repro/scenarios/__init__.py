@@ -1,0 +1,63 @@
+"""Long-horizon fleet scenario families.
+
+The app layer carries the paper's §4.1 parametrizable calibration stage
+(:mod:`repro.app.calibration`), its failure-detection future work
+(:mod:`repro.app.failsafe`) and a power model with a temperature axis
+(:mod:`repro.power.model`) — but short oracle workloads never stress
+them.  This package adds the *long-horizon* axes as first-class, seeded
+scenario families, each threaded through the full serving stack and each
+with the verifylab treatment (differential oracle, shrinking, golden
+trace, CI bench):
+
+* :mod:`repro.scenarios.drift` — per-tank calibration drift over
+  simulated time with periodic recalibration requests (request kind
+  ``"calibrate"``) competing with measurements in the broker/batcher;
+  responses carry drift-corrected levels.
+* :mod:`repro.scenarios.thermal` — per-worker junction-temperature
+  trajectories (:mod:`repro.serve.thermal`) feeding leakage-aware energy
+  accounting and batch/clock derating.
+* :mod:`repro.scenarios.priority` — priority tiers on the request path
+  (alarm readings overtake routine polls, never shed first) with
+  per-class latency histograms.
+
+``repro verifylab oracle --scenario drift|thermal|priority`` gates all
+three differentially at both engines.
+"""
+
+from repro.scenarios.drift import (
+    DriftCorrector,
+    DriftScenario,
+    generate_drift_scenario,
+)
+from repro.scenarios.golden import (
+    SCENARIO_CANONICAL_SEEDS,
+    check_scenario_golden,
+    write_scenario_golden,
+)
+from repro.scenarios.oracle import (
+    SCENARIO_FAMILIES,
+    ScenarioFamilyCheck,
+    ScenarioOracleReport,
+    run_scenario_oracle,
+    shrink_scenario,
+)
+from repro.scenarios.priority import PriorityScenario, generate_priority_scenario
+from repro.scenarios.thermal import ThermalScenario, generate_thermal_scenario
+
+__all__ = [
+    "DriftCorrector",
+    "DriftScenario",
+    "PriorityScenario",
+    "SCENARIO_CANONICAL_SEEDS",
+    "SCENARIO_FAMILIES",
+    "ScenarioFamilyCheck",
+    "ScenarioOracleReport",
+    "ThermalScenario",
+    "check_scenario_golden",
+    "generate_drift_scenario",
+    "generate_priority_scenario",
+    "generate_thermal_scenario",
+    "run_scenario_oracle",
+    "shrink_scenario",
+    "write_scenario_golden",
+]

@@ -1,0 +1,193 @@
+"""Golden traces for the long-horizon scenario families.
+
+Same rationale as :mod:`repro.verifylab.golden`: the scenario oracle
+checks that serving and reference replay *agree*, which is blind to a
+refactor that shifts both in lockstep.  Canonical seeds per family are
+served once and their responses frozen under ``tests/golden/``; for the
+drift family the frozen values are the *corrected* levels, so a silent
+change to the correction law (not just to the measurement pipeline)
+trips the diff too.
+
+Traces record only scheduling-independent fields — batch composition and
+tier-reordered delivery order may legally vary, the values may not.
+Refresh after an intentional numeric change with
+``repro verifylab golden --update`` (scenario traces ride the same
+command).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.scenarios.drift import DriftCorrector, generate_drift_scenario
+from repro.scenarios.oracle import _serve
+from repro.scenarios.priority import generate_priority_scenario
+from repro.scenarios.thermal import generate_thermal_scenario
+from repro.verifylab.golden import (
+    CAPACITANCE_TOLERANCE_PF,
+    LEVEL_TOLERANCE,
+    default_golden_dir,
+)
+
+#: Seeds whose per-family traces are committed under tests/golden/.
+SCENARIO_CANONICAL_SEEDS: Mapping[str, Sequence[int]] = {
+    "drift": (7, 19),
+    "thermal": (7, 19),
+    "priority": (7, 19),
+}
+
+Pathish = Union[str, Path]
+
+
+def scenario_trace_path(directory: Pathish, family: str, seed: int) -> Path:
+    return Path(directory) / f"scenario_{family}_seed_{seed:03d}.json"
+
+
+def build_scenario_trace(family: str, seed: int) -> dict:
+    """Serve one family's canonical scenario; JSON-ready trace.
+
+    Raises
+    ------
+    ValueError
+        On an unknown family name.
+    """
+    if family == "drift":
+        scenario = generate_drift_scenario(seed)
+        service = _serve(
+            scenario.requests(),
+            seed=scenario.seed,
+            circuit=scenario.circuit,
+            max_batch=scenario.max_batch,
+            noise_rms=scenario.noise_rms,
+            corrector=DriftCorrector(scenario),
+        )
+    elif family == "thermal":
+        scenario = generate_thermal_scenario(seed)
+        service = _serve(
+            scenario.requests(),
+            seed=scenario.seed,
+            circuit=scenario.circuit,
+            max_batch=scenario.max_batch,
+            noise_rms=scenario.noise_rms,
+            thermal=scenario.governor(),
+        )
+    elif family == "priority":
+        scenario = generate_priority_scenario(seed)
+        service = _serve(
+            scenario.requests(),
+            seed=scenario.seed,
+            circuit=scenario.circuit,
+            max_batch=scenario.max_batch,
+            noise_rms=scenario.noise_rms,
+        )
+    else:
+        raise ValueError(f"unknown scenario family {family!r}")
+    responses = {r.request_id: r for r in service.responses()}
+    return {
+        "family": family,
+        "seed": seed,
+        "scenario": scenario.to_dict(),
+        "responses": [
+            {
+                "request_id": request_id,
+                "tank_id": response.tank_id,
+                "status": response.status,
+                "attempts": response.attempts,
+                "level_measured": response.level_measured,
+                "capacitance_pf": response.capacitance_pf,
+            }
+            for request_id, response in sorted(responses.items())
+        ],
+    }
+
+
+def write_scenario_golden(
+    directory: Optional[Pathish] = None,
+    seeds: Optional[Mapping[str, Sequence[int]]] = None,
+) -> List[Path]:
+    """(Re)freeze every family's golden traces; returns the written paths."""
+    directory = Path(directory) if directory is not None else default_golden_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    seeds = seeds if seeds is not None else SCENARIO_CANONICAL_SEEDS
+    written = []
+    for family, family_seeds in seeds.items():
+        for seed in family_seeds:
+            path = scenario_trace_path(directory, family, seed)
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    build_scenario_trace(family, seed),
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.write("\n")
+            written.append(path)
+    return written
+
+
+def _diff_response(family: str, seed: int, expected: dict, got: dict) -> List[str]:
+    drift = []
+    rid = expected["request_id"]
+    for name in ("tank_id", "status", "attempts"):
+        if expected[name] != got[name]:
+            drift.append(
+                f"{family} seed {seed} request {rid} {name}: "
+                f"expected {expected[name]!r}, got {got[name]!r}"
+            )
+    for name, tolerance in (
+        ("level_measured", LEVEL_TOLERANCE),
+        ("capacitance_pf", CAPACITANCE_TOLERANCE_PF),
+    ):
+        want, have = expected[name], got[name]
+        if (want is None) != (have is None):
+            drift.append(
+                f"{family} seed {seed} request {rid} {name}: "
+                f"expected {want!r}, got {have!r}"
+            )
+        elif want is not None and abs(want - have) > tolerance:
+            drift.append(
+                f"{family} seed {seed} request {rid} {name}: |{have!r} - {want!r}| "
+                f"= {abs(want - have):.3e} > tolerance {tolerance:.0e} "
+                f"(intentional change? refresh with `repro verifylab golden --update`)"
+            )
+    return drift
+
+
+def check_scenario_golden(
+    directory: Optional[Pathish] = None,
+    seeds: Optional[Mapping[str, Iterable[int]]] = None,
+) -> List[str]:
+    """Re-serve the canonical family seeds and diff against the committed
+    traces.  Returns a (possibly empty) list of drift descriptions."""
+    directory = Path(directory) if directory is not None else default_golden_dir()
+    drift: List[str] = []
+    seeds = seeds if seeds is not None else SCENARIO_CANONICAL_SEEDS
+    for family, family_seeds in seeds.items():
+        for seed in family_seeds:
+            path = scenario_trace_path(directory, family, seed)
+            if not path.exists():
+                drift.append(
+                    f"{family} seed {seed}: no golden trace at {path} "
+                    f"(create it with `repro verifylab golden --update`)"
+                )
+                continue
+            with open(path, "r", encoding="utf-8") as handle:
+                committed = json.load(handle)
+            fresh = build_scenario_trace(family, seed)
+            expected: Dict[int, dict] = {
+                r["request_id"]: r for r in committed.get("responses", [])
+            }
+            got: Dict[int, dict] = {r["request_id"]: r for r in fresh["responses"]}
+            if set(expected) != set(got):
+                drift.append(
+                    f"{family} seed {seed}: response set changed "
+                    f"(committed {sorted(expected)}, fresh {sorted(got)})"
+                )
+                continue
+            for request_id in sorted(expected):
+                drift.extend(
+                    _diff_response(family, seed, expected[request_id], got[request_id])
+                )
+    return drift

@@ -65,6 +65,10 @@ from repro.serve.loadgen import synthetic_load
 from repro.serve.metrics import Counter, Histogram, Metrics
 from repro.serve.pool import FleetService, FleetWorker
 from repro.serve.requests import (
+    KIND_CALIBRATE,
+    KIND_MEASURE,
+    PRIORITY_ALARM,
+    PRIORITY_ROUTINE,
     BrokerFullError,
     MeasurementRequest,
     MeasurementResponse,
@@ -72,12 +76,19 @@ from repro.serve.requests import (
     RequestBroker,
     RetryPolicy,
     TransientDeviceFault,
+    priority_class,
 )
 from repro.serve.supervisor import (
     AdmissionController,
     CircuitBreaker,
     SupervisorConfig,
     WorkerSupervisor,
+)
+from repro.serve.thermal import (
+    DeratingPolicy,
+    ThermalGovernor,
+    ThermalModel,
+    ThermalParams,
 )
 
 __all__ = [
@@ -91,6 +102,7 @@ __all__ = [
     "CachingBitstreamGenerator",
     "CircuitBreaker",
     "Counter",
+    "DeratingPolicy",
     "DeviceMixPlanner",
     "DevicePlan",
     "ENGINES",
@@ -100,16 +112,24 @@ __all__ = [
     "FleetService",
     "FleetWorker",
     "Histogram",
+    "KIND_CALIBRATE",
+    "KIND_MEASURE",
     "MeasurementRequest",
     "MeasurementResponse",
     "Metrics",
     "OverloadShedError",
+    "PRIORITY_ALARM",
+    "PRIORITY_ROUTINE",
     "RequestBroker",
     "RetryPolicy",
     "STANDARD_PIPELINE",
     "SupervisorConfig",
+    "ThermalGovernor",
+    "ThermalModel",
+    "ThermalParams",
     "TransientDeviceFault",
     "WorkerSupervisor",
     "offered_load_from_admission",
+    "priority_class",
     "synthetic_load",
 ]

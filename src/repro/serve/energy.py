@@ -125,6 +125,19 @@ class EnergyModel:
         self.fsl_time_s = fsl_time_s
         self.clock_gating = clock_gating
 
+    def reprice_static(self, system) -> None:
+        """Refresh the temperature-dependent price terms off a live
+        system.  ``from_system`` freezes static and clock-tree power at
+        build time; when a thermal governor moves the system's junction
+        temperature (``system.params.temperature_c``) or derates its
+        clock, leakage and clock power move with it — call this so the
+        policy's joules/request predictions track the executor's
+        accounting instead of pricing with cold-start leakage forever."""
+        self.static_power_w = static_power_w(system.device, system.params)
+        self.clock_power_w = clock_tree_power_w(
+            system.device, CLOCK_TREE_CELLS, system.hw_clock_mhz, system.params
+        )
+
     # ------------------------------------------------------------ constructors
 
     @classmethod

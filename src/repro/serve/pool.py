@@ -46,6 +46,7 @@ from repro.serve.requests import (
     OverloadShedError,
     RequestBroker,
     RetryPolicy,
+    priority_class,
 )
 from repro.serve.supervisor import (
     AdmissionController,
@@ -79,6 +80,7 @@ class FleetWorker(threading.Thread):
         breaker: Optional[CircuitBreaker] = None,
         admission: Optional[AdmissionController] = None,
         chaos=None,
+        thermal=None,
     ):
         super().__init__(name=f"fleet-worker-{worker_id}", daemon=True)
         self.worker_id = worker_id
@@ -91,6 +93,7 @@ class FleetWorker(threading.Thread):
         self.breaker = breaker
         self.admission = admission
         self.chaos = chaos
+        self.thermal = thermal
         self.energy_j = 0.0
         self.device_time_s = 0.0
         self.requests_served = 0
@@ -167,6 +170,12 @@ class FleetWorker(threading.Thread):
             self.device_time_s += outcome.device_time_s
             self.requests_served += sum(1 for r in outcome.responses if r.ok)
             self.batches_executed += 1
+            if self.thermal is not None:
+                # Simulated dissipation only: the junction trajectory (and
+                # any derating it triggers) is host- and engine-independent.
+                self.thermal.on_batch(
+                    self.worker_id, outcome.energy_j, outcome.device_time_s
+                )
             self.deliver(outcome.responses, outcome.block)
             self.current_batch = None
 
@@ -253,6 +262,10 @@ class FleetService:
         on_deliver: Optional[Callable[[List[MeasurementResponse]], None]] = None,
         on_deliver_block: Optional[Callable[[ResponseBlock], None]] = None,
         policy: str = "fifo",
+        corrector: Optional[
+            Callable[[MeasurementResponse], MeasurementResponse]
+        ] = None,
+        thermal=None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -276,6 +289,15 @@ class FleetService:
         #: makes every executor emit blocks; delivery paths that have no
         #: block (shed expiries, failed batches) build one on the fly.
         self.on_deliver_block = on_deliver_block
+        #: Optional response rewrite applied at delivery, before recording
+        #: and the push seams above (but not to the zero-copy block — a
+        #: transport that needs corrected values must consume
+        #: ``on_deliver``).  The drift scenarios use it to map each raw
+        #: reading through the tank's live :class:`CalibrationTable`.
+        self.corrector = corrector
+        #: Optional :class:`repro.serve.thermal.ThermalGovernor`; bound
+        #: after the workers are built, fed by every executed batch.
+        self.thermal = thermal
         self.engine = engine
         self.clock = clock
         self.metrics = Metrics()
@@ -336,12 +358,20 @@ class FleetService:
                 fill_window_s=window_s if window_s > 0 else DEFAULT_FILL_WINDOW_S,
                 admission=self.admission,
             )
+        if self.thermal is not None:
+            self.thermal.bind(self)
         self.supervisor: Optional[WorkerSupervisor] = (
             WorkerSupervisor(self, self.supervisor_config) if supervise else None
         )
         self._responses: List[MeasurementResponse] = []
         self._done = threading.Condition()
         self._state_lock = threading.Lock()
+        #: request_id -> priority tier, set at submit and popped at
+        #: delivery: responses stay priority-free (their wire encoding is
+        #: frozen — see ``encode_responses_block``), so the per-class
+        #: latency split lives on the service side.
+        self._priorities: Dict[int, int] = {}
+        self._priority_lock = threading.Lock()
         self._started = False
         self._start_time: Optional[float] = None
         self._stop_time: Optional[float] = None
@@ -393,6 +423,7 @@ class FleetService:
             ),
             admission=self.admission,
             chaos=self.chaos,
+            thermal=self.thermal,
         )
 
     # ----------------------------------------------------------- lifecycle
@@ -460,14 +491,37 @@ class FleetService:
                 self._start_time = self.clock()
         if self.admission is not None and request.deadline_s is not None:
             now = self.clock()
-            depth = self.broker.depth
-            if self.admission.should_shed(request.deadline_s, now, depth):
+            # Effective depth for the request's tier: an alarm request
+            # overtakes the routine backlog, so only the alarm-or-higher
+            # queue counts against its deadline.  shed(alarm) therefore
+            # implies shed(routine) for equal deadlines — alarms are never
+            # shed first.
+            depth = self.broker.depth_ahead_of(request.priority)
+            if self.admission.should_shed(
+                request.deadline_s, now, depth, priority=request.priority
+            ):
                 self.metrics.inc("requests_shed_early")
+                self.metrics.inc(
+                    f"requests_shed_early_{priority_class(request.priority)}"
+                )
                 raise OverloadShedError(
                     self.admission.estimated_delay_s(depth),
                     request.deadline_s - now,
                 )
-        self.broker.submit(request)
+        if request.priority > 0:
+            # Registered before submit: a worker may deliver the response
+            # before submit() returns.  Rolled back on rejection below.
+            # Routine (tier 0) requests skip the registry — the pop below
+            # defaults to 0 — so the dict only ever holds in-flight
+            # elevated requests.
+            with self._priority_lock:
+                self._priorities[request.request_id] = request.priority
+        try:
+            self.broker.submit(request)
+        except BrokerFullError:
+            with self._priority_lock:
+                self._priorities.pop(request.request_id, None)
+            raise
 
     def submit_many(
         self, requests: Iterable[MeasurementRequest]
@@ -488,6 +542,17 @@ class FleetService:
         responses: List[MeasurementResponse],
         block: Optional[ResponseBlock] = None,
     ) -> None:
+        if self.corrector is not None:
+            corrected = []
+            for response in responses:
+                try:
+                    corrected.append(self.corrector(response))
+                except Exception:
+                    # A broken corrector must not eat the response: deliver
+                    # the raw reading and count the failure.
+                    self.metrics.inc("corrector_errors")
+                    corrected.append(response)
+            responses = corrected
         if self.tracer.enabled:
             # Terminate traces before taking the delivery lock: finishing
             # may export (file IO) and must not serialize against callers
@@ -508,6 +573,11 @@ class FleetService:
             for response in responses:
                 self._responses.append(response)
                 self.metrics.observe("latency_s", response.latency_s)
+                with self._priority_lock:
+                    priority = self._priorities.pop(response.request_id, 0)
+                self.metrics.observe(
+                    f"latency_{priority_class(priority)}_s", response.latency_s
+                )
             self._done.notify_all()
         if self.on_deliver is not None:
             try:
@@ -592,6 +662,8 @@ class FleetService:
             snap["supervisor"]["admission"] = self.admission.snapshot()
         if self.chaos is not None:
             snap["chaos"] = self.chaos.snapshot()
+        if self.thermal is not None:
+            snap["thermal"] = self.thermal.snapshot()
         snap["cache"] = self.cache.snapshot()
         if self.engine == "vector":
             from repro.kernels.cache import KERNEL_CACHE

@@ -31,6 +31,26 @@ STATUS_OK = "ok"
 STATUS_EXPIRED = "expired"
 STATUS_FAILED = "failed"
 
+#: Priority tiers.  Higher values enqueue ahead of lower ones; equal
+#: priorities keep FIFO order, so the default tier preserves the broker's
+#: historical all-FIFO behaviour exactly.
+PRIORITY_ROUTINE = 0
+PRIORITY_ALARM = 10
+
+#: Request kinds.  ``measure`` is the ordinary level measurement;
+#: ``calibrate`` asks the fleet to re-run the multi-point calibration
+#: procedure for the tank (see :mod:`repro.scenarios.drift`) — it rides
+#: the same pipeline (the device cost of recalibration IS the point) and
+#: is distinguished only at delivery time.
+KIND_MEASURE = "measure"
+KIND_CALIBRATE = "calibrate"
+
+
+def priority_class(priority: int) -> str:
+    """Metric-label name of a priority tier (per-class histograms and
+    shed counters are keyed on this, not on raw tier integers)."""
+    return "alarm" if priority >= PRIORITY_ALARM else "routine"
+
 
 class TransientDeviceFault(RuntimeError):
     """A device-side fault (configuration upset) that a retry on a clean
@@ -87,6 +107,11 @@ class MeasurementRequest:
     submitted_at: float = 0.0
     #: Earliest time the broker may hand the request out (retry backoff).
     not_before_s: float = 0.0
+    #: Priority tier: higher values enqueue ahead of lower ones (see
+    #: ``PRIORITY_ALARM``).  The default tier is strict FIFO.
+    priority: int = PRIORITY_ROUTINE
+    #: Request kind: ``"measure"`` (default) or ``"calibrate"``.
+    kind: str = KIND_MEASURE
     #: The request's span trace, attached by the broker when tracing is
     #: enabled (see :mod:`repro.trace`); None otherwise.
     trace: Optional[object] = field(default=None, repr=False, compare=False)
@@ -98,6 +123,10 @@ class MeasurementRequest:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if not self.pipeline:
             raise ValueError("request needs a non-empty module pipeline")
+        if self.priority < 0:
+            raise ValueError(f"priority must be >= 0, got {self.priority}")
+        if self.kind not in (KIND_MEASURE, KIND_CALIBRATE):
+            raise ValueError(f"unknown request kind {self.kind!r}")
 
     def expired(self, now: float) -> bool:
         return self.deadline_s is not None and now > self.deadline_s
@@ -224,9 +253,49 @@ class RequestBroker:
                     queue_depth=len(self._queue) + len(self._delayed),
                 )
                 trace.begin("queue", t0=request.submitted_at)
-            self._queue.append(request)
+            self._enqueue(request)
             self.submitted += 1
             self._cond.notify()
+
+    def _enqueue(self, request: MeasurementRequest) -> None:
+        """Insert by priority tier (caller holds the lock).
+
+        Equal tiers keep FIFO order, and the default tier short-circuits
+        to a plain append — an all-routine workload is byte-identical to
+        the historical FIFO broker.  A higher-tier request never jumps an
+        earlier request of the *same tank*, whatever that request's tier:
+        per-tank submit order is the invariant the per-tank IIR filter
+        state (and the differential oracle) depends on.
+        """
+        if request.priority <= 0 or not self._queue:
+            self._queue.append(request)
+            return
+        insert_at = len(self._queue)
+        for index, queued in enumerate(self._queue):
+            if queued.priority < request.priority:
+                insert_at = index
+                break
+        if insert_at < len(self._queue):
+            for index in range(len(self._queue) - 1, insert_at - 1, -1):
+                if self._queue[index].tank_id == request.tank_id:
+                    insert_at = index + 1
+                    break
+        if insert_at >= len(self._queue):
+            self._queue.append(request)
+        else:
+            self._queue.insert(insert_at, request)
+
+    def depth_ahead_of(self, priority: int) -> int:
+        """The effective queue depth seen by a new request of the given
+        tier: queued/delayed requests that would be served at or before
+        it (equal tiers keep FIFO order, so they count; strictly lower
+        tiers would be overtaken and do not).  This is the depth a
+        class-aware admission estimate should use — an alarm request
+        sees only the alarm-or-higher backlog."""
+        with self._cond:
+            ahead = sum(1 for r in self._queue if r.priority >= priority)
+            ahead += sum(1 for r in self._delayed if r.priority >= priority)
+            return ahead
 
     def requeue(self, request: MeasurementRequest) -> float:
         """Re-enqueue a request after a transient fault, with backoff.

@@ -243,10 +243,27 @@ class AdmissionController:
             return 0.0
         return depth * self.per_request_s() / self.workers
 
-    def should_shed(self, deadline_s: Optional[float], now: float, depth: int) -> bool:
+    def should_shed(
+        self,
+        deadline_s: Optional[float],
+        now: float,
+        depth: int,
+        priority: int = 0,
+    ) -> bool:
         """Shed only requests that are *not yet* expired but cannot make
         their deadline through the current queue — an already-expired
-        submit still flows through and is answered ``expired``."""
+        submit still flows through and is answered ``expired``.
+
+        ``depth`` must already be the *effective* depth for the request's
+        tier (the broker's :meth:`depth_ahead_of` — an alarm request sees
+        only the alarm-or-higher backlog, since it overtakes everything
+        below).  ``priority`` is accepted so policies can weight tiers
+        further; the base controller sheds purely on effective delay,
+        which already guarantees an alarm request is never shed while a
+        routine request with the same deadline would be admitted: the
+        alarm's effective depth is a subset of the routine's, so
+        shed(alarm) implies shed(routine)."""
+        del priority  # tier already folded into the effective depth
         if deadline_s is None or deadline_s <= now:
             return False
         return now + self.estimated_delay_s(depth) > deadline_s

@@ -185,6 +185,8 @@ def request_to_wire(request: MeasurementRequest) -> dict:
         "attempts": request.attempts,
         "submitted_at": request.submitted_at,
         "not_before_s": request.not_before_s,
+        "priority": request.priority,
+        "kind": request.kind,
     }
 
 
@@ -207,6 +209,10 @@ def request_from_wire(data: dict) -> MeasurementRequest:
             attempts=data.get("attempts", 0),
             submitted_at=data.get("submitted_at", 0.0),
             not_before_s=data.get("not_before_s", 0.0),
+            # Absent on envelopes from pre-priority peers: default tier/kind
+            # keeps the old wire format decodable (WIRE_VERSION unchanged).
+            priority=data.get("priority", 0),
+            kind=data.get("kind", "measure"),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise WireError(f"bad request on the wire: {exc}") from exc

@@ -159,8 +159,14 @@ class TestWatchdog:
         wd = MeasurementWatchdog(WatchdogLimits(max_level_step=0.1))
         assert wd.check(200.0, 0.30).plausible
         assert not wd.check(350.0, 0.80).plausible  # 0.5 jump
-        # A rejected reading must not poison the state.
-        assert wd.check(220.0, 0.35).plausible
+        # A rate-only step is a credible process change (fast pump): the
+        # new level becomes the reference, so the loop re-converges
+        # instead of wedging on the stale one (see tests/test_scenarios).
+        assert wd.check(350.0, 0.80).plausible
+        # A *garbled* reading (range AND rate wrong) must not poison the
+        # state: the reference stays at the last adopted level.
+        assert not wd.check(5000.0, 0.30).plausible
+        assert wd.check(350.0, 0.75).plausible
 
     def test_reference_health(self):
         wd = MeasurementWatchdog()

@@ -337,7 +337,10 @@ class TestCli:
     def test_golden_update_writes_to_dir(self, capsys, tmp_path):
         assert cli_main(["verifylab", "golden", "--update", "--dir", str(tmp_path)]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert len(payload["updated"]) == len(payload["seeds"]) == 3
+        assert len(payload["seeds"]) == 3
+        # Base traces plus one per (scenario family, canonical seed).
+        n_scenario = sum(len(s) for s in payload["scenario_seeds"].values())
+        assert len(payload["updated"]) == 3 + n_scenario
         assert cli_main(["verifylab", "golden", "--dir", str(tmp_path)]) == 0
         capsys.readouterr()
 
